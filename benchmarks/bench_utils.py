@@ -1,0 +1,35 @@
+"""Helpers shared by the benchmark modules (table printing and sizing constants)."""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence
+
+#: Number of benchmark surveys evaluated per method (keeps the harness fast
+#: while averaging over enough queries to be stable).
+BENCH_SURVEYS = 12
+
+#: K values reported by the Fig. 8 benchmark (the paper uses 20..50).
+BENCH_K_VALUES = (20, 25, 30, 35, 40, 45, 50)
+
+
+def print_table(title: str, headers: Sequence[str], rows: Sequence[Sequence[object]]) -> None:
+    """Print a small aligned table under a title (the regenerated paper table)."""
+    print(f"\n=== {title} ===")
+    widths = [
+        max(len(str(header)), *(len(_fmt(row[index])) for row in rows)) if rows else len(str(header))
+        for index, header in enumerate(headers)
+    ]
+    print("  ".join(str(header).ljust(width) for header, width in zip(headers, widths)))
+    for row in rows:
+        print("  ".join(_fmt(value).ljust(width) for value, width in zip(row, widths)))
+
+
+def _fmt(value: object) -> str:
+    if isinstance(value, float):
+        return f"{value:.4f}"
+    return str(value)
+
+
+def print_mapping(title: str, mapping: Mapping[object, object]) -> None:
+    """Print a flat mapping as two columns."""
+    print_table(title, ["key", "value"], [[key, value] for key, value in mapping.items()])

@@ -1,0 +1,87 @@
+"""Shared fixtures for the benchmark harness.
+
+Every benchmark module regenerates one table or figure of the paper on a
+shared synthetic corpus.  The corpus here is larger than the unit-test corpus
+(80 papers per topic) so that the search engines cannot trivially cover a
+survey's reference list and the paper's qualitative shape emerges; it is still
+small enough that the full harness runs in a few minutes.
+
+Absolute numbers differ from the paper (the substrate is synthetic); the
+benchmark assertions therefore check the *shape* of each result — who wins,
+how curves move with K, the direction of each ablation — and the printed
+tables let a human compare against the paper side by side.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from bench_utils import BENCH_K_VALUES, BENCH_SURVEYS  # noqa: F401 - re-exported for benchmarks
+
+from repro.config import CorpusConfig, EvaluationConfig
+from repro.core.pipeline import RePaGerPipeline
+from repro.corpus.generator import CorpusGenerator
+from repro.dataset.surveybank import SurveyBank
+from repro.graph.citation_graph import CitationGraph
+from repro.search.academic import MicrosoftAcademicEngine
+from repro.search.aminer import AMinerEngine
+from repro.search.scholar import GoogleScholarEngine
+from repro.venues.rankings import build_default_catalog
+
+#: Corpus used by every benchmark (larger than the unit-test corpus).
+BENCH_CORPUS_CONFIG = CorpusConfig(seed=7, papers_per_topic=80, surveys_per_topic=2)
+
+
+@pytest.fixture(scope="session")
+def bench_venues():
+    return build_default_catalog()
+
+
+@pytest.fixture(scope="session")
+def bench_corpus():
+    return CorpusGenerator(BENCH_CORPUS_CONFIG).generate()
+
+
+@pytest.fixture(scope="session")
+def bench_store(bench_corpus):
+    return bench_corpus.store
+
+
+@pytest.fixture(scope="session")
+def bench_taxonomy(bench_corpus):
+    return bench_corpus.taxonomy
+
+
+@pytest.fixture(scope="session")
+def bench_graph(bench_store):
+    return CitationGraph.from_papers(bench_store.papers)
+
+
+@pytest.fixture(scope="session")
+def bench_bank(bench_store, bench_venues) -> SurveyBank:
+    return SurveyBank.from_corpus(bench_store, venues=bench_venues).filter(min_references=20)
+
+
+@pytest.fixture(scope="session")
+def bench_scholar(bench_store, bench_venues):
+    return GoogleScholarEngine(bench_store, venues=bench_venues)
+
+
+@pytest.fixture(scope="session")
+def bench_msacademic(bench_store, bench_venues):
+    return MicrosoftAcademicEngine(bench_store, venues=bench_venues)
+
+
+@pytest.fixture(scope="session")
+def bench_aminer(bench_store, bench_venues):
+    return AMinerEngine(bench_store, venues=bench_venues)
+
+
+@pytest.fixture(scope="session")
+def bench_pipeline(bench_store, bench_scholar, bench_graph):
+    return RePaGerPipeline(bench_store, bench_scholar, graph=bench_graph)
+
+
+@pytest.fixture(scope="session")
+def bench_eval_config() -> EvaluationConfig:
+    return EvaluationConfig(k_values=BENCH_K_VALUES, max_surveys=BENCH_SURVEYS)

@@ -1,0 +1,55 @@
+"""Experiment E1 — Fig. 2: seed-neighbourhood overlap with survey reference lists.
+
+For the TOP-30 and TOP-50 Google-Scholar results of each benchmark survey, the
+benchmark measures which fraction of the survey's reference list (at occurrence
+levels ≥1, ≥2, ≥3) is covered by the results themselves (0th order), by their
+first-order citation neighbours and by their second-order neighbours.
+
+Paper shape to reproduce: the 0th-order overlap is small, and it grows sharply
+at the 1st and again at the 2nd order (e.g. 0.06 → 0.36 → 0.62 for TOP-30 at
+occurrence ≥ 1 in the paper).
+"""
+
+from __future__ import annotations
+
+from repro.eval.evaluator import neighborhood_overlap_study
+
+from bench_utils import BENCH_SURVEYS, print_table
+
+
+def _run_study(bank, engine, graph, top_k):
+    return neighborhood_overlap_study(
+        bank, engine, graph, top_k=top_k, orders=(0, 1, 2),
+        occurrence_levels=(1, 2, 3), max_surveys=BENCH_SURVEYS,
+    )
+
+
+def test_fig2_overlap_ratios(benchmark, bench_bank, bench_scholar, bench_graph):
+    """Regenerate both panels of Fig. 2 (TOP-30 and TOP-50)."""
+    top30 = benchmark.pedantic(
+        _run_study, args=(bench_bank, bench_scholar, bench_graph, 30), rounds=1, iterations=1
+    )
+    top50 = _run_study(bench_bank, bench_scholar, bench_graph, 50)
+
+    for label, ratios in (("TOP 30", top30), ("TOP 50", top50)):
+        rows = [
+            [f"occurrences >= {level}",
+             ratios[0][level], ratios[1][level], ratios[2][level]]
+            for level in (1, 2, 3)
+        ]
+        print_table(
+            f"Fig. 2 ({label}): overlap ratio of seed neighbourhoods with reference lists",
+            ["ground truth", "0 order", "1st order", "2nd order"],
+            rows,
+        )
+
+    # Shape assertions: coverage grows with neighbourhood order at every level,
+    # and the 2nd-order neighbourhood recovers most of the reference list.
+    for ratios in (top30, top50):
+        for level in (1, 2, 3):
+            assert ratios[0][level] <= ratios[1][level] <= ratios[2][level]
+        assert ratios[2][1] > ratios[0][1] + 0.2
+        assert ratios[2][1] > 0.8
+
+    # TOP-50 seeds cover at least as much as TOP-30 seeds at order 0.
+    assert top50[0][1] >= top30[0][1] - 0.02

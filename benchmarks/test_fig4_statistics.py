@@ -1,0 +1,47 @@
+"""Experiment E2 — Fig. 4: SurveyBank statistics.
+
+Regenerates the three distributions of Fig. 4 — survey citation counts (4a),
+publication years (4b) and reference-list sizes (4c) — plus the headline
+Sec. III-C numbers (≈58 references per survey on average, ~17.8% of surveys
+never cited, ~5.3% cited more than 500 times, ~87.8% published in the last 20
+years).
+"""
+
+from __future__ import annotations
+
+from repro.dataset.statistics import compute_statistics
+
+from bench_utils import print_mapping, print_table
+
+
+def test_fig4_surveybank_statistics(benchmark, bench_bank):
+    stats = benchmark.pedantic(compute_statistics, args=(bench_bank,), rounds=1, iterations=1)
+
+    print_mapping("Fig. 4a: survey citation-count distribution", stats.citation_histogram)
+    print_mapping("Fig. 4b: survey publication-year distribution", stats.year_histogram)
+    print_mapping("Fig. 4c: survey reference-count distribution", stats.reference_histogram)
+    print_table(
+        "Sec. III-C headline statistics (paper: 58 refs avg, 17.8% uncited, "
+        "5.3% cited > 500, 87.8% published in last 20 years)",
+        ["statistic", "value"],
+        [
+            ["surveys", stats.num_surveys],
+            ["mean references", stats.mean_references],
+            ["fraction uncited", stats.fraction_uncited],
+            ["fraction cited > 500", stats.fraction_highly_cited],
+            ["fraction recent (20y)", stats.fraction_recent],
+        ],
+    )
+
+    # Shape assertions mirroring the paper's description of the dataset.
+    assert stats.num_surveys > 50
+    assert 30 <= stats.mean_references <= 90
+    assert 0.05 <= stats.fraction_uncited <= 0.4
+    assert stats.fraction_highly_cited <= 0.3
+    assert stats.fraction_recent >= 0.7
+    # The year distribution must be dominated by recent bins (Fig. 4b).
+    years = stats.year_histogram
+    assert years["2015-2020"] + years["2010-2015"] >= 0.6 * stats.num_surveys
+    # Reference counts concentrate in the first two bins (Fig. 4c).
+    references = stats.reference_histogram
+    assert references["0-50"] + references["50-100"] >= 0.9 * stats.num_surveys

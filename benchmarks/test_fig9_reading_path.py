@@ -1,0 +1,78 @@
+"""Experiment E9 — Fig. 9: the reading path for "pretrained language models".
+
+The paper shows the generated reading path for the query "Pretrained Language
+Model": a tree whose arrows give the reading order, where several prerequisite
+papers (attention, contextualised word representations, ...) do not appear in
+the Google-Scholar TOP-30 for the same query (green nodes in the figure).
+
+The benchmark regenerates the path on the synthetic corpus, prints it as an
+ASCII tree, and asserts the figure's qualitative claims: the path is a tree,
+the reading order follows citation/publication time, and it contains
+prerequisite-topic papers that the TOP-30 search results miss.
+"""
+
+from __future__ import annotations
+
+from repro.repager.render import render_ascii_tree, render_flat_list
+
+from bench_utils import print_table
+
+QUERY = "pretrained language models"
+PREREQUISITE_TOPICS = {
+    "attention-mechanism",
+    "contextual-embeddings",
+    "word-embeddings",
+    "transfer-learning",
+    "language-modeling",
+    "sequence-to-sequence",
+    "natural-language-processing",
+}
+
+
+def test_fig9_reading_path(benchmark, bench_pipeline, bench_scholar, bench_store):
+    result = benchmark.pedantic(bench_pipeline.generate, args=(QUERY,), rounds=1, iterations=1)
+    path = result.reading_path
+
+    print()
+    print(render_ascii_tree(path, bench_store, max_depth=8))
+    print()
+    print(render_flat_list(path, bench_store, limit=15))
+
+    top30 = set(bench_scholar.search_ids(QUERY, top_k=30))
+    tree_nodes = set(result.tree.nodes)
+    outside_search = tree_nodes - top30
+    prerequisite_nodes = {
+        pid for pid in tree_nodes
+        if pid in bench_store and bench_store.get_paper(pid).topic in PREREQUISITE_TOPICS
+    }
+
+    print_table(
+        "Fig. 9 summary",
+        ["quantity", "value"],
+        [
+            ["tree papers", len(tree_nodes)],
+            ["reading-order edges", len(path.edges)],
+            ["papers not in TOP-30 search results", len(outside_search)],
+            ["papers from prerequisite topics", len(prerequisite_nodes)],
+        ],
+    )
+
+    # The output is a proper tree with a usable reading order.
+    assert result.tree.is_tree()
+    assert len(path.edges) == len(tree_nodes) - 1
+
+    # Reading order: for every edge the source is read first, and whenever the
+    # two papers are directly linked by a citation, the cited (earlier) paper
+    # comes first.
+    for edge in path.edges:
+        source_year = bench_store.get_paper(edge.source).year
+        target_year = bench_store.get_paper(edge.target).year
+        assert source_year <= target_year + 1  # citations are time-respecting
+
+    # The figure's key point: the path contains prerequisite papers that the
+    # search engine's TOP-30 does not contain.
+    assert outside_search, "the path must add papers beyond the search results"
+    assert prerequisite_nodes, "the path must include prerequisite-topic papers"
+    assert prerequisite_nodes & outside_search, (
+        "at least one prerequisite paper must be absent from the TOP-30 results"
+    )

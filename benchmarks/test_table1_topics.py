@@ -1,0 +1,45 @@
+"""Experiment E3 — Table I: topic distribution of the SurveyBank surveys.
+
+Each survey is assigned to a CCF domain according to the venue it was
+published at; surveys at venues outside the catalogue fall into the
+"Uncertain Topics" bucket, exactly as in the paper.  The paper's shape:
+Artificial Intelligence is the largest identified domain and a large share of
+surveys remain in "Uncertain Topics".
+"""
+
+from __future__ import annotations
+
+from repro.dataset.statistics import topic_distribution
+from repro.dataset.surveybank import UNCERTAIN_DOMAIN
+
+from bench_utils import print_table
+
+
+def test_table1_topic_distribution(benchmark, bench_bank):
+    distribution = benchmark.pedantic(topic_distribution, args=(bench_bank,),
+                                      rounds=1, iterations=1)
+    total = sum(distribution.values())
+    rows = sorted(
+        ([domain, count, f"{100.0 * count / total:.1f}%"] for domain, count in distribution.items()),
+        key=lambda row: -row[1],
+    )
+    rows.append(["Total", total, "100%"])
+    print_table("Table I: topic distribution of the survey papers", ["Domain", "#Papers", "share"],
+                rows)
+
+    # Shape assertions.
+    assert total == len(bench_bank)
+    identified = {d: c for d, c in distribution.items() if d != UNCERTAIN_DOMAIN}
+    assert identified, "at least some surveys must map to a CCF domain"
+    largest_identified = max(identified, key=identified.get)
+    assert largest_identified == "Artificial Intelligence"
+    # A non-trivial share of surveys has no catalogued venue (paper: 64.2%).
+    assert distribution.get(UNCERTAIN_DOMAIN, 0) > 0
+    # Every domain with surveys appears, and AI outnumbers the small domains
+    # such as HCI and CS theory (the paper's ordering).
+    small_domains = [
+        "Human-Computer Interaction and Pervasive Computing",
+        "Computer Science Theory",
+    ]
+    for domain in small_domains:
+        assert identified.get("Artificial Intelligence", 0) >= identified.get(domain, 0)

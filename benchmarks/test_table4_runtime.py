@@ -1,0 +1,46 @@
+"""Experiment E7 — Table IV: running time of the RePaGer pipeline.
+
+For several retrieval cases the paper reports the size of the constructed
+sub-citation graph (#nodes, #edges) and the end-to-end running time, plus the
+average over the test set (≈1 minute on the authors' 6-million-paper graph).
+
+On the synthetic corpus the absolute times are much smaller; the shape to
+reproduce is that the running time grows with the sub-graph size and that the
+pipeline comfortably finishes within an interactive budget.
+"""
+
+from __future__ import annotations
+
+from repro.eval.timing import measure_runtime
+
+from bench_utils import print_table
+
+NUM_CASES = 6
+TIME_BUDGET_SECONDS = 60.0
+
+
+def test_table4_runtime(benchmark, bench_pipeline, bench_bank):
+    instances = list(bench_bank)[:NUM_CASES]
+
+    cases, average = benchmark.pedantic(
+        measure_runtime, args=(bench_pipeline, instances), rounds=1, iterations=1
+    )
+
+    rows = [
+        [f"Case {index + 1} ({case.query[:30]})", case.num_nodes, case.num_edges, case.seconds]
+        for index, case in enumerate(cases)
+    ]
+    rows.append(["Avg. (test set)", average.num_nodes, average.num_edges, average.seconds])
+    print_table("Table IV: running time under different retrieval cases",
+                ["case", "#nodes", "#edges", "time (seconds)"], rows)
+
+    assert len(cases) >= NUM_CASES - 2
+    # Every case finishes well inside the interactive budget the paper reports.
+    assert all(case.seconds < TIME_BUDGET_SECONDS for case in cases)
+    # Larger sub-graphs do not come for free: the slowest case must not be the
+    # smallest one (weak monotonicity check that mirrors the table's trend).
+    slowest = max(cases, key=lambda case: case.seconds)
+    smallest = min(cases, key=lambda case: case.num_nodes)
+    assert slowest.num_nodes >= smallest.num_nodes
+    # The average row aggregates the individual cases.
+    assert min(c.seconds for c in cases) <= average.seconds <= max(c.seconds for c in cases)

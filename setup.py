@@ -1,0 +1,13 @@
+"""Setuptools shim.
+
+The canonical project metadata lives in ``pyproject.toml``; this file exists so
+that the package can be installed in fully offline environments where the
+``wheel`` package (needed for PEP 660 editable installs) is unavailable:
+
+    python setup.py develop        # offline editable install
+    pip install -e . --no-build-isolation   # when wheel is available
+"""
+
+from setuptools import setup
+
+setup()

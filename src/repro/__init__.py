@@ -1,0 +1,60 @@
+"""Reading Path Generation — reproduction of "Tell Me How to Survey" (ICDE 2022).
+
+The package implements the paper's full stack:
+
+* :mod:`repro.corpus` — synthetic scholarly corpus (the S2ORC/Google-Scholar
+  substitute) with a topic prerequisite DAG, citation graph and survey papers;
+* :mod:`repro.graph` — citation-graph algorithms (PageRank, Dijkstra, MST,
+  node-edge weighted Steiner tree);
+* :mod:`repro.textproc` — tokenisation, TF-IDF, TopicRank keyphrase extraction
+  and offline embeddings;
+* :mod:`repro.venues` — CCF/AMiner-style venue rankings;
+* :mod:`repro.search` — Google Scholar / Microsoft Academic / AMiner simulators;
+* :mod:`repro.dataset` — the SurveyBank construction pipeline and benchmark;
+* :mod:`repro.core` — the RePaGer pipeline and the NEWST model;
+* :mod:`repro.baselines` — the comparison methods of the evaluation;
+* :mod:`repro.eval` — overlap metrics, benchmark evaluation, simulated human
+  evaluation and runtime measurement;
+* :mod:`repro.repager` — the system layer (service facade, renderers, CLI).
+
+Quickstart::
+
+    from repro import RePaGerService
+
+    service = RePaGerService.from_synthetic_corpus()
+    payload = service.query("pretrained language models")
+    print(service.render_text(payload))
+"""
+
+from .config import CorpusConfig, EvaluationConfig, NewstConfig, PipelineConfig
+from .errors import ReproError
+from .types import Paper, ReadingPath, ReadingPathEdge, SearchResult, Survey
+from .corpus.generator import CorpusGenerator, GeneratedCorpus
+from .corpus.storage import CorpusStore
+from .dataset.surveybank import SurveyBank, SurveyBankInstance
+from .core.pipeline import RePaGerPipeline, make_variant_config
+from .repager.service import RePaGerService
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "CorpusConfig",
+    "NewstConfig",
+    "PipelineConfig",
+    "EvaluationConfig",
+    "ReproError",
+    "Paper",
+    "Survey",
+    "SearchResult",
+    "ReadingPath",
+    "ReadingPathEdge",
+    "CorpusGenerator",
+    "GeneratedCorpus",
+    "CorpusStore",
+    "SurveyBank",
+    "SurveyBankInstance",
+    "RePaGerPipeline",
+    "make_variant_config",
+    "RePaGerService",
+    "__version__",
+]

@@ -1,0 +1,27 @@
+"""Baseline methods from the paper's evaluation (Sec. VI-A).
+
+All baselines implement the same protocol as the NEWST pipeline — given a
+query they return a ranked list of paper ids — so the evaluator can treat
+every method uniformly:
+
+* **SearchTopKBaseline** — the raw top-K results of Google Scholar, Microsoft
+  Academic or AMiner;
+* **PageRankBaseline** — expand the Google-Scholar seeds to their citation
+  neighbours and re-rank everything by PageRank (the paper's "PageRank"
+  baseline, which over-prefers globally famous papers);
+* **SciBertMatcherBaseline** — expand the seeds and re-rank the candidates
+  with a trained semantic matching model (the paper's "SciBERT" baseline,
+  here the offline embedding matcher).
+"""
+
+from .base import ReadingListMethod
+from .search_topk import SearchTopKBaseline
+from .pagerank_rerank import PageRankBaseline
+from .scibert_matcher import SciBertMatcherBaseline
+
+__all__ = [
+    "ReadingListMethod",
+    "SearchTopKBaseline",
+    "PageRankBaseline",
+    "SciBertMatcherBaseline",
+]

@@ -1,0 +1,42 @@
+"""Common protocol for reading-list generation methods.
+
+The evaluator only needs one operation from a method: *generate a ranked list
+of paper ids for a query*.  Both the NEWST pipeline (wrapped by the evaluator)
+and the baselines below satisfy this protocol.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Sequence
+
+__all__ = ["ReadingListMethod"]
+
+
+class ReadingListMethod(ABC):
+    """A method that produces a ranked reading list for a query."""
+
+    #: Human-readable method name used in result tables.
+    name: str = "method"
+
+    @abstractmethod
+    def generate(
+        self,
+        query: str,
+        k: int,
+        year_cutoff: int | None = None,
+        exclude_ids: Sequence[str] = (),
+    ) -> list[str]:
+        """Return the top-``k`` paper ids for ``query``, best first.
+
+        Args:
+            query: Key phrases describing the topic.
+            k: Number of papers to return (methods may return fewer when the
+                candidate pool is exhausted).
+            year_cutoff: Only papers published in or before this year may be
+                returned.
+            exclude_ids: Papers that must not appear in the output.
+        """
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<{type(self).__name__} name={self.name!r}>"

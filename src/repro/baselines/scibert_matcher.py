@@ -1,0 +1,123 @@
+"""Semantic matching baseline (the paper's "SciBERT" baseline).
+
+"We train a matching model using SciBERT to score the matching degree of
+queries with paper titles and abstracts.  During the inference phase, we also
+expand the seed nodes returned from Google Scholar and then re-rank them via
+our trained matching model." (Sec. VI-A)
+
+The offline substitute uses the :class:`~repro.textproc.embeddings.EmbeddingMatcher`
+trained on survey-derived (query, positive, negative) pairs: positives are
+papers from a survey's reference list, negatives are random papers outside it.
+As in the paper, the matcher re-ranks the expanded seed neighbourhood purely by
+semantic similarity, ignoring citation structure.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Sequence
+
+from ..corpus.storage import CorpusStore
+from ..core.subgraph import SubgraphBuilder
+from ..errors import ConfigurationError
+from ..graph.citation_graph import CitationGraph
+from ..search.engine import SearchEngine
+from ..textproc.embeddings import EmbeddingMatcher, HashedEmbedder
+from ..types import Survey
+from .base import ReadingListMethod
+
+__all__ = ["SciBertMatcherBaseline"]
+
+
+class SciBertMatcherBaseline(ReadingListMethod):
+    """Expand the seeds, then re-rank candidates with a trained semantic matcher."""
+
+    name = "scibert"
+
+    def __init__(
+        self,
+        engine: SearchEngine,
+        graph: CitationGraph,
+        store: CorpusStore,
+        num_seeds: int = 30,
+        expansion_order: int = 2,
+        max_nodes: int = 4000,
+        matcher: EmbeddingMatcher | None = None,
+    ) -> None:
+        self.engine = engine
+        self.graph = graph
+        self.store = store
+        self.num_seeds = num_seeds
+        self.expansion_order = expansion_order
+        self.max_nodes = max_nodes
+        self.matcher = matcher or EmbeddingMatcher(HashedEmbedder())
+
+    # -- training -------------------------------------------------------------------
+
+    def train(
+        self,
+        surveys: Sequence[Survey],
+        negatives_per_positive: int = 1,
+        max_examples: int = 2000,
+        seed: int = 11,
+    ) -> "SciBertMatcherBaseline":
+        """Train the matcher on (query, paper) pairs derived from surveys.
+
+        Positives are papers in a survey's reference list; negatives are random
+        corpus papers outside it.
+
+        Raises:
+            ConfigurationError: If no training examples can be built.
+        """
+        rng = random.Random(seed)
+        all_ids = list(self.store.paper_ids)
+        examples: list[tuple[str, str, str, int]] = []
+        for survey in surveys:
+            query = ", ".join(survey.key_phrases)
+            references = list(survey.reference_occurrences)
+            rng.shuffle(references)
+            for positive_id in references[:10]:
+                if positive_id not in self.store:
+                    continue
+                positive = self.store.get_paper(positive_id)
+                examples.append((query, positive.title, positive.abstract, 1))
+                for _ in range(negatives_per_positive):
+                    negative_id = rng.choice(all_ids)
+                    if negative_id in survey.reference_occurrences:
+                        continue
+                    negative = self.store.get_paper(negative_id)
+                    examples.append((query, negative.title, negative.abstract, 0))
+            if len(examples) >= max_examples:
+                break
+        if not examples:
+            raise ConfigurationError("no training examples could be built from the surveys")
+        self.matcher.train(examples[:max_examples])
+        return self
+
+    # -- inference -----------------------------------------------------------------------
+
+    def generate(
+        self,
+        query: str,
+        k: int,
+        year_cutoff: int | None = None,
+        exclude_ids: Sequence[str] = (),
+    ) -> list[str]:
+        """Seeds + expanded neighbours, re-ranked by the semantic matcher."""
+        seeds = self.engine.search_ids(
+            query, top_k=self.num_seeds, year_cutoff=year_cutoff, exclude_ids=exclude_ids
+        )
+        builder = SubgraphBuilder(
+            self.graph,
+            expansion_order=self.expansion_order,
+            max_nodes=self.max_nodes,
+        )
+        candidates = builder.expand(seeds, year_cutoff=year_cutoff, exclude_ids=exclude_ids)
+        scored: list[tuple[float, str]] = []
+        for paper_id in candidates:
+            if paper_id not in self.store:
+                continue
+            paper = self.store.get_paper(paper_id)
+            scored.append((self.matcher.score(query, paper.title, paper.abstract), paper_id))
+        scored.sort(key=lambda item: (-item[0], item[1]))
+        return [paper_id for _, paper_id in scored[:k]]

@@ -1,0 +1,35 @@
+"""Search-engine top-K baselines (Google Scholar, Microsoft Academic, AMiner).
+
+The simplest baselines in the paper take the top-K retrieval results of an
+academic search engine as the generated reading list.  Any
+:class:`~repro.search.engine.SearchEngine` can be wrapped.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from ..search.engine import SearchEngine
+from .base import ReadingListMethod
+
+__all__ = ["SearchTopKBaseline"]
+
+
+class SearchTopKBaseline(ReadingListMethod):
+    """Return the raw top-K results of a search engine as the reading list."""
+
+    def __init__(self, engine: SearchEngine, name: str | None = None) -> None:
+        self.engine = engine
+        self.name = name or engine.name
+
+    def generate(
+        self,
+        query: str,
+        k: int,
+        year_cutoff: int | None = None,
+        exclude_ids: Sequence[str] = (),
+    ) -> list[str]:
+        """Top-K paper ids straight from the underlying engine."""
+        return self.engine.search_ids(
+            query, top_k=k, year_cutoff=year_cutoff, exclude_ids=exclude_ids
+        )

@@ -1,0 +1,200 @@
+"""Configuration objects for corpus generation, NEWST and evaluation.
+
+All tunable parameters of the reproduction live here so that experiments are
+driven by explicit, validated configuration values rather than scattered
+constants.  The default values follow the paper: the NEWST parameters
+``{alpha, beta, gamma, a, b} = {3, 2, 5, 0.7, 0.3}`` (Sec. VI-A) and 30 initial
+seed papers from the search engine.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from .errors import ConfigurationError
+
+__all__ = [
+    "CorpusConfig",
+    "NewstConfig",
+    "PipelineConfig",
+    "EvaluationConfig",
+]
+
+
+@dataclass(frozen=True, slots=True)
+class CorpusConfig:
+    """Parameters of the synthetic scholarly-corpus generator.
+
+    The generator builds a topic DAG with prerequisite edges, populates each
+    topic with papers, wires citations by preferential attachment (respecting
+    publication time and topic prerequisites) and finally writes survey papers
+    whose reference lists mix on-topic and prerequisite papers.
+
+    Attributes:
+        seed: Random seed; the corpus is fully deterministic given the seed.
+        papers_per_topic: Number of regular (non-survey) papers per topic.
+        surveys_per_topic: Number of survey papers written per topic.
+        start_year / end_year: Publication-year range for regular papers.
+        citations_per_paper: Mean number of outbound citations of a regular paper.
+        prerequisite_citation_fraction: Fraction of a paper's citations that go
+            to papers in prerequisite topics rather than its own topic.
+        survey_reference_count: Mean number of references in a survey
+            (the paper reports ~58 references per survey on average).
+        survey_prerequisite_fraction: Fraction of a survey's references drawn
+            from *related* topics — prerequisite topics ("how to understand"
+            papers) and direct sub-topics — rather than the survey's own topic.
+            This is the lever behind the paper's Observation I: these papers do
+            not mention the query phrase, so keyword search engines miss them.
+        noise_reference_fraction: Fraction of survey references drawn from
+            unrelated topics (real surveys cite some tangential work).
+        preferential_attachment: Strength of the rich-get-richer effect when
+            selecting citation targets (0 = uniform, 1 = proportional to
+            in-degree + 1).
+    """
+
+    seed: int = 7
+    papers_per_topic: int = 80
+    surveys_per_topic: int = 3
+    start_year: int = 1995
+    end_year: int = 2020
+    citations_per_paper: float = 16.0
+    prerequisite_citation_fraction: float = 0.30
+    survey_reference_count: float = 58.0
+    survey_prerequisite_fraction: float = 0.55
+    noise_reference_fraction: float = 0.10
+    preferential_attachment: float = 0.8
+
+    def __post_init__(self) -> None:
+        if self.papers_per_topic < 5:
+            raise ConfigurationError("papers_per_topic must be >= 5")
+        if self.surveys_per_topic < 1:
+            raise ConfigurationError("surveys_per_topic must be >= 1")
+        if self.start_year >= self.end_year:
+            raise ConfigurationError("start_year must be < end_year")
+        if self.citations_per_paper <= 0:
+            raise ConfigurationError("citations_per_paper must be positive")
+        for name in (
+            "prerequisite_citation_fraction",
+            "survey_prerequisite_fraction",
+            "noise_reference_fraction",
+            "preferential_attachment",
+        ):
+            value = getattr(self, name)
+            if not 0.0 <= value <= 1.0:
+                raise ConfigurationError(f"{name} must be in [0, 1], got {value}")
+        if self.survey_reference_count < 10:
+            raise ConfigurationError("survey_reference_count must be >= 10")
+
+
+@dataclass(frozen=True, slots=True)
+class NewstConfig:
+    """Parameters of the NEWST model (Eq. 2 and Eq. 3 of the paper).
+
+    Edge cost:   ``c(i, j) = alpha / con(i, j) ** beta``
+    Node weight: ``w(i)    = gamma / (a * pagerank(i) + b * venue(i))``
+
+    The defaults are the values reported in the paper's experiment setup.
+    """
+
+    alpha: float = 3.0
+    beta: float = 2.0
+    gamma: float = 5.0
+    a: float = 0.7
+    b: float = 0.3
+    pagerank_damping: float = 0.85
+    pagerank_max_iterations: int = 100
+    pagerank_tolerance: float = 1.0e-9
+
+    def __post_init__(self) -> None:
+        for name in ("alpha", "beta", "gamma", "a", "b"):
+            if getattr(self, name) <= 0:
+                raise ConfigurationError(f"NewstConfig.{name} must be positive")
+        if not 0.0 < self.pagerank_damping < 1.0:
+            raise ConfigurationError("pagerank_damping must be in (0, 1)")
+        if self.pagerank_max_iterations < 1:
+            raise ConfigurationError("pagerank_max_iterations must be >= 1")
+        if self.pagerank_tolerance <= 0:
+            raise ConfigurationError("pagerank_tolerance must be positive")
+
+
+@dataclass(frozen=True, slots=True)
+class PipelineConfig:
+    """Parameters of the end-to-end RePaGer pipeline (Sec. IV-A steps 1-5).
+
+    Attributes:
+        num_seeds: Number of initial seed papers from the search engine (top-K).
+        expansion_order: How many citation hops to expand around the seeds when
+            building the sub-citation graph (the paper uses 2).
+        cooccurrence_threshold: Minimum number of distinct seed papers that
+            must cite a candidate for it to be promoted to a new seed during
+            seed reallocation.
+        max_expanded_nodes: Safety cap on the size of the expanded sub-graph.
+        newst: Parameters for the NEWST cost functions.
+        seed_strategy: Which set of compulsory terminals the Steiner tree must
+            span: ``"reallocated"`` (NEWST), ``"initial"`` (NEWST-W),
+            ``"union"`` (NEWST-U) or ``"intersection"`` (NEWST-I).
+        use_node_weights / use_edge_weights: Ablation switches (NEWST-N drops
+            node weights, NEWST-E drops edge weights).
+        steiner_only: If False the pipeline stops after seed reallocation and
+            returns the reallocated papers directly (NEWST-C).
+    """
+
+    num_seeds: int = 30
+    expansion_order: int = 2
+    cooccurrence_threshold: int = 2
+    max_expanded_nodes: int = 4000
+    newst: NewstConfig = field(default_factory=NewstConfig)
+    seed_strategy: str = "reallocated"
+    use_node_weights: bool = True
+    use_edge_weights: bool = True
+    steiner_only: bool = True
+
+    _VALID_SEED_STRATEGIES = ("reallocated", "initial", "union", "intersection")
+
+    def __post_init__(self) -> None:
+        if self.num_seeds < 1:
+            raise ConfigurationError("num_seeds must be >= 1")
+        if self.expansion_order not in (1, 2, 3):
+            raise ConfigurationError("expansion_order must be 1, 2 or 3")
+        if self.cooccurrence_threshold < 1:
+            raise ConfigurationError("cooccurrence_threshold must be >= 1")
+        if self.max_expanded_nodes < self.num_seeds:
+            raise ConfigurationError("max_expanded_nodes must be >= num_seeds")
+        if self.seed_strategy not in self._VALID_SEED_STRATEGIES:
+            raise ConfigurationError(
+                f"seed_strategy must be one of {self._VALID_SEED_STRATEGIES}, "
+                f"got {self.seed_strategy!r}"
+            )
+
+
+@dataclass(frozen=True, slots=True)
+class EvaluationConfig:
+    """Parameters of the overlap-metric evaluation (Sec. VI-A/B).
+
+    Attributes:
+        k_values: The values of K at which P@K / F1@K are reported (Fig. 8).
+        occurrence_levels: Ground-truth strata to evaluate against (L1/L2/L3).
+        max_surveys: Number of benchmark surveys to evaluate (None = all).
+        min_references: Surveys with fewer references are skipped (the paper
+            only evaluates surveys citing at least 20 papers).
+        publication_cutoff: Whether to restrict candidate papers to those
+            published no later than the survey (avoids "future" papers).
+    """
+
+    k_values: tuple[int, ...] = (20, 25, 30, 35, 40, 45, 50)
+    occurrence_levels: tuple[int, ...] = (1, 2, 3)
+    max_surveys: int | None = None
+    min_references: int = 20
+    publication_cutoff: bool = True
+
+    def __post_init__(self) -> None:
+        if not self.k_values:
+            raise ConfigurationError("k_values must not be empty")
+        if any(k < 1 for k in self.k_values):
+            raise ConfigurationError("all k_values must be >= 1")
+        if any(level < 1 for level in self.occurrence_levels):
+            raise ConfigurationError("occurrence_levels must all be >= 1")
+        if self.max_surveys is not None and self.max_surveys < 1:
+            raise ConfigurationError("max_surveys must be >= 1 or None")
+        if self.min_references < 0:
+            raise ConfigurationError("min_references must be non-negative")

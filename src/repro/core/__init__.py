@@ -1,0 +1,45 @@
+"""The paper's primary contribution: the RePaGer pipeline and the NEWST model.
+
+The pipeline follows Sec. IV-A step by step:
+
+1. *Initial seed nodes* — top-K papers from an academic search engine
+   (:mod:`repro.core.seeds`);
+2. *Weighted citation graph* — PageRank + venue node weights and co-citation
+   edge costs over the corpus citation graph (:mod:`repro.core.weights`);
+3. *Sub-citation graph* — first/second-order neighbourhood expansion around
+   the seeds (:mod:`repro.core.subgraph`);
+4. *Seed reallocation* — papers co-cited by several seeds become the new
+   compulsory terminals (:mod:`repro.core.reallocation`);
+5. *NEWST* — a node-edge weighted Steiner tree connects the terminals at
+   minimum cost and is turned into a reading path ordered by citation
+   direction and publication year (:mod:`repro.core.newst`,
+   :mod:`repro.core.reading_path`).
+
+:class:`~repro.core.pipeline.RePaGerPipeline` wires the steps together and
+exposes every ablation variant from Table III (NEWST-W/I/U/C/N/E).
+"""
+
+from .seeds import SeedSelector
+from .weights import WeightedGraphBuilder, NodeWeights, EdgeCosts
+from .subgraph import SubgraphBuilder
+from .reallocation import reallocate_seeds, cooccurrence_counts
+from .newst import NewstModel
+from .reading_path import build_reading_path, order_tree_edges
+from .pipeline import RePaGerPipeline, PipelineResult, VARIANT_CONFIGS, make_variant_config
+
+__all__ = [
+    "SeedSelector",
+    "WeightedGraphBuilder",
+    "NodeWeights",
+    "EdgeCosts",
+    "SubgraphBuilder",
+    "reallocate_seeds",
+    "cooccurrence_counts",
+    "NewstModel",
+    "build_reading_path",
+    "order_tree_edges",
+    "RePaGerPipeline",
+    "PipelineResult",
+    "VARIANT_CONFIGS",
+    "make_variant_config",
+]

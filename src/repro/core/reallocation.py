@@ -1,0 +1,100 @@
+"""Seed-node reallocation by co-occurrence (Sec. IV-A step 4).
+
+The query's prerequisite papers are, by definition, not in the search results:
+they do not mention the query phrase.  But they *are* cited by several of the
+on-topic seed papers — a paper that appears in the reference lists of many
+seeds is very likely a prerequisite concept of the topic.  Seed reallocation
+therefore promotes papers with high co-occurrence (cited by at least
+``threshold`` distinct seed papers) to seeds, and the NEWST tree is required to
+span these reallocated seeds.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence
+
+from ..errors import PipelineError
+from ..graph.citation_graph import CitationGraph
+
+__all__ = ["cooccurrence_counts", "reallocate_seeds"]
+
+
+def cooccurrence_counts(
+    graph: CitationGraph,
+    seeds: Sequence[str],
+    candidates: Mapping[str, int] | None = None,
+) -> dict[str, int]:
+    """Count, for every paper, how many distinct seeds cite it.
+
+    Args:
+        graph: The citation graph (edges go from citing to cited paper).
+        seeds: The initial seed papers.
+        candidates: Optional restriction of the counted papers (the expanded
+            candidate set); papers outside it are ignored.
+
+    Returns:
+        Mapping from paper id to the number of distinct seeds citing it.
+    """
+    counts: dict[str, int] = {}
+    seed_set = set(seeds)
+    for seed in seed_set:
+        if seed not in graph:
+            continue
+        for cited in graph.successors(seed):
+            if candidates is not None and cited not in candidates:
+                continue
+            if cited in seed_set:
+                continue
+            counts[cited] = counts.get(cited, 0) + 1
+    return counts
+
+
+def reallocate_seeds(
+    graph: CitationGraph,
+    seeds: Sequence[str],
+    candidates: Mapping[str, int] | None = None,
+    threshold: int = 2,
+    max_new_seeds: int | None = None,
+    keep_initial: bool = False,
+) -> list[str]:
+    """Promote high co-occurrence papers to seeds.
+
+    Args:
+        graph: The citation graph.
+        seeds: Initial seed papers from the search engine.
+        candidates: Optional restriction to the expanded candidate pool.
+        threshold: Minimum number of distinct seeds that must cite a paper for
+            it to be promoted.
+        max_new_seeds: Optional cap on the number of promoted papers (the most
+            co-cited papers are kept).
+        keep_initial: If True the returned list is the union of initial and
+            promoted seeds; if False (the paper's NEWST) only promoted papers
+            are returned, falling back to the initial seeds when nothing
+            clears the threshold.
+
+    Returns:
+        The reallocated seed list (deduplicated, deterministic order).
+
+    Raises:
+        PipelineError: If ``threshold`` is not positive.
+    """
+    if threshold < 1:
+        raise PipelineError("cooccurrence threshold must be >= 1")
+
+    counts = cooccurrence_counts(graph, seeds, candidates)
+    promoted = [
+        paper_id for paper_id, count in counts.items() if count >= threshold
+    ]
+    promoted.sort(key=lambda pid: (-counts[pid], pid))
+    if max_new_seeds is not None:
+        promoted = promoted[:max_new_seeds]
+
+    if keep_initial:
+        merged = list(dict.fromkeys([*seeds, *promoted]))
+        return [pid for pid in merged if pid in graph]
+
+    if not promoted:
+        # Degenerate case: no paper is co-cited often enough; fall back to the
+        # initial seeds so the pipeline can still produce a path.
+        return [pid for pid in dict.fromkeys(seeds) if pid in graph]
+    return [pid for pid in promoted if pid in graph]

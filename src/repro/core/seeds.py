@@ -1,0 +1,52 @@
+"""Initial seed-paper obtainment (Sec. IV-A step 1).
+
+The RePaGer system obtains its initial seed papers by querying an academic
+search engine (Google Scholar through SerpAPI in the paper).  The
+:class:`SeedSelector` wraps either a raw :class:`~repro.search.engine.SearchEngine`
+or a :class:`~repro.search.serapi.SerApiClient` and returns the top-K paper
+ids, restricted to papers published no later than a cutoff year and excluding
+the survey the query was derived from (to avoid data leakage during
+evaluation).
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from ..errors import PipelineError
+from ..search.engine import SearchEngine
+from ..search.serapi import SerApiClient
+
+__all__ = ["SeedSelector"]
+
+
+class SeedSelector:
+    """Fetch the initial seed papers for a query."""
+
+    def __init__(self, source: SearchEngine | SerApiClient) -> None:
+        self.source = source
+
+    def select(
+        self,
+        query: str,
+        num_seeds: int,
+        year_cutoff: int | None = None,
+        exclude_ids: Sequence[str] = (),
+    ) -> list[str]:
+        """Return the top-``num_seeds`` paper ids for ``query``.
+
+        Raises:
+            PipelineError: If the search returns no results at all — without
+                seeds the pipeline cannot build a sub-citation graph.
+        """
+        if isinstance(self.source, SerApiClient):
+            seeds = self.source.search_ids(
+                query, num=num_seeds, year_cutoff=year_cutoff, exclude_ids=exclude_ids
+            )
+        else:
+            seeds = self.source.search_ids(
+                query, top_k=num_seeds, year_cutoff=year_cutoff, exclude_ids=exclude_ids
+            )
+        if not seeds:
+            raise PipelineError(f"search returned no seed papers for query {query!r}")
+        return seeds

@@ -1,0 +1,178 @@
+"""Node weights and edge costs of the NEWST model (Sec. IV-B, Eq. 2 and Eq. 3).
+
+Edge cost::
+
+    c(i, j) = alpha / con(i, j) ** beta
+
+where ``con(i, j)`` measures the relevance between papers ``i`` and ``j``: the
+number of direct citation links between them plus a co-citation component (the
+number of papers citing both), so that strongly related pairs get cheap edges.
+
+Node weight::
+
+    w(i) = gamma / (a * pagerank(i) + b * venue(i))
+
+where ``pagerank(i)`` is the paper's PageRank in the citation network and
+``venue(i)`` is the combined CCF/AMiner venue score.  Important, well-published
+papers therefore have *low* node cost and are preferred as Steiner nodes.
+
+PageRank scores are min-max normalised before entering Eq. 3 so that the two
+terms live on comparable scales regardless of graph size.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping
+
+from ..config import NewstConfig
+from ..corpus.storage import CorpusStore
+from ..errors import GraphError
+from ..graph.citation_graph import CitationGraph
+from ..graph.pagerank import pagerank
+from ..venues.rankings import VenueCatalog, build_default_catalog
+
+__all__ = ["NodeWeights", "EdgeCosts", "WeightedGraphBuilder"]
+
+
+@dataclass(frozen=True, slots=True)
+class NodeWeights:
+    """Pre-computed node-weight components plus the Eq. 3 combination."""
+
+    pagerank_scores: Mapping[str, float]
+    venue_scores: Mapping[str, float]
+    config: NewstConfig
+
+    def importance(self, paper_id: str) -> float:
+        """The denominator of Eq. 3: ``a * pagerank + b * venue``."""
+        pg = self.pagerank_scores.get(paper_id, 0.0)
+        venue = self.venue_scores.get(paper_id, 0.0)
+        return self.config.a * pg + self.config.b * venue
+
+    def weight(self, paper_id: str) -> float:
+        """Node weight ``w(i) = gamma / (a * pagerank(i) + b * venue(i))``."""
+        denominator = self.importance(paper_id)
+        if denominator <= 0.0:
+            # Unknown papers get the gamma-scaled worst-case weight rather than
+            # an infinite cost so that the Steiner tree can still pass through
+            # them when no better path exists.
+            denominator = 1.0e-3
+        return self.config.gamma / denominator
+
+    def as_cost_function(self):
+        """Return ``node_cost(paper_id)`` suitable for the Steiner solver."""
+        return self.weight
+
+
+@dataclass(frozen=True, slots=True)
+class EdgeCosts:
+    """Pre-computed relevance scores plus the Eq. 2 edge-cost combination."""
+
+    relevance: Mapping[tuple[str, str], float]
+    config: NewstConfig
+    default_relevance: float = 1.0
+
+    def con(self, source: str, target: str) -> float:
+        """Relevance ``con(i, j)`` between two papers (symmetric lookup)."""
+        key = (source, target) if source < target else (target, source)
+        return self.relevance.get(key, self.default_relevance)
+
+    def cost(self, source: str, target: str) -> float:
+        """Edge cost ``c(i, j) = alpha / con(i, j) ** beta``."""
+        relevance = max(self.con(source, target), 1.0e-6)
+        return self.config.alpha / (relevance ** self.config.beta)
+
+    def as_cost_function(self):
+        """Return ``edge_cost(source, target)`` suitable for the Steiner solver."""
+        return self.cost
+
+
+class WeightedGraphBuilder:
+    """Step 2 of the pipeline: attach NEWST weights to the citation graph."""
+
+    def __init__(
+        self,
+        store: CorpusStore,
+        graph: CitationGraph,
+        config: NewstConfig | None = None,
+        venues: VenueCatalog | None = None,
+    ) -> None:
+        self.store = store
+        self.graph = graph
+        self.config = config or NewstConfig()
+        self.venues = venues or build_default_catalog()
+        self._pagerank: dict[str, float] | None = None
+
+    # -- node weights ------------------------------------------------------------
+
+    def pagerank_scores(self) -> Mapping[str, float]:
+        """PageRank of every paper in the full citation graph (cached, normalised)."""
+        if self._pagerank is None:
+            raw = pagerank(
+                self.graph,
+                damping=self.config.pagerank_damping,
+                max_iterations=self.config.pagerank_max_iterations,
+                tolerance=self.config.pagerank_tolerance,
+            )
+            low = min(raw.values())
+            high = max(raw.values())
+            span = high - low
+            if span <= 0:
+                self._pagerank = {node: 0.5 for node in raw}
+            else:
+                self._pagerank = {
+                    node: (score - low) / span for node, score in raw.items()
+                }
+        return self._pagerank
+
+    def venue_scores(self) -> Mapping[str, float]:
+        """Venue score of every paper in the graph."""
+        scores: dict[str, float] = {}
+        for node in self.graph.nodes:
+            venue = self.graph.get_node_attr(node, "venue", "")
+            if not venue and node in self.store:
+                venue = self.store.get_paper(node).venue
+            scores[node] = self.venues.score(venue)
+        return scores
+
+    def node_weights(self) -> NodeWeights:
+        """Build the Eq. 3 node-weight object for the full graph."""
+        return NodeWeights(
+            pagerank_scores=self.pagerank_scores(),
+            venue_scores=self.venue_scores(),
+            config=self.config,
+        )
+
+    # -- edge costs ------------------------------------------------------------------
+
+    def edge_costs(self, nodes: set[str] | None = None) -> EdgeCosts:
+        """Build the Eq. 2 edge-cost object.
+
+        Relevance ``con(i, j)`` counts direct citation links between ``i`` and
+        ``j`` (1 or 2) plus half a point per common citing paper (co-citation).
+        When ``nodes`` is given, only edges inside that node set are scored
+        (the pipeline only ever needs costs inside the expanded subgraph).
+        """
+        if self.graph.num_nodes == 0:
+            raise GraphError("cannot compute edge costs on an empty graph")
+        scope = nodes if nodes is not None else set(self.graph.nodes)
+        relevance: dict[tuple[str, str], float] = {}
+        for source in scope:
+            if source not in self.graph:
+                continue
+            for target in self.graph.successors(source):
+                if target not in scope:
+                    continue
+                key = (source, target) if source < target else (target, source)
+                value = relevance.get(key, 0.0) + 1.0
+                relevance[key] = value
+
+        # Co-citation component: papers citing both endpoints strengthen the link.
+        for key in list(relevance):
+            source, target = key
+            citing_source = set(self.graph.predecessors(source))
+            citing_target = set(self.graph.predecessors(target))
+            common = len(citing_source & citing_target)
+            if common:
+                relevance[key] += 0.5 * common
+        return EdgeCosts(relevance=relevance, config=self.config)

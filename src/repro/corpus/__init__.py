@@ -1,0 +1,38 @@
+"""Synthetic scholarly corpus substrate.
+
+This subpackage replaces the resources the paper obtains from S2ORC and live
+academic search engines: a large collection of computer-science papers, the
+citation relationships between them, and survey papers whose reference lists
+provide the RPG ground truth.
+
+The key structural properties the generator reproduces (because the paper's
+observations and the NEWST pipeline depend on them) are:
+
+* topics form a prerequisite DAG — papers on a topic cite papers on its
+  prerequisite topics as background;
+* citations respect publication time and follow preferential attachment, so
+  citation counts are heavy tailed;
+* surveys reference both papers directly on their topic and prerequisite
+  papers, with in-text occurrence counts that are higher for central papers;
+* papers directly on a topic contain the topic phrase in their title, while
+  prerequisite papers generally do not — this is exactly why keyword search
+  engines miss them (Observation I) and why they are reachable through one or
+  two citation hops from the search results (Observation II).
+"""
+
+from .vocabulary import Topic, TopicTaxonomy, build_default_taxonomy
+from .generator import CorpusGenerator, GeneratedCorpus
+from .storage import CorpusStore
+from .s2orc import S2orcRecord, papers_to_s2orc, s2orc_to_papers
+
+__all__ = [
+    "Topic",
+    "TopicTaxonomy",
+    "build_default_taxonomy",
+    "CorpusGenerator",
+    "GeneratedCorpus",
+    "CorpusStore",
+    "S2orcRecord",
+    "papers_to_s2orc",
+    "s2orc_to_papers",
+]

@@ -1,0 +1,144 @@
+"""S2ORC-style record conversion.
+
+The paper builds both SurveyBank and the 6-million-paper citation graph from
+S2ORC.  This module provides the equivalent interchange format: a flat record
+with the field names S2ORC uses (``paper_id``, ``title``, ``abstract``,
+``year``, ``venue``, ``outbound_citations``, ``mag_field_of_study``) so that
+the SurveyBank construction pipeline can be written against "S2ORC records"
+exactly as the original pipeline was, while the records themselves come from
+the synthetic corpus generator.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Iterable, Iterator, Mapping
+
+from ..errors import CorpusError
+from ..types import Paper
+
+__all__ = ["S2orcRecord", "papers_to_s2orc", "s2orc_to_papers", "write_s2orc_jsonl", "read_s2orc_jsonl"]
+
+
+@dataclass(frozen=True, slots=True)
+class S2orcRecord:
+    """A single S2ORC-style metadata record."""
+
+    paper_id: str
+    title: str
+    abstract: str = ""
+    year: int = 0
+    venue: str = ""
+    outbound_citations: tuple[str, ...] = ()
+    mag_field_of_study: tuple[str, ...] = ("Computer Science",)
+    has_pdf_parse: bool = True
+    extra: Mapping[str, Any] = field(default_factory=dict)
+
+    def to_dict(self) -> dict[str, Any]:
+        """Serialise to the JSON layout used by S2ORC metadata shards."""
+        return {
+            "paper_id": self.paper_id,
+            "title": self.title,
+            "abstract": self.abstract,
+            "year": self.year,
+            "venue": self.venue,
+            "outbound_citations": list(self.outbound_citations),
+            "mag_field_of_study": list(self.mag_field_of_study),
+            "has_pdf_parse": self.has_pdf_parse,
+            **dict(self.extra),
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "S2orcRecord":
+        """Parse a record from S2ORC-style JSON."""
+        known = {
+            "paper_id",
+            "title",
+            "abstract",
+            "year",
+            "venue",
+            "outbound_citations",
+            "mag_field_of_study",
+            "has_pdf_parse",
+        }
+        extra = {k: v for k, v in data.items() if k not in known}
+        return cls(
+            paper_id=str(data["paper_id"]),
+            title=str(data.get("title", "")),
+            abstract=str(data.get("abstract", "")),
+            year=int(data.get("year", 0) or 0),
+            venue=str(data.get("venue", "") or ""),
+            outbound_citations=tuple(data.get("outbound_citations", ()) or ()),
+            mag_field_of_study=tuple(
+                data.get("mag_field_of_study", ("Computer Science",)) or ()
+            ),
+            has_pdf_parse=bool(data.get("has_pdf_parse", True)),
+            extra=extra,
+        )
+
+    def is_computer_science(self) -> bool:
+        """Whether the record belongs to the computer-science domain subset."""
+        return any(f.lower() == "computer science" for f in self.mag_field_of_study)
+
+
+def papers_to_s2orc(papers: Iterable[Paper]) -> list[S2orcRecord]:
+    """Convert internal :class:`~repro.types.Paper` records to S2ORC records."""
+    records = []
+    for paper in papers:
+        records.append(
+            S2orcRecord(
+                paper_id=paper.paper_id,
+                title=paper.title,
+                abstract=paper.abstract,
+                year=paper.year,
+                venue=paper.venue,
+                outbound_citations=paper.outbound_citations,
+                extra={"topic": paper.topic, "is_survey": paper.is_survey},
+            )
+        )
+    return records
+
+
+def s2orc_to_papers(records: Iterable[S2orcRecord]) -> list[Paper]:
+    """Convert S2ORC records back to internal :class:`~repro.types.Paper` records."""
+    papers = []
+    for record in records:
+        papers.append(
+            Paper(
+                paper_id=record.paper_id,
+                title=record.title,
+                abstract=record.abstract,
+                year=record.year,
+                venue=record.venue,
+                topic=str(record.extra.get("topic", "")),
+                outbound_citations=record.outbound_citations,
+                is_survey=bool(record.extra.get("is_survey", False)),
+            )
+        )
+    return papers
+
+
+def write_s2orc_jsonl(records: Iterable[S2orcRecord], path: str | Path) -> int:
+    """Write records to a JSONL file; returns the number of records written."""
+    target = Path(path)
+    target.parent.mkdir(parents=True, exist_ok=True)
+    count = 0
+    with target.open("w", encoding="utf-8") as handle:
+        for record in records:
+            handle.write(json.dumps(record.to_dict(), sort_keys=True) + "\n")
+            count += 1
+    return count
+
+
+def read_s2orc_jsonl(path: str | Path) -> Iterator[S2orcRecord]:
+    """Stream records from a JSONL file written by :func:`write_s2orc_jsonl`."""
+    source = Path(path)
+    if not source.exists():
+        raise CorpusError(f"missing S2ORC shard {source}")
+    with source.open("r", encoding="utf-8") as handle:
+        for line in handle:
+            line = line.strip()
+            if line:
+                yield S2orcRecord.from_dict(json.loads(line))

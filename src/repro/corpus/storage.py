@@ -1,0 +1,171 @@
+"""In-memory corpus store with JSONL persistence.
+
+The store is the single source of truth for paper metadata.  The citation
+graph, the search-engine simulators and the SurveyBank pipeline are all built
+from a :class:`CorpusStore`; they never hold their own copies of paper
+records, only paper ids.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Iterable, Iterator, Mapping
+
+from ..errors import CorpusError, PaperNotFoundError
+from ..types import Paper, Survey
+
+__all__ = ["CorpusStore"]
+
+
+class CorpusStore:
+    """Container for :class:`~repro.types.Paper` and :class:`~repro.types.Survey` records.
+
+    The store keeps secondary indexes (by topic and by publication year) so
+    that the corpus generator, the search engines and the dataset statistics
+    can enumerate slices of the corpus without repeated linear scans.
+    """
+
+    def __init__(self, papers: Iterable[Paper] = (), surveys: Iterable[Survey] = ()) -> None:
+        self._papers: dict[str, Paper] = {}
+        self._surveys: dict[str, Survey] = {}
+        self._by_topic: dict[str, list[str]] = {}
+        self._by_year: dict[int, list[str]] = {}
+        for paper in papers:
+            self.add_paper(paper)
+        for survey in surveys:
+            self.add_survey(survey)
+
+    # -- mutation ------------------------------------------------------------
+
+    def add_paper(self, paper: Paper) -> None:
+        """Add a paper; raises :class:`CorpusError` on duplicate ids."""
+        if paper.paper_id in self._papers:
+            raise CorpusError(f"duplicate paper id {paper.paper_id!r}")
+        self._papers[paper.paper_id] = paper
+        self._by_topic.setdefault(paper.topic, []).append(paper.paper_id)
+        self._by_year.setdefault(paper.year, []).append(paper.paper_id)
+
+    def add_survey(self, survey: Survey) -> None:
+        """Register the survey-specific record for a paper already in the store."""
+        if survey.paper_id not in self._papers:
+            raise CorpusError(
+                f"survey {survey.paper_id!r} has no corresponding paper record"
+            )
+        if survey.paper_id in self._surveys:
+            raise CorpusError(f"duplicate survey id {survey.paper_id!r}")
+        self._surveys[survey.paper_id] = survey
+
+    def replace_paper(self, paper: Paper) -> None:
+        """Replace an existing paper record (used to refresh citation counts)."""
+        existing = self.get_paper(paper.paper_id)
+        if existing.topic != paper.topic:
+            self._by_topic[existing.topic].remove(paper.paper_id)
+            self._by_topic.setdefault(paper.topic, []).append(paper.paper_id)
+        if existing.year != paper.year:
+            self._by_year[existing.year].remove(paper.paper_id)
+            self._by_year.setdefault(paper.year, []).append(paper.paper_id)
+        self._papers[paper.paper_id] = paper
+
+    # -- access ----------------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._papers)
+
+    def __contains__(self, paper_id: object) -> bool:
+        return paper_id in self._papers
+
+    def __iter__(self) -> Iterator[Paper]:
+        return iter(self._papers.values())
+
+    def get_paper(self, paper_id: str) -> Paper:
+        """Return the paper with the given id, raising if absent."""
+        try:
+            return self._papers[paper_id]
+        except KeyError:
+            raise PaperNotFoundError(paper_id) from None
+
+    def get_survey(self, paper_id: str) -> Survey:
+        """Return the survey record for the given paper id, raising if absent."""
+        try:
+            return self._surveys[paper_id]
+        except KeyError:
+            raise PaperNotFoundError(paper_id) from None
+
+    @property
+    def paper_ids(self) -> tuple[str, ...]:
+        """All paper ids in insertion order."""
+        return tuple(self._papers)
+
+    @property
+    def papers(self) -> tuple[Paper, ...]:
+        """All paper records in insertion order."""
+        return tuple(self._papers.values())
+
+    @property
+    def surveys(self) -> tuple[Survey, ...]:
+        """All survey records in insertion order."""
+        return tuple(self._surveys.values())
+
+    @property
+    def survey_ids(self) -> tuple[str, ...]:
+        """Ids of the papers that are surveys."""
+        return tuple(self._surveys)
+
+    def papers_in_topic(self, topic_id: str) -> list[Paper]:
+        """Papers whose primary topic is ``topic_id`` (empty list if none)."""
+        return [self._papers[pid] for pid in self._by_topic.get(topic_id, ())]
+
+    def papers_in_year(self, year: int) -> list[Paper]:
+        """Papers published in a given year (empty list if none)."""
+        return [self._papers[pid] for pid in self._by_year.get(year, ())]
+
+    def papers_published_by(self, year: int) -> list[Paper]:
+        """Papers published in or before a given year."""
+        return [p for p in self._papers.values() if p.year <= year]
+
+    def citation_counts(self) -> Mapping[str, int]:
+        """In-degree of every paper computed from ``outbound_citations``."""
+        counts: dict[str, int] = {pid: 0 for pid in self._papers}
+        for paper in self._papers.values():
+            for cited in paper.outbound_citations:
+                if cited in counts:
+                    counts[cited] += 1
+        return counts
+
+    def topics(self) -> tuple[str, ...]:
+        """Topic ids that occur in the corpus."""
+        return tuple(t for t in self._by_topic if t)
+
+    # -- persistence -------------------------------------------------------------
+
+    def save(self, directory: str | Path) -> None:
+        """Write the corpus as ``papers.jsonl`` + ``surveys.jsonl`` under ``directory``."""
+        path = Path(directory)
+        path.mkdir(parents=True, exist_ok=True)
+        with (path / "papers.jsonl").open("w", encoding="utf-8") as handle:
+            for paper in self._papers.values():
+                handle.write(json.dumps(paper.to_dict(), sort_keys=True) + "\n")
+        with (path / "surveys.jsonl").open("w", encoding="utf-8") as handle:
+            for survey in self._surveys.values():
+                handle.write(json.dumps(survey.to_dict(), sort_keys=True) + "\n")
+
+    @classmethod
+    def load(cls, directory: str | Path) -> "CorpusStore":
+        """Load a corpus previously written by :meth:`save`."""
+        path = Path(directory)
+        papers_file = path / "papers.jsonl"
+        surveys_file = path / "surveys.jsonl"
+        if not papers_file.exists():
+            raise CorpusError(f"missing corpus file {papers_file}")
+        store = cls()
+        with papers_file.open("r", encoding="utf-8") as handle:
+            for line in handle:
+                if line.strip():
+                    store.add_paper(Paper.from_dict(json.loads(line)))
+        if surveys_file.exists():
+            with surveys_file.open("r", encoding="utf-8") as handle:
+                for line in handle:
+                    if line.strip():
+                        store.add_survey(Survey.from_dict(json.loads(line)))
+        return store

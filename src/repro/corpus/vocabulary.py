@@ -1,0 +1,648 @@
+"""Topic taxonomy and phrase vocabulary for the synthetic corpus.
+
+The taxonomy plays the role that LectureBank/TutorialBank topic keywords play
+in the paper's data collection: it enumerates research topics of computer
+science, groups them into the CCF-style domains used in Table I, and — the
+part the paper's contribution actually exploits — records the *prerequisite*
+relationships between topics ("attention mechanism" is a prerequisite of
+"pretrained language models", and so on).
+
+The taxonomy is static data; the corpus generator consumes it to decide which
+papers exist, what their titles look like, and which papers cite which.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Iterator, Mapping
+
+from ..errors import ConfigurationError
+
+__all__ = ["Topic", "TopicTaxonomy", "build_default_taxonomy", "DOMAINS"]
+
+
+#: The ten CCF-style domains used by Table I of the paper.
+DOMAINS: tuple[str, ...] = (
+    "Artificial Intelligence",
+    "Database, Data Mining, Information Retrieval",
+    "Computer Network",
+    "Network and Information Security",
+    "Computer Architecture, Parallel and Distributed Computing, Storage System",
+    "Software Engineering, System Software, Programming Language",
+    "Computer Graphics and Multimedia",
+    "Computer Science Theory",
+    "Human-Computer Interaction and Pervasive Computing",
+    "Interdisciplinary, Emerging Subjects",
+)
+
+
+@dataclass(frozen=True, slots=True)
+class Topic:
+    """A research topic in the taxonomy.
+
+    Attributes:
+        topic_id: Short, stable identifier (kebab-case).
+        name: Human-readable topic name used in paper titles and queries.
+        domain: CCF-style domain the topic belongs to (one of :data:`DOMAINS`).
+        prerequisites: Ids of topics a reader should understand first; papers
+            and surveys on this topic cite papers from these topics.
+        phrases: Additional phrases associated with the topic; used to add
+            lexical variety to generated titles and abstracts.
+        emergence_year: The year from which papers on the topic start to
+            appear; later topics tend to depend on earlier ones.
+    """
+
+    topic_id: str
+    name: str
+    domain: str
+    prerequisites: tuple[str, ...] = ()
+    phrases: tuple[str, ...] = ()
+    emergence_year: int = 1995
+
+    def __post_init__(self) -> None:
+        if not self.topic_id:
+            raise ConfigurationError("Topic.topic_id must be non-empty")
+        if self.domain not in DOMAINS:
+            raise ConfigurationError(
+                f"Topic {self.topic_id!r} has unknown domain {self.domain!r}"
+            )
+
+    @property
+    def all_phrases(self) -> tuple[str, ...]:
+        """Name plus auxiliary phrases (used for title generation and search)."""
+        return (self.name, *self.phrases)
+
+
+class TopicTaxonomy:
+    """A prerequisite DAG over :class:`Topic` objects.
+
+    The taxonomy validates that every prerequisite reference resolves and that
+    the prerequisite relation is acyclic, and offers the traversals the corpus
+    generator and evaluation need: direct and transitive prerequisites,
+    topological order, and per-domain listings.
+    """
+
+    def __init__(self, topics: Iterable[Topic]) -> None:
+        self._topics: dict[str, Topic] = {}
+        for topic in topics:
+            if topic.topic_id in self._topics:
+                raise ConfigurationError(f"duplicate topic id {topic.topic_id!r}")
+            self._topics[topic.topic_id] = topic
+        self._validate_references()
+        self._order = self._topological_order()
+
+    def _validate_references(self) -> None:
+        for topic in self._topics.values():
+            for prereq in topic.prerequisites:
+                if prereq not in self._topics:
+                    raise ConfigurationError(
+                        f"topic {topic.topic_id!r} lists unknown prerequisite {prereq!r}"
+                    )
+                if prereq == topic.topic_id:
+                    raise ConfigurationError(
+                        f"topic {topic.topic_id!r} lists itself as a prerequisite"
+                    )
+
+    def _topological_order(self) -> list[str]:
+        indegree = {tid: 0 for tid in self._topics}
+        dependents: dict[str, list[str]] = {tid: [] for tid in self._topics}
+        for topic in self._topics.values():
+            for prereq in topic.prerequisites:
+                indegree[topic.topic_id] += 1
+                dependents[prereq].append(topic.topic_id)
+        queue = sorted(tid for tid, deg in indegree.items() if deg == 0)
+        ordered: list[str] = []
+        while queue:
+            tid = queue.pop(0)
+            ordered.append(tid)
+            for dependent in sorted(dependents[tid]):
+                indegree[dependent] -= 1
+                if indegree[dependent] == 0:
+                    queue.append(dependent)
+        if len(ordered) != len(self._topics):
+            cyclic = sorted(set(self._topics) - set(ordered))
+            raise ConfigurationError(f"prerequisite cycle involving topics {cyclic}")
+        return ordered
+
+    # -- basic access ------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._topics)
+
+    def __iter__(self) -> Iterator[Topic]:
+        return (self._topics[tid] for tid in self._order)
+
+    def __contains__(self, topic_id: object) -> bool:
+        return topic_id in self._topics
+
+    def get(self, topic_id: str) -> Topic:
+        """Return the topic with the given id, raising if it does not exist."""
+        try:
+            return self._topics[topic_id]
+        except KeyError:
+            raise ConfigurationError(f"unknown topic id {topic_id!r}") from None
+
+    @property
+    def topic_ids(self) -> tuple[str, ...]:
+        """All topic ids in topological (prerequisites-first) order."""
+        return tuple(self._order)
+
+    def topics_in_domain(self, domain: str) -> list[Topic]:
+        """All topics belonging to a CCF-style domain."""
+        return [t for t in self if t.domain == domain]
+
+    @property
+    def domains(self) -> tuple[str, ...]:
+        """Domains that actually occur in the taxonomy, in canonical order."""
+        present = {t.domain for t in self._topics.values()}
+        return tuple(d for d in DOMAINS if d in present)
+
+    # -- prerequisite traversals -------------------------------------------
+
+    def direct_prerequisites(self, topic_id: str) -> tuple[str, ...]:
+        """Direct prerequisite topic ids of a topic."""
+        return self.get(topic_id).prerequisites
+
+    def transitive_prerequisites(self, topic_id: str) -> frozenset[str]:
+        """All (transitively reachable) prerequisite topic ids of a topic."""
+        seen: set[str] = set()
+        stack = list(self.get(topic_id).prerequisites)
+        while stack:
+            current = stack.pop()
+            if current in seen:
+                continue
+            seen.add(current)
+            stack.extend(self.get(current).prerequisites)
+        return frozenset(seen)
+
+    def dependents(self, topic_id: str) -> frozenset[str]:
+        """Topics that list ``topic_id`` as a direct prerequisite."""
+        self.get(topic_id)
+        return frozenset(
+            t.topic_id for t in self._topics.values() if topic_id in t.prerequisites
+        )
+
+    def prerequisite_depth(self, topic_id: str) -> int:
+        """Length of the longest prerequisite chain below a topic (0 for roots)."""
+        topic = self.get(topic_id)
+        if not topic.prerequisites:
+            return 0
+        return 1 + max(self.prerequisite_depth(p) for p in topic.prerequisites)
+
+    def phrase_index(self) -> Mapping[str, str]:
+        """Map every known phrase (lower-cased) to its topic id."""
+        index: dict[str, str] = {}
+        for topic in self:
+            for phrase in topic.all_phrases:
+                index.setdefault(phrase.lower(), topic.topic_id)
+        return index
+
+
+def _t(
+    topic_id: str,
+    name: str,
+    domain: str,
+    prerequisites: tuple[str, ...] = (),
+    phrases: tuple[str, ...] = (),
+    emergence_year: int = 1995,
+) -> Topic:
+    """Terse constructor used by :func:`build_default_taxonomy`."""
+    return Topic(
+        topic_id=topic_id,
+        name=name,
+        domain=domain,
+        prerequisites=prerequisites,
+        phrases=phrases,
+        emergence_year=emergence_year,
+    )
+
+
+def build_default_taxonomy() -> TopicTaxonomy:
+    """Build the default computer-science topic taxonomy.
+
+    The taxonomy mirrors the flavour of LectureBank + TutorialBank topic
+    keywords: a few hundred phrases across AI/NLP/ML/IR plus the other CCF
+    domains, with explicit prerequisite chains.  Topic names are real research
+    topics so that generated titles, queries and reading paths read naturally
+    (e.g. the paper's running examples "pretrained language model" and "hate
+    speech detection" are present with their prerequisite chains).
+    """
+    ai = DOMAINS[0]
+    db = DOMAINS[1]
+    net = DOMAINS[2]
+    sec = DOMAINS[3]
+    arch = DOMAINS[4]
+    se = DOMAINS[5]
+    graphics = DOMAINS[6]
+    theory = DOMAINS[7]
+    hci = DOMAINS[8]
+    inter = DOMAINS[9]
+
+    topics = [
+        # ----- Artificial intelligence: ML / DL / NLP / CV chains ----------
+        _t("machine-learning", "machine learning", ai,
+           phrases=("statistical learning", "supervised learning"),
+           emergence_year=1995),
+        _t("neural-networks", "neural networks", ai,
+           prerequisites=("machine-learning",),
+           phrases=("multilayer perceptron", "backpropagation"),
+           emergence_year=1995),
+        _t("deep-learning", "deep learning", ai,
+           prerequisites=("neural-networks",),
+           phrases=("deep neural networks", "representation learning"),
+           emergence_year=2006),
+        _t("convolutional-networks", "convolutional neural networks", ai,
+           prerequisites=("deep-learning",),
+           phrases=("cnn", "image classification networks"),
+           emergence_year=2012),
+        _t("recurrent-networks", "recurrent neural networks", ai,
+           prerequisites=("deep-learning",),
+           phrases=("lstm", "sequence modeling"),
+           emergence_year=2010),
+        _t("sequence-to-sequence", "sequence to sequence learning", ai,
+           prerequisites=("recurrent-networks",),
+           phrases=("encoder decoder", "neural machine translation"),
+           emergence_year=2014),
+        _t("attention-mechanism", "attention mechanism", ai,
+           prerequisites=("sequence-to-sequence",),
+           phrases=("self attention", "transformer architecture"),
+           emergence_year=2015),
+        _t("word-embeddings", "word embeddings", ai,
+           prerequisites=("neural-networks", "natural-language-processing"),
+           phrases=("distributed word representations", "word vectors"),
+           emergence_year=2013),
+        _t("contextual-embeddings", "contextualized word representations", ai,
+           prerequisites=("word-embeddings", "recurrent-networks"),
+           phrases=("deep contextualized representations",),
+           emergence_year=2018),
+        _t("transfer-learning", "transfer learning", ai,
+           prerequisites=("deep-learning",),
+           phrases=("domain adaptation", "fine-tuning"),
+           emergence_year=2010),
+        _t("pretrained-language-models", "pretrained language models", ai,
+           prerequisites=("attention-mechanism", "contextual-embeddings",
+                          "transfer-learning", "language-modeling"),
+           phrases=("pretrained language model", "bert", "language model pretraining"),
+           emergence_year=2018),
+        _t("natural-language-processing", "natural language processing", ai,
+           prerequisites=("machine-learning",),
+           phrases=("computational linguistics", "text processing"),
+           emergence_year=1995),
+        _t("language-modeling", "language modeling", ai,
+           prerequisites=("natural-language-processing",),
+           phrases=("statistical language models", "neural language models"),
+           emergence_year=2000),
+        _t("text-classification", "text classification", ai,
+           prerequisites=("natural-language-processing", "machine-learning"),
+           phrases=("document classification", "sentiment classification"),
+           emergence_year=1998),
+        _t("sentiment-analysis", "sentiment analysis", ai,
+           prerequisites=("text-classification",),
+           phrases=("opinion mining", "aspect based sentiment"),
+           emergence_year=2004),
+        _t("hate-speech-detection", "hate speech detection", ai,
+           prerequisites=("text-classification", "sentiment-analysis"),
+           phrases=("abusive language detection", "offensive language identification"),
+           emergence_year=2015),
+        _t("named-entity-recognition", "named entity recognition", ai,
+           prerequisites=("natural-language-processing",),
+           phrases=("entity extraction", "sequence labeling"),
+           emergence_year=1999),
+        _t("machine-translation", "machine translation", ai,
+           prerequisites=("natural-language-processing", "sequence-to-sequence"),
+           phrases=("statistical machine translation", "neural translation"),
+           emergence_year=2003),
+        _t("question-answering", "question answering", ai,
+           prerequisites=("natural-language-processing", "information-retrieval"),
+           phrases=("reading comprehension", "open domain question answering"),
+           emergence_year=2008),
+        _t("dialogue-systems", "dialogue systems", ai,
+           prerequisites=("language-modeling", "sequence-to-sequence"),
+           phrases=("conversational agents", "task oriented dialogue"),
+           emergence_year=2015),
+        _t("text-summarization", "text summarization", ai,
+           prerequisites=("natural-language-processing", "sequence-to-sequence"),
+           phrases=("abstractive summarization", "extractive summarization"),
+           emergence_year=2010),
+        _t("knowledge-graphs", "knowledge graphs", ai,
+           prerequisites=("named-entity-recognition", "graph-algorithms"),
+           phrases=("knowledge base construction", "knowledge graph embeddings"),
+           emergence_year=2013),
+        _t("graph-neural-networks", "graph neural networks", ai,
+           prerequisites=("deep-learning", "graph-algorithms"),
+           phrases=("graph convolutional networks", "graph representation learning"),
+           emergence_year=2017),
+        _t("reinforcement-learning", "reinforcement learning", ai,
+           prerequisites=("machine-learning",),
+           phrases=("markov decision processes", "policy gradient methods"),
+           emergence_year=1998),
+        _t("deep-reinforcement-learning", "deep reinforcement learning", ai,
+           prerequisites=("reinforcement-learning", "deep-learning"),
+           phrases=("deep q learning", "actor critic methods"),
+           emergence_year=2015),
+        _t("computer-vision", "computer vision", ai,
+           prerequisites=("machine-learning",),
+           phrases=("image understanding", "visual recognition"),
+           emergence_year=1995),
+        _t("object-detection", "object detection", ai,
+           prerequisites=("computer-vision", "convolutional-networks"),
+           phrases=("region proposal networks", "single shot detection"),
+           emergence_year=2014),
+        _t("image-segmentation", "image segmentation", ai,
+           prerequisites=("computer-vision", "convolutional-networks"),
+           phrases=("semantic segmentation", "instance segmentation"),
+           emergence_year=2015),
+        _t("generative-adversarial-networks", "generative adversarial networks", ai,
+           prerequisites=("deep-learning",),
+           phrases=("adversarial training", "image synthesis"),
+           emergence_year=2014),
+        _t("speech-recognition", "speech recognition", ai,
+           prerequisites=("machine-learning", "recurrent-networks"),
+           phrases=("acoustic modeling", "end to end speech recognition"),
+           emergence_year=2000),
+        _t("recommender-systems", "recommender systems", ai,
+           prerequisites=("machine-learning", "information-retrieval"),
+           phrases=("collaborative filtering", "matrix factorization"),
+           emergence_year=2001),
+        _t("explainable-ai", "explainable artificial intelligence", ai,
+           prerequisites=("deep-learning",),
+           phrases=("model interpretability", "feature attribution"),
+           emergence_year=2017),
+        _t("federated-learning", "federated learning", ai,
+           prerequisites=("machine-learning", "distributed-systems"),
+           phrases=("decentralized training", "privacy preserving learning"),
+           emergence_year=2017),
+        _t("meta-learning", "meta learning", ai,
+           prerequisites=("deep-learning", "transfer-learning"),
+           phrases=("few shot learning", "learning to learn"),
+           emergence_year=2017),
+        _t("active-learning", "active learning", ai,
+           prerequisites=("machine-learning",),
+           phrases=("query strategies", "uncertainty sampling"),
+           emergence_year=2005),
+
+        # ----- Databases, data mining, information retrieval ---------------
+        _t("relational-databases", "relational database systems", db,
+           phrases=("query optimization", "transaction processing"),
+           emergence_year=1995),
+        _t("distributed-databases", "distributed database systems", db,
+           prerequisites=("relational-databases", "distributed-systems"),
+           phrases=("data partitioning", "distributed transactions"),
+           emergence_year=2000),
+        _t("nosql-stores", "nosql data stores", db,
+           prerequisites=("distributed-databases",),
+           phrases=("key value stores", "document databases"),
+           emergence_year=2010),
+        _t("data-mining", "data mining", db,
+           prerequisites=("machine-learning", "relational-databases"),
+           phrases=("pattern mining", "association rules"),
+           emergence_year=1996),
+        _t("information-retrieval", "information retrieval", db,
+           phrases=("document ranking", "search engines"),
+           emergence_year=1995),
+        _t("learning-to-rank", "learning to rank", db,
+           prerequisites=("information-retrieval", "machine-learning"),
+           phrases=("ranking models", "listwise ranking"),
+           emergence_year=2007),
+        _t("citation-analysis", "citation analysis", db,
+           prerequisites=("information-retrieval", "graph-algorithms"),
+           phrases=("bibliometrics", "citation networks"),
+           emergence_year=2000),
+        _t("citation-recommendation", "citation recommendation", db,
+           prerequisites=("citation-analysis", "recommender-systems"),
+           phrases=("reference recommendation", "scholarly paper recommendation"),
+           emergence_year=2010),
+        _t("entity-resolution", "entity resolution", db,
+           prerequisites=("data-mining",),
+           phrases=("record linkage", "deduplication"),
+           emergence_year=2005),
+        _t("data-integration", "data integration", db,
+           prerequisites=("relational-databases", "entity-resolution"),
+           phrases=("schema matching", "data fusion"),
+           emergence_year=2002),
+        _t("stream-processing", "data stream processing", db,
+           prerequisites=("distributed-databases",),
+           phrases=("continuous queries", "stream analytics"),
+           emergence_year=2005),
+        _t("graph-databases", "graph data management", db,
+           prerequisites=("relational-databases", "graph-algorithms"),
+           phrases=("graph query languages", "subgraph matching"),
+           emergence_year=2012),
+        _t("exploratory-data-analysis", "exploratory data analysis", db,
+           prerequisites=("data-mining",),
+           phrases=("interactive data exploration", "automatic insight discovery"),
+           emergence_year=2015),
+        _t("web-search", "web search", db,
+           prerequisites=("information-retrieval",),
+           phrases=("link analysis", "web crawling"),
+           emergence_year=1998),
+        _t("query-understanding", "query understanding", db,
+           prerequisites=("web-search", "natural-language-processing"),
+           phrases=("query intent", "query reformulation"),
+           emergence_year=2010),
+
+        # ----- Computer networks --------------------------------------------
+        _t("computer-networking", "computer networking", net,
+           phrases=("network protocols", "packet switching"),
+           emergence_year=1995),
+        _t("wireless-networks", "wireless networks", net,
+           prerequisites=("computer-networking",),
+           phrases=("mobile ad hoc networks", "cellular networks"),
+           emergence_year=1999),
+        _t("software-defined-networking", "software defined networking", net,
+           prerequisites=("computer-networking",),
+           phrases=("network virtualization", "openflow"),
+           emergence_year=2011),
+        _t("network-measurement", "network measurement", net,
+           prerequisites=("computer-networking",),
+           phrases=("traffic analysis", "internet topology"),
+           emergence_year=2002),
+        _t("internet-of-things", "internet of things", net,
+           prerequisites=("wireless-networks", "embedded-systems"),
+           phrases=("sensor networks", "edge devices"),
+           emergence_year=2012),
+        _t("edge-computing", "edge computing", net,
+           prerequisites=("cloud-computing", "internet-of-things"),
+           phrases=("fog computing", "mobile edge computing"),
+           emergence_year=2016),
+
+        # ----- Security -----------------------------------------------------
+        _t("cryptography", "applied cryptography", sec,
+           phrases=("public key cryptography", "encryption schemes"),
+           emergence_year=1995),
+        _t("network-security", "network security", sec,
+           prerequisites=("computer-networking", "cryptography"),
+           phrases=("firewalls", "denial of service defense"),
+           emergence_year=1998),
+        _t("intrusion-detection", "intrusion detection", sec,
+           prerequisites=("network-security", "machine-learning"),
+           phrases=("anomaly detection", "network intrusion detection systems"),
+           emergence_year=2000),
+        _t("malware-analysis", "malware analysis", sec,
+           prerequisites=("network-security",),
+           phrases=("malware detection", "binary analysis"),
+           emergence_year=2006),
+        _t("adversarial-machine-learning", "adversarial machine learning", sec,
+           prerequisites=("deep-learning", "network-security"),
+           phrases=("adversarial examples", "model robustness"),
+           emergence_year=2015),
+        _t("blockchain", "blockchain systems", sec,
+           prerequisites=("cryptography", "distributed-systems"),
+           phrases=("smart contracts", "consensus protocols"),
+           emergence_year=2015),
+        _t("privacy-preserving-computation", "privacy preserving computation", sec,
+           prerequisites=("cryptography",),
+           phrases=("differential privacy", "secure multiparty computation"),
+           emergence_year=2010),
+
+        # ----- Architecture / systems ---------------------------------------
+        _t("operating-systems", "operating systems", arch,
+           phrases=("process scheduling", "memory management"),
+           emergence_year=1995),
+        _t("distributed-systems", "distributed systems", arch,
+           prerequisites=("operating-systems", "computer-networking"),
+           phrases=("fault tolerance", "consensus algorithms"),
+           emergence_year=1997),
+        _t("cloud-computing", "cloud computing", arch,
+           prerequisites=("distributed-systems", "virtualization"),
+           phrases=("infrastructure as a service", "elastic resource management"),
+           emergence_year=2009),
+        _t("virtualization", "virtualization", arch,
+           prerequisites=("operating-systems",),
+           phrases=("virtual machines", "hypervisors"),
+           emergence_year=2003),
+        _t("parallel-computing", "parallel computing", arch,
+           prerequisites=("operating-systems",),
+           phrases=("shared memory parallelism", "message passing"),
+           emergence_year=1996),
+        _t("gpu-computing", "gpu computing", arch,
+           prerequisites=("parallel-computing",),
+           phrases=("gpu acceleration", "heterogeneous computing"),
+           emergence_year=2008),
+        _t("storage-systems", "storage systems", arch,
+           prerequisites=("operating-systems",),
+           phrases=("file systems", "solid state drives"),
+           emergence_year=1998),
+        _t("embedded-systems", "embedded systems", arch,
+           prerequisites=("operating-systems",),
+           phrases=("real time systems", "low power design"),
+           emergence_year=1998),
+        _t("serverless-computing", "serverless computing", arch,
+           prerequisites=("cloud-computing",),
+           phrases=("function as a service", "cold start latency"),
+           emergence_year=2017),
+
+        # ----- Software engineering -----------------------------------------
+        _t("software-engineering", "software engineering", se,
+           phrases=("software processes", "requirements engineering"),
+           emergence_year=1995),
+        _t("software-testing", "software testing", se,
+           prerequisites=("software-engineering",),
+           phrases=("test generation", "mutation testing"),
+           emergence_year=1997),
+        _t("program-analysis", "program analysis", se,
+           prerequisites=("software-engineering", "compilers"),
+           phrases=("static analysis", "symbolic execution"),
+           emergence_year=2000),
+        _t("compilers", "compiler construction", se,
+           phrases=("program optimization", "intermediate representations"),
+           emergence_year=1995),
+        _t("defect-prediction", "software defect prediction", se,
+           prerequisites=("software-testing", "machine-learning"),
+           phrases=("bug prediction", "fault localization"),
+           emergence_year=2008),
+        _t("code-generation-models", "neural code generation", se,
+           prerequisites=("pretrained-language-models", "program-analysis"),
+           phrases=("code completion", "program synthesis"),
+           emergence_year=2019),
+        _t("devops", "continuous integration and devops", se,
+           prerequisites=("software-engineering", "cloud-computing"),
+           phrases=("continuous delivery", "infrastructure as code"),
+           emergence_year=2014),
+
+        # ----- Graphics / multimedia ----------------------------------------
+        _t("computer-graphics", "computer graphics", graphics,
+           phrases=("rendering", "geometric modeling"),
+           emergence_year=1995),
+        _t("image-processing", "image processing", graphics,
+           phrases=("image enhancement", "image filtering"),
+           emergence_year=1995),
+        _t("video-analysis", "video analysis", graphics,
+           prerequisites=("image-processing", "computer-vision"),
+           phrases=("action recognition", "video summarization"),
+           emergence_year=2010),
+        _t("virtual-reality", "virtual reality", graphics,
+           prerequisites=("computer-graphics", "human-computer-interaction"),
+           phrases=("immersive environments", "augmented reality"),
+           emergence_year=2012),
+        _t("neural-rendering", "neural rendering", graphics,
+           prerequisites=("computer-graphics", "deep-learning"),
+           phrases=("differentiable rendering", "novel view synthesis"),
+           emergence_year=2019),
+
+        # ----- Theory --------------------------------------------------------
+        _t("algorithm-design", "algorithm design", theory,
+           phrases=("approximation algorithms", "algorithmic complexity"),
+           emergence_year=1995),
+        _t("graph-algorithms", "graph algorithms", theory,
+           prerequisites=("algorithm-design",),
+           phrases=("shortest paths", "spanning trees"),
+           emergence_year=1995),
+        _t("combinatorial-optimization", "combinatorial optimization", theory,
+           prerequisites=("algorithm-design",),
+           phrases=("integer programming", "steiner tree problems"),
+           emergence_year=1995),
+        _t("computational-complexity", "computational complexity", theory,
+           prerequisites=("algorithm-design",),
+           phrases=("np hardness", "complexity classes"),
+           emergence_year=1995),
+        _t("streaming-algorithms", "streaming algorithms", theory,
+           prerequisites=("algorithm-design",),
+           phrases=("sketching", "sublinear algorithms"),
+           emergence_year=2004),
+
+        # ----- HCI -----------------------------------------------------------
+        _t("human-computer-interaction", "human computer interaction", hci,
+           phrases=("user studies", "interaction design"),
+           emergence_year=1995),
+        _t("information-visualization", "information visualization", hci,
+           prerequisites=("human-computer-interaction", "computer-graphics"),
+           phrases=("visual analytics", "graph drawing"),
+           emergence_year=2000),
+        _t("crowdsourcing", "crowdsourcing", hci,
+           prerequisites=("human-computer-interaction",),
+           phrases=("human computation", "annotation quality"),
+           emergence_year=2010),
+        _t("ubiquitous-computing", "ubiquitous computing", hci,
+           prerequisites=("human-computer-interaction", "embedded-systems"),
+           phrases=("context aware computing", "wearable devices"),
+           emergence_year=2005),
+
+        # ----- Interdisciplinary / emerging -----------------------------------
+        _t("bioinformatics", "bioinformatics", inter,
+           prerequisites=("machine-learning", "algorithm-design"),
+           phrases=("sequence alignment", "gene expression analysis"),
+           emergence_year=2000),
+        _t("computational-social-science", "computational social science", inter,
+           prerequisites=("data-mining", "natural-language-processing"),
+           phrases=("social network analysis", "opinion dynamics"),
+           emergence_year=2012),
+        _t("smart-healthcare", "machine learning for healthcare", inter,
+           prerequisites=("machine-learning", "data-mining"),
+           phrases=("clinical prediction models", "electronic health records"),
+           emergence_year=2016),
+        _t("autonomous-driving", "autonomous driving", inter,
+           prerequisites=("computer-vision", "deep-reinforcement-learning"),
+           phrases=("self driving vehicles", "motion planning"),
+           emergence_year=2016),
+        _t("quantum-computing", "quantum computing", inter,
+           prerequisites=("computational-complexity",),
+           phrases=("quantum algorithms", "quantum error correction"),
+           emergence_year=2014),
+        _t("scientific-literature-mining", "scientific literature mining", inter,
+           prerequisites=("information-retrieval", "natural-language-processing",
+                          "citation-analysis"),
+           phrases=("scholarly data analysis", "reading list generation"),
+           emergence_year=2014),
+    ]
+    return TopicTaxonomy(topics)

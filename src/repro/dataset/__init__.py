@@ -1,0 +1,64 @@
+"""SurveyBank dataset construction pipeline.
+
+Reproduces Sec. III of the paper end-to-end:
+
+1. **Collection** — survey candidates are gathered from two sources: keyword
+   queries ("<topic> survey") against the Google-Scholar simulator, and
+   survey-indicating title keywords over the S2ORC-style corpus records.
+2. **Parsing** — each candidate's (synthetic) PDF is rendered to TEI XML by a
+   simulated GROBID, converted to JSON, and cleaned by rule-based fixes,
+   producing a structured document with hierarchical sections and a
+   bibliography whose in-text citation markers are counted.
+3. **Filtering** — deduplication by normalised title, removal of documents
+   that fail to parse, are longer than 100 pages or shorter than 2 pages.
+4. **Labelling** — the occurrence counts of each reference yield the
+   L1/L2/L3 ground-truth lists; key phrases extracted from the title become
+   the RPG query.
+5. **SurveyBank** — the resulting benchmark object with per-survey instances,
+   a quality score ``s = citations/(2020-year+1)``, splits and statistics
+   (Fig. 4 and Table I).
+"""
+
+from .documents import DocumentSection, ParsedDocument, SyntheticPdf, render_synthetic_pdf
+from .grobid import GrobidParser
+from .xml_json import tei_xml_to_dict, dict_to_parsed_document, clean_parsed_document
+from .collection import CollectionResult, collect_survey_candidates
+from .filtering import FilterReport, deduplicate_by_title, filter_documents, normalize_title
+from .labels import occurrence_labels, key_phrases_for_title
+from .surveybank import SurveyBank, SurveyBankInstance, SurveyBankBuilder
+from .statistics import (
+    SurveyBankStatistics,
+    compute_statistics,
+    citation_bins,
+    year_bins,
+    reference_bins,
+    topic_distribution,
+)
+
+__all__ = [
+    "DocumentSection",
+    "ParsedDocument",
+    "SyntheticPdf",
+    "render_synthetic_pdf",
+    "GrobidParser",
+    "tei_xml_to_dict",
+    "dict_to_parsed_document",
+    "clean_parsed_document",
+    "CollectionResult",
+    "collect_survey_candidates",
+    "FilterReport",
+    "deduplicate_by_title",
+    "filter_documents",
+    "normalize_title",
+    "occurrence_labels",
+    "key_phrases_for_title",
+    "SurveyBank",
+    "SurveyBankInstance",
+    "SurveyBankBuilder",
+    "SurveyBankStatistics",
+    "compute_statistics",
+    "citation_bins",
+    "year_bins",
+    "reference_bins",
+    "topic_distribution",
+]

@@ -1,0 +1,126 @@
+"""Survey-candidate collection (Sec. III-B, first stage of Fig. 3).
+
+The paper collects survey candidates from two sources:
+
+* **Google Scholar** — topic keywords from LectureBank/TutorialBank combined
+  with survey-indicating keywords ("survey", "review", ...) are issued as
+  queries and the returned papers become candidates;
+* **S2ORC** — papers of the computer-science subset whose titles contain a
+  survey-indicating keyword are selected directly.
+
+This module reproduces both branches over the synthetic corpus: the search
+branch goes through the Google-Scholar simulator and the corpus branch goes
+through the S2ORC-style records.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Sequence
+
+from ..corpus.s2orc import S2orcRecord
+from ..corpus.storage import CorpusStore
+from ..corpus.vocabulary import TopicTaxonomy
+from ..search.engine import SearchEngine
+
+__all__ = ["CollectionResult", "collect_survey_candidates", "SURVEY_KEYWORDS"]
+
+#: Title keywords that indicate a paper is a survey/review.
+SURVEY_KEYWORDS: tuple[str, ...] = ("survey", "review", "overview", "advances in")
+
+
+@dataclass(slots=True)
+class CollectionResult:
+    """Outcome of the collection stage.
+
+    Attributes:
+        candidate_ids: Union of candidates from both sources, insertion-ordered.
+        from_search: Candidates contributed by the search-engine branch.
+        from_s2orc: Candidates contributed by the S2ORC keyword branch.
+        queries_issued: The queries sent to the search engine.
+    """
+
+    candidate_ids: list[str] = field(default_factory=list)
+    from_search: set[str] = field(default_factory=set)
+    from_s2orc: set[str] = field(default_factory=set)
+    queries_issued: list[str] = field(default_factory=list)
+
+    def add(self, paper_id: str, source: str) -> None:
+        """Register a candidate from a given source ("search" or "s2orc")."""
+        if paper_id not in self.from_search and paper_id not in self.from_s2orc:
+            self.candidate_ids.append(paper_id)
+        if source == "search":
+            self.from_search.add(paper_id)
+        else:
+            self.from_s2orc.add(paper_id)
+
+    @property
+    def total(self) -> int:
+        """Total number of distinct candidates."""
+        return len(self.candidate_ids)
+
+
+def _title_is_survey(title: str) -> bool:
+    lowered = title.lower()
+    return any(keyword in lowered for keyword in SURVEY_KEYWORDS)
+
+
+def collect_survey_candidates(
+    store: CorpusStore,
+    taxonomy: TopicTaxonomy,
+    search_engine: SearchEngine | None = None,
+    s2orc_records: Iterable[S2orcRecord] | None = None,
+    results_per_query: int = 20,
+    topic_keywords: Sequence[str] | None = None,
+) -> CollectionResult:
+    """Collect survey-paper candidates from the search and S2ORC branches.
+
+    Args:
+        store: The corpus store (used to resolve titles).
+        taxonomy: The topic taxonomy whose topic names act as the
+            LectureBank/TutorialBank keyword list.
+        search_engine: A search engine that does *not* exclude surveys; when
+            omitted, the search branch is skipped.
+        s2orc_records: S2ORC-style metadata records; when omitted, the corpus
+            store's papers are scanned directly.
+        results_per_query: Top-K results to keep per search query.
+        topic_keywords: Override for the topic keyword list (defaults to every
+            topic name plus its auxiliary phrases, deduplicated).
+
+    Returns:
+        A :class:`CollectionResult` with candidates from both branches.
+    """
+    result = CollectionResult()
+
+    if topic_keywords is None:
+        keywords: list[str] = []
+        seen: set[str] = set()
+        for topic in taxonomy:
+            for phrase in topic.all_phrases:
+                lowered = phrase.lower()
+                if lowered not in seen:
+                    seen.add(lowered)
+                    keywords.append(phrase)
+        topic_keywords = keywords
+
+    # Branch 1: search-engine queries "<topic keyword> survey".
+    if search_engine is not None:
+        for keyword in topic_keywords:
+            query = f"{keyword} survey"
+            result.queries_issued.append(query)
+            for hit in search_engine.search(query, top_k=results_per_query):
+                paper = store.get_paper(hit.paper_id)
+                if _title_is_survey(paper.title):
+                    result.add(paper.paper_id, "search")
+
+    # Branch 2: S2ORC title keyword scan restricted to computer science.
+    if s2orc_records is not None:
+        for record in s2orc_records:
+            if record.is_computer_science() and _title_is_survey(record.title):
+                result.add(record.paper_id, "s2orc")
+    else:
+        for paper in store:
+            if _title_is_survey(paper.title):
+                result.add(paper.paper_id, "s2orc")
+
+    return result

@@ -1,0 +1,249 @@
+"""Synthetic survey documents.
+
+The paper builds SurveyBank from survey PDFs.  This module provides the
+document substrate: given a survey record from the corpus, it renders a
+*synthetic PDF* — a structured document with hierarchical sections, body
+paragraphs containing in-text citation markers, a bibliography and a page
+count — which the simulated GROBID parser then processes exactly the way the
+original pipeline processed real PDFs.
+
+The in-text citation markers are the crucial piece: a reference that the
+survey record says is cited ``n`` times appears as ``n`` markers spread over
+the body paragraphs, so the occurrence counts recovered by the parser match
+the ground truth the corpus generator intended.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Sequence
+
+from ..corpus.storage import CorpusStore
+from ..errors import DatasetError
+from ..types import Survey
+
+__all__ = ["DocumentSection", "ParsedDocument", "SyntheticPdf", "render_synthetic_pdf"]
+
+
+_SECTION_TITLES: tuple[str, ...] = (
+    "Introduction",
+    "Background and Preliminaries",
+    "Taxonomy of Approaches",
+    "Methods",
+    "Datasets and Benchmarks",
+    "Evaluation Metrics",
+    "Applications",
+    "Open Challenges",
+    "Conclusion",
+)
+
+_PARAGRAPH_TEMPLATES: tuple[str, ...] = (
+    "Early work in this area {marker} laid the foundations that later studies build upon.",
+    "The approach proposed in {marker} remains a strong baseline for this problem.",
+    "Several extensions {marker} address the limitations discussed above.",
+    "A complementary line of research {marker} investigates the problem from a different angle.",
+    "Recent results {marker} significantly improved the state of the art.",
+    "The survey readers should consult {marker} for implementation details.",
+)
+
+
+@dataclass(frozen=True, slots=True)
+class DocumentSection:
+    """A section of a parsed survey: heading, hierarchical label, paragraphs."""
+
+    heading: str
+    label: str
+    paragraphs: tuple[str, ...]
+    subsections: tuple["DocumentSection", ...] = ()
+
+    def all_paragraphs(self) -> list[str]:
+        """All paragraphs of the section and its subsections, in order."""
+        collected = list(self.paragraphs)
+        for subsection in self.subsections:
+            collected.extend(subsection.all_paragraphs())
+        return collected
+
+
+@dataclass(frozen=True, slots=True)
+class ParsedDocument:
+    """The structured output of the parsing pipeline for one survey."""
+
+    paper_id: str
+    title: str
+    abstract: str
+    year: int
+    venue: str
+    sections: tuple[DocumentSection, ...]
+    bibliography: tuple[str, ...]
+    reference_occurrences: dict[str, int]
+    page_count: int
+
+    @property
+    def num_references(self) -> int:
+        """Number of bibliography entries."""
+        return len(self.bibliography)
+
+    def body_text(self) -> str:
+        """All body paragraphs concatenated (used by key-phrase/statistics code)."""
+        parts: list[str] = []
+        for section in self.sections:
+            parts.extend(section.all_paragraphs())
+        return "\n".join(parts)
+
+
+@dataclass(frozen=True, slots=True)
+class SyntheticPdf:
+    """A "PDF" as produced by the synthetic renderer.
+
+    Attributes:
+        paper_id: Id of the survey the PDF belongs to.
+        page_count: Number of pages; the filtering rules reject > 100 or < 2.
+        corrupted: Whether the file is malformed and will fail to parse
+            (mirrors the PyPDF2 processing failures the paper filters out).
+        tei_xml: The TEI XML GROBID would produce for this document.  Stored on
+            the PDF object so the parser can be a pure function of its input.
+    """
+
+    paper_id: str
+    page_count: int
+    corrupted: bool
+    tei_xml: str
+    metadata: dict[str, str] = field(default_factory=dict)
+
+
+def _escape(text: str) -> str:
+    """Minimal XML escaping for generated text content."""
+    return (
+        text.replace("&", "&amp;")
+        .replace("<", "&lt;")
+        .replace(">", "&gt;")
+        .replace('"', "&quot;")
+    )
+
+
+def _spread_markers(
+    occurrences: dict[str, int], num_slots: int, rng: random.Random
+) -> list[list[str]]:
+    """Distribute citation markers across ``num_slots`` paragraphs."""
+    slots: list[list[str]] = [[] for _ in range(max(1, num_slots))]
+    markers: list[str] = []
+    for paper_id, count in sorted(occurrences.items()):
+        markers.extend([paper_id] * count)
+    rng.shuffle(markers)
+    for index, marker in enumerate(markers):
+        slots[index % len(slots)].append(marker)
+    return slots
+
+
+def render_synthetic_pdf(
+    survey: Survey,
+    store: CorpusStore,
+    rng: random.Random | None = None,
+    corruption_rate: float = 0.03,
+    oversize_rate: float = 0.02,
+) -> SyntheticPdf:
+    """Render a survey record into a synthetic PDF (TEI XML plus page count).
+
+    Args:
+        survey: The survey record whose reference occurrences drive the body.
+        store: Corpus store used to resolve reference titles for the bibliography.
+        rng: Random source; derived from the survey id when omitted so the
+            rendering is deterministic per survey.
+        corruption_rate: Probability that the produced file is corrupted and
+            will raise on parsing.
+        oversize_rate: Probability that the document is a thesis-like 100+ page
+            document that the filter must reject.
+
+    Raises:
+        DatasetError: If the survey has no references at all.
+    """
+    if not survey.reference_occurrences:
+        raise DatasetError(f"survey {survey.paper_id!r} has no references to render")
+    rng = rng or random.Random(hash(survey.paper_id) & 0xFFFFFFFF)
+
+    corrupted = rng.random() < corruption_rate
+    if rng.random() < oversize_rate:
+        page_count = rng.randrange(101, 260)
+    elif rng.random() < 0.02:
+        page_count = 1
+    else:
+        page_count = rng.randrange(8, 45)
+
+    num_sections = rng.randrange(5, len(_SECTION_TITLES) + 1)
+    section_titles = list(_SECTION_TITLES[:num_sections])
+    paragraphs_per_section = 3
+    slots = _spread_markers(
+        dict(survey.reference_occurrences), num_sections * paragraphs_per_section, rng
+    )
+
+    sections_xml: list[str] = []
+    slot_index = 0
+    for section_number, heading in enumerate(section_titles, start=1):
+        paragraph_xml: list[str] = []
+        for _ in range(paragraphs_per_section):
+            markers = slots[slot_index] if slot_index < len(slots) else []
+            slot_index += 1
+            marker_text = " ".join(f"<ref target=\"#{m}\"/>" for m in markers)
+            template = rng.choice(_PARAGRAPH_TEMPLATES)
+            sentence = _escape(template.format(marker="")).strip()
+            paragraph_xml.append(f"<p>{sentence} {marker_text}</p>")
+        sections_xml.append(
+            f'<div n="{section_number}"><head>{_escape(heading)}</head>'
+            + "".join(paragraph_xml)
+            + "</div>"
+        )
+
+    bibliography_xml: list[str] = []
+    for reference_id in sorted(survey.reference_occurrences):
+        if reference_id in store:
+            reference = store.get_paper(reference_id)
+            title = _escape(reference.title)
+            year = reference.year
+        else:
+            title = "unknown reference"
+            year = 0
+        bibliography_xml.append(
+            f'<biblStruct xml:id="{reference_id}">'
+            f"<title>{title}</title><date>{year}</date></biblStruct>"
+        )
+
+    tei_xml = (
+        '<?xml version="1.0" encoding="UTF-8"?>'
+        "<TEI>"
+        "<teiHeader>"
+        f"<titleStmt><title>{_escape(survey.title)}</title></titleStmt>"
+        f"<publicationStmt><date>{survey.year}</date>"
+        f"<publisher>{_escape(_venue_of(survey, store))}</publisher></publicationStmt>"
+        f"<profileDesc><abstract><p>{_escape(_abstract_of(survey, store))}</p></abstract></profileDesc>"
+        "</teiHeader>"
+        "<text><body>"
+        + "".join(sections_xml)
+        + "</body><back><listBibl>"
+        + "".join(bibliography_xml)
+        + "</listBibl></back></text>"
+        "</TEI>"
+    )
+    if corrupted:
+        # Truncate the XML so parsing raises, like a damaged PDF would.
+        tei_xml = tei_xml[: max(40, len(tei_xml) // 3)]
+
+    return SyntheticPdf(
+        paper_id=survey.paper_id,
+        page_count=page_count,
+        corrupted=corrupted,
+        tei_xml=tei_xml,
+        metadata={"title": survey.title, "year": str(survey.year)},
+    )
+
+
+def _venue_of(survey: Survey, store: CorpusStore) -> str:
+    if survey.paper_id in store:
+        return store.get_paper(survey.paper_id).venue
+    return ""
+
+
+def _abstract_of(survey: Survey, store: CorpusStore) -> str:
+    if survey.paper_id in store:
+        return store.get_paper(survey.paper_id).abstract
+    return ""

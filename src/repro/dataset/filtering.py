@@ -1,0 +1,131 @@
+"""Filtering and deduplication rules of the SurveyBank pipeline (Sec. III-B).
+
+A survey candidate is excluded when:
+
+* its PDF cannot be processed (parse failures from the GROBID stage);
+* the document is more than 100 pages (theses/reports) or fewer than 2 pages;
+* its title duplicates another candidate's title after normalisation;
+* the parsed document has no usable reference list.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+from typing import Iterable, Sequence
+
+from .documents import ParsedDocument
+
+__all__ = ["FilterReport", "normalize_title", "deduplicate_by_title", "filter_documents"]
+
+#: Page-count bounds from the paper: more than 100 pages is likely a thesis,
+#: fewer than 2 pages is not a proper survey.
+MAX_PAGES: int = 100
+MIN_PAGES: int = 2
+
+_NON_ALNUM = re.compile(r"[^a-z0-9 ]+")
+_WHITESPACE = re.compile(r"\s+")
+
+
+@dataclass(slots=True)
+class FilterReport:
+    """Which candidates survived filtering and why the others were dropped."""
+
+    kept: list[str] = field(default_factory=list)
+    dropped_parse_failure: list[str] = field(default_factory=list)
+    dropped_page_count: list[str] = field(default_factory=list)
+    dropped_duplicate_title: list[str] = field(default_factory=list)
+    dropped_no_references: list[str] = field(default_factory=list)
+
+    @property
+    def num_kept(self) -> int:
+        """Number of surviving candidates."""
+        return len(self.kept)
+
+    @property
+    def num_dropped(self) -> int:
+        """Number of rejected candidates across all reasons."""
+        return (
+            len(self.dropped_parse_failure)
+            + len(self.dropped_page_count)
+            + len(self.dropped_duplicate_title)
+            + len(self.dropped_no_references)
+        )
+
+    def summary(self) -> dict[str, int]:
+        """Counts per outcome, suitable for logging or reports."""
+        return {
+            "kept": self.num_kept,
+            "parse_failure": len(self.dropped_parse_failure),
+            "page_count": len(self.dropped_page_count),
+            "duplicate_title": len(self.dropped_duplicate_title),
+            "no_references": len(self.dropped_no_references),
+        }
+
+
+def normalize_title(title: str) -> str:
+    """Normalise a title for deduplication (lower-case, alphanumeric, squeezed)."""
+    lowered = title.lower()
+    cleaned = _NON_ALNUM.sub(" ", lowered)
+    return _WHITESPACE.sub(" ", cleaned).strip()
+
+
+def deduplicate_by_title(documents: Sequence[ParsedDocument]) -> tuple[list[ParsedDocument], list[str]]:
+    """Keep the first document per normalised title.
+
+    Returns:
+        ``(unique_documents, dropped_ids)``.
+    """
+    seen: set[str] = set()
+    unique: list[ParsedDocument] = []
+    dropped: list[str] = []
+    for document in documents:
+        key = normalize_title(document.title)
+        if key in seen:
+            dropped.append(document.paper_id)
+        else:
+            seen.add(key)
+            unique.append(document)
+    return unique, dropped
+
+
+def filter_documents(
+    documents: Sequence[ParsedDocument],
+    parse_failures: Iterable[str] = (),
+    min_references: int = 1,
+    max_pages: int = MAX_PAGES,
+    min_pages: int = MIN_PAGES,
+) -> tuple[list[ParsedDocument], FilterReport]:
+    """Apply the SurveyBank filtering rules.
+
+    Args:
+        documents: Successfully parsed candidate documents.
+        parse_failures: Ids of candidates whose parsing failed (recorded in the
+            report; they obviously do not appear in ``documents``).
+        min_references: Minimum number of bibliography entries to keep a survey.
+        max_pages / min_pages: Page-count bounds.
+
+    Returns:
+        ``(kept_documents, report)``.
+    """
+    report = FilterReport()
+    report.dropped_parse_failure.extend(parse_failures)
+
+    within_pages: list[ParsedDocument] = []
+    for document in documents:
+        if document.page_count > max_pages or document.page_count < min_pages:
+            report.dropped_page_count.append(document.paper_id)
+        else:
+            within_pages.append(document)
+
+    unique, duplicate_ids = deduplicate_by_title(within_pages)
+    report.dropped_duplicate_title.extend(duplicate_ids)
+
+    kept: list[ParsedDocument] = []
+    for document in unique:
+        if document.num_references < min_references:
+            report.dropped_no_references.append(document.paper_id)
+        else:
+            kept.append(document)
+            report.kept.append(document.paper_id)
+    return kept, report

@@ -1,0 +1,63 @@
+"""Ground-truth label derivation for SurveyBank instances.
+
+The RPG ground truth of a survey is its reference list stratified by in-text
+occurrence counts: ``L_i`` is the set of references cited at least ``i`` times
+in the survey body (the paper uses i = 1, 2, 3).  The query is the set of key
+phrases extracted from the survey title with TopicRank.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping
+
+from ..errors import DatasetError
+from ..textproc.keyphrase import extract_key_phrases
+
+__all__ = ["occurrence_labels", "key_phrases_for_title"]
+
+
+def occurrence_labels(
+    reference_occurrences: Mapping[str, int],
+    levels: tuple[int, ...] = (1, 2, 3),
+) -> dict[int, frozenset[str]]:
+    """Stratify a reference list by occurrence count.
+
+    Args:
+        reference_occurrences: Mapping from referenced paper id to the number
+            of times it is cited in the survey body.
+        levels: Minimum-occurrence thresholds to produce.
+
+    Returns:
+        Mapping from level to the frozen set of reference ids cited at least
+        that many times.  Levels are nested: ``L1 ⊇ L2 ⊇ L3``.
+
+    Raises:
+        DatasetError: If a level is below 1 or an occurrence count is below 1.
+    """
+    if any(level < 1 for level in levels):
+        raise DatasetError("occurrence levels must all be >= 1")
+    if any(count < 1 for count in reference_occurrences.values()):
+        raise DatasetError("occurrence counts must all be >= 1")
+    return {
+        level: frozenset(
+            pid for pid, count in reference_occurrences.items() if count >= level
+        )
+        for level in levels
+    }
+
+
+def key_phrases_for_title(title: str, max_phrases: int = 3) -> tuple[str, ...]:
+    """Extract the RPG query phrases from a survey title.
+
+    Titles of surveys almost always contain the topic as a noun phrase
+    ("A survey on hate speech detection using natural language processing"),
+    so the TopicRank extractor — with survey-indicating words treated as stop
+    words — returns the topical phrases the paper uses as the query.
+
+    Raises:
+        DatasetError: If no phrase can be extracted (empty or all-stopword title).
+    """
+    phrases = extract_key_phrases(title, max_phrases=max_phrases)
+    if not phrases:
+        raise DatasetError(f"could not extract key phrases from title {title!r}")
+    return tuple(phrases)

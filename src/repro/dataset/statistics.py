@@ -1,0 +1,149 @@
+"""SurveyBank statistics (Fig. 4 and Table I of the paper).
+
+Three distributions are reported in Fig. 4 — survey citation counts, survey
+publication years and reference-list sizes — plus the Table I topic
+distribution obtained by mapping each survey's publication venue to a CCF
+domain (surveys at unranked venues fall into the "Uncertain Topics" bucket).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping, Sequence
+
+from .surveybank import SurveyBank, UNCERTAIN_DOMAIN
+from ..corpus.vocabulary import DOMAINS
+
+__all__ = [
+    "SurveyBankStatistics",
+    "citation_bins",
+    "year_bins",
+    "reference_bins",
+    "topic_distribution",
+    "compute_statistics",
+]
+
+#: Citation-count bins used by Fig. 4a.
+CITATION_BINS: tuple[tuple[int, int], ...] = (
+    (0, 5), (5, 10), (10, 100), (100, 500), (500, 1000), (1000, 2000), (2000, 10000),
+)
+
+#: Publication-year bins used by Fig. 4b.
+YEAR_BINS: tuple[tuple[int, int], ...] = (
+    (1913, 1980), (1980, 1985), (1985, 1990), (1990, 1995), (1995, 2000),
+    (2000, 2005), (2005, 2010), (2010, 2015), (2015, 2020),
+)
+
+#: Reference-count bins used by Fig. 4c.
+REFERENCE_BINS: tuple[tuple[int, int], ...] = (
+    (0, 50), (50, 100), (100, 150), (150, 200), (200, 250), (250, 300),
+    (300, 350), (350, 2705),
+)
+
+
+@dataclass(frozen=True, slots=True)
+class SurveyBankStatistics:
+    """All statistics reported in Sec. III-C."""
+
+    num_surveys: int
+    mean_references: float
+    fraction_uncited: float
+    fraction_highly_cited: float
+    fraction_recent: float
+    citation_histogram: Mapping[str, int]
+    year_histogram: Mapping[str, int]
+    reference_histogram: Mapping[str, int]
+    topic_distribution: Mapping[str, int]
+
+    def to_dict(self) -> dict[str, object]:
+        """Serialise to a JSON-compatible dictionary."""
+        return {
+            "num_surveys": self.num_surveys,
+            "mean_references": self.mean_references,
+            "fraction_uncited": self.fraction_uncited,
+            "fraction_highly_cited": self.fraction_highly_cited,
+            "fraction_recent": self.fraction_recent,
+            "citation_histogram": dict(self.citation_histogram),
+            "year_histogram": dict(self.year_histogram),
+            "reference_histogram": dict(self.reference_histogram),
+            "topic_distribution": dict(self.topic_distribution),
+        }
+
+
+def _histogram(values: Sequence[int], bins: Sequence[tuple[int, int]]) -> dict[str, int]:
+    """Histogram with half-open bins ``[low, high)`` labelled ``"low-high"``.
+
+    The final bin is closed on the right so the histogram covers every value up
+    to the last bin edge (e.g. surveys published exactly in 2020 fall into the
+    "2015-2020" bin, as in the paper's Fig. 4b).
+    """
+    histogram: dict[str, int] = {}
+    last_index = len(bins) - 1
+    for index, (low, high) in enumerate(bins):
+        label = f"{low}-{high}"
+        if index == last_index:
+            histogram[label] = sum(1 for value in values if low <= value <= high)
+        else:
+            histogram[label] = sum(1 for value in values if low <= value < high)
+    return histogram
+
+
+def citation_bins(bank: SurveyBank) -> dict[str, int]:
+    """Fig. 4a: distribution of the citation counts of the survey papers."""
+    return _histogram([i.citation_count for i in bank], CITATION_BINS)
+
+
+def year_bins(bank: SurveyBank) -> dict[str, int]:
+    """Fig. 4b: distribution of the publication years of the survey papers."""
+    return _histogram([i.year for i in bank], YEAR_BINS)
+
+
+def reference_bins(bank: SurveyBank) -> dict[str, int]:
+    """Fig. 4c: distribution of the number of papers cited by the surveys."""
+    return _histogram([i.num_references for i in bank], REFERENCE_BINS)
+
+
+def topic_distribution(bank: SurveyBank) -> dict[str, int]:
+    """Table I: number of surveys per CCF domain, including "Uncertain Topics"."""
+    counts = {domain: 0 for domain in (*DOMAINS, UNCERTAIN_DOMAIN)}
+    for instance in bank:
+        domain = instance.domain if instance.domain in counts else UNCERTAIN_DOMAIN
+        counts[domain] += 1
+    return {domain: count for domain, count in counts.items() if count > 0 or domain != UNCERTAIN_DOMAIN}
+
+
+def compute_statistics(bank: SurveyBank, recent_years: int = 20, reference_year: int = 2020) -> SurveyBankStatistics:
+    """Compute the full statistics bundle for a benchmark."""
+    instances = bank.instances
+    num_surveys = len(instances)
+    if num_surveys == 0:
+        return SurveyBankStatistics(
+            num_surveys=0,
+            mean_references=0.0,
+            fraction_uncited=0.0,
+            fraction_highly_cited=0.0,
+            fraction_recent=0.0,
+            citation_histogram={},
+            year_histogram={},
+            reference_histogram={},
+            topic_distribution={},
+        )
+    mean_references = sum(i.num_references for i in instances) / num_surveys
+    fraction_uncited = sum(1 for i in instances if i.citation_count == 0) / num_surveys
+    fraction_highly_cited = (
+        sum(1 for i in instances if i.citation_count > 500) / num_surveys
+    )
+    fraction_recent = (
+        sum(1 for i in instances if i.year >= reference_year - recent_years) / num_surveys
+    )
+    return SurveyBankStatistics(
+        num_surveys=num_surveys,
+        mean_references=mean_references,
+        fraction_uncited=fraction_uncited,
+        fraction_highly_cited=fraction_highly_cited,
+        fraction_recent=fraction_recent,
+        citation_histogram=citation_bins(bank),
+        year_histogram=year_bins(bank),
+        reference_histogram=reference_bins(bank),
+        topic_distribution=topic_distribution(bank),
+    )

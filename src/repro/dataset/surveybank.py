@@ -1,0 +1,341 @@
+"""The SurveyBank benchmark dataset.
+
+A :class:`SurveyBank` is a collection of :class:`SurveyBankInstance` objects —
+one per survey — each carrying the RPG query (key phrases from the title), the
+stratified ground-truth labels (L1/L2/L3), the survey's publication year
+(used as the candidate-paper cutoff) and its quality score
+``s = citations / (2020 - year + 1)``.
+
+Two construction routes are provided:
+
+* :meth:`SurveyBank.from_corpus` builds instances directly from the survey
+  records of a generated corpus (fast path used by most experiments);
+* :class:`SurveyBankBuilder` runs the full document pipeline — synthetic PDF
+  rendering, GROBID parsing, XML→JSON conversion, filtering, label extraction —
+  exactly mirroring Fig. 3 of the paper, and is exercised by the dataset tests
+  and the dataset-construction example.
+"""
+
+from __future__ import annotations
+
+import json
+import random
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Iterable, Iterator, Mapping, Sequence
+
+from ..corpus.storage import CorpusStore
+from ..corpus.vocabulary import TopicTaxonomy
+from ..errors import DatasetError
+from ..search.engine import SearchEngine
+from ..types import Survey
+from ..venues.rankings import VenueCatalog, build_default_catalog
+from .documents import ParsedDocument, render_synthetic_pdf
+from .filtering import filter_documents
+from .grobid import GrobidParser
+from .labels import key_phrases_for_title, occurrence_labels
+
+__all__ = ["SurveyBankInstance", "SurveyBank", "SurveyBankBuilder", "UNCERTAIN_DOMAIN"]
+
+#: Domain label for surveys whose venue is not in the CCF-style catalogue.
+UNCERTAIN_DOMAIN: str = "Uncertain Topics"
+
+
+@dataclass(frozen=True, slots=True)
+class SurveyBankInstance:
+    """One benchmark instance: a survey, its query and its ground truth."""
+
+    survey_id: str
+    title: str
+    year: int
+    domain: str
+    key_phrases: tuple[str, ...]
+    labels: Mapping[int, frozenset[str]]
+    citation_count: int
+    num_references: int
+
+    @property
+    def query(self) -> str:
+        """Key phrases joined into a single query string."""
+        return ", ".join(self.key_phrases)
+
+    @property
+    def score(self) -> float:
+        """Quality score ``s = citations / (2020 - year + 1)`` from Sec. II-A."""
+        return self.citation_count / max(2020 - self.year + 1, 1)
+
+    def label(self, min_occurrences: int) -> frozenset[str]:
+        """Ground-truth paper set for an occurrence level."""
+        try:
+            return self.labels[min_occurrences]
+        except KeyError:
+            raise DatasetError(
+                f"instance {self.survey_id!r} has no label for occurrence level "
+                f"{min_occurrences}"
+            ) from None
+
+    def to_dict(self) -> dict[str, object]:
+        """Serialise to a JSON-compatible dictionary."""
+        return {
+            "survey_id": self.survey_id,
+            "title": self.title,
+            "year": self.year,
+            "domain": self.domain,
+            "key_phrases": list(self.key_phrases),
+            "labels": {str(level): sorted(papers) for level, papers in self.labels.items()},
+            "citation_count": self.citation_count,
+            "num_references": self.num_references,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, object]) -> "SurveyBankInstance":
+        """Reconstruct an instance from :meth:`to_dict` output."""
+        raw_labels = dict(data.get("labels", {}))  # type: ignore[arg-type]
+        return cls(
+            survey_id=str(data["survey_id"]),
+            title=str(data.get("title", "")),
+            year=int(data.get("year", 0)),  # type: ignore[arg-type]
+            domain=str(data.get("domain", UNCERTAIN_DOMAIN)),
+            key_phrases=tuple(data.get("key_phrases", ())),  # type: ignore[arg-type]
+            labels={int(level): frozenset(papers) for level, papers in raw_labels.items()},
+            citation_count=int(data.get("citation_count", 0)),  # type: ignore[arg-type]
+            num_references=int(data.get("num_references", 0)),  # type: ignore[arg-type]
+        )
+
+
+class SurveyBank:
+    """The benchmark: an ordered collection of survey instances."""
+
+    def __init__(self, instances: Iterable[SurveyBankInstance]) -> None:
+        self._instances: dict[str, SurveyBankInstance] = {}
+        for instance in instances:
+            if instance.survey_id in self._instances:
+                raise DatasetError(f"duplicate survey instance {instance.survey_id!r}")
+            self._instances[instance.survey_id] = instance
+
+    # -- construction ----------------------------------------------------------
+
+    @classmethod
+    def from_corpus(
+        cls,
+        store: CorpusStore,
+        venues: VenueCatalog | None = None,
+        use_extracted_phrases: bool = False,
+    ) -> "SurveyBank":
+        """Build the benchmark directly from the corpus survey records.
+
+        Args:
+            store: Corpus store containing the survey records.
+            venues: Venue catalogue for domain classification (Table I).
+            use_extracted_phrases: If True, key phrases are re-extracted from
+                the title with TopicRank instead of taking the phrases stored
+                on the survey record (slower, used to validate the extractor).
+        """
+        venues = venues or build_default_catalog()
+        instances = []
+        for survey in store.surveys:
+            paper = store.get_paper(survey.paper_id)
+            domain = venues.domain_of(paper.venue) or UNCERTAIN_DOMAIN
+            if use_extracted_phrases:
+                key_phrases = key_phrases_for_title(survey.title)
+            else:
+                key_phrases = survey.key_phrases
+            instances.append(
+                SurveyBankInstance(
+                    survey_id=survey.paper_id,
+                    title=survey.title,
+                    year=survey.year,
+                    domain=domain,
+                    key_phrases=key_phrases,
+                    labels=occurrence_labels(survey.reference_occurrences),
+                    citation_count=survey.citation_count,
+                    num_references=len(survey.reference_occurrences),
+                )
+            )
+        return cls(instances)
+
+    # -- access -------------------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._instances)
+
+    def __iter__(self) -> Iterator[SurveyBankInstance]:
+        return iter(self._instances.values())
+
+    def __contains__(self, survey_id: object) -> bool:
+        return survey_id in self._instances
+
+    def get(self, survey_id: str) -> SurveyBankInstance:
+        """Return the instance for a survey id, raising if absent."""
+        try:
+            return self._instances[survey_id]
+        except KeyError:
+            raise DatasetError(f"unknown survey instance {survey_id!r}") from None
+
+    @property
+    def instances(self) -> tuple[SurveyBankInstance, ...]:
+        """All instances in insertion order."""
+        return tuple(self._instances.values())
+
+    @property
+    def survey_ids(self) -> tuple[str, ...]:
+        """All survey ids in insertion order."""
+        return tuple(self._instances)
+
+    # -- selection -----------------------------------------------------------------
+
+    def filter(self, min_references: int = 0, domains: Sequence[str] | None = None) -> "SurveyBank":
+        """Return a new benchmark keeping instances matching the criteria."""
+        selected = [
+            instance
+            for instance in self
+            if instance.num_references >= min_references
+            and (domains is None or instance.domain in domains)
+        ]
+        return SurveyBank(selected)
+
+    def top_scoring(self, count: int) -> "SurveyBank":
+        """The ``count`` instances with the highest quality score ``s``.
+
+        This mirrors the paper's selection of a high-score subset for the
+        Fig. 2 statistics.
+        """
+        ranked = sorted(self, key=lambda i: (-i.score, i.survey_id))
+        return SurveyBank(ranked[:count])
+
+    def sample(self, count: int, seed: int = 0) -> "SurveyBank":
+        """A deterministic random sample of ``count`` instances."""
+        rng = random.Random(seed)
+        ids = list(self._instances)
+        rng.shuffle(ids)
+        return SurveyBank(self._instances[i] for i in ids[:count])
+
+    def split(self, train_fraction: float = 0.8, seed: int = 0) -> tuple["SurveyBank", "SurveyBank"]:
+        """Split into train/test benchmarks with a deterministic shuffle."""
+        if not 0.0 < train_fraction < 1.0:
+            raise DatasetError("train_fraction must be in (0, 1)")
+        rng = random.Random(seed)
+        ids = list(self._instances)
+        rng.shuffle(ids)
+        cut = int(round(len(ids) * train_fraction))
+        train = SurveyBank(self._instances[i] for i in ids[:cut])
+        test = SurveyBank(self._instances[i] for i in ids[cut:])
+        return train, test
+
+    def by_domain(self) -> dict[str, list[SurveyBankInstance]]:
+        """Group instances by domain (Table I rows)."""
+        grouped: dict[str, list[SurveyBankInstance]] = {}
+        for instance in self:
+            grouped.setdefault(instance.domain, []).append(instance)
+        return grouped
+
+    # -- persistence ------------------------------------------------------------------
+
+    def save(self, path: str | Path) -> None:
+        """Write the benchmark to a JSONL file."""
+        target = Path(path)
+        target.parent.mkdir(parents=True, exist_ok=True)
+        with target.open("w", encoding="utf-8") as handle:
+            for instance in self:
+                handle.write(json.dumps(instance.to_dict(), sort_keys=True) + "\n")
+
+    @classmethod
+    def load(cls, path: str | Path) -> "SurveyBank":
+        """Load a benchmark previously written by :meth:`save`."""
+        source = Path(path)
+        if not source.exists():
+            raise DatasetError(f"missing SurveyBank file {source}")
+        instances = []
+        with source.open("r", encoding="utf-8") as handle:
+            for line in handle:
+                if line.strip():
+                    instances.append(SurveyBankInstance.from_dict(json.loads(line)))
+        return cls(instances)
+
+
+class SurveyBankBuilder:
+    """Full SurveyBank construction pipeline (Fig. 3 of the paper)."""
+
+    def __init__(
+        self,
+        store: CorpusStore,
+        taxonomy: TopicTaxonomy,
+        venues: VenueCatalog | None = None,
+        search_engine: SearchEngine | None = None,
+        seed: int = 13,
+    ) -> None:
+        self.store = store
+        self.taxonomy = taxonomy
+        self.venues = venues or build_default_catalog()
+        self.search_engine = search_engine
+        self.seed = seed
+        self.parser = GrobidParser()
+        self.last_filter_report = None
+        self.last_collection = None
+
+    def build(self, min_references: int = 10) -> SurveyBank:
+        """Run collection → parsing → filtering → labelling and return the benchmark."""
+        from .collection import collect_survey_candidates
+
+        collection = collect_survey_candidates(
+            self.store, self.taxonomy, search_engine=self.search_engine
+        )
+        self.last_collection = collection
+
+        rng = random.Random(self.seed)
+        pdfs = []
+        for candidate_id in collection.candidate_ids:
+            if candidate_id not in set(self.store.survey_ids):
+                continue
+            survey = self.store.get_survey(candidate_id)
+            pdfs.append(render_synthetic_pdf(survey, self.store, rng=rng))
+
+        documents, failed = self.parser.parse_many(pdfs)
+        kept, report = filter_documents(
+            documents, parse_failures=failed, min_references=min_references
+        )
+        self.last_filter_report = report
+
+        instances = [self._instance_from_document(document) for document in kept]
+        return SurveyBank(instances)
+
+    def _instance_from_document(self, document: ParsedDocument) -> SurveyBankInstance:
+        survey = self.store.get_survey(document.paper_id)
+        paper = self.store.get_paper(document.paper_id)
+        domain = self.venues.domain_of(paper.venue) or UNCERTAIN_DOMAIN
+        return SurveyBankInstance(
+            survey_id=document.paper_id,
+            title=document.title,
+            year=document.year or survey.year,
+            domain=domain,
+            key_phrases=key_phrases_for_title(document.title),
+            labels=occurrence_labels(document.reference_occurrences),
+            citation_count=survey.citation_count,
+            num_references=document.num_references,
+        )
+
+
+def surveys_from_instances(bank: SurveyBank, store: CorpusStore) -> list[Survey]:
+    """Convert benchmark instances back to :class:`~repro.types.Survey` records.
+
+    Useful when downstream code (e.g. the evaluation harness) wants the raw
+    survey objects for instances that went through the document pipeline.
+    """
+    surveys = []
+    for instance in bank:
+        occurrences: dict[str, int] = {}
+        for level in sorted(instance.labels):
+            for paper_id in instance.labels[level]:
+                occurrences[paper_id] = max(occurrences.get(paper_id, 0), level)
+        surveys.append(
+            Survey(
+                paper_id=instance.survey_id,
+                title=instance.title,
+                year=instance.year,
+                key_phrases=instance.key_phrases,
+                reference_occurrences=occurrences,
+                citation_count=instance.citation_count,
+                domain=instance.domain,
+            )
+        )
+    return surveys

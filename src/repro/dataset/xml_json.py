@@ -1,0 +1,215 @@
+"""TEI XML to JSON conversion with rule-based cleanup.
+
+Mirrors the ``xmltodict`` + rule-based post-processing stage of the paper's
+pipeline.  The TEI XML produced by (simulated) GROBID is parsed with the
+standard library XML parser, converted into plain dictionaries/lists, and then
+turned into a :class:`~repro.dataset.documents.ParsedDocument`.  The cleanup
+step fixes the classes of errors the paper attributes to GROBID/xmltodict:
+stray whitespace, duplicated bibliography entries, empty sections and
+occurrence counts of references that never appear in the bibliography.
+"""
+
+from __future__ import annotations
+
+import re
+import xml.etree.ElementTree as ElementTree
+from typing import Any
+
+from ..errors import DocumentParseError
+from .documents import DocumentSection, ParsedDocument
+
+__all__ = ["tei_xml_to_dict", "dict_to_parsed_document", "clean_parsed_document"]
+
+_WHITESPACE = re.compile(r"\s+")
+
+
+_XML_NAMESPACE = "{http://www.w3.org/XML/1998/namespace}"
+
+
+def _attribute_name(key: str) -> str:
+    """Normalise attribute names: ElementTree expands ``xml:id`` to a URI prefix."""
+    if key.startswith(_XML_NAMESPACE):
+        return f"xml:{key[len(_XML_NAMESPACE):]}"
+    return key.split("}")[-1] if key.startswith("{") else key
+
+
+def _element_to_dict(element: ElementTree.Element) -> Any:
+    """Recursively convert an XML element into dicts/lists (xmltodict-style)."""
+    children = list(element)
+    node: dict[str, Any] = {}
+    for key, value in element.attrib.items():
+        node[f"@{_attribute_name(key)}"] = value
+    if not children:
+        text = (element.text or "").strip()
+        if node:
+            if text:
+                node["#text"] = text
+            return node
+        return text
+    for child in children:
+        tag = child.tag.split("}")[-1]
+        converted = _element_to_dict(child)
+        if tag in node:
+            existing = node[tag]
+            if not isinstance(existing, list):
+                node[tag] = [existing]
+            node[tag].append(converted)
+        else:
+            node[tag] = converted
+    text = (element.text or "").strip()
+    if text:
+        node["#text"] = text
+    return node
+
+
+def tei_xml_to_dict(tei_xml: str) -> dict[str, Any]:
+    """Parse TEI XML into nested dictionaries.
+
+    Raises:
+        DocumentParseError: If the XML is not well-formed.
+    """
+    try:
+        root = ElementTree.fromstring(tei_xml)
+    except ElementTree.ParseError as exc:
+        raise DocumentParseError(f"malformed TEI XML: {exc}") from exc
+    return {root.tag.split("}")[-1]: _element_to_dict(root)}
+
+
+def _as_list(value: Any) -> list[Any]:
+    """Normalise a value that xmltodict-style conversion may store as item-or-list."""
+    if value is None:
+        return []
+    if isinstance(value, list):
+        return value
+    return [value]
+
+
+def _extract_ref_targets(paragraph: dict[str, Any] | str) -> list[str]:
+    if isinstance(paragraph, str):
+        return []
+    targets: list[str] = []
+    for ref in _as_list(paragraph.get("ref")):
+        if isinstance(ref, dict):
+            target = str(ref.get("@target", ""))
+            if target.startswith("#"):
+                targets.append(target[1:])
+    return targets
+
+
+def _paragraph_text(paragraph: dict[str, Any] | str) -> str:
+    if isinstance(paragraph, str):
+        return paragraph
+    return str(paragraph.get("#text", ""))
+
+
+def dict_to_parsed_document(
+    data: dict[str, Any], paper_id: str, page_count: int
+) -> ParsedDocument:
+    """Convert the dictionary form of a TEI document into a :class:`ParsedDocument`.
+
+    Raises:
+        DocumentParseError: If required elements (header, body) are missing.
+    """
+    try:
+        tei = data["TEI"]
+        header = tei["teiHeader"]
+        title = str(header["titleStmt"]["title"])
+        publication = header.get("publicationStmt", {})
+        year = int(str(publication.get("date", "0")) or 0)
+        venue = str(publication.get("publisher", ""))
+        abstract_node = header.get("profileDesc", {}).get("abstract", {})
+        abstract = _paragraph_text(abstract_node.get("p", "")) if isinstance(
+            abstract_node, dict
+        ) else ""
+        body = tei["text"]["body"]
+    except (KeyError, TypeError) as exc:
+        raise DocumentParseError(f"TEI document is missing required elements: {exc}") from exc
+
+    sections: list[DocumentSection] = []
+    occurrences: dict[str, int] = {}
+    for division in _as_list(body.get("div")):
+        if not isinstance(division, dict):
+            continue
+        heading = str(division.get("head", ""))
+        label = str(division.get("@n", ""))
+        paragraphs: list[str] = []
+        for paragraph in _as_list(division.get("p")):
+            paragraphs.append(_WHITESPACE.sub(" ", _paragraph_text(paragraph)).strip())
+            for target in _extract_ref_targets(paragraph):
+                occurrences[target] = occurrences.get(target, 0) + 1
+        sections.append(
+            DocumentSection(heading=heading, label=label, paragraphs=tuple(paragraphs))
+        )
+
+    bibliography: list[str] = []
+    back = tei.get("text", {}).get("back", {})
+    list_bibl = back.get("listBibl", {}) if isinstance(back, dict) else {}
+    for entry in _as_list(list_bibl.get("biblStruct") if isinstance(list_bibl, dict) else None):
+        if isinstance(entry, dict):
+            entry_id = str(entry.get("@xml:id", "") or entry.get("@id", ""))
+            if entry_id:
+                bibliography.append(entry_id)
+
+    return ParsedDocument(
+        paper_id=paper_id,
+        title=_WHITESPACE.sub(" ", title).strip(),
+        abstract=_WHITESPACE.sub(" ", abstract).strip(),
+        year=year,
+        venue=venue,
+        sections=tuple(sections),
+        bibliography=tuple(bibliography),
+        reference_occurrences=occurrences,
+        page_count=page_count,
+    )
+
+
+def clean_parsed_document(document: ParsedDocument) -> ParsedDocument:
+    """Apply the rule-based fixes of the pipeline's post-processing stage.
+
+    * drop empty sections and collapse internal whitespace in paragraphs;
+    * deduplicate bibliography entries while preserving order;
+    * drop occurrence counts for references that are not in the bibliography;
+    * guarantee that every bibliography entry has an occurrence count of at
+      least one (GROBID occasionally loses in-text markers).
+    """
+    cleaned_sections = []
+    for section in document.sections:
+        paragraphs = tuple(
+            _WHITESPACE.sub(" ", p).strip() for p in section.paragraphs if p.strip()
+        )
+        if paragraphs or section.subsections:
+            cleaned_sections.append(
+                DocumentSection(
+                    heading=section.heading.strip(),
+                    label=section.label,
+                    paragraphs=paragraphs,
+                    subsections=section.subsections,
+                )
+            )
+
+    seen: set[str] = set()
+    bibliography: list[str] = []
+    for entry in document.bibliography:
+        if entry not in seen:
+            seen.add(entry)
+            bibliography.append(entry)
+
+    occurrences = {
+        reference: count
+        for reference, count in document.reference_occurrences.items()
+        if reference in seen
+    }
+    for entry in bibliography:
+        occurrences.setdefault(entry, 1)
+
+    return ParsedDocument(
+        paper_id=document.paper_id,
+        title=document.title,
+        abstract=document.abstract,
+        year=document.year,
+        venue=document.venue,
+        sections=tuple(cleaned_sections),
+        bibliography=tuple(bibliography),
+        reference_occurrences=occurrences,
+        page_count=document.page_count,
+    )

@@ -1,0 +1,77 @@
+"""Exception hierarchy for the ``repro`` package.
+
+Every error raised by the library derives from :class:`ReproError` so that
+callers can catch library failures with a single ``except`` clause while still
+being able to distinguish the individual failure modes.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the ``repro`` package."""
+
+
+class ConfigurationError(ReproError):
+    """A configuration object contains an invalid or inconsistent value."""
+
+
+class CorpusError(ReproError):
+    """A problem with the scholarly corpus (missing paper, bad record, ...)."""
+
+
+class PaperNotFoundError(CorpusError):
+    """A paper id was requested that does not exist in the corpus or graph."""
+
+    def __init__(self, paper_id: str) -> None:
+        super().__init__(f"paper not found: {paper_id!r}")
+        self.paper_id = paper_id
+
+
+class GraphError(ReproError):
+    """A problem with the citation graph (missing node, disconnected seeds, ...)."""
+
+
+class NodeNotFoundError(GraphError):
+    """A node id was requested that is not present in the graph."""
+
+    def __init__(self, node_id: str) -> None:
+        super().__init__(f"node not found in graph: {node_id!r}")
+        self.node_id = node_id
+
+
+class EdgeNotFoundError(GraphError):
+    """An edge was requested that is not present in the graph."""
+
+    def __init__(self, source: str, target: str) -> None:
+        super().__init__(f"edge not found in graph: {source!r} -> {target!r}")
+        self.source = source
+        self.target = target
+
+
+class DisconnectedTerminalsError(GraphError):
+    """Steiner-tree terminals do not all lie in one connected component."""
+
+
+class SearchError(ReproError):
+    """A search-engine query failed or was malformed."""
+
+
+class EmptyQueryError(SearchError):
+    """The search query contained no usable terms."""
+
+
+class DatasetError(ReproError):
+    """A problem while constructing or loading the SurveyBank dataset."""
+
+
+class DocumentParseError(DatasetError):
+    """The (simulated) GROBID parser could not process a document."""
+
+
+class EvaluationError(ReproError):
+    """A problem while evaluating generated reading paths."""
+
+
+class PipelineError(ReproError):
+    """The RePaGer pipeline could not produce a reading path."""

@@ -1,0 +1,36 @@
+"""Evaluation harness.
+
+* :mod:`repro.eval.metrics` — P@K, R@K, F1@K and overlap ratios (Sec. VI-B);
+* :mod:`repro.eval.evaluator` — run any reading-list method over a SurveyBank
+  benchmark and aggregate scores (Fig. 8, Table II, Table III), plus the
+  seed-neighbourhood overlap study behind Fig. 2;
+* :mod:`repro.eval.human` — the simulated human evaluation (Table V);
+* :mod:`repro.eval.timing` — runtime measurements per retrieval case (Table IV).
+"""
+
+from .metrics import precision_at_k, recall_at_k, f1_at_k, overlap_ratio, MetricTriple
+from .evaluator import (
+    MethodScores,
+    OverlapEvaluator,
+    PipelineMethodAdapter,
+    neighborhood_overlap_study,
+)
+from .human import HumanEvaluationResult, SimulatedAnnotator, run_human_evaluation
+from .timing import RuntimeCase, measure_runtime
+
+__all__ = [
+    "precision_at_k",
+    "recall_at_k",
+    "f1_at_k",
+    "overlap_ratio",
+    "MetricTriple",
+    "MethodScores",
+    "OverlapEvaluator",
+    "PipelineMethodAdapter",
+    "neighborhood_overlap_study",
+    "HumanEvaluationResult",
+    "SimulatedAnnotator",
+    "run_human_evaluation",
+    "RuntimeCase",
+    "measure_runtime",
+]

@@ -1,0 +1,227 @@
+"""Benchmark evaluation of reading-list methods over SurveyBank.
+
+The evaluator reproduces the protocol of Sec. VI: for every benchmark survey,
+the query is the survey's key phrases, the candidate pool is restricted to
+papers published no later than the survey, the survey itself is excluded to
+avoid data leakage, and the method's top-K list is scored against the L1/L2/L3
+ground-truth strata with precision@K and F1@K.  Scores are averaged over all
+evaluated surveys.
+
+The module also contains the seed-neighbourhood overlap study behind Fig. 2:
+how much of a survey's reference list is covered by the search engine's top-K
+results and by their first/second-order citation neighbourhoods.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Mapping, Sequence
+
+from ..config import EvaluationConfig
+from ..core.pipeline import RePaGerPipeline
+from ..baselines.base import ReadingListMethod
+from ..dataset.surveybank import SurveyBank, SurveyBankInstance
+from ..errors import EvaluationError, PipelineError
+from ..graph.citation_graph import CitationGraph
+from ..graph.traversal import k_hop_neighborhood
+from ..search.engine import SearchEngine
+from .metrics import MetricTriple, f1_at_k, overlap_ratio
+
+__all__ = [
+    "MethodScores",
+    "PipelineMethodAdapter",
+    "OverlapEvaluator",
+    "neighborhood_overlap_study",
+]
+
+
+class PipelineMethodAdapter(ReadingListMethod):
+    """Expose a :class:`RePaGerPipeline` through the common method protocol.
+
+    The pipeline is query-driven rather than K-driven, so the adapter generates
+    once per (query, cutoff) pair, caches the ranked papers and truncates to
+    whatever K the evaluator asks for — exactly how the paper evaluates the
+    same generated path at several K values.
+    """
+
+    def __init__(self, pipeline: RePaGerPipeline, name: str = "NEWST") -> None:
+        self.pipeline = pipeline
+        self.name = name
+        self._cache: dict[tuple[str, int | None, tuple[str, ...]], list[str]] = {}
+
+    def generate(
+        self,
+        query: str,
+        k: int,
+        year_cutoff: int | None = None,
+        exclude_ids: Sequence[str] = (),
+    ) -> list[str]:
+        """Top-K papers of the cached pipeline run for this query."""
+        key = (query, year_cutoff, tuple(sorted(exclude_ids)))
+        if key not in self._cache:
+            result = self.pipeline.generate(
+                query, year_cutoff=year_cutoff, exclude_ids=exclude_ids
+            )
+            self._cache[key] = result.ranked_papers()
+        return self._cache[key][:k]
+
+
+@dataclass(slots=True)
+class MethodScores:
+    """Aggregated scores of one method over the benchmark.
+
+    ``scores[(occurrence_level, k)]`` holds the averaged precision/recall/F1.
+    """
+
+    method: str
+    scores: dict[tuple[int, int], MetricTriple] = field(default_factory=dict)
+    num_surveys: int = 0
+    failures: int = 0
+
+    def f1(self, level: int, k: int) -> float:
+        """Averaged F1@K against the given occurrence level."""
+        return self._get(level, k).f1
+
+    def precision(self, level: int, k: int) -> float:
+        """Averaged precision@K against the given occurrence level."""
+        return self._get(level, k).precision
+
+    def recall(self, level: int, k: int) -> float:
+        """Averaged recall@K against the given occurrence level."""
+        return self._get(level, k).recall
+
+    def _get(self, level: int, k: int) -> MetricTriple:
+        try:
+            return self.scores[(level, k)]
+        except KeyError:
+            raise EvaluationError(
+                f"no score recorded for occurrence level {level}, K={k}"
+            ) from None
+
+    def to_rows(self) -> list[dict[str, float | int | str]]:
+        """Flatten the scores into table rows (one per level/K pair)."""
+        rows: list[dict[str, float | int | str]] = []
+        for (level, k), triple in sorted(self.scores.items()):
+            rows.append(
+                {
+                    "method": self.method,
+                    "occurrence_level": level,
+                    "k": k,
+                    "precision": triple.precision,
+                    "recall": triple.recall,
+                    "f1": triple.f1,
+                }
+            )
+        return rows
+
+
+class OverlapEvaluator:
+    """Evaluate reading-list methods over a SurveyBank benchmark."""
+
+    def __init__(self, bank: SurveyBank, config: EvaluationConfig | None = None) -> None:
+        self.config = config or EvaluationConfig()
+        self.bank = bank.filter(min_references=self.config.min_references)
+        if len(self.bank) == 0:
+            raise EvaluationError(
+                "no benchmark surveys satisfy the minimum-reference requirement"
+            )
+
+    def _surveys(self) -> list[SurveyBankInstance]:
+        instances = list(self.bank)
+        if self.config.max_surveys is not None:
+            instances = instances[: self.config.max_surveys]
+        return instances
+
+    def evaluate(self, method: ReadingListMethod) -> MethodScores:
+        """Run a method over every benchmark survey and average the metrics."""
+        instances = self._surveys()
+        totals: dict[tuple[int, int], MetricTriple] = {}
+        evaluated = 0
+        failures = 0
+        max_k = max(self.config.k_values)
+        for instance in instances:
+            cutoff = instance.year if self.config.publication_cutoff else None
+            try:
+                predicted = method.generate(
+                    instance.query,
+                    k=max_k,
+                    year_cutoff=cutoff,
+                    exclude_ids=(instance.survey_id,),
+                )
+            except PipelineError:
+                failures += 1
+                continue
+            evaluated += 1
+            for level in self.config.occurrence_levels:
+                relevant = instance.label(level)
+                for k in self.config.k_values:
+                    triple = f1_at_k(predicted, relevant, k)
+                    key = (level, k)
+                    totals[key] = totals.get(key, MetricTriple(0.0, 0.0, 0.0)) + triple
+        if evaluated == 0:
+            raise EvaluationError(f"method {method.name!r} failed on every survey")
+        averaged = {key: triple.scaled(1.0 / evaluated) for key, triple in totals.items()}
+        return MethodScores(
+            method=method.name, scores=averaged, num_surveys=evaluated, failures=failures
+        )
+
+    def evaluate_all(self, methods: Iterable[ReadingListMethod]) -> dict[str, MethodScores]:
+        """Evaluate several methods; returns ``{method name: scores}``."""
+        return {method.name: self.evaluate(method) for method in methods}
+
+
+def neighborhood_overlap_study(
+    bank: SurveyBank,
+    engine: SearchEngine,
+    graph: CitationGraph,
+    top_k: int = 30,
+    orders: Sequence[int] = (0, 1, 2),
+    occurrence_levels: Sequence[int] = (1, 2, 3),
+    max_surveys: int | None = None,
+) -> Mapping[int, Mapping[int, float]]:
+    """The Fig. 2 study: reference-list coverage of seed neighbourhoods.
+
+    For every survey, the engine's top-K results are expanded to their 1st and
+    2nd order citation neighbourhoods, and the coverage (overlap ratio) of the
+    survey's reference list is measured at each order and occurrence level.
+
+    Returns:
+        ``ratios[order][level]`` — the averaged overlap ratio.
+    """
+    instances = list(bank)
+    if max_surveys is not None:
+        instances = instances[:max_surveys]
+    if not instances:
+        raise EvaluationError("the benchmark contains no surveys")
+
+    totals: dict[int, dict[int, float]] = {order: {level: 0.0 for level in occurrence_levels}
+                                           for order in orders}
+    counted = 0
+    for instance in instances:
+        try:
+            seeds = engine.search_ids(
+                instance.query,
+                top_k=top_k,
+                year_cutoff=instance.year,
+                exclude_ids=[instance.survey_id],
+            )
+        except Exception:  # pragma: no cover - engines only fail on empty queries
+            continue
+        if not seeds:
+            continue
+        counted += 1
+        for order in orders:
+            if order == 0:
+                found: set[str] = set(seeds)
+            else:
+                found = set(
+                    k_hop_neighborhood(graph, seeds, order=order, direction="both")
+                )
+            for level in occurrence_levels:
+                totals[order][level] += overlap_ratio(found, instance.label(level))
+    if counted == 0:
+        raise EvaluationError("no survey produced any search results")
+    return {
+        order: {level: total / counted for level, total in by_level.items()}
+        for order, by_level in totals.items()
+    }

@@ -1,0 +1,197 @@
+"""Simulated human evaluation (Sec. VI-C, Table V).
+
+The paper recruits 16 graduate students, shows each of them the outputs of
+Google Scholar and of the RePaGer system for 20 queries per domain, and asks
+which system they prefer along three criteria:
+
+* **prerequisite** — does the output convey a reading order with prerequisite
+  relationships ("how to read"), not just a list?
+* **relevance** — are the returned papers consistent with the query?
+* **completeness** — does the output cover the knowledge of the query domain?
+
+Human judgements cannot be reproduced offline, so this module substitutes a
+panel of *simulated annotators*: each annotator derives a per-criterion score
+for both systems from measurable properties of their outputs (fraction of
+output pairs connected by a citation/prerequisite edge, fraction of papers
+lexically related to the query, coverage of the survey's reference list), adds
+personal noise, and votes "prefer A", "prefer B" or "same" when the difference
+is within an indifference margin.  The aggregation mirrors Table V.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Mapping, Sequence
+
+from ..dataset.surveybank import SurveyBankInstance
+from ..errors import EvaluationError
+from ..graph.citation_graph import CitationGraph
+from ..textproc.tokenizer import tokenize
+from ..types import ReadingPath
+from .metrics import overlap_ratio
+
+__all__ = ["CRITERIA", "SimulatedAnnotator", "HumanEvaluationResult", "run_human_evaluation"]
+
+#: The three questionnaire criteria.
+CRITERIA: tuple[str, ...] = ("prerequisite", "relevance", "completeness")
+
+
+def _prerequisite_score(path: ReadingPath, graph: CitationGraph) -> float:
+    """How much reading-order structure the output exposes.
+
+    Counts the fraction of papers that participate in at least one reading
+    edge whose endpoints are truly related by a citation in the graph.  Ranked
+    lists (no edges) score 0, which is exactly the complaint the paper's
+    participants had about plain search results.
+    """
+    if not path.papers:
+        return 0.0
+    if not path.edges:
+        return 0.0
+    connected: set[str] = set()
+    for edge in path.edges:
+        genuine = graph.has_edge(edge.source, edge.target) or graph.has_edge(
+            edge.target, edge.source
+        )
+        if genuine:
+            connected.add(edge.source)
+            connected.add(edge.target)
+    return len(connected) / len(path.papers)
+
+
+def _relevance_score(path: ReadingPath, query: str, graph: CitationGraph) -> float:
+    """Fraction of output papers a reader would judge consistent with the query.
+
+    A paper counts as relevant when its own title shares a token with the
+    query, or when it is directly connected (cites or is cited by) a paper
+    whose title does.  The second clause models how the paper's participants
+    judged prerequisite papers: "Attention is all you need" is considered
+    consistent with the query "pretrained language model" because the papers
+    around it in the path are about that topic, even though its title never
+    mentions it.
+    """
+    if not path.papers:
+        return 0.0
+    query_tokens = set(tokenize(query))
+    if not query_tokens:
+        return 0.0
+
+    def title_matches(paper_id: str) -> bool:
+        title = graph.get_node_attr(paper_id, "title", "") if paper_id in graph else ""
+        return bool(query_tokens & set(tokenize(title)))
+
+    related = 0
+    for paper_id in path.papers:
+        if title_matches(paper_id):
+            related += 1
+            continue
+        if paper_id in graph and any(
+            title_matches(neighbor) for neighbor in graph.neighbors(paper_id)
+        ):
+            related += 1
+    return related / len(path.papers)
+
+
+def _completeness_score(path: ReadingPath, instance: SurveyBankInstance) -> float:
+    """Coverage of the survey's full reference list (occurrence >= 1)."""
+    return overlap_ratio(path.paper_set, instance.label(1))
+
+
+@dataclass(frozen=True, slots=True)
+class SimulatedAnnotator:
+    """One annotator: expertise noise plus an indifference margin."""
+
+    annotator_id: int
+    noise: float = 0.08
+    indifference: float = 0.05
+
+    def judge(
+        self,
+        criterion: str,
+        score_a: float,
+        score_b: float,
+        rng: random.Random,
+    ) -> str:
+        """Return ``"A"``, ``"B"`` or ``"same"`` for one criterion."""
+        if criterion not in CRITERIA:
+            raise EvaluationError(f"unknown criterion {criterion!r}")
+        perceived_a = score_a + rng.gauss(0.0, self.noise)
+        perceived_b = score_b + rng.gauss(0.0, self.noise)
+        if abs(perceived_a - perceived_b) <= self.indifference:
+            return "same"
+        return "A" if perceived_a > perceived_b else "B"
+
+
+@dataclass(slots=True)
+class HumanEvaluationResult:
+    """Aggregated preference percentages per criterion (one Table V block)."""
+
+    domain: str
+    prefer_a: dict[str, float] = field(default_factory=dict)
+    same: dict[str, float] = field(default_factory=dict)
+    prefer_b: dict[str, float] = field(default_factory=dict)
+    num_votes: int = 0
+
+    def row(self, criterion: str) -> tuple[float, float, float]:
+        """``(prefer A %, same %, prefer B %)`` for a criterion."""
+        return (
+            self.prefer_a.get(criterion, 0.0),
+            self.same.get(criterion, 0.0),
+            self.prefer_b.get(criterion, 0.0),
+        )
+
+
+def run_human_evaluation(
+    domain: str,
+    cases: Sequence[tuple[SurveyBankInstance, ReadingPath, ReadingPath]],
+    graph: CitationGraph,
+    num_annotators: int = 8,
+    seed: int = 23,
+) -> HumanEvaluationResult:
+    """Simulate the questionnaire for one domain.
+
+    Args:
+        domain: Domain label (only used for reporting).
+        cases: ``(survey instance, output of system A, output of system B)``
+            triples — A is Google Scholar, B is NEWST in the paper.
+        graph: Citation graph used to verify reading-order edges and titles.
+        num_annotators: Annotators assigned to this domain (8 in the paper).
+        seed: Random seed for the annotators' noise.
+
+    Returns:
+        The aggregated preference percentages.
+    """
+    if not cases:
+        raise EvaluationError("human evaluation needs at least one case")
+    rng = random.Random(seed)
+    annotators = [SimulatedAnnotator(annotator_id=i) for i in range(num_annotators)]
+
+    votes: dict[str, dict[str, int]] = {c: {"A": 0, "same": 0, "B": 0} for c in CRITERIA}
+    total = 0
+    for instance, path_a, path_b in cases:
+        scores_a = {
+            "prerequisite": _prerequisite_score(path_a, graph),
+            "relevance": _relevance_score(path_a, instance.query, graph),
+            "completeness": _completeness_score(path_a, instance),
+        }
+        scores_b = {
+            "prerequisite": _prerequisite_score(path_b, graph),
+            "relevance": _relevance_score(path_b, instance.query, graph),
+            "completeness": _completeness_score(path_b, instance),
+        }
+        for annotator in annotators:
+            total += 1
+            for criterion in CRITERIA:
+                verdict = annotator.judge(
+                    criterion, scores_a[criterion], scores_b[criterion], rng
+                )
+                votes[criterion][verdict] += 1
+
+    result = HumanEvaluationResult(domain=domain, num_votes=total)
+    for criterion in CRITERIA:
+        counts = votes[criterion]
+        result.prefer_a[criterion] = 100.0 * counts["A"] / total
+        result.same[criterion] = 100.0 * counts["same"] / total
+        result.prefer_b[criterion] = 100.0 * counts["B"] / total
+    return result

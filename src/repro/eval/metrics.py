@@ -1,0 +1,92 @@
+"""Overlap metrics for reading-list evaluation (Sec. VI-B).
+
+The paper flattens a generated reading path into its paper set and compares it
+against the survey's reference list with precision@K and F1@K; Fig. 2
+additionally reports the plain overlap ratio (the recall of the reference
+list) for the seed-neighbourhood study.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Collection, Sequence
+
+from ..errors import EvaluationError
+
+__all__ = ["MetricTriple", "precision_at_k", "recall_at_k", "f1_at_k", "overlap_ratio"]
+
+
+@dataclass(frozen=True, slots=True)
+class MetricTriple:
+    """Precision, recall and F1 for one prediction/ground-truth pair."""
+
+    precision: float
+    recall: float
+    f1: float
+
+    def __add__(self, other: "MetricTriple") -> "MetricTriple":
+        return MetricTriple(
+            precision=self.precision + other.precision,
+            recall=self.recall + other.recall,
+            f1=self.f1 + other.f1,
+        )
+
+    def scaled(self, factor: float) -> "MetricTriple":
+        """Multiply every component by ``factor`` (used for averaging)."""
+        return MetricTriple(
+            precision=self.precision * factor,
+            recall=self.recall * factor,
+            f1=self.f1 * factor,
+        )
+
+
+def _validate(predicted: Sequence[str], k: int) -> list[str]:
+    if k < 1:
+        raise EvaluationError("k must be >= 1")
+    truncated = list(predicted[:k])
+    if len(set(truncated)) != len(truncated):
+        raise EvaluationError("predicted list contains duplicate paper ids")
+    return truncated
+
+
+def precision_at_k(predicted: Sequence[str], relevant: Collection[str], k: int) -> float:
+    """Fraction of the top-K predictions that are relevant.
+
+    The denominator is K even when fewer than K papers were produced, which
+    penalises methods that cannot fill the requested list length.
+    """
+    truncated = _validate(predicted, k)
+    if not truncated:
+        return 0.0
+    relevant_set = set(relevant)
+    hits = sum(1 for paper_id in truncated if paper_id in relevant_set)
+    return hits / k
+
+
+def recall_at_k(predicted: Sequence[str], relevant: Collection[str], k: int) -> float:
+    """Fraction of the relevant papers found in the top-K predictions."""
+    truncated = _validate(predicted, k)
+    relevant_set = set(relevant)
+    if not relevant_set:
+        return 0.0
+    hits = sum(1 for paper_id in truncated if paper_id in relevant_set)
+    return hits / len(relevant_set)
+
+
+def f1_at_k(predicted: Sequence[str], relevant: Collection[str], k: int) -> MetricTriple:
+    """Precision, recall and F1 of the top-K predictions."""
+    precision = precision_at_k(predicted, relevant, k)
+    recall = recall_at_k(predicted, relevant, k)
+    if precision + recall == 0.0:
+        f1 = 0.0
+    else:
+        f1 = 2.0 * precision * recall / (precision + recall)
+    return MetricTriple(precision=precision, recall=recall, f1=f1)
+
+
+def overlap_ratio(found: Collection[str], relevant: Collection[str]) -> float:
+    """Fraction of the reference list covered by ``found`` (Fig. 2's ratio)."""
+    relevant_set = set(relevant)
+    if not relevant_set:
+        return 0.0
+    return len(set(found) & relevant_set) / len(relevant_set)

@@ -1,0 +1,75 @@
+"""Runtime measurement of the RePaGer pipeline (Sec. VI-D, Table IV).
+
+Table IV reports, for several retrieval cases, the number of nodes and edges
+of the constructed sub-citation graph and the end-to-end running time.  The
+helper below runs the pipeline for a set of queries and collects exactly those
+columns, plus the average over the evaluated set.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from ..core.pipeline import RePaGerPipeline
+from ..dataset.surveybank import SurveyBankInstance
+from ..errors import EvaluationError, PipelineError
+
+__all__ = ["RuntimeCase", "measure_runtime"]
+
+
+@dataclass(frozen=True, slots=True)
+class RuntimeCase:
+    """One Table IV row: sub-graph size and wall-clock time for one query."""
+
+    query: str
+    num_nodes: int
+    num_edges: int
+    seconds: float
+
+
+def measure_runtime(
+    pipeline: RePaGerPipeline,
+    instances: Sequence[SurveyBankInstance],
+    max_cases: int | None = None,
+) -> tuple[list[RuntimeCase], RuntimeCase]:
+    """Run the pipeline for each survey query and record size/time.
+
+    Returns:
+        ``(cases, average)`` where ``average`` aggregates the evaluated cases
+        (its ``query`` field is ``"average"``).
+
+    Raises:
+        EvaluationError: If every query fails.
+    """
+    selected = list(instances)
+    if max_cases is not None:
+        selected = selected[:max_cases]
+
+    cases: list[RuntimeCase] = []
+    for instance in selected:
+        try:
+            result = pipeline.generate(
+                instance.query,
+                year_cutoff=instance.year,
+                exclude_ids=(instance.survey_id,),
+            )
+        except PipelineError:
+            continue
+        cases.append(
+            RuntimeCase(
+                query=instance.query,
+                num_nodes=result.subgraph_nodes,
+                num_edges=result.subgraph_edges,
+                seconds=result.elapsed_seconds,
+            )
+        )
+    if not cases:
+        raise EvaluationError("no query could be timed")
+    average = RuntimeCase(
+        query="average",
+        num_nodes=round(sum(c.num_nodes for c in cases) / len(cases)),
+        num_edges=round(sum(c.num_edges for c in cases) / len(cases)),
+        seconds=sum(c.seconds for c in cases) / len(cases),
+    )
+    return cases, average

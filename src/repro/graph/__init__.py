@@ -1,0 +1,42 @@
+"""Citation-graph substrate.
+
+Everything the NEWST model needs from a graph library is implemented here from
+first principles: a directed citation graph with node/edge attributes, PageRank
+(Sec. IV-B node weight), Dijkstra shortest paths that account for both node and
+edge costs, minimum spanning trees, the metric closure, and the
+Kou–Markowsky–Berman (KMB) heuristic for the node-edge weighted Steiner tree
+(Algorithm 1 of the paper).
+"""
+
+from .citation_graph import CitationGraph
+from .pagerank import pagerank
+from .shortest_paths import dijkstra, shortest_path, PathResult
+from .mst import minimum_spanning_tree, UnionFind
+from .steiner import SteinerTreeResult, node_edge_weighted_steiner_tree, metric_closure
+from .traversal import (
+    k_hop_neighborhood,
+    undirected_neighbors,
+    connected_component,
+    connected_components,
+)
+from .metrics import GraphStatistics, graph_statistics, degree_histogram
+
+__all__ = [
+    "CitationGraph",
+    "pagerank",
+    "dijkstra",
+    "shortest_path",
+    "PathResult",
+    "minimum_spanning_tree",
+    "UnionFind",
+    "SteinerTreeResult",
+    "node_edge_weighted_steiner_tree",
+    "metric_closure",
+    "k_hop_neighborhood",
+    "undirected_neighbors",
+    "connected_component",
+    "connected_components",
+    "GraphStatistics",
+    "graph_statistics",
+    "degree_histogram",
+]

@@ -1,0 +1,235 @@
+"""Directed citation graph with node and edge attributes.
+
+A :class:`CitationGraph` stores papers as nodes and citation relations as
+directed edges (``citing -> cited``, matching the paper's convention "Paper 1 →
+Paper 5 means Paper 1 cites Paper 5").  Node and edge weights — the PageRank /
+venue node weights and the co-citation edge costs of the NEWST model — are
+stored as attributes so that the graph algorithms can stay generic.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable, Iterator, Mapping
+
+from ..errors import EdgeNotFoundError, NodeNotFoundError
+from ..types import Paper
+
+__all__ = ["CitationGraph"]
+
+
+class CitationGraph:
+    """A directed graph tailored to citation networks.
+
+    The graph keeps both successor (cited papers) and predecessor (citing
+    papers) adjacency so that neighbourhood expansion can follow citations in
+    either direction, as the RePaGer sub-graph construction does.
+    """
+
+    def __init__(self) -> None:
+        self._successors: dict[str, dict[str, dict[str, Any]]] = {}
+        self._predecessors: dict[str, dict[str, dict[str, Any]]] = {}
+        self._node_attrs: dict[str, dict[str, Any]] = {}
+        self._edge_count = 0
+
+    # -- construction ----------------------------------------------------------
+
+    @classmethod
+    def from_papers(cls, papers: Iterable[Paper], skip_dangling: bool = True) -> "CitationGraph":
+        """Build a citation graph from paper records.
+
+        Args:
+            papers: Paper records; each contributes a node and one edge per
+                outbound citation.
+            skip_dangling: If True, citations pointing at papers not present in
+                ``papers`` are ignored (S2ORC-style corpora always contain such
+                dangling references); if False, dangling targets become
+                attribute-less nodes.
+        """
+        graph = cls()
+        records = list(papers)
+        for paper in records:
+            graph.add_node(
+                paper.paper_id,
+                year=paper.year,
+                topic=paper.topic,
+                venue=paper.venue,
+                title=paper.title,
+                is_survey=paper.is_survey,
+            )
+        known = set(graph._node_attrs)
+        for paper in records:
+            for cited in paper.outbound_citations:
+                if cited not in known:
+                    if skip_dangling:
+                        continue
+                    graph.add_node(cited)
+                    known.add(cited)
+                graph.add_edge(paper.paper_id, cited)
+        return graph
+
+    def add_node(self, node_id: str, **attrs: Any) -> None:
+        """Add a node (or update its attributes if it already exists)."""
+        if node_id not in self._node_attrs:
+            self._node_attrs[node_id] = {}
+            self._successors[node_id] = {}
+            self._predecessors[node_id] = {}
+        self._node_attrs[node_id].update(attrs)
+
+    def add_edge(self, source: str, target: str, **attrs: Any) -> None:
+        """Add a directed edge ``source -> target`` (nodes are created as needed)."""
+        self.add_node(source)
+        self.add_node(target)
+        if target not in self._successors[source]:
+            self._edge_count += 1
+            self._successors[source][target] = {}
+            self._predecessors[target][source] = self._successors[source][target]
+        self._successors[source][target].update(attrs)
+
+    def remove_node(self, node_id: str) -> None:
+        """Remove a node and all incident edges."""
+        self._require_node(node_id)
+        for target in list(self._successors[node_id]):
+            del self._predecessors[target][node_id]
+            self._edge_count -= 1
+        for source in list(self._predecessors[node_id]):
+            del self._successors[source][node_id]
+            self._edge_count -= 1
+        del self._successors[node_id]
+        del self._predecessors[node_id]
+        del self._node_attrs[node_id]
+
+    # -- queries ------------------------------------------------------------------
+
+    def _require_node(self, node_id: str) -> None:
+        if node_id not in self._node_attrs:
+            raise NodeNotFoundError(node_id)
+
+    def __len__(self) -> int:
+        return len(self._node_attrs)
+
+    def __contains__(self, node_id: object) -> bool:
+        return node_id in self._node_attrs
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self._node_attrs)
+
+    @property
+    def num_nodes(self) -> int:
+        """Number of nodes in the graph."""
+        return len(self._node_attrs)
+
+    @property
+    def num_edges(self) -> int:
+        """Number of directed edges in the graph."""
+        return self._edge_count
+
+    @property
+    def nodes(self) -> tuple[str, ...]:
+        """All node ids in insertion order."""
+        return tuple(self._node_attrs)
+
+    def edges(self) -> Iterator[tuple[str, str]]:
+        """Iterate over all directed edges as ``(source, target)`` pairs."""
+        for source, targets in self._successors.items():
+            for target in targets:
+                yield source, target
+
+    def has_edge(self, source: str, target: str) -> bool:
+        """Whether the directed edge ``source -> target`` exists."""
+        return source in self._successors and target in self._successors[source]
+
+    def successors(self, node_id: str) -> tuple[str, ...]:
+        """Papers cited by ``node_id`` (outgoing edges)."""
+        self._require_node(node_id)
+        return tuple(self._successors[node_id])
+
+    def predecessors(self, node_id: str) -> tuple[str, ...]:
+        """Papers citing ``node_id`` (incoming edges)."""
+        self._require_node(node_id)
+        return tuple(self._predecessors[node_id])
+
+    def neighbors(self, node_id: str) -> tuple[str, ...]:
+        """Union of successors and predecessors (the undirected neighbourhood)."""
+        self._require_node(node_id)
+        merged = dict.fromkeys(self._successors[node_id])
+        merged.update(dict.fromkeys(self._predecessors[node_id]))
+        return tuple(merged)
+
+    def out_degree(self, node_id: str) -> int:
+        """Number of papers cited by ``node_id``."""
+        self._require_node(node_id)
+        return len(self._successors[node_id])
+
+    def in_degree(self, node_id: str) -> int:
+        """Number of papers citing ``node_id``."""
+        self._require_node(node_id)
+        return len(self._predecessors[node_id])
+
+    def degree(self, node_id: str) -> int:
+        """Undirected degree (distinct neighbours)."""
+        return len(self.neighbors(node_id))
+
+    # -- attributes ------------------------------------------------------------------
+
+    def node_attrs(self, node_id: str) -> Mapping[str, Any]:
+        """All attributes stored on a node."""
+        self._require_node(node_id)
+        return self._node_attrs[node_id]
+
+    def get_node_attr(self, node_id: str, key: str, default: Any = None) -> Any:
+        """A single node attribute with a default."""
+        self._require_node(node_id)
+        return self._node_attrs[node_id].get(key, default)
+
+    def set_node_attr(self, node_id: str, key: str, value: Any) -> None:
+        """Set a single node attribute."""
+        self._require_node(node_id)
+        self._node_attrs[node_id][key] = value
+
+    def edge_attrs(self, source: str, target: str) -> Mapping[str, Any]:
+        """All attributes stored on a directed edge."""
+        if not self.has_edge(source, target):
+            raise EdgeNotFoundError(source, target)
+        return self._successors[source][target]
+
+    def get_edge_attr(self, source: str, target: str, key: str, default: Any = None) -> Any:
+        """A single edge attribute with a default."""
+        return self.edge_attrs(source, target).get(key, default)
+
+    def set_edge_attr(self, source: str, target: str, key: str, value: Any) -> None:
+        """Set a single edge attribute."""
+        if not self.has_edge(source, target):
+            raise EdgeNotFoundError(source, target)
+        self._successors[source][target][key] = value
+
+    # -- derived graphs ---------------------------------------------------------------
+
+    def subgraph(self, nodes: Iterable[str]) -> "CitationGraph":
+        """Return the induced subgraph on ``nodes`` (attributes are shared copies)."""
+        keep = {n for n in nodes if n in self._node_attrs}
+        sub = CitationGraph()
+        for node in keep:
+            sub.add_node(node, **self._node_attrs[node])
+        for source in keep:
+            for target, attrs in self._successors[source].items():
+                if target in keep:
+                    sub.add_edge(source, target, **attrs)
+        return sub
+
+    def reverse(self) -> "CitationGraph":
+        """Return a copy of the graph with all edge directions flipped."""
+        reversed_graph = CitationGraph()
+        for node, attrs in self._node_attrs.items():
+            reversed_graph.add_node(node, **attrs)
+        for source, target in self.edges():
+            reversed_graph.add_edge(target, source, **self._successors[source][target])
+        return reversed_graph
+
+    def copy(self) -> "CitationGraph":
+        """Return a deep-enough copy (attribute dictionaries are copied)."""
+        clone = CitationGraph()
+        for node, attrs in self._node_attrs.items():
+            clone.add_node(node, **dict(attrs))
+        for source, target in self.edges():
+            clone.add_edge(source, target, **dict(self._successors[source][target]))
+        return clone

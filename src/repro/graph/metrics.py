@@ -1,0 +1,102 @@
+"""Descriptive statistics over citation graphs.
+
+Used by the SurveyBank statistics (Fig. 4 / Table I), the runtime study
+(Table IV, which reports #nodes and #edges of the constructed sub-graphs) and
+the example scripts.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping, Sequence
+
+from .citation_graph import CitationGraph
+from .traversal import connected_components
+
+__all__ = ["GraphStatistics", "graph_statistics", "degree_histogram"]
+
+
+@dataclass(frozen=True, slots=True)
+class GraphStatistics:
+    """Summary statistics of a citation graph."""
+
+    num_nodes: int
+    num_edges: int
+    num_components: int
+    largest_component_size: int
+    mean_out_degree: float
+    mean_in_degree: float
+    max_in_degree: int
+    isolated_nodes: int
+
+    def to_dict(self) -> dict[str, float | int]:
+        """Serialise to a flat dictionary (for report tables)."""
+        return {
+            "num_nodes": self.num_nodes,
+            "num_edges": self.num_edges,
+            "num_components": self.num_components,
+            "largest_component_size": self.largest_component_size,
+            "mean_out_degree": self.mean_out_degree,
+            "mean_in_degree": self.mean_in_degree,
+            "max_in_degree": self.max_in_degree,
+            "isolated_nodes": self.isolated_nodes,
+        }
+
+
+def graph_statistics(graph: CitationGraph) -> GraphStatistics:
+    """Compute :class:`GraphStatistics` for a citation graph."""
+    nodes = graph.nodes
+    if not nodes:
+        return GraphStatistics(
+            num_nodes=0,
+            num_edges=0,
+            num_components=0,
+            largest_component_size=0,
+            mean_out_degree=0.0,
+            mean_in_degree=0.0,
+            max_in_degree=0,
+            isolated_nodes=0,
+        )
+    out_degrees = [graph.out_degree(n) for n in nodes]
+    in_degrees = [graph.in_degree(n) for n in nodes]
+    components = connected_components(graph)
+    return GraphStatistics(
+        num_nodes=graph.num_nodes,
+        num_edges=graph.num_edges,
+        num_components=len(components),
+        largest_component_size=len(components[0]) if components else 0,
+        mean_out_degree=sum(out_degrees) / len(nodes),
+        mean_in_degree=sum(in_degrees) / len(nodes),
+        max_in_degree=max(in_degrees),
+        isolated_nodes=sum(1 for n in nodes if graph.degree(n) == 0),
+    )
+
+
+def degree_histogram(
+    graph: CitationGraph,
+    bins: Sequence[tuple[int, int]],
+    kind: str = "in",
+) -> Mapping[str, int]:
+    """Histogram of node degrees over explicit ``(low, high)`` inclusive bins.
+
+    Args:
+        graph: The citation graph.
+        bins: Inclusive degree ranges, e.g. ``[(0, 5), (6, 10), (11, 100)]``.
+        kind: ``"in"``, ``"out"`` or ``"total"`` degree.
+
+    Returns:
+        Mapping from a ``"low-high"`` label to the number of nodes in the bin.
+    """
+    if kind == "in":
+        degrees = [graph.in_degree(n) for n in graph.nodes]
+    elif kind == "out":
+        degrees = [graph.out_degree(n) for n in graph.nodes]
+    elif kind == "total":
+        degrees = [graph.degree(n) for n in graph.nodes]
+    else:
+        raise ValueError(f"invalid degree kind {kind!r}")
+    histogram: dict[str, int] = {}
+    for low, high in bins:
+        label = f"{low}-{high}"
+        histogram[label] = sum(1 for d in degrees if low <= d <= high)
+    return histogram

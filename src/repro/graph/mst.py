@@ -1,0 +1,111 @@
+"""Minimum spanning tree (Kruskal) and union-find.
+
+Steps 2 and 4 of the KMB Steiner-tree heuristic (Algorithm 1 in the paper)
+need a minimum spanning tree of, respectively, the metric-closure graph and
+the expanded subgraph.  Both graphs are treated as undirected weighted graphs
+given as explicit edge lists, so the MST here works on plain ``(u, v, weight)``
+tuples rather than on :class:`CitationGraph`.
+"""
+
+from __future__ import annotations
+
+from typing import Hashable, Iterable, Sequence
+
+from ..errors import GraphError
+
+__all__ = ["UnionFind", "minimum_spanning_tree"]
+
+
+class UnionFind:
+    """Disjoint-set forest with path compression and union by rank."""
+
+    def __init__(self, elements: Iterable[Hashable] = ()) -> None:
+        self._parent: dict[Hashable, Hashable] = {}
+        self._rank: dict[Hashable, int] = {}
+        for element in elements:
+            self.add(element)
+
+    def add(self, element: Hashable) -> None:
+        """Register an element as its own singleton set (no-op if present)."""
+        if element not in self._parent:
+            self._parent[element] = element
+            self._rank[element] = 0
+
+    def __contains__(self, element: object) -> bool:
+        return element in self._parent
+
+    def __len__(self) -> int:
+        return len(self._parent)
+
+    def find(self, element: Hashable) -> Hashable:
+        """Return the representative of the set containing ``element``."""
+        if element not in self._parent:
+            raise GraphError(f"element {element!r} not registered in UnionFind")
+        root = element
+        while self._parent[root] != root:
+            root = self._parent[root]
+        # Path compression.
+        while self._parent[element] != root:
+            self._parent[element], element = root, self._parent[element]
+        return root
+
+    def union(self, first: Hashable, second: Hashable) -> bool:
+        """Merge the sets containing the two elements; returns False if already merged."""
+        root_first = self.find(first)
+        root_second = self.find(second)
+        if root_first == root_second:
+            return False
+        if self._rank[root_first] < self._rank[root_second]:
+            root_first, root_second = root_second, root_first
+        self._parent[root_second] = root_first
+        if self._rank[root_first] == self._rank[root_second]:
+            self._rank[root_first] += 1
+        return True
+
+    def connected(self, first: Hashable, second: Hashable) -> bool:
+        """Whether two elements are in the same set."""
+        return self.find(first) == self.find(second)
+
+    def components(self) -> list[set[Hashable]]:
+        """Return the current sets as a list of element sets."""
+        groups: dict[Hashable, set[Hashable]] = {}
+        for element in self._parent:
+            groups.setdefault(self.find(element), set()).add(element)
+        return list(groups.values())
+
+
+def minimum_spanning_tree(
+    nodes: Iterable[Hashable],
+    edges: Sequence[tuple[Hashable, Hashable, float]],
+) -> list[tuple[Hashable, Hashable, float]]:
+    """Kruskal's minimum spanning tree/forest.
+
+    Args:
+        nodes: All nodes that must appear in the forest (isolated nodes are
+            allowed and simply contribute no edges).
+        edges: Undirected weighted edges as ``(u, v, weight)`` tuples.
+
+    Returns:
+        The chosen edges.  If the graph is disconnected the result is a
+        minimum spanning *forest*; callers that require a single tree (such as
+        the Steiner heuristic) must check connectivity themselves.
+
+    Raises:
+        GraphError: If an edge references a node not listed in ``nodes`` or has
+            a negative weight.
+    """
+    node_set = set(nodes)
+    forest = UnionFind(node_set)
+    chosen: list[tuple[Hashable, Hashable, float]] = []
+    for u, v, weight in sorted(edges, key=lambda e: (e[2], str(e[0]), str(e[1]))):
+        if u not in node_set or v not in node_set:
+            raise GraphError(f"MST edge ({u!r}, {v!r}) references an unknown node")
+        if weight < 0:
+            raise GraphError("MST requires non-negative edge weights")
+        if u == v:
+            continue
+        if forest.union(u, v):
+            chosen.append((u, v, weight))
+            if len(chosen) == len(node_set) - 1:
+                break
+    return chosen

@@ -1,0 +1,112 @@
+"""Neighbourhood expansion and connectivity utilities.
+
+The RePaGer pipeline's sub-citation-graph construction (Sec. IV-A step 3)
+expands the initial seed papers to their first- and second-order citation
+neighbours; the evaluation of Fig. 2 measures how much of a survey's reference
+list appears in those neighbourhoods.  Both need breadth-first k-hop expansion
+over the undirected view of the citation graph, implemented here.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Iterable
+
+from ..errors import GraphError, NodeNotFoundError
+from .citation_graph import CitationGraph
+
+__all__ = [
+    "undirected_neighbors",
+    "k_hop_neighborhood",
+    "connected_component",
+    "connected_components",
+]
+
+
+def undirected_neighbors(graph: CitationGraph, node: str) -> tuple[str, ...]:
+    """Neighbours of a node ignoring edge direction (cited + citing papers)."""
+    return graph.neighbors(node)
+
+
+def k_hop_neighborhood(
+    graph: CitationGraph,
+    seeds: Iterable[str],
+    order: int,
+    direction: str = "both",
+    max_nodes: int | None = None,
+) -> dict[str, int]:
+    """Breadth-first expansion of ``seeds`` up to ``order`` hops.
+
+    Args:
+        graph: Citation graph to expand over.
+        seeds: Starting nodes (hop distance 0).  Seeds absent from the graph
+            are silently skipped — live search engines routinely return papers
+            outside the citation-graph snapshot.
+        order: Maximum hop distance (0 returns just the seeds).
+        direction: ``"out"`` follows citations (papers cited by the frontier),
+            ``"in"`` follows citing papers, ``"both"`` ignores direction.
+        max_nodes: Optional cap on the total number of returned nodes; the
+            expansion stops once the cap is reached (seeds always included).
+
+    Returns:
+        Mapping from node id to its hop distance from the nearest seed.
+
+    Raises:
+        GraphError: If ``order`` is negative or ``direction`` is invalid.
+    """
+    if order < 0:
+        raise GraphError("expansion order must be non-negative")
+    if direction not in ("out", "in", "both"):
+        raise GraphError(f"invalid direction {direction!r}")
+
+    present_seeds = [s for s in seeds if s in graph]
+    distances: dict[str, int] = {seed: 0 for seed in present_seeds}
+    queue: deque[str] = deque(present_seeds)
+
+    while queue:
+        node = queue.popleft()
+        depth = distances[node]
+        if depth >= order:
+            continue
+        if direction == "out":
+            neighbors = graph.successors(node)
+        elif direction == "in":
+            neighbors = graph.predecessors(node)
+        else:
+            neighbors = graph.neighbors(node)
+        for neighbor in neighbors:
+            if neighbor in distances:
+                continue
+            if max_nodes is not None and len(distances) >= max_nodes:
+                return distances
+            distances[neighbor] = depth + 1
+            queue.append(neighbor)
+    return distances
+
+
+def connected_component(graph: CitationGraph, node: str) -> set[str]:
+    """The undirected connected component containing ``node``."""
+    if node not in graph:
+        raise NodeNotFoundError(node)
+    component: set[str] = {node}
+    queue: deque[str] = deque([node])
+    while queue:
+        current = queue.popleft()
+        for neighbor in graph.neighbors(current):
+            if neighbor not in component:
+                component.add(neighbor)
+                queue.append(neighbor)
+    return component
+
+
+def connected_components(graph: CitationGraph) -> list[set[str]]:
+    """All undirected connected components, largest first."""
+    remaining = set(graph.nodes)
+    components: list[set[str]] = []
+    while remaining:
+        start = next(iter(remaining))
+        component = connected_component(graph, start)
+        components.append(component)
+        remaining -= component
+    components.sort(key=len, reverse=True)
+    return components

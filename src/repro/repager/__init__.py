@@ -1,0 +1,26 @@
+"""The RePaGer system layer.
+
+The paper ships a web application on top of the model (Sec. V).  The system
+layer here provides the equivalent programmatic surface:
+
+* :class:`~repro.repager.service.RePaGerService` — a facade that owns the
+  corpus, graph, search engine and pipeline, answers queries, and returns both
+  the raw :class:`~repro.types.ReadingPath` and the JSON payload a web UI
+  would consume (nodes with importance colours, edges with relevance weights,
+  the navigation-bar listing);
+* :mod:`repro.repager.render` — ASCII-tree and Graphviz DOT renderings of a
+  reading path (the Fig. 9 visualisation);
+* :mod:`repro.repager.cli` — a command-line interface (``repager``) for
+  generating a corpus, building SurveyBank and querying reading paths.
+"""
+
+from .service import RePaGerService, PathPayload
+from .render import render_ascii_tree, render_dot, render_flat_list
+
+__all__ = [
+    "RePaGerService",
+    "PathPayload",
+    "render_ascii_tree",
+    "render_dot",
+    "render_flat_list",
+]

@@ -1,0 +1,127 @@
+"""Command-line interface for the RePaGer reproduction.
+
+Three subcommands cover the typical workflow::
+
+    repager generate-corpus --output data/corpus          # build the synthetic corpus
+    repager build-surveybank --corpus data/corpus -o data/surveybank.jsonl
+    repager query "pretrained language models" --corpus data/corpus
+
+``query`` can also run directly on a freshly generated corpus (omit
+``--corpus``), which is the quickest way to see a reading path.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+from ..config import CorpusConfig, PipelineConfig
+from ..corpus.generator import CorpusGenerator
+from ..corpus.storage import CorpusStore
+from ..dataset.surveybank import SurveyBank
+from ..repager.service import RePaGerService
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Create the argument parser for the ``repager`` CLI."""
+    parser = argparse.ArgumentParser(
+        prog="repager",
+        description="Reading Path Generation (RePaGer/NEWST) reproduction CLI",
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    generate = subparsers.add_parser(
+        "generate-corpus", help="generate the synthetic scholarly corpus"
+    )
+    generate.add_argument("--output", "-o", required=True, help="output directory")
+    generate.add_argument("--seed", type=int, default=7, help="random seed")
+    generate.add_argument(
+        "--papers-per-topic", type=int, default=60, help="papers generated per topic"
+    )
+    generate.add_argument(
+        "--surveys-per-topic", type=int, default=3, help="surveys generated per topic"
+    )
+
+    bank = subparsers.add_parser(
+        "build-surveybank", help="build the SurveyBank benchmark from a corpus"
+    )
+    bank.add_argument("--corpus", required=True, help="corpus directory")
+    bank.add_argument("--output", "-o", required=True, help="output JSONL file")
+    bank.add_argument(
+        "--min-references", type=int, default=20, help="minimum references per survey"
+    )
+
+    query = subparsers.add_parser("query", help="generate a reading path for a query")
+    query.add_argument("text", help="query key phrases")
+    query.add_argument("--corpus", help="corpus directory (generated on the fly if omitted)")
+    query.add_argument("--seeds", type=int, default=30, help="number of initial seed papers")
+    query.add_argument("--json", action="store_true", help="emit the UI JSON payload")
+    query.add_argument("--flat", action="store_true", help="print a flat list instead of a tree")
+
+    return parser
+
+
+def _load_or_generate_store(corpus_dir: str | None, seed: int = 7) -> CorpusStore:
+    if corpus_dir:
+        return CorpusStore.load(corpus_dir)
+    return CorpusGenerator(CorpusConfig(seed=seed)).generate().store
+
+
+def _cmd_generate_corpus(args: argparse.Namespace) -> int:
+    config = CorpusConfig(
+        seed=args.seed,
+        papers_per_topic=args.papers_per_topic,
+        surveys_per_topic=args.surveys_per_topic,
+    )
+    corpus = CorpusGenerator(config).generate()
+    corpus.store.save(args.output)
+    print(
+        f"generated {corpus.num_papers} papers ({corpus.num_surveys} surveys) "
+        f"into {Path(args.output).resolve()}"
+    )
+    return 0
+
+
+def _cmd_build_surveybank(args: argparse.Namespace) -> int:
+    store = CorpusStore.load(args.corpus)
+    bank = SurveyBank.from_corpus(store).filter(min_references=args.min_references)
+    bank.save(args.output)
+    print(f"wrote {len(bank)} SurveyBank instances to {Path(args.output).resolve()}")
+    return 0
+
+
+def _cmd_query(args: argparse.Namespace) -> int:
+    store = _load_or_generate_store(args.corpus)
+    service = RePaGerService(store, pipeline_config=PipelineConfig(num_seeds=args.seeds))
+    payload = service.query(args.text)
+    if args.json:
+        print(json.dumps(payload.to_dict(), indent=2))
+    else:
+        print(service.render_text(payload, as_tree=not args.flat))
+        stats = payload.stats
+        print(
+            f"\n[{stats['num_terminals']} terminals, tree of {stats['tree_size']} papers, "
+            f"{stats['subgraph_nodes']} candidate nodes, "
+            f"{stats['elapsed_seconds']:.2f}s]"
+        )
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    handlers = {
+        "generate-corpus": _cmd_generate_corpus,
+        "build-surveybank": _cmd_build_surveybank,
+        "query": _cmd_query,
+    }
+    return handlers[args.command](args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

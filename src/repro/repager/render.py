@@ -1,0 +1,117 @@
+"""Rendering reading paths for human consumption.
+
+Three renderers cover the ways the paper presents results:
+
+* :func:`render_flat_list` — the navigation-bar view: papers in reading order
+  with title, year and venue (component (b) of Fig. 7);
+* :func:`render_ascii_tree` — the reading-path panel as an indented tree, one
+  arrow per reading-order edge (component (c) of Fig. 7 / Fig. 9);
+* :func:`render_dot` — Graphviz DOT output with node colours scaled by
+  importance and edge pen widths scaled by relevance, for users who want the
+  same visual as the web UI.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Mapping
+
+from ..corpus.storage import CorpusStore
+from ..types import ReadingPath
+
+__all__ = ["render_flat_list", "render_ascii_tree", "render_dot"]
+
+
+def _default_labeler(store: CorpusStore | None) -> Callable[[str], str]:
+    def label(paper_id: str) -> str:
+        if store is not None and paper_id in store:
+            paper = store.get_paper(paper_id)
+            return f"{paper.title} ({paper.year})"
+        return paper_id
+    return label
+
+
+def render_flat_list(
+    path: ReadingPath,
+    store: CorpusStore | None = None,
+    limit: int | None = None,
+) -> str:
+    """Render the flattened reading order, one numbered line per paper."""
+    label = _default_labeler(store)
+    ordered = path.topological_order()
+    if limit is not None:
+        ordered = ordered[:limit]
+    lines = [f"Reading list for: {path.query}"]
+    for index, paper_id in enumerate(ordered, start=1):
+        marker = "*" if paper_id in set(path.seeds) else " "
+        lines.append(f"{index:3d}. {marker} {label(paper_id)}")
+    return "\n".join(lines)
+
+
+def render_ascii_tree(
+    path: ReadingPath,
+    store: CorpusStore | None = None,
+    max_depth: int = 12,
+) -> str:
+    """Render the reading path as an indented tree rooted at its entry points."""
+    label = _default_labeler(store)
+    successors = path.adjacency()
+    roots = path.roots() or list(path.papers[:1])
+    lines = [f"Reading path for: {path.query}"]
+    visited: set[str] = set()
+
+    def walk(node: str, prefix: str, depth: int) -> None:
+        if depth > max_depth or node in visited:
+            return
+        visited.add(node)
+        children = successors.get(node, [])
+        for index, child in enumerate(children):
+            last = index == len(children) - 1
+            connector = "└── " if last else "├── "
+            lines.append(f"{prefix}{connector}{label(child)}")
+            walk(child, prefix + ("    " if last else "│   "), depth + 1)
+
+    for root in roots:
+        if root in visited:
+            continue
+        lines.append(label(root))
+        walk(root, "", 1)
+    orphans = [p for p in path.papers if p not in visited]
+    if orphans:
+        lines.append(f"(+ {len(orphans)} papers not connected to the displayed tree)")
+    return "\n".join(lines)
+
+
+def _color_for(importance: float, low: float, high: float) -> str:
+    """Map an importance value onto a 4-step blue colour scale (hex)."""
+    palette = ("#deebf7", "#9ecae1", "#4292c6", "#084594")
+    if high <= low:
+        return palette[1]
+    position = (importance - low) / (high - low)
+    index = min(len(palette) - 1, int(position * len(palette)))
+    return palette[index]
+
+
+def render_dot(
+    path: ReadingPath,
+    store: CorpusStore | None = None,
+    graph_name: str = "reading_path",
+) -> str:
+    """Render the reading path as a Graphviz DOT digraph."""
+    label = _default_labeler(store)
+    weights: Mapping[str, float] = path.node_weights
+    values = list(weights.values()) or [0.0]
+    low, high = min(values), max(values)
+
+    lines = [f'digraph "{graph_name}" {{', "  rankdir=TB;", "  node [shape=box, style=filled];"]
+    for paper_id in path.papers:
+        color = _color_for(weights.get(paper_id, low), low, high)
+        text = label(paper_id).replace('"', "'")
+        lines.append(f'  "{paper_id}" [label="{text}", fillcolor="{color}"];')
+    max_edge = max((edge.weight for edge in path.edges), default=1.0)
+    for edge in path.edges:
+        width = 1.0 + 2.0 * (edge.weight / max_edge if max_edge else 0.0)
+        lines.append(
+            f'  "{edge.source}" -> "{edge.target}" [penwidth={width:.2f}];'
+        )
+    lines.append("}")
+    return "\n".join(lines)

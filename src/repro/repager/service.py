@@ -1,0 +1,181 @@
+"""RePaGer service facade.
+
+:class:`RePaGerService` is the programmatic equivalent of the paper's web
+application: it owns a corpus, the citation graph, a search engine and a
+configured pipeline, and answers free-text queries with a
+:class:`PathPayload` — the reading path itself plus the JSON structure a web
+front end would render (Fig. 7's navigation bar, path panel, node/edge weight
+legend and per-paper detail records).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Sequence
+
+from ..config import CorpusConfig, PipelineConfig
+from ..corpus.generator import CorpusGenerator, GeneratedCorpus
+from ..corpus.storage import CorpusStore
+from ..core.pipeline import PipelineResult, RePaGerPipeline
+from ..graph.citation_graph import CitationGraph
+from ..search.engine import SearchEngine
+from ..search.scholar import GoogleScholarEngine
+from ..types import ReadingPath
+from ..venues.rankings import VenueCatalog, build_default_catalog
+from .render import render_ascii_tree, render_flat_list
+
+__all__ = ["PathPayload", "RePaGerService"]
+
+
+@dataclass(frozen=True, slots=True)
+class PathPayload:
+    """Everything the UI needs for one query."""
+
+    query: str
+    reading_path: ReadingPath
+    navigation: tuple[dict[str, Any], ...]
+    nodes: tuple[dict[str, Any], ...]
+    edges: tuple[dict[str, Any], ...]
+    stats: dict[str, Any]
+
+    def to_dict(self) -> dict[str, Any]:
+        """Serialise to the JSON structure served to a web front end."""
+        return {
+            "query": self.query,
+            "navigation": list(self.navigation),
+            "nodes": list(self.nodes),
+            "edges": list(self.edges),
+            "stats": dict(self.stats),
+        }
+
+
+class RePaGerService:
+    """End-to-end service: corpus + graph + search + pipeline behind one API."""
+
+    def __init__(
+        self,
+        store: CorpusStore,
+        search_engine: SearchEngine | None = None,
+        pipeline_config: PipelineConfig | None = None,
+        venues: VenueCatalog | None = None,
+        graph: CitationGraph | None = None,
+    ) -> None:
+        self.store = store
+        self.venues = venues or build_default_catalog()
+        self.search_engine = search_engine or GoogleScholarEngine(store, venues=self.venues)
+        self.graph = graph if graph is not None else CitationGraph.from_papers(store.papers)
+        self.pipeline = RePaGerPipeline(
+            store,
+            self.search_engine,
+            graph=self.graph,
+            config=pipeline_config or PipelineConfig(),
+            venues=self.venues,
+        )
+
+    # -- construction helpers ------------------------------------------------------
+
+    @classmethod
+    def from_synthetic_corpus(
+        cls,
+        corpus_config: CorpusConfig | None = None,
+        pipeline_config: PipelineConfig | None = None,
+    ) -> "RePaGerService":
+        """Build a service on a freshly generated synthetic corpus."""
+        corpus: GeneratedCorpus = CorpusGenerator(corpus_config).generate()
+        return cls(corpus.store, pipeline_config=pipeline_config)
+
+    # -- queries ------------------------------------------------------------------------
+
+    def query(
+        self,
+        text: str,
+        year_cutoff: int | None = None,
+        exclude_ids: Sequence[str] = (),
+    ) -> PathPayload:
+        """Generate a reading path and package it for the UI."""
+        result = self.pipeline.generate(
+            text, year_cutoff=year_cutoff, exclude_ids=exclude_ids
+        )
+        return self._payload(result)
+
+    def paper_details(self, paper_id: str) -> dict[str, Any]:
+        """Detail record for a clicked paper (component (d) of Fig. 7)."""
+        paper = self.store.get_paper(paper_id)
+        return {
+            "paper_id": paper.paper_id,
+            "title": paper.title,
+            "abstract": paper.abstract,
+            "year": paper.year,
+            "venue": paper.venue,
+            "citation_count": paper.citation_count,
+            "is_survey": paper.is_survey,
+            "references": list(paper.outbound_citations),
+        }
+
+    def render_text(self, payload: PathPayload, as_tree: bool = True) -> str:
+        """Human-readable rendering of a payload (ASCII tree or flat list)."""
+        if as_tree:
+            return render_ascii_tree(payload.reading_path, self.store)
+        return render_flat_list(payload.reading_path, self.store)
+
+    # -- payload assembly -------------------------------------------------------------------
+
+    def _payload(self, result: PipelineResult) -> PathPayload:
+        path = result.reading_path
+        tree_papers = set(result.tree.nodes) if result.tree is not None else set(path.papers)
+
+        navigation = []
+        for paper_id in path.topological_order():
+            if paper_id not in tree_papers:
+                continue
+            paper = self.store.get_paper(paper_id)
+            navigation.append(
+                {"paper_id": paper_id, "title": paper.title, "year": paper.year,
+                 "venue": paper.venue}
+            )
+
+        weights = path.node_weights
+        tree_weights = [weights.get(pid, 0.0) for pid in path.papers if pid in tree_papers]
+        max_weight = max(tree_weights, default=1.0) or 1.0
+        nodes = []
+        for paper_id in path.papers:
+            if paper_id not in tree_papers:
+                continue
+            paper = self.store.get_paper(paper_id)
+            nodes.append(
+                {
+                    "paper_id": paper_id,
+                    "title": paper.title,
+                    "year": paper.year,
+                    "importance": weights.get(paper_id, 0.0) / max_weight,
+                    "is_seed": paper_id in set(result.terminals),
+                }
+            )
+
+        max_edge = max((edge.weight for edge in path.edges), default=1.0) or 1.0
+        edges = [
+            {
+                "source": edge.source,
+                "target": edge.target,
+                "relevance": edge.weight / max_edge,
+            }
+            for edge in path.edges
+        ]
+
+        stats = {
+            "num_initial_seeds": len(result.initial_seeds),
+            "num_reallocated_seeds": len(result.reallocated_seeds),
+            "num_terminals": len(result.terminals),
+            "subgraph_nodes": result.subgraph_nodes,
+            "subgraph_edges": result.subgraph_edges,
+            "tree_size": len(tree_papers),
+            "elapsed_seconds": result.elapsed_seconds,
+        }
+        return PathPayload(
+            query=result.query,
+            reading_path=path,
+            navigation=tuple(navigation),
+            nodes=tuple(nodes),
+            edges=tuple(edges),
+            stats=stats,
+        )

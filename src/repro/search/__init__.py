@@ -1,0 +1,32 @@
+"""Academic search-engine simulators.
+
+The paper's pipeline starts from the top-K results of Google Scholar (obtained
+through SerpAPI) and compares against Microsoft Academic and AMiner.  This
+subpackage provides offline, deterministic equivalents that run over the
+synthetic corpus.  Each engine shares the same lexical retrieval core but has a
+distinct ranking policy, mirroring the real engines' observable behaviour:
+
+* **GoogleScholarEngine** — relevance strongly boosted by citation counts;
+* **MicrosoftAcademicEngine** — relevance combined with venue prestige
+  ("saliency");
+* **AMinerEngine** — relevance with a recency preference.
+
+All engines share the property the paper's Observation I hinges on: they rank
+papers purely by per-paper query relevance, so prerequisite papers that do not
+mention the query phrase never reach the top of the list.
+"""
+
+from .engine import SearchEngine, RankingPolicy
+from .scholar import GoogleScholarEngine
+from .academic import MicrosoftAcademicEngine
+from .aminer import AMinerEngine
+from .serapi import SerApiClient
+
+__all__ = [
+    "SearchEngine",
+    "RankingPolicy",
+    "GoogleScholarEngine",
+    "MicrosoftAcademicEngine",
+    "AMinerEngine",
+    "SerApiClient",
+]

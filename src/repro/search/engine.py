@@ -1,0 +1,169 @@
+"""Base machinery shared by the search-engine simulators.
+
+A :class:`SearchEngine` indexes a corpus with TF-IDF over titles and abstracts
+and ranks papers for a query by combining the lexical relevance with an
+engine-specific :class:`RankingPolicy` (citation boost, venue prestige,
+recency).  The combination is multiplicative on relevance so that papers whose
+text does not match the query at all can never be ranked, which is exactly the
+behaviour of real keyword search engines that the paper's Observation I
+describes.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Sequence
+
+from ..corpus.storage import CorpusStore
+from ..errors import EmptyQueryError, SearchError
+from ..textproc.tfidf import TfidfVectorizer
+from ..types import Paper, SearchResult
+from ..venues.rankings import VenueCatalog, build_default_catalog
+
+__all__ = ["RankingPolicy", "SearchEngine"]
+
+
+@dataclass(frozen=True, slots=True)
+class RankingPolicy:
+    """Weights that shape an engine's ranking.
+
+    The final score of a candidate paper is::
+
+        relevance * (1 + citation_weight * log1p(citations) / 10)
+                  * (1 + venue_weight * venue_score)
+                  * (1 + recency_weight * recency)
+
+    where ``relevance`` is the TF-IDF cosine between query and title+abstract,
+    ``recency`` is a 0..1 value growing with the publication year, and a
+    ``title_match_bonus`` multiplier applies when every query token occurs in
+    the title (search engines strongly prefer exact title matches).
+    """
+
+    citation_weight: float = 0.0
+    venue_weight: float = 0.0
+    recency_weight: float = 0.0
+    title_match_bonus: float = 1.5
+    min_relevance: float = 1.0e-6
+
+
+class SearchEngine:
+    """Offline academic search engine over a :class:`CorpusStore`."""
+
+    #: Human-readable engine name, overridden by subclasses.
+    name: str = "generic"
+
+    def __init__(
+        self,
+        store: CorpusStore,
+        policy: RankingPolicy | None = None,
+        venues: VenueCatalog | None = None,
+        exclude_surveys: bool = False,
+    ) -> None:
+        self.store = store
+        self.policy = policy or RankingPolicy()
+        self.venues = venues or build_default_catalog()
+        self.exclude_surveys = exclude_surveys
+        self._vectorizer = TfidfVectorizer()
+        self._vectorizer.fit(paper.text for paper in store)
+        self._document_vectors = {
+            paper.paper_id: self._vectorizer.transform(paper.text) for paper in store
+        }
+        years = [paper.year for paper in store if paper.year > 0]
+        self._min_year = min(years) if years else 0
+        self._max_year = max(years) if years else 0
+
+    # -- scoring ------------------------------------------------------------------
+
+    def _recency(self, paper: Paper) -> float:
+        if self._max_year <= self._min_year:
+            return 0.0
+        return (paper.year - self._min_year) / (self._max_year - self._min_year)
+
+    def _title_matches(self, query_tokens: Sequence[str], paper: Paper) -> bool:
+        title = paper.title.lower()
+        return all(token in title for token in query_tokens)
+
+    def score(self, query: str, paper: Paper) -> float:
+        """Score a single paper for a query under this engine's policy."""
+        relevance = self._vectorizer.dot(
+            self._vectorizer.transform(query), self._document_vectors[paper.paper_id]
+        )
+        if relevance < self.policy.min_relevance:
+            return 0.0
+        policy = self.policy
+        score = relevance
+        if policy.citation_weight:
+            score *= 1.0 + policy.citation_weight * math.log1p(paper.citation_count) / 10.0
+        if policy.venue_weight:
+            score *= 1.0 + policy.venue_weight * self.venues.score(paper.venue)
+        if policy.recency_weight:
+            score *= 1.0 + policy.recency_weight * self._recency(paper)
+        query_tokens = [t for t in query.lower().split() if t]
+        if query_tokens and self._title_matches(query_tokens, paper):
+            score *= policy.title_match_bonus
+        return score
+
+    # -- public API ------------------------------------------------------------------
+
+    def search(
+        self,
+        query: str,
+        top_k: int = 30,
+        year_cutoff: int | None = None,
+        exclude_ids: Sequence[str] = (),
+    ) -> list[SearchResult]:
+        """Return the top-K papers for a query.
+
+        Args:
+            query: Key phrases, comma- or space-separated.
+            top_k: Number of results to return.
+            year_cutoff: If given, only papers published in or before this year
+                are returned (the paper restricts results to papers published
+                before the survey).
+            exclude_ids: Paper ids to drop from the result (e.g. the survey the
+                query was derived from, to avoid data leakage).
+
+        Raises:
+            EmptyQueryError: If the query contains no usable text.
+            SearchError: If ``top_k`` is not positive.
+        """
+        if top_k < 1:
+            raise SearchError("top_k must be >= 1")
+        if not query or not query.strip():
+            raise EmptyQueryError("query must not be empty")
+        normalized_query = query.replace(",", " ")
+        excluded = set(exclude_ids)
+
+        scored: list[tuple[float, str]] = []
+        for paper in self.store:
+            if paper.paper_id in excluded:
+                continue
+            if self.exclude_surveys and paper.is_survey:
+                continue
+            if year_cutoff is not None and paper.year > year_cutoff:
+                continue
+            value = self.score(normalized_query, paper)
+            if value > 0.0:
+                scored.append((value, paper.paper_id))
+        scored.sort(key=lambda item: (-item[0], item[1]))
+
+        return [
+            SearchResult(paper_id=paper_id, rank=rank, score=value, engine=self.name)
+            for rank, (value, paper_id) in enumerate(scored[:top_k])
+        ]
+
+    def search_ids(
+        self,
+        query: str,
+        top_k: int = 30,
+        year_cutoff: int | None = None,
+        exclude_ids: Sequence[str] = (),
+    ) -> list[str]:
+        """Like :meth:`search` but returning only the ranked paper ids."""
+        return [
+            result.paper_id
+            for result in self.search(
+                query, top_k=top_k, year_cutoff=year_cutoff, exclude_ids=exclude_ids
+            )
+        ]

@@ -1,0 +1,117 @@
+"""SerpAPI-style client wrapper around a search engine.
+
+The RePaGer system obtains its initial seed papers through SerpAPI ("SerAPI"
+in the paper).  This client reproduces the integration surface of that tool —
+JSON "organic results", response caching, a per-session query quota and a
+simulated per-request latency — so that the RePaGer pipeline code is written
+against the same kind of interface the original system used, while the results
+come from the offline engine simulators.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Sequence
+
+from ..errors import SearchError
+from .engine import SearchEngine
+
+__all__ = ["SerApiClient"]
+
+
+@dataclass
+class _ClientStats:
+    """Bookkeeping for quota accounting and cache behaviour."""
+
+    queries_issued: int = 0
+    cache_hits: int = 0
+    simulated_latency_seconds: float = 0.0
+    history: list[str] = field(default_factory=list)
+
+
+class SerApiClient:
+    """A cached, quota-limited client in front of a :class:`SearchEngine`."""
+
+    def __init__(
+        self,
+        engine: SearchEngine,
+        quota: int = 1000,
+        latency_per_query: float = 0.35,
+    ) -> None:
+        if quota < 1:
+            raise SearchError("quota must be >= 1")
+        if latency_per_query < 0:
+            raise SearchError("latency_per_query must be non-negative")
+        self.engine = engine
+        self.quota = quota
+        self.latency_per_query = latency_per_query
+        self._cache: dict[tuple[str, int, int | None, tuple[str, ...]], list[dict[str, Any]]] = {}
+        self.stats = _ClientStats()
+
+    def search(
+        self,
+        query: str,
+        num: int = 30,
+        year_cutoff: int | None = None,
+        exclude_ids: Sequence[str] = (),
+    ) -> list[dict[str, Any]]:
+        """Run a query and return SerpAPI-style organic-result dictionaries.
+
+        Each result dictionary carries ``position`` (1-based, as SerpAPI does),
+        ``paper_id``, ``title``, ``year`` and the engine's ``score``.
+
+        Raises:
+            SearchError: If the session query quota is exhausted.
+        """
+        key = (query, num, year_cutoff, tuple(sorted(exclude_ids)))
+        if key in self._cache:
+            self.stats.cache_hits += 1
+            return [dict(item) for item in self._cache[key]]
+
+        if self.stats.queries_issued >= self.quota:
+            raise SearchError(
+                f"SerApi quota of {self.quota} queries exhausted for this session"
+            )
+        self.stats.queries_issued += 1
+        self.stats.simulated_latency_seconds += self.latency_per_query
+        self.stats.history.append(query)
+
+        results = self.engine.search(
+            query, top_k=num, year_cutoff=year_cutoff, exclude_ids=exclude_ids
+        )
+        organic = []
+        for result in results:
+            paper = self.engine.store.get_paper(result.paper_id)
+            organic.append(
+                {
+                    "position": result.rank + 1,
+                    "paper_id": result.paper_id,
+                    "title": paper.title,
+                    "year": paper.year,
+                    "venue": paper.venue,
+                    "score": result.score,
+                    "engine": result.engine,
+                }
+            )
+        self._cache[key] = [dict(item) for item in organic]
+        return organic
+
+    def search_ids(
+        self,
+        query: str,
+        num: int = 30,
+        year_cutoff: int | None = None,
+        exclude_ids: Sequence[str] = (),
+    ) -> list[str]:
+        """Run a query and return only the ranked paper ids."""
+        return [
+            item["paper_id"]
+            for item in self.search(
+                query, num=num, year_cutoff=year_cutoff, exclude_ids=exclude_ids
+            )
+        ]
+
+    @property
+    def remaining_quota(self) -> int:
+        """How many uncached queries the client may still issue."""
+        return self.quota - self.stats.queries_issued

@@ -1,0 +1,34 @@
+"""Text-processing substrate.
+
+Provides the lexical and semantic machinery the paper relies on:
+
+* a tokenizer and stop-word list;
+* a TF-IDF vectoriser used by the search-engine simulators;
+* a TopicRank-style graph-based keyphrase extractor (the paper extracts the
+  query phrases from survey titles with TopicRank via ``pke``);
+* a deterministic hashed bag-of-words + truncated-SVD embedding model that
+  stands in for the SciBERT matcher baseline, plus a small trainable matching
+  head.
+"""
+
+from .tokenizer import tokenize, ngrams, sentences
+from .stopwords import STOPWORDS, is_stopword
+from .tfidf import TfidfVectorizer
+from .keyphrase import TopicRankExtractor, extract_key_phrases
+from .embeddings import HashedEmbedder, EmbeddingMatcher
+from .similarity import cosine_similarity, jaccard_similarity
+
+__all__ = [
+    "tokenize",
+    "ngrams",
+    "sentences",
+    "STOPWORDS",
+    "is_stopword",
+    "TfidfVectorizer",
+    "TopicRankExtractor",
+    "extract_key_phrases",
+    "HashedEmbedder",
+    "EmbeddingMatcher",
+    "cosine_similarity",
+    "jaccard_similarity",
+]

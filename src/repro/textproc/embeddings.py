@@ -1,0 +1,196 @@
+"""Deterministic text embeddings and a trainable matching head.
+
+The paper's SciBERT baseline trains "a matching model ... to score the
+matching degree of queries with paper titles and abstracts" and uses it to
+re-rank the expanded seed neighbourhood.  Running the real SciBERT checkpoint
+needs a GPU and network access; this module provides the offline substitute:
+
+* :class:`HashedEmbedder` — hashed bag-of-words vectors optionally projected
+  with a truncated SVD fitted on the corpus (LSA), giving dense, deterministic
+  document embeddings;
+* :class:`EmbeddingMatcher` — a logistic-regression matching head trained on
+  (query, positive paper, negative paper) triples derived from surveys, scoring
+  query/paper pairs by a weighted combination of embedding features.
+
+The substitution preserves the role the baseline plays in the evaluation: a
+purely semantic matcher that ignores citation structure.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import Iterable, Sequence
+
+import numpy as np
+
+from ..errors import ConfigurationError
+from .tokenizer import tokenize
+
+__all__ = ["HashedEmbedder", "EmbeddingMatcher"]
+
+
+class HashedEmbedder:
+    """Hashed bag-of-words embeddings with an optional LSA projection."""
+
+    def __init__(self, dimensions: int = 256, lsa_components: int = 64) -> None:
+        if dimensions < 8:
+            raise ConfigurationError("dimensions must be >= 8")
+        if lsa_components < 0 or lsa_components > dimensions:
+            raise ConfigurationError("lsa_components must be in [0, dimensions]")
+        self.dimensions = dimensions
+        self.lsa_components = lsa_components
+        self._projection: np.ndarray | None = None
+
+    def _hash_index(self, token: str) -> tuple[int, float]:
+        digest = hashlib.sha256(token.encode("utf-8")).digest()
+        index = int.from_bytes(digest[:4], "big") % self.dimensions
+        sign = 1.0 if digest[4] % 2 == 0 else -1.0
+        return index, sign
+
+    def _raw_vector(self, text: str) -> np.ndarray:
+        vector = np.zeros(self.dimensions, dtype=float)
+        tokens = tokenize(text)
+        for token in tokens:
+            index, sign = self._hash_index(token)
+            vector[index] += sign
+        for first, second in zip(tokens, tokens[1:]):
+            index, sign = self._hash_index(f"{first}_{second}")
+            vector[index] += 0.5 * sign
+        norm = np.linalg.norm(vector)
+        if norm > 0:
+            vector /= norm
+        return vector
+
+    def fit(self, documents: Iterable[str]) -> "HashedEmbedder":
+        """Fit the LSA projection on a corpus (no-op when ``lsa_components`` is 0)."""
+        if self.lsa_components == 0:
+            self._projection = None
+            return self
+        matrix = np.vstack([self._raw_vector(doc) for doc in documents])
+        if matrix.shape[0] < 2:
+            raise ConfigurationError("LSA projection needs at least two documents")
+        # Truncated SVD of the document-term matrix; right singular vectors give
+        # the projection from hashed space to the latent space.
+        _, _, vt = np.linalg.svd(matrix, full_matrices=False)
+        components = min(self.lsa_components, vt.shape[0])
+        self._projection = vt[:components].T
+        return self
+
+    def embed(self, text: str) -> np.ndarray:
+        """Embed a single text; unit-normalised."""
+        vector = self._raw_vector(text)
+        if self._projection is not None:
+            vector = vector @ self._projection
+            norm = np.linalg.norm(vector)
+            if norm > 0:
+                vector /= norm
+        return vector
+
+    def embed_many(self, texts: Sequence[str]) -> np.ndarray:
+        """Embed a batch of texts into a (len(texts), d) matrix."""
+        if not texts:
+            return np.zeros((0, self.output_dimensions), dtype=float)
+        return np.vstack([self.embed(text) for text in texts])
+
+    @property
+    def output_dimensions(self) -> int:
+        """Dimensionality of the produced embeddings."""
+        if self._projection is not None:
+            return self._projection.shape[1]
+        return self.dimensions
+
+    def similarity(self, first: str, second: str) -> float:
+        """Cosine similarity between the embeddings of two texts."""
+        return float(np.dot(self.embed(first), self.embed(second)))
+
+
+class EmbeddingMatcher:
+    """Logistic matching head over embedding features (the "SciBERT" matcher).
+
+    Features for a (query, paper) pair:
+
+    1. cosine similarity between the query and title embeddings,
+    2. cosine similarity between the query and abstract embeddings,
+    3. lexical overlap ratio between the query tokens and the title tokens.
+
+    Trained with plain gradient descent on survey-derived positives/negatives.
+    """
+
+    def __init__(self, embedder: HashedEmbedder | None = None, learning_rate: float = 0.5,
+                 epochs: int = 200) -> None:
+        if learning_rate <= 0:
+            raise ConfigurationError("learning_rate must be positive")
+        if epochs < 1:
+            raise ConfigurationError("epochs must be >= 1")
+        self.embedder = embedder or HashedEmbedder()
+        self.learning_rate = learning_rate
+        self.epochs = epochs
+        self.weights = np.array([1.0, 0.5, 1.0])
+        self.bias = 0.0
+        self._trained = False
+
+    def _features(self, query: str, title: str, abstract: str) -> np.ndarray:
+        query_embedding = self.embedder.embed(query)
+        title_similarity = float(np.dot(query_embedding, self.embedder.embed(title)))
+        abstract_similarity = (
+            float(np.dot(query_embedding, self.embedder.embed(abstract)))
+            if abstract
+            else 0.0
+        )
+        query_tokens = set(tokenize(query))
+        title_tokens = set(tokenize(title))
+        overlap = (
+            len(query_tokens & title_tokens) / len(query_tokens) if query_tokens else 0.0
+        )
+        return np.array([title_similarity, abstract_similarity, overlap])
+
+    @staticmethod
+    def _sigmoid(value: np.ndarray | float) -> np.ndarray | float:
+        return 1.0 / (1.0 + np.exp(-np.clip(value, -30.0, 30.0)))
+
+    def train(
+        self,
+        examples: Sequence[tuple[str, str, str, int]],
+    ) -> "EmbeddingMatcher":
+        """Train on ``(query, title, abstract, label)`` tuples with labels in {0, 1}."""
+        if not examples:
+            raise ConfigurationError("EmbeddingMatcher.train requires at least one example")
+        features = np.vstack([self._features(q, t, a) for q, t, a, _ in examples])
+        labels = np.array([float(label) for _, _, _, label in examples])
+        weights = self.weights.astype(float).copy()
+        bias = self.bias
+        count = len(examples)
+        for _ in range(self.epochs):
+            predictions = self._sigmoid(features @ weights + bias)
+            error = predictions - labels
+            gradient_weights = features.T @ error / count
+            gradient_bias = float(np.mean(error))
+            weights -= self.learning_rate * gradient_weights
+            bias -= self.learning_rate * gradient_bias
+        self.weights = weights
+        self.bias = bias
+        self._trained = True
+        return self
+
+    @property
+    def is_trained(self) -> bool:
+        """Whether :meth:`train` has been called."""
+        return self._trained
+
+    def score(self, query: str, title: str, abstract: str = "") -> float:
+        """Matching probability of a query/paper pair in [0, 1]."""
+        features = self._features(query, title, abstract)
+        return float(self._sigmoid(float(features @ self.weights + self.bias)))
+
+    def rank(
+        self,
+        query: str,
+        papers: Sequence[tuple[str, str, str]],
+    ) -> list[tuple[str, float]]:
+        """Rank ``(paper_id, title, abstract)`` triples by matching score, best first."""
+        scored = [
+            (paper_id, self.score(query, title, abstract))
+            for paper_id, title, abstract in papers
+        ]
+        scored.sort(key=lambda item: (-item[1], item[0]))
+        return scored

@@ -1,0 +1,185 @@
+"""TopicRank-style keyphrase extraction.
+
+The SurveyBank pipeline extracts the RPG query phrases from survey titles with
+TopicRank (Bougouin et al., 2013, as implemented in ``pke``).  This module
+implements the same idea end-to-end:
+
+1. candidate phrases are maximal sequences of non-stop-word tokens;
+2. candidates are clustered into *topics* by token overlap (hierarchical
+   agglomerative clustering with average linkage on Jaccard distance);
+3. a complete graph over topics is built, edge weights reflecting how close
+   the topics' candidate occurrences are in the text;
+4. TextRank-style power iteration scores the topics;
+5. the best candidate of each top topic is emitted as a key phrase.
+
+Titles are short, so the positional signal degenerates gracefully: for a title
+the extractor effectively returns the salient noun phrases, which is what the
+paper's examples show ("hate speech detection", "natural language processing").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from ..errors import ConfigurationError
+from .stopwords import is_stopword
+from .tokenizer import tokenize
+
+__all__ = ["TopicRankExtractor", "extract_key_phrases"]
+
+
+@dataclass(frozen=True, slots=True)
+class _Candidate:
+    """A candidate phrase with the token positions where it occurs."""
+
+    phrase: str
+    tokens: tuple[str, ...]
+    positions: tuple[int, ...]
+
+
+class TopicRankExtractor:
+    """Graph-based keyphrase extraction in the spirit of TopicRank."""
+
+    def __init__(
+        self,
+        max_phrases: int = 3,
+        clustering_threshold: float = 0.25,
+        damping: float = 0.85,
+        max_iterations: int = 50,
+        tolerance: float = 1.0e-6,
+    ) -> None:
+        if max_phrases < 1:
+            raise ConfigurationError("max_phrases must be >= 1")
+        if not 0.0 < clustering_threshold <= 1.0:
+            raise ConfigurationError("clustering_threshold must be in (0, 1]")
+        self.max_phrases = max_phrases
+        self.clustering_threshold = clustering_threshold
+        self.damping = damping
+        self.max_iterations = max_iterations
+        self.tolerance = tolerance
+
+    # -- candidate extraction ---------------------------------------------------
+
+    def _candidates(self, text: str) -> list[_Candidate]:
+        raw_tokens = tokenize(text, remove_stopwords=False, min_length=1)
+        candidates: dict[tuple[str, ...], list[int]] = {}
+        current: list[str] = []
+        start = 0
+        for index, token in enumerate(raw_tokens + ["."]):
+            keep = (
+                index < len(raw_tokens)
+                and not is_stopword(token, include_title_noise=True)
+                and len(token) >= 2
+                and not token.isdigit()
+            )
+            if keep:
+                if not current:
+                    start = index
+                current.append(token)
+            elif current:
+                phrase = tuple(current)
+                candidates.setdefault(phrase, []).append(start)
+                current = []
+        return [
+            _Candidate(phrase=" ".join(tokens), tokens=tokens, positions=tuple(positions))
+            for tokens, positions in candidates.items()
+        ]
+
+    # -- clustering --------------------------------------------------------------------
+
+    @staticmethod
+    def _jaccard_distance(first: _Candidate, second: _Candidate) -> float:
+        set_first = set(first.tokens)
+        set_second = set(second.tokens)
+        union = set_first | set_second
+        if not union:
+            return 1.0
+        return 1.0 - len(set_first & set_second) / len(union)
+
+    def _cluster(self, candidates: Sequence[_Candidate]) -> list[list[_Candidate]]:
+        clusters: list[list[_Candidate]] = [[c] for c in candidates]
+        merged = True
+        while merged and len(clusters) > 1:
+            merged = False
+            best_pair: tuple[int, int] | None = None
+            best_distance = self.clustering_threshold
+            for i in range(len(clusters)):
+                for j in range(i + 1, len(clusters)):
+                    distances = [
+                        self._jaccard_distance(a, b)
+                        for a in clusters[i]
+                        for b in clusters[j]
+                    ]
+                    average = sum(distances) / len(distances)
+                    if average <= best_distance:
+                        best_distance = average
+                        best_pair = (i, j)
+            if best_pair is not None:
+                i, j = best_pair
+                clusters[i].extend(clusters[j])
+                del clusters[j]
+                merged = True
+        return clusters
+
+    # -- topic graph + ranking -----------------------------------------------------------
+
+    def _topic_scores(self, clusters: Sequence[Sequence[_Candidate]]) -> list[float]:
+        count = len(clusters)
+        if count == 1:
+            return [1.0]
+        weights = [[0.0] * count for _ in range(count)]
+        for i in range(count):
+            for j in range(count):
+                if i == j:
+                    continue
+                weight = 0.0
+                for a in clusters[i]:
+                    for b in clusters[j]:
+                        for pos_a in a.positions:
+                            for pos_b in b.positions:
+                                gap = abs(pos_a - pos_b)
+                                if gap > 0:
+                                    weight += 1.0 / gap
+                weights[i][j] = weight
+        scores = [1.0 / count] * count
+        totals = [sum(row) for row in weights]
+        for _ in range(self.max_iterations):
+            new_scores = []
+            for i in range(count):
+                incoming = 0.0
+                for j in range(count):
+                    if j == i or totals[j] == 0:
+                        continue
+                    incoming += weights[j][i] / totals[j] * scores[j]
+                new_scores.append((1.0 - self.damping) / count + self.damping * incoming)
+            change = sum(abs(a - b) for a, b in zip(new_scores, scores))
+            scores = new_scores
+            if change < self.tolerance:
+                break
+        return scores
+
+    # -- public API -----------------------------------------------------------------------
+
+    def extract(self, text: str, max_phrases: int | None = None) -> list[str]:
+        """Extract up to ``max_phrases`` key phrases from ``text``, best first."""
+        limit = max_phrases or self.max_phrases
+        candidates = self._candidates(text)
+        if not candidates:
+            return []
+        clusters = self._cluster(candidates)
+        scores = self._topic_scores(clusters)
+        ranked = sorted(zip(clusters, scores), key=lambda item: -item[1])
+        phrases: list[str] = []
+        for cluster, _ in ranked[:limit]:
+            # The representative of a topic is its earliest-occurring, longest candidate.
+            representative = min(
+                cluster, key=lambda c: (min(c.positions), -len(c.tokens))
+            )
+            phrases.append(representative.phrase)
+        return phrases
+
+
+def extract_key_phrases(title: str, max_phrases: int = 3) -> list[str]:
+    """Convenience wrapper: extract key phrases from a survey title."""
+    return TopicRankExtractor(max_phrases=max_phrases).extract(title)

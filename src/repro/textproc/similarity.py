@@ -1,0 +1,31 @@
+"""Vector and set similarity helpers."""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+import numpy as np
+
+__all__ = ["cosine_similarity", "jaccard_similarity"]
+
+
+def cosine_similarity(first: Sequence[float], second: Sequence[float]) -> float:
+    """Cosine similarity between two dense vectors (0 if either is zero)."""
+    a = np.asarray(first, dtype=float)
+    b = np.asarray(second, dtype=float)
+    if a.shape != b.shape:
+        raise ValueError(f"vector shapes differ: {a.shape} vs {b.shape}")
+    norm = float(np.linalg.norm(a) * np.linalg.norm(b))
+    if norm == 0.0:
+        return 0.0
+    return float(np.dot(a, b) / norm)
+
+
+def jaccard_similarity(first: Iterable[str], second: Iterable[str]) -> float:
+    """Jaccard similarity between two sets (1 when both are empty)."""
+    set_first = set(first)
+    set_second = set(second)
+    if not set_first and not set_second:
+        return 1.0
+    union = set_first | set_second
+    return len(set_first & set_second) / len(union)

@@ -1,0 +1,52 @@
+"""English stop-word list used by the tokenizer and keyphrase extractor.
+
+The list covers function words plus a handful of terms that are effectively
+noise in scholarly titles ("approach", "based", "using", "survey", "novel") —
+the same spirit as the survey-indicating keyword filtering in the paper's
+dataset construction.
+"""
+
+from __future__ import annotations
+
+__all__ = ["STOPWORDS", "TITLE_NOISE_WORDS", "is_stopword"]
+
+STOPWORDS: frozenset[str] = frozenset(
+    """
+    a about above after again against all am an and any are aren't as at be
+    because been before being below between both but by can cannot could
+    couldn't did didn't do does doesn't doing don't down during each few for
+    from further had hadn't has hasn't have haven't having he her here hers
+    herself him himself his how i if in into is isn't it its itself let's me
+    more most mustn't my myself no nor not of off on once only or other ought
+    our ours ourselves out over own same shan't she should shouldn't so some
+    such than that the their theirs them themselves then there these they
+    this those through to too under until up very was wasn't we were weren't
+    what when where which while who whom why with won't would wouldn't you
+    your yours yourself yourselves via toward towards upon within without
+    among amongst along also
+    """.split()
+)
+
+#: Words that carry no topical signal in paper titles.
+TITLE_NOISE_WORDS: frozenset[str] = frozenset(
+    """
+    survey surveys review reviews overview comprehensive recent advances
+    approach approaches based using novel new towards toward study analysis
+    method methods framework system systems paper introduction
+    """.split()
+)
+
+
+def is_stopword(token: str, include_title_noise: bool = False) -> bool:
+    """Whether a (lower-case) token is a stop word.
+
+    Args:
+        token: The token to test; comparison is case-insensitive.
+        include_title_noise: If True, title-noise words such as "survey" and
+            "approach" are also treated as stop words (used by the keyphrase
+            extractor so that queries do not contain the word "survey").
+    """
+    lowered = token.lower()
+    if lowered in STOPWORDS:
+        return True
+    return include_title_noise and lowered in TITLE_NOISE_WORDS

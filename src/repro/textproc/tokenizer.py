@@ -1,0 +1,65 @@
+"""Tokenisation helpers.
+
+A deliberately simple, dependency-free tokenizer: lower-casing, alphanumeric
+word extraction, optional stop-word removal, n-gram generation and sentence
+splitting.  Every text-consuming component in the library (search engines,
+TF-IDF, keyphrase extraction, embeddings) goes through these functions so that
+tokenisation stays consistent.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Iterator, Sequence
+
+from .stopwords import is_stopword
+
+__all__ = ["tokenize", "ngrams", "sentences"]
+
+_WORD_PATTERN = re.compile(r"[a-z0-9]+(?:[-'][a-z0-9]+)*")
+_SENTENCE_PATTERN = re.compile(r"[.!?]+\s+")
+
+
+def tokenize(
+    text: str,
+    remove_stopwords: bool = True,
+    include_title_noise: bool = False,
+    min_length: int = 2,
+) -> list[str]:
+    """Split ``text`` into lower-cased word tokens.
+
+    Args:
+        text: Input text (title, abstract, query, ...).
+        remove_stopwords: Drop common function words.
+        include_title_noise: Also drop title-noise words ("survey", "approach").
+        min_length: Minimum token length to keep (single letters are noise).
+
+    Returns:
+        The token list, preserving input order.
+    """
+    tokens = _WORD_PATTERN.findall(text.lower())
+    result = []
+    for token in tokens:
+        if len(token) < min_length:
+            continue
+        if remove_stopwords and is_stopword(token, include_title_noise):
+            continue
+        result.append(token)
+    return result
+
+
+def ngrams(tokens: Sequence[str], n: int) -> list[tuple[str, ...]]:
+    """All contiguous n-grams of a token sequence (empty if too short)."""
+    if n < 1:
+        raise ValueError("n must be >= 1")
+    if len(tokens) < n:
+        return []
+    return [tuple(tokens[i:i + n]) for i in range(len(tokens) - n + 1)]
+
+
+def sentences(text: str) -> Iterator[str]:
+    """Split text into sentences on terminal punctuation."""
+    for part in _SENTENCE_PATTERN.split(text):
+        stripped = part.strip()
+        if stripped:
+            yield stripped

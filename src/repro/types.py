@@ -1,0 +1,317 @@
+"""Core record types shared across the ``repro`` package.
+
+The types in this module are deliberately plain dataclasses with no behaviour
+beyond validation and (de)serialisation: the scholarly corpus, the SurveyBank
+dataset, the search engines and the RePaGer pipeline all exchange these
+records, so keeping them dependency-free avoids import cycles between the
+subpackages.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Iterable, Mapping, Sequence
+
+from .errors import ConfigurationError
+
+__all__ = [
+    "Paper",
+    "Survey",
+    "SearchResult",
+    "ReadingPathEdge",
+    "ReadingPath",
+]
+
+
+@dataclass(frozen=True, slots=True)
+class Paper:
+    """A single scholarly paper.
+
+    Attributes:
+        paper_id: Stable unique identifier (S2ORC-style string id).
+        title: Paper title.
+        abstract: Paper abstract (may be empty for metadata-only records).
+        year: Publication year.
+        venue: Venue name (conference or journal); empty string if unknown.
+        topic: Identifier of the topic this paper primarily belongs to.
+        outbound_citations: Ids of the papers this paper cites.
+        citation_count: Number of papers citing this paper (inbound citations).
+        is_survey: Whether the paper is a survey/review article.
+        fields: Free-form extra metadata (domain, authors, ...).
+    """
+
+    paper_id: str
+    title: str
+    abstract: str = ""
+    year: int = 0
+    venue: str = ""
+    topic: str = ""
+    outbound_citations: tuple[str, ...] = ()
+    citation_count: int = 0
+    is_survey: bool = False
+    fields: Mapping[str, Any] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if not self.paper_id:
+            raise ConfigurationError("Paper.paper_id must be a non-empty string")
+        if self.citation_count < 0:
+            raise ConfigurationError("Paper.citation_count must be non-negative")
+
+    @property
+    def text(self) -> str:
+        """Title and abstract concatenated, used by lexical/semantic matchers."""
+        if self.abstract:
+            return f"{self.title}. {self.abstract}"
+        return self.title
+
+    def to_dict(self) -> dict[str, Any]:
+        """Serialise the paper to a JSON-compatible dictionary."""
+        return {
+            "paper_id": self.paper_id,
+            "title": self.title,
+            "abstract": self.abstract,
+            "year": self.year,
+            "venue": self.venue,
+            "topic": self.topic,
+            "outbound_citations": list(self.outbound_citations),
+            "citation_count": self.citation_count,
+            "is_survey": self.is_survey,
+            "fields": dict(self.fields),
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "Paper":
+        """Reconstruct a paper from :meth:`to_dict` output."""
+        return cls(
+            paper_id=str(data["paper_id"]),
+            title=str(data.get("title", "")),
+            abstract=str(data.get("abstract", "")),
+            year=int(data.get("year", 0)),
+            venue=str(data.get("venue", "")),
+            topic=str(data.get("topic", "")),
+            outbound_citations=tuple(data.get("outbound_citations", ())),
+            citation_count=int(data.get("citation_count", 0)),
+            is_survey=bool(data.get("is_survey", False)),
+            fields=dict(data.get("fields", {})),
+        )
+
+
+@dataclass(frozen=True, slots=True)
+class Survey:
+    """A survey paper together with its RPG ground truth.
+
+    A survey provides one benchmark instance: the query is the set of key
+    phrases extracted from its title, and the ground truth is its reference
+    list stratified by in-text citation occurrence counts (the paper's
+    ``L1``/``L2``/``L3`` labels).
+
+    Attributes:
+        paper_id: Id of the survey paper itself.
+        title: Survey title.
+        year: Publication year of the survey.
+        key_phrases: Key phrases extracted from the title (the RPG query).
+        reference_occurrences: Mapping from referenced paper id to the number
+            of times it is cited in the survey body.
+        citation_count: Number of citations the survey itself received.
+        domain: Research domain label (e.g. "Artificial Intelligence").
+    """
+
+    paper_id: str
+    title: str
+    year: int
+    key_phrases: tuple[str, ...]
+    reference_occurrences: Mapping[str, int]
+    citation_count: int = 0
+    domain: str = ""
+
+    def label(self, min_occurrences: int = 1) -> frozenset[str]:
+        """Return the ground-truth paper ids cited at least ``min_occurrences`` times."""
+        if min_occurrences < 1:
+            raise ConfigurationError("min_occurrences must be >= 1")
+        return frozenset(
+            pid
+            for pid, count in self.reference_occurrences.items()
+            if count >= min_occurrences
+        )
+
+    @property
+    def labels(self) -> dict[int, frozenset[str]]:
+        """The three ground-truth levels used throughout the paper (L1, L2, L3)."""
+        return {level: self.label(level) for level in (1, 2, 3)}
+
+    @property
+    def query(self) -> str:
+        """The key phrases joined into a single query string."""
+        return ", ".join(self.key_phrases)
+
+    @property
+    def score(self) -> float:
+        """Survey quality score ``s = citations / (2020 - year + 1)`` from Sec. II-A."""
+        denominator = max(2020 - self.year + 1, 1)
+        return self.citation_count / denominator
+
+    def to_dict(self) -> dict[str, Any]:
+        """Serialise the survey to a JSON-compatible dictionary."""
+        return {
+            "paper_id": self.paper_id,
+            "title": self.title,
+            "year": self.year,
+            "key_phrases": list(self.key_phrases),
+            "reference_occurrences": dict(self.reference_occurrences),
+            "citation_count": self.citation_count,
+            "domain": self.domain,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "Survey":
+        """Reconstruct a survey from :meth:`to_dict` output."""
+        return cls(
+            paper_id=str(data["paper_id"]),
+            title=str(data.get("title", "")),
+            year=int(data.get("year", 0)),
+            key_phrases=tuple(data.get("key_phrases", ())),
+            reference_occurrences={
+                str(k): int(v)
+                for k, v in dict(data.get("reference_occurrences", {})).items()
+            },
+            citation_count=int(data.get("citation_count", 0)),
+            domain=str(data.get("domain", "")),
+        )
+
+
+@dataclass(frozen=True, slots=True)
+class SearchResult:
+    """A single ranked hit returned by an academic search engine."""
+
+    paper_id: str
+    rank: int
+    score: float
+    engine: str = ""
+
+    def __post_init__(self) -> None:
+        if self.rank < 0:
+            raise ConfigurationError("SearchResult.rank must be non-negative")
+
+
+@dataclass(frozen=True, slots=True)
+class ReadingPathEdge:
+    """A directed reading-order edge: read ``source`` before ``target``."""
+
+    source: str
+    target: str
+    weight: float = 1.0
+
+
+@dataclass(slots=True)
+class ReadingPath:
+    """The output of the RPG task: a set of papers plus reading-order edges.
+
+    The reading order follows the citation direction combined with publication
+    time: an edge ``(a, b)`` means paper ``a`` should be read before paper
+    ``b``.  The flattened list of papers is what the overlap metrics evaluate.
+    """
+
+    query: str
+    papers: tuple[str, ...]
+    edges: tuple[ReadingPathEdge, ...] = ()
+    node_weights: Mapping[str, float] = field(default_factory=dict)
+    seeds: tuple[str, ...] = ()
+
+    def __post_init__(self) -> None:
+        known = set(self.papers)
+        for edge in self.edges:
+            if edge.source not in known or edge.target not in known:
+                raise ConfigurationError(
+                    "ReadingPath edge references a paper not present in the path: "
+                    f"{edge.source!r} -> {edge.target!r}"
+                )
+
+    def __len__(self) -> int:
+        return len(self.papers)
+
+    def __contains__(self, paper_id: object) -> bool:
+        return paper_id in set(self.papers)
+
+    @property
+    def paper_set(self) -> frozenset[str]:
+        """The flattened set of paper ids (used by the overlap metrics)."""
+        return frozenset(self.papers)
+
+    def adjacency(self) -> dict[str, list[str]]:
+        """Return successor lists for the reading-order edges."""
+        successors: dict[str, list[str]] = {pid: [] for pid in self.papers}
+        for edge in self.edges:
+            successors[edge.source].append(edge.target)
+        return successors
+
+    def roots(self) -> list[str]:
+        """Papers with no incoming reading-order edge (entry points of the path)."""
+        targets = {edge.target for edge in self.edges}
+        return [pid for pid in self.papers if pid not in targets]
+
+    def topological_order(self) -> list[str]:
+        """Papers in a valid reading order (Kahn's algorithm; ties keep insertion order)."""
+        indegree = {pid: 0 for pid in self.papers}
+        for edge in self.edges:
+            indegree[edge.target] += 1
+        queue = [pid for pid in self.papers if indegree[pid] == 0]
+        successors = self.adjacency()
+        ordered: list[str] = []
+        while queue:
+            node = queue.pop(0)
+            ordered.append(node)
+            for nxt in successors[node]:
+                indegree[nxt] -= 1
+                if indegree[nxt] == 0:
+                    queue.append(nxt)
+        # Cycles should not occur (citation + time ordering is acyclic), but if
+        # they do we still return every paper so downstream metrics see them.
+        if len(ordered) < len(self.papers):
+            ordered.extend(pid for pid in self.papers if pid not in set(ordered))
+        return ordered
+
+    def to_dict(self) -> dict[str, Any]:
+        """Serialise the reading path to a JSON-compatible dictionary."""
+        return {
+            "query": self.query,
+            "papers": list(self.papers),
+            "edges": [
+                {"source": e.source, "target": e.target, "weight": e.weight}
+                for e in self.edges
+            ],
+            "node_weights": dict(self.node_weights),
+            "seeds": list(self.seeds),
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "ReadingPath":
+        """Reconstruct a reading path from :meth:`to_dict` output."""
+        return cls(
+            query=str(data.get("query", "")),
+            papers=tuple(data.get("papers", ())),
+            edges=tuple(
+                ReadingPathEdge(
+                    source=str(e["source"]),
+                    target=str(e["target"]),
+                    weight=float(e.get("weight", 1.0)),
+                )
+                for e in data.get("edges", ())
+            ),
+            node_weights={
+                str(k): float(v) for k, v in dict(data.get("node_weights", {})).items()
+            },
+            seeds=tuple(data.get("seeds", ())),
+        )
+
+    @classmethod
+    def from_papers(cls, query: str, papers: Iterable[str]) -> "ReadingPath":
+        """Build an edge-less reading path (used by ranked-list baselines)."""
+        return cls(query=query, papers=tuple(papers))
+
+
+def ensure_unique(ids: Sequence[str], what: str = "ids") -> None:
+    """Raise :class:`ConfigurationError` if ``ids`` contains duplicates."""
+    if len(ids) != len(set(ids)):
+        seen: set[str] = set()
+        duplicates = sorted({i for i in ids if i in seen or seen.add(i)})
+        raise ConfigurationError(f"duplicate {what}: {duplicates[:5]}")

@@ -1,0 +1,23 @@
+"""Venue-ranking substrate.
+
+The NEWST node weight (Eq. 3 of the paper) combines a PageRank score with a
+*venue score* derived from two sources: the CCF venue catalogue (expert-curated
+A/B/C tiers) and AMiner venue influence scores.  This subpackage provides the
+equivalent tables for the synthetic corpus: every venue used by the corpus
+generator has a CCF-style tier, an AMiner-style influence score, the domain it
+belongs to, and the combined score used by the model.
+"""
+
+from .rankings import (
+    Venue,
+    VenueCatalog,
+    build_default_catalog,
+    CCF_TIER_SCORES,
+)
+
+__all__ = [
+    "Venue",
+    "VenueCatalog",
+    "build_default_catalog",
+    "CCF_TIER_SCORES",
+]

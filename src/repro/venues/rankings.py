@@ -1,0 +1,174 @@
+"""CCF-style venue tiers and AMiner-style influence scores.
+
+The catalogue covers the ten CCF domains used by Table I of the paper.  The
+combined venue score follows the paper: the CCF tier is mapped to a score, the
+AMiner influence score is normalised to the same range, and the venue score is
+the average of the two.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass
+from typing import Iterable, Iterator, Mapping
+
+from ..corpus.vocabulary import DOMAINS
+from ..errors import ConfigurationError
+
+__all__ = ["Venue", "VenueCatalog", "build_default_catalog", "CCF_TIER_SCORES"]
+
+
+#: Mapping from CCF tier letter to a normalised quality score.
+CCF_TIER_SCORES: Mapping[str, float] = {"A": 1.0, "B": 0.66, "C": 0.33}
+
+#: Score assigned to venues that are not in the catalogue (e.g. workshops,
+#: arXiv-only papers).  Matches the paper's treatment of "Uncertain Topics".
+UNRANKED_VENUE_SCORE: float = 0.15
+
+
+@dataclass(frozen=True, slots=True)
+class Venue:
+    """A journal or conference with its quality metadata.
+
+    Attributes:
+        name: Canonical venue name (e.g. ``"ICDE"``).
+        domain: CCF-style domain the venue belongs to.
+        ccf_tier: Expert tier, one of ``"A"``, ``"B"``, ``"C"``.
+        aminer_influence: Automatic influence score in ``[0, 1]`` (the paper
+            derives this from the citations of each venue's best papers).
+    """
+
+    name: str
+    domain: str
+    ccf_tier: str
+    aminer_influence: float
+
+    def __post_init__(self) -> None:
+        if self.ccf_tier not in CCF_TIER_SCORES:
+            raise ConfigurationError(
+                f"venue {self.name!r} has invalid CCF tier {self.ccf_tier!r}"
+            )
+        if self.domain not in DOMAINS:
+            raise ConfigurationError(
+                f"venue {self.name!r} has unknown domain {self.domain!r}"
+            )
+        if not 0.0 <= self.aminer_influence <= 1.0:
+            raise ConfigurationError(
+                f"venue {self.name!r} has influence {self.aminer_influence} outside [0, 1]"
+            )
+
+    @property
+    def score(self) -> float:
+        """Combined venue score: mean of the CCF tier score and the AMiner influence."""
+        return (CCF_TIER_SCORES[self.ccf_tier] + self.aminer_influence) / 2.0
+
+
+def _influence(name: str, tier: str) -> float:
+    """Deterministic AMiner-style influence score for a venue.
+
+    Real influence scores correlate with — but are not identical to — the CCF
+    tier.  We reproduce that by anchoring the score to the tier and adding a
+    deterministic per-venue offset derived from a hash of the name.
+    """
+    anchor = {"A": 0.85, "B": 0.55, "C": 0.30}[tier]
+    digest = hashlib.sha256(name.encode("utf-8")).digest()
+    offset = (digest[0] / 255.0 - 0.5) * 0.2
+    return min(1.0, max(0.0, anchor + offset))
+
+
+class VenueCatalog:
+    """Lookup table from venue name to :class:`Venue` with domain utilities."""
+
+    def __init__(self, venues: Iterable[Venue]) -> None:
+        self._venues: dict[str, Venue] = {}
+        for venue in venues:
+            if venue.name in self._venues:
+                raise ConfigurationError(f"duplicate venue name {venue.name!r}")
+            self._venues[venue.name] = venue
+
+    def __len__(self) -> int:
+        return len(self._venues)
+
+    def __contains__(self, name: object) -> bool:
+        return name in self._venues
+
+    def __iter__(self) -> Iterator[Venue]:
+        return iter(self._venues.values())
+
+    def get(self, name: str) -> Venue | None:
+        """Return the venue record, or None for venues outside the catalogue."""
+        return self._venues.get(name)
+
+    def score(self, name: str) -> float:
+        """Venue score used by the NEWST node weight; unknown venues get a floor score."""
+        venue = self._venues.get(name)
+        if venue is None:
+            return UNRANKED_VENUE_SCORE
+        return venue.score
+
+    def domain_of(self, name: str) -> str | None:
+        """Domain the venue belongs to, or None for unknown venues."""
+        venue = self._venues.get(name)
+        return None if venue is None else venue.domain
+
+    def venues_in_domain(self, domain: str) -> list[Venue]:
+        """All catalogued venues in a given domain."""
+        return [v for v in self._venues.values() if v.domain == domain]
+
+    @property
+    def names(self) -> tuple[str, ...]:
+        """All catalogued venue names."""
+        return tuple(self._venues)
+
+
+#: (venue name, domain index into DOMAINS, CCF tier)
+_DEFAULT_VENUES: tuple[tuple[str, int, str], ...] = (
+    # Artificial Intelligence
+    ("NeurIPS", 0, "A"), ("ICML", 0, "A"), ("ACL", 0, "A"), ("AAAI", 0, "A"),
+    ("CVPR", 0, "A"), ("IJCAI", 0, "A"), ("EMNLP", 0, "B"), ("NAACL", 0, "B"),
+    ("ECCV", 0, "B"), ("COLING", 0, "B"), ("ICASSP", 0, "B"), ("ICLR", 0, "A"),
+    ("RecSys", 0, "B"), ("CoNLL", 0, "C"), ("ICANN", 0, "C"),
+    # Databases / data mining / IR
+    ("SIGMOD", 1, "A"), ("VLDB", 1, "A"), ("ICDE", 1, "A"), ("SIGKDD", 1, "A"),
+    ("SIGIR", 1, "A"), ("CIKM", 1, "B"), ("WSDM", 1, "B"), ("EDBT", 1, "B"),
+    ("ICDM", 1, "B"), ("DASFAA", 1, "B"), ("ECIR", 1, "C"), ("PAKDD", 1, "C"),
+    # Computer networks
+    ("SIGCOMM", 2, "A"), ("NSDI", 2, "A"), ("INFOCOM", 2, "A"), ("CoNEXT", 2, "B"),
+    ("IMC", 2, "B"), ("IPSN", 2, "B"), ("ICNP", 2, "B"), ("GLOBECOM", 2, "C"),
+    # Security
+    ("IEEE S&P", 3, "A"), ("CCS", 3, "A"), ("USENIX Security", 3, "A"),
+    ("NDSS", 3, "B"), ("ESORICS", 3, "B"), ("ACSAC", 3, "B"), ("DIMVA", 3, "C"),
+    # Architecture / systems
+    ("ISCA", 4, "A"), ("OSDI", 4, "A"), ("SOSP", 4, "A"), ("MICRO", 4, "A"),
+    ("EuroSys", 4, "B"), ("ATC", 4, "B"), ("HPCA", 4, "B"), ("SoCC", 4, "B"),
+    ("ICPP", 4, "C"),
+    # Software engineering / PL
+    ("ICSE", 5, "A"), ("FSE", 5, "A"), ("PLDI", 5, "A"), ("ASE", 5, "A"),
+    ("ISSTA", 5, "B"), ("ICSME", 5, "B"), ("SANER", 5, "B"), ("MSR", 5, "C"),
+    # Graphics / multimedia
+    ("SIGGRAPH", 6, "A"), ("ACM MM", 6, "A"), ("IEEE VR", 6, "B"),
+    ("Eurographics", 6, "B"), ("ICME", 6, "B"), ("3DV", 6, "C"),
+    # Theory
+    ("STOC", 7, "A"), ("FOCS", 7, "A"), ("SODA", 7, "A"), ("ICALP", 7, "B"),
+    ("ESA", 7, "B"), ("STACS", 7, "C"),
+    # HCI
+    ("CHI", 8, "A"), ("UbiComp", 8, "A"), ("CSCW", 8, "A"), ("IUI", 8, "B"),
+    ("UIST", 8, "A"), ("MobileHCI", 8, "C"),
+    # Interdisciplinary / emerging
+    ("Bioinformatics", 9, "A"), ("WWW", 9, "A"), ("ICWSM", 9, "B"),
+    ("CHIL", 9, "B"), ("AIES", 9, "C"), ("JCDL", 9, "C"),
+)
+
+
+def build_default_catalog() -> VenueCatalog:
+    """Build the default venue catalogue used by the corpus generator."""
+    venues = [
+        Venue(
+            name=name,
+            domain=DOMAINS[domain_index],
+            ccf_tier=tier,
+            aminer_influence=_influence(name, tier),
+        )
+        for name, domain_index, tier in _DEFAULT_VENUES
+    ]
+    return VenueCatalog(venues)

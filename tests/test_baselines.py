@@ -1,0 +1,78 @@
+"""Unit tests for the baseline reading-list methods."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.baselines.pagerank_rerank import PageRankBaseline
+from repro.baselines.scibert_matcher import SciBertMatcherBaseline
+from repro.baselines.search_topk import SearchTopKBaseline
+from repro.errors import ConfigurationError
+
+
+class TestSearchTopKBaseline:
+    def test_returns_engine_ranking(self, scholar_engine):
+        baseline = SearchTopKBaseline(scholar_engine)
+        assert baseline.name == scholar_engine.name
+        assert baseline.generate("deep learning", k=10) == scholar_engine.search_ids(
+            "deep learning", top_k=10
+        )
+
+    def test_respects_cutoff_and_exclusions(self, scholar_engine, store):
+        baseline = SearchTopKBaseline(scholar_engine)
+        first = baseline.generate("deep learning", k=5)
+        result = baseline.generate("deep learning", k=5, year_cutoff=2010,
+                                   exclude_ids=first[:1])
+        assert first[0] not in result
+        assert all(store.get_paper(pid).year <= 2010 for pid in result)
+
+
+class TestPageRankBaseline:
+    def test_returns_k_papers_ordered_by_pagerank(self, scholar_engine, citation_graph):
+        baseline = PageRankBaseline(scholar_engine, citation_graph, num_seeds=10)
+        papers = baseline.generate("machine learning", k=15)
+        assert len(papers) == 15
+        scores = [baseline._scores[pid] for pid in papers]
+        assert scores == sorted(scores, reverse=True)
+
+    def test_prefers_globally_famous_papers(self, scholar_engine, citation_graph, store):
+        """The PageRank baseline ignores query relevance beyond seeding — the
+        failure mode the paper describes (it returns the most-cited papers)."""
+        baseline = PageRankBaseline(scholar_engine, citation_graph, num_seeds=10)
+        papers = baseline.generate("hate speech detection", k=10)
+        mean_citations = sum(store.get_paper(p).citation_count for p in papers) / len(papers)
+        corpus_mean = sum(p.citation_count for p in store) / len(store)
+        assert mean_citations > corpus_mean
+
+
+class TestSciBertMatcherBaseline:
+    @pytest.fixture(scope="class")
+    def trained(self, scholar_engine, citation_graph, store):
+        baseline = SciBertMatcherBaseline(scholar_engine, citation_graph, store, num_seeds=10)
+        return baseline.train(store.surveys[:10], max_examples=300)
+
+    def test_training_requires_surveys(self, scholar_engine, citation_graph, store):
+        baseline = SciBertMatcherBaseline(scholar_engine, citation_graph, store)
+        with pytest.raises(ConfigurationError):
+            baseline.train([])
+
+    def test_generates_k_papers(self, trained):
+        papers = trained.generate("hate speech detection", k=12)
+        assert len(papers) == 12
+        assert len(set(papers)) == 12
+
+    def test_ranking_is_semantic(self, trained, store):
+        """Most returned papers should be lexically/semantically related to the query."""
+        papers = trained.generate("hate speech detection", k=10, )
+        related = 0
+        for pid in papers:
+            text = store.get_paper(pid).text.lower()
+            if any(token in text for token in ("hate", "speech", "abusive", "offensive",
+                                               "sentiment", "classification", "text")):
+                related += 1
+        assert related >= 5
+
+    def test_respects_exclusions(self, trained):
+        first = trained.generate("hate speech detection", k=5)
+        excluded = trained.generate("hate speech detection", k=5, exclude_ids=first[:1])
+        assert first[0] not in excluded

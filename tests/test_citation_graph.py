@@ -1,0 +1,122 @@
+"""Unit tests for the CitationGraph data structure."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import EdgeNotFoundError, NodeNotFoundError
+from repro.graph.citation_graph import CitationGraph
+from repro.types import Paper
+
+
+def _triangle() -> CitationGraph:
+    graph = CitationGraph()
+    graph.add_edge("A", "B", kind="cites")
+    graph.add_edge("B", "C")
+    graph.add_edge("A", "C")
+    return graph
+
+
+class TestConstruction:
+    def test_counts(self):
+        graph = _triangle()
+        assert graph.num_nodes == 3
+        assert graph.num_edges == 3
+
+    def test_from_papers_skips_dangling_by_default(self):
+        papers = [
+            Paper(paper_id="P1", title="a", outbound_citations=("P2", "MISSING")),
+            Paper(paper_id="P2", title="b"),
+        ]
+        graph = CitationGraph.from_papers(papers)
+        assert "MISSING" not in graph
+        assert graph.num_edges == 1
+
+    def test_from_papers_keeps_dangling_when_asked(self):
+        papers = [Paper(paper_id="P1", title="a", outbound_citations=("MISSING",))]
+        graph = CitationGraph.from_papers(papers, skip_dangling=False)
+        assert "MISSING" in graph
+        assert graph.has_edge("P1", "MISSING")
+
+    def test_from_papers_records_attributes(self, store, citation_graph):
+        some_paper = store.papers[0]
+        assert citation_graph.get_node_attr(some_paper.paper_id, "year") == some_paper.year
+        assert citation_graph.get_node_attr(some_paper.paper_id, "topic") == some_paper.topic
+
+    def test_duplicate_edge_not_double_counted(self):
+        graph = CitationGraph()
+        graph.add_edge("A", "B")
+        graph.add_edge("A", "B", weight=2)
+        assert graph.num_edges == 1
+        assert graph.get_edge_attr("A", "B", "weight") == 2
+
+
+class TestQueries:
+    def test_successors_and_predecessors(self):
+        graph = _triangle()
+        assert set(graph.successors("A")) == {"B", "C"}
+        assert set(graph.predecessors("C")) == {"B", "A"}
+        assert set(graph.neighbors("B")) == {"A", "C"}
+
+    def test_degrees(self):
+        graph = _triangle()
+        assert graph.out_degree("A") == 2
+        assert graph.in_degree("C") == 2
+        assert graph.degree("B") == 2
+
+    def test_missing_node_raises(self):
+        graph = _triangle()
+        with pytest.raises(NodeNotFoundError):
+            graph.successors("Z")
+
+    def test_missing_edge_raises(self):
+        graph = _triangle()
+        with pytest.raises(EdgeNotFoundError):
+            graph.edge_attrs("C", "A")
+
+    def test_edges_iteration(self):
+        assert set(_triangle().edges()) == {("A", "B"), ("B", "C"), ("A", "C")}
+
+
+class TestMutation:
+    def test_remove_node_removes_incident_edges(self):
+        graph = _triangle()
+        graph.remove_node("B")
+        assert "B" not in graph
+        assert graph.num_edges == 1
+        assert graph.has_edge("A", "C")
+
+    def test_node_attr_set_and_get(self):
+        graph = _triangle()
+        graph.set_node_attr("A", "year", 1999)
+        assert graph.get_node_attr("A", "year") == 1999
+        assert graph.get_node_attr("A", "missing", "default") == "default"
+
+    def test_edge_attr_set_and_get(self):
+        graph = _triangle()
+        graph.set_edge_attr("A", "B", "relevance", 3.0)
+        assert graph.get_edge_attr("A", "B", "relevance") == 3.0
+
+
+class TestDerivedGraphs:
+    def test_subgraph_keeps_internal_edges_only(self):
+        graph = _triangle()
+        sub = graph.subgraph(["A", "B"])
+        assert sub.num_nodes == 2
+        assert sub.has_edge("A", "B")
+        assert not sub.has_edge("B", "C")
+
+    def test_subgraph_ignores_unknown_nodes(self):
+        sub = _triangle().subgraph(["A", "Z"])
+        assert sub.nodes == ("A",)
+
+    def test_reverse_flips_edges(self):
+        reversed_graph = _triangle().reverse()
+        assert reversed_graph.has_edge("B", "A")
+        assert not reversed_graph.has_edge("A", "B")
+
+    def test_copy_is_independent(self):
+        graph = _triangle()
+        clone = graph.copy()
+        clone.set_node_attr("A", "year", 2000)
+        assert graph.get_node_attr("A", "year") is None

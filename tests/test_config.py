@@ -1,0 +1,103 @@
+"""Unit tests for configuration validation."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.config import CorpusConfig, EvaluationConfig, NewstConfig, PipelineConfig
+from repro.errors import ConfigurationError
+
+
+class TestCorpusConfig:
+    def test_defaults_are_valid(self):
+        config = CorpusConfig()
+        assert config.papers_per_topic >= 5
+        assert 0.0 <= config.survey_prerequisite_fraction <= 1.0
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"papers_per_topic": 2},
+            {"surveys_per_topic": 0},
+            {"start_year": 2020, "end_year": 2019},
+            {"citations_per_paper": 0},
+            {"prerequisite_citation_fraction": 1.5},
+            {"survey_prerequisite_fraction": -0.1},
+            {"noise_reference_fraction": 2.0},
+            {"preferential_attachment": -0.5},
+            {"survey_reference_count": 3},
+        ],
+    )
+    def test_invalid_values_rejected(self, kwargs):
+        with pytest.raises(ConfigurationError):
+            CorpusConfig(**kwargs)
+
+
+class TestNewstConfig:
+    def test_paper_defaults(self):
+        config = NewstConfig()
+        assert (config.alpha, config.beta, config.gamma) == (3.0, 2.0, 5.0)
+        assert (config.a, config.b) == (0.7, 0.3)
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"alpha": 0},
+            {"beta": -1},
+            {"gamma": 0},
+            {"a": 0},
+            {"b": -0.3},
+            {"pagerank_damping": 1.0},
+            {"pagerank_max_iterations": 0},
+            {"pagerank_tolerance": 0.0},
+        ],
+    )
+    def test_invalid_values_rejected(self, kwargs):
+        with pytest.raises(ConfigurationError):
+            NewstConfig(**kwargs)
+
+
+class TestPipelineConfig:
+    def test_paper_default_seed_count(self):
+        assert PipelineConfig().num_seeds == 30
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"num_seeds": 0},
+            {"expansion_order": 0},
+            {"expansion_order": 5},
+            {"cooccurrence_threshold": 0},
+            {"max_expanded_nodes": 1, "num_seeds": 30},
+            {"seed_strategy": "bogus"},
+        ],
+    )
+    def test_invalid_values_rejected(self, kwargs):
+        with pytest.raises(ConfigurationError):
+            PipelineConfig(**kwargs)
+
+    def test_all_seed_strategies_accepted(self):
+        for strategy in ("reallocated", "initial", "union", "intersection"):
+            assert PipelineConfig(seed_strategy=strategy).seed_strategy == strategy
+
+
+class TestEvaluationConfig:
+    def test_defaults_cover_paper_k_range(self):
+        config = EvaluationConfig()
+        assert min(config.k_values) == 20
+        assert max(config.k_values) == 50
+        assert config.occurrence_levels == (1, 2, 3)
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"k_values": ()},
+            {"k_values": (0,)},
+            {"occurrence_levels": (0,)},
+            {"max_surveys": 0},
+            {"min_references": -1},
+        ],
+    )
+    def test_invalid_values_rejected(self, kwargs):
+        with pytest.raises(ConfigurationError):
+            EvaluationConfig(**kwargs)

@@ -1,0 +1,143 @@
+"""Unit tests for the synthetic documents, GROBID parser and XML→JSON conversion."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.dataset.documents import render_synthetic_pdf
+from repro.dataset.grobid import GrobidParser
+from repro.dataset.xml_json import clean_parsed_document, dict_to_parsed_document, tei_xml_to_dict
+from repro.errors import DatasetError, DocumentParseError
+from repro.types import Survey
+
+
+@pytest.fixture(scope="module")
+def survey(store):
+    return store.surveys[0]
+
+
+@pytest.fixture(scope="module")
+def clean_pdf(store, survey):
+    return render_synthetic_pdf(survey, store, rng=random.Random(0),
+                                corruption_rate=0.0, oversize_rate=0.0)
+
+
+class TestSyntheticPdf:
+    def test_contains_tei_structure(self, clean_pdf):
+        assert clean_pdf.tei_xml.startswith("<?xml")
+        assert "<teiHeader>" in clean_pdf.tei_xml
+        assert "<listBibl>" in clean_pdf.tei_xml
+
+    def test_marker_count_matches_occurrences(self, clean_pdf, survey):
+        total_markers = clean_pdf.tei_xml.count("<ref target=")
+        assert total_markers == sum(survey.reference_occurrences.values())
+
+    def test_corrupted_pdf_is_truncated(self, store, survey):
+        pdf = render_synthetic_pdf(survey, store, rng=random.Random(1),
+                                   corruption_rate=1.0, oversize_rate=0.0)
+        assert pdf.corrupted
+        assert len(pdf.tei_xml) < 4000
+
+    def test_survey_without_references_rejected(self, store):
+        empty = Survey(paper_id=store.papers[0].paper_id, title="t", year=2019,
+                       key_phrases=("x",), reference_occurrences={})
+        with pytest.raises(DatasetError):
+            render_synthetic_pdf(empty, store)
+
+    def test_rendering_is_deterministic_per_survey(self, store, survey):
+        first = render_synthetic_pdf(survey, store, corruption_rate=0.0, oversize_rate=0.0)
+        second = render_synthetic_pdf(survey, store, corruption_rate=0.0, oversize_rate=0.0)
+        assert first.tei_xml == second.tei_xml
+        assert first.page_count == second.page_count
+
+
+class TestGrobidParser:
+    def test_parse_recovers_metadata_and_occurrences(self, clean_pdf, survey):
+        document = GrobidParser().parse(clean_pdf)
+        assert document.title == survey.title
+        assert document.year == survey.year
+        assert set(document.bibliography) == set(survey.reference_occurrences)
+        assert document.reference_occurrences == dict(survey.reference_occurrences)
+
+    def test_parse_counts_stats(self, clean_pdf):
+        parser = GrobidParser()
+        parser.parse(clean_pdf)
+        assert parser.stats.attempted == 1
+        assert parser.stats.succeeded == 1
+        assert parser.stats.failed == 0
+
+    def test_corrupted_pdf_raises(self, store, survey):
+        pdf = render_synthetic_pdf(survey, store, rng=random.Random(3),
+                                   corruption_rate=1.0, oversize_rate=0.0)
+        parser = GrobidParser()
+        with pytest.raises(DocumentParseError):
+            parser.parse(pdf)
+        assert parser.stats.failed == 1
+
+    def test_parse_many_collects_failures(self, store):
+        surveys = store.surveys[:4]
+        pdfs = [
+            render_synthetic_pdf(s, store, rng=random.Random(index),
+                                 corruption_rate=1.0 if index == 0 else 0.0,
+                                 oversize_rate=0.0)
+            for index, s in enumerate(surveys)
+        ]
+        documents, failed = GrobidParser().parse_many(pdfs)
+        assert len(documents) == 3
+        assert failed == [surveys[0].paper_id]
+
+    def test_sections_have_paragraphs(self, clean_pdf):
+        document = GrobidParser().parse(clean_pdf)
+        assert document.sections
+        assert any(section.paragraphs for section in document.sections)
+        assert document.body_text()
+
+
+class TestXmlJson:
+    def test_malformed_xml_raises(self):
+        with pytest.raises(DocumentParseError):
+            tei_xml_to_dict("<TEI><unclosed>")
+
+    def test_missing_header_raises(self):
+        data = tei_xml_to_dict("<TEI><text><body/></text></TEI>")
+        with pytest.raises(DocumentParseError):
+            dict_to_parsed_document(data, paper_id="X", page_count=10)
+
+    def test_cleanup_deduplicates_bibliography(self, clean_pdf):
+        document = GrobidParser(apply_cleanup=False).parse(clean_pdf)
+        duplicated = document.__class__(
+            paper_id=document.paper_id,
+            title=document.title,
+            abstract=document.abstract,
+            year=document.year,
+            venue=document.venue,
+            sections=document.sections,
+            bibliography=document.bibliography + document.bibliography[:1],
+            reference_occurrences=dict(document.reference_occurrences),
+            page_count=document.page_count,
+        )
+        cleaned = clean_parsed_document(duplicated)
+        assert len(cleaned.bibliography) == len(set(cleaned.bibliography))
+
+    def test_cleanup_drops_unknown_occurrences_and_backfills_missing(self, clean_pdf):
+        document = GrobidParser(apply_cleanup=False).parse(clean_pdf)
+        occurrences = dict(document.reference_occurrences)
+        occurrences["GHOST-REFERENCE"] = 3
+        first_entry = document.bibliography[0]
+        occurrences.pop(first_entry, None)
+        modified = document.__class__(
+            paper_id=document.paper_id,
+            title=document.title,
+            abstract=document.abstract,
+            year=document.year,
+            venue=document.venue,
+            sections=document.sections,
+            bibliography=document.bibliography,
+            reference_occurrences=occurrences,
+            page_count=document.page_count,
+        )
+        cleaned = clean_parsed_document(modified)
+        assert "GHOST-REFERENCE" not in cleaned.reference_occurrences
+        assert cleaned.reference_occurrences[first_entry] == 1

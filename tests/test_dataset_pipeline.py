@@ -1,0 +1,138 @@
+"""Unit tests for collection, filtering, labels and the SurveyBank builder."""
+
+from __future__ import annotations
+
+import dataclasses
+import random
+
+import pytest
+
+from repro.corpus.s2orc import papers_to_s2orc
+from repro.dataset.collection import collect_survey_candidates
+from repro.dataset.documents import render_synthetic_pdf
+from repro.dataset.filtering import filter_documents, normalize_title
+from repro.dataset.grobid import GrobidParser
+from repro.dataset.labels import key_phrases_for_title, occurrence_labels
+from repro.dataset.surveybank import SurveyBank, SurveyBankBuilder
+from repro.errors import DatasetError
+
+
+class TestCollection:
+    def test_s2orc_branch_finds_all_surveys(self, store, taxonomy):
+        result = collect_survey_candidates(store, taxonomy, s2orc_records=None)
+        survey_ids = set(store.survey_ids)
+        assert survey_ids <= set(result.candidate_ids)
+
+    def test_s2orc_records_branch(self, store, taxonomy):
+        records = papers_to_s2orc(store.papers)
+        result = collect_survey_candidates(store, taxonomy, s2orc_records=records)
+        assert set(store.survey_ids) <= set(result.candidate_ids)
+        assert result.from_s2orc
+
+    def test_search_branch_issues_topic_queries(self, store, taxonomy, scholar_engine):
+        result = collect_survey_candidates(
+            store, taxonomy, search_engine=scholar_engine,
+            topic_keywords=["pretrained language models", "hate speech detection"],
+            results_per_query=10,
+        )
+        assert len(result.queries_issued) == 2
+        assert all("survey" in query for query in result.queries_issued)
+        assert result.from_search
+
+    def test_total_counts_distinct_candidates(self, store, taxonomy):
+        result = collect_survey_candidates(store, taxonomy)
+        assert result.total == len(result.candidate_ids)
+        assert len(set(result.candidate_ids)) == result.total
+
+
+class TestFiltering:
+    def test_normalize_title(self):
+        assert normalize_title("A Survey: on Widgets!") == "a survey on widgets"
+        assert normalize_title("  A   Survey on Widgets ") == "a survey on widgets"
+
+    def _documents(self, store, count: int = 6):
+        parser = GrobidParser()
+        documents = []
+        for index, survey in enumerate(store.surveys[:count]):
+            pdf = render_synthetic_pdf(survey, store, rng=random.Random(index),
+                                       corruption_rate=0.0, oversize_rate=0.0)
+            documents.append(parser.parse(pdf))
+        return documents
+
+    def test_page_count_rule(self, store):
+        documents = self._documents(store, 3)
+        oversized = dataclasses.replace(documents[0], page_count=300)
+        kept, report = filter_documents([oversized, *documents[1:]])
+        assert oversized.paper_id in report.dropped_page_count
+        assert oversized.paper_id not in report.kept
+        assert len(kept) == 2
+
+    def test_duplicate_titles_dropped(self, store):
+        documents = self._documents(store, 2)
+        duplicate = dataclasses.replace(documents[0], paper_id="DUP")
+        kept, report = filter_documents([*documents, duplicate])
+        assert "DUP" in report.dropped_duplicate_title
+        assert len(kept) == 2
+
+    def test_minimum_reference_rule(self, store):
+        documents = self._documents(store, 2)
+        sparse = dataclasses.replace(
+            documents[0],
+            paper_id="SPARSE",
+            title="a completely different survey title",
+            bibliography=documents[0].bibliography[:2],
+        )
+        kept, report = filter_documents([*documents, sparse], min_references=10)
+        assert "SPARSE" in report.dropped_no_references
+
+    def test_parse_failures_recorded(self, store):
+        documents = self._documents(store, 2)
+        kept, report = filter_documents(documents, parse_failures=["BROKEN"])
+        assert report.dropped_parse_failure == ["BROKEN"]
+        assert report.summary()["kept"] == len(kept)
+        assert report.num_dropped >= 1
+
+
+class TestLabels:
+    def test_occurrence_labels_are_nested(self):
+        labels = occurrence_labels({"a": 1, "b": 2, "c": 5})
+        assert labels[1] == frozenset({"a", "b", "c"})
+        assert labels[2] == frozenset({"b", "c"})
+        assert labels[3] == frozenset({"c"})
+
+    def test_invalid_inputs_rejected(self):
+        with pytest.raises(DatasetError):
+            occurrence_labels({"a": 0})
+        with pytest.raises(DatasetError):
+            occurrence_labels({"a": 1}, levels=(0,))
+
+    def test_key_phrases_for_title(self):
+        phrases = key_phrases_for_title("A survey on hate speech detection")
+        assert phrases[0] == "hate speech detection"
+
+    def test_key_phrases_empty_title_raises(self):
+        with pytest.raises(DatasetError):
+            key_phrases_for_title("a survey of the")
+
+
+class TestSurveyBankBuilder:
+    def test_full_pipeline_builds_benchmark(self, store, taxonomy, venues):
+        builder = SurveyBankBuilder(store, taxonomy, venues=venues)
+        bank = builder.build(min_references=10)
+        assert len(bank) > 0
+        assert builder.last_filter_report is not None
+        assert builder.last_collection is not None
+        # Every kept instance corresponds to a survey of the corpus with the
+        # exact occurrence labels the generator intended.
+        for instance in bank:
+            survey = store.get_survey(instance.survey_id)
+            assert instance.label(1) == survey.label(1)
+            assert instance.label(2) == survey.label(2)
+
+    def test_pipeline_and_fast_path_agree_on_labels(self, store, taxonomy, venues):
+        builder_bank = SurveyBankBuilder(store, taxonomy, venues=venues).build(min_references=10)
+        fast_bank = SurveyBank.from_corpus(store, venues=venues)
+        common = set(builder_bank.survey_ids) & set(fast_bank.survey_ids)
+        assert common
+        for survey_id in list(common)[:20]:
+            assert builder_bank.get(survey_id).label(1) == fast_bank.get(survey_id).label(1)

@@ -1,0 +1,212 @@
+"""Unit tests for metrics, the benchmark evaluator, human evaluation and timing."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.baselines.base import ReadingListMethod
+from repro.baselines.search_topk import SearchTopKBaseline
+from repro.config import EvaluationConfig
+from repro.errors import EvaluationError
+from repro.eval.evaluator import MethodScores, OverlapEvaluator, PipelineMethodAdapter, neighborhood_overlap_study
+from repro.eval.human import CRITERIA, SimulatedAnnotator, run_human_evaluation
+from repro.eval.metrics import MetricTriple, f1_at_k, overlap_ratio, precision_at_k, recall_at_k
+from repro.eval.timing import measure_runtime
+from repro.types import ReadingPath, ReadingPathEdge
+
+import random
+
+
+class TestMetrics:
+    def test_precision_counts_hits_over_k(self):
+        assert precision_at_k(["a", "b", "c"], {"a", "c"}, k=3) == pytest.approx(2 / 3)
+
+    def test_precision_penalises_short_lists(self):
+        assert precision_at_k(["a"], {"a"}, k=10) == pytest.approx(0.1)
+
+    def test_recall_counts_hits_over_relevant(self):
+        assert recall_at_k(["a", "b"], {"a", "c", "d"}, k=2) == pytest.approx(1 / 3)
+
+    def test_recall_with_empty_ground_truth_is_zero(self):
+        assert recall_at_k(["a"], set(), k=1) == 0.0
+
+    def test_f1_is_harmonic_mean(self):
+        triple = f1_at_k(["a", "b", "c", "d"], {"a", "b", "x", "y"}, k=4)
+        assert triple.precision == pytest.approx(0.5)
+        assert triple.recall == pytest.approx(0.5)
+        assert triple.f1 == pytest.approx(0.5)
+
+    def test_f1_zero_when_no_overlap(self):
+        assert f1_at_k(["a"], {"b"}, k=1).f1 == 0.0
+
+    def test_duplicates_rejected(self):
+        with pytest.raises(EvaluationError):
+            precision_at_k(["a", "a"], {"a"}, k=2)
+
+    def test_invalid_k_rejected(self):
+        with pytest.raises(EvaluationError):
+            precision_at_k(["a"], {"a"}, k=0)
+
+    def test_overlap_ratio(self):
+        assert overlap_ratio({"a", "b"}, {"a", "b", "c", "d"}) == pytest.approx(0.5)
+        assert overlap_ratio({"a"}, set()) == 0.0
+
+    def test_metric_triple_arithmetic(self):
+        total = MetricTriple(1.0, 0.5, 0.6) + MetricTriple(0.0, 0.5, 0.4)
+        assert total.scaled(0.5) == MetricTriple(0.5, 0.5, 0.5)
+
+
+class _OracleMethod(ReadingListMethod):
+    """Returns the ground truth itself — must score perfectly.
+
+    The evaluator passes the survey id in ``exclude_ids``, which lets the
+    oracle pick the right instance even when two surveys share a query.
+    """
+
+    name = "oracle"
+
+    def __init__(self, bank):
+        self._bank = {i.survey_id: i for i in bank}
+
+    def generate(self, query, k, year_cutoff=None, exclude_ids=()):
+        instance = self._bank[next(iter(exclude_ids))]
+        return sorted(instance.label(1))[:k]
+
+
+class _EmptyMethod(ReadingListMethod):
+    name = "empty"
+
+    def generate(self, query, k, year_cutoff=None, exclude_ids=()):
+        return []
+
+
+class TestOverlapEvaluator:
+    def test_oracle_scores_maximal_precision(self, survey_bank, evaluation_config):
+        evaluator = OverlapEvaluator(survey_bank, evaluation_config)
+        scores = evaluator.evaluate(_OracleMethod(survey_bank))
+        assert scores.precision(1, 10) == pytest.approx(1.0)
+        assert scores.recall(1, 30) <= 1.0
+        assert scores.num_surveys > 0
+
+    def test_empty_method_scores_zero(self, survey_bank, evaluation_config):
+        evaluator = OverlapEvaluator(survey_bank, evaluation_config)
+        scores = evaluator.evaluate(_EmptyMethod())
+        assert scores.f1(1, 10) == 0.0
+
+    def test_search_baseline_beats_empty(self, survey_bank, scholar_engine, evaluation_config):
+        evaluator = OverlapEvaluator(survey_bank, evaluation_config)
+        baseline = evaluator.evaluate(SearchTopKBaseline(scholar_engine, "google"))
+        assert baseline.f1(1, 20) > 0.0
+
+    def test_scores_decrease_with_occurrence_level(self, survey_bank, scholar_engine,
+                                                   evaluation_config):
+        """Higher occurrence levels have smaller ground truths, so recall-driven
+        F1 at the same K cannot systematically increase."""
+        evaluator = OverlapEvaluator(survey_bank, evaluation_config)
+        scores = evaluator.evaluate(SearchTopKBaseline(scholar_engine, "google"))
+        assert scores.precision(1, 20) >= scores.precision(2, 20) >= scores.precision(3, 20)
+
+    def test_pipeline_adapter_caches_per_query(self, pipeline, survey_bank, evaluation_config):
+        adapter = PipelineMethodAdapter(pipeline, "NEWST")
+        instance = next(iter(survey_bank.filter(min_references=15)))
+        first = adapter.generate(instance.query, k=10, year_cutoff=instance.year,
+                                 exclude_ids=(instance.survey_id,))
+        second = adapter.generate(instance.query, k=20, year_cutoff=instance.year,
+                                  exclude_ids=(instance.survey_id,))
+        assert first == second[:10]
+        assert len(adapter._cache) == 1
+
+    def test_unknown_score_lookup_raises(self):
+        scores = MethodScores(method="m")
+        with pytest.raises(EvaluationError):
+            scores.f1(1, 10)
+
+    def test_to_rows_flattens_scores(self, survey_bank, scholar_engine, evaluation_config):
+        evaluator = OverlapEvaluator(survey_bank, evaluation_config)
+        scores = evaluator.evaluate(SearchTopKBaseline(scholar_engine, "google"))
+        rows = scores.to_rows()
+        assert len(rows) == len(evaluation_config.k_values) * len(evaluation_config.occurrence_levels)
+        assert {"method", "occurrence_level", "k", "precision", "recall", "f1"} <= set(rows[0])
+
+    def test_empty_benchmark_rejected(self, survey_bank):
+        with pytest.raises(EvaluationError):
+            OverlapEvaluator(survey_bank, EvaluationConfig(min_references=10_000))
+
+
+class TestNeighborhoodOverlapStudy:
+    def test_overlap_grows_with_order(self, survey_bank, scholar_engine, citation_graph):
+        ratios = neighborhood_overlap_study(
+            survey_bank.filter(min_references=15), scholar_engine, citation_graph,
+            top_k=20, max_surveys=5,
+        )
+        for level in (1, 2, 3):
+            assert ratios[0][level] <= ratios[1][level] <= ratios[2][level]
+        assert ratios[2][1] > ratios[0][1]
+
+    def test_empty_bank_rejected(self, scholar_engine, citation_graph, survey_bank):
+        empty = survey_bank.filter(min_references=10_000)
+        with pytest.raises(EvaluationError):
+            neighborhood_overlap_study(empty, scholar_engine, citation_graph)
+
+
+class TestHumanEvaluation:
+    def test_annotator_prefers_clearly_better_system(self):
+        annotator = SimulatedAnnotator(annotator_id=0, noise=0.01)
+        rng = random.Random(0)
+        assert annotator.judge("relevance", 0.9, 0.1, rng) == "A"
+        assert annotator.judge("relevance", 0.1, 0.9, rng) == "B"
+
+    def test_annotator_reports_ties(self):
+        annotator = SimulatedAnnotator(annotator_id=0, noise=0.0, indifference=0.2)
+        rng = random.Random(0)
+        assert annotator.judge("relevance", 0.5, 0.55, rng) == "same"
+
+    def test_unknown_criterion_rejected(self):
+        with pytest.raises(EvaluationError):
+            SimulatedAnnotator(0).judge("novelty", 0.5, 0.5, random.Random(0))
+
+    def test_structured_output_preferred_on_prerequisite(self, survey_bank, citation_graph,
+                                                         pipeline, scholar_engine):
+        instances = [i for i in survey_bank if i.num_references >= 15][:3]
+        cases = []
+        for instance in instances:
+            flat = ReadingPath.from_papers(
+                instance.query,
+                scholar_engine.search_ids(instance.query, top_k=20,
+                                          year_cutoff=instance.year,
+                                          exclude_ids=[instance.survey_id]),
+            )
+            structured = pipeline.generate(
+                instance.query, year_cutoff=instance.year,
+                exclude_ids=(instance.survey_id,),
+            ).reading_path
+            cases.append((instance, flat, structured))
+        result = run_human_evaluation("Artificial Intelligence", cases, citation_graph,
+                                      num_annotators=4)
+        prefer_a, same, prefer_b = result.row("prerequisite")
+        assert prefer_b > prefer_a
+        assert prefer_a + same + prefer_b == pytest.approx(100.0)
+        assert set(result.prefer_b) == set(CRITERIA)
+
+    def test_no_cases_rejected(self, citation_graph):
+        with pytest.raises(EvaluationError):
+            run_human_evaluation("AI", [], citation_graph)
+
+
+class TestTiming:
+    def test_measure_runtime_reports_cases_and_average(self, pipeline, survey_bank):
+        instances = [i for i in survey_bank if i.num_references >= 15][:3]
+        cases, average = measure_runtime(pipeline, instances)
+        assert len(cases) == 3
+        assert all(case.seconds > 0 for case in cases)
+        assert average.query == "average"
+        assert min(c.num_nodes for c in cases) <= average.num_nodes <= max(
+            c.num_nodes for c in cases
+        )
+
+    def test_all_failures_raise(self, pipeline, survey_bank):
+        import dataclasses as dc
+        instance = next(iter(survey_bank))
+        broken = dc.replace(instance, key_phrases=("zzzz gibberish nonsense",))
+        with pytest.raises(EvaluationError):
+            measure_runtime(pipeline, [broken])

@@ -1,0 +1,129 @@
+"""Unit tests for the synthetic corpus generator.
+
+These tests assert the structural properties that the reproduction relies on:
+determinism, time-respecting citations, prerequisite citations, survey
+reference composition and heavy-tailed citation counts.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.config import CorpusConfig
+from repro.corpus.generator import CorpusGenerator
+from repro.corpus.vocabulary import build_default_taxonomy
+
+
+class TestGeneratorDeterminism:
+    def test_same_seed_same_corpus(self):
+        config = CorpusConfig(papers_per_topic=12, surveys_per_topic=1)
+        first = CorpusGenerator(config).generate()
+        second = CorpusGenerator(config).generate()
+        assert first.store.paper_ids == second.store.paper_ids
+        assert [p.title for p in first.store] == [p.title for p in second.store]
+        assert [s.reference_occurrences for s in first.store.surveys] == [
+            s.reference_occurrences for s in second.store.surveys
+        ]
+
+    def test_different_seed_differs(self):
+        base = CorpusConfig(papers_per_topic=12, surveys_per_topic=1, seed=1)
+        other = CorpusConfig(papers_per_topic=12, surveys_per_topic=1, seed=2)
+        first = CorpusGenerator(base).generate()
+        second = CorpusGenerator(other).generate()
+        assert [p.title for p in first.store] != [p.title for p in second.store]
+
+
+class TestCorpusStructure:
+    def test_expected_paper_counts(self, corpus, taxonomy):
+        expected_regular = len(taxonomy) * corpus.config.papers_per_topic
+        assert corpus.num_papers >= expected_regular
+        assert corpus.num_surveys > 0
+
+    def test_citations_respect_time(self, store):
+        for paper in store:
+            if paper.is_survey:
+                continue
+            for cited_id in paper.outbound_citations:
+                cited = store.get_paper(cited_id)
+                assert cited.year <= paper.year
+
+    def test_surveys_cite_only_earlier_papers(self, store):
+        for survey in store.surveys:
+            for cited_id in survey.reference_occurrences:
+                assert store.get_paper(cited_id).year < survey.year
+
+    def test_papers_cite_prerequisite_topics(self, store, taxonomy):
+        """Some citations must cross into prerequisite topics (Understanding II)."""
+        crossing = 0
+        total = 0
+        for paper in store:
+            if paper.is_survey or not paper.outbound_citations:
+                continue
+            prerequisites = taxonomy.transitive_prerequisites(paper.topic)
+            for cited_id in paper.outbound_citations:
+                total += 1
+                if store.get_paper(cited_id).topic in prerequisites:
+                    crossing += 1
+        assert total > 0
+        assert crossing / total > 0.10
+
+    def test_survey_references_include_other_topics(self, store):
+        """Surveys must reference papers outside their own topic (Observation I)."""
+        fractions = []
+        for survey in store.surveys:
+            survey_topic = store.get_paper(survey.paper_id).topic
+            refs = list(survey.reference_occurrences)
+            outside = sum(
+                1 for ref in refs if store.get_paper(ref).topic != survey_topic
+            )
+            fractions.append(outside / len(refs))
+        average = sum(fractions) / len(fractions)
+        assert average > 0.3
+
+    def test_occurrence_counts_are_positive(self, store):
+        for survey in store.surveys:
+            assert all(count >= 1 for count in survey.reference_occurrences.values())
+
+    def test_occurrence_levels_are_non_trivial(self, store):
+        """L2 and L3 must be proper, non-empty subsets for most surveys."""
+        non_trivial = 0
+        for survey in store.surveys:
+            l1, l2 = survey.label(1), survey.label(2)
+            if l2 and len(l2) < len(l1):
+                non_trivial += 1
+        assert non_trivial / len(store.surveys) > 0.8
+
+    def test_citation_counts_are_heavy_tailed(self, store):
+        counts = sorted((p.citation_count for p in store if not p.is_survey), reverse=True)
+        top_decile = counts[: max(1, len(counts) // 10)]
+        assert sum(top_decile) > 0.3 * sum(counts)
+
+    def test_citation_count_matches_in_degree_for_regular_papers(self, store):
+        in_degree = store.citation_counts()
+        for paper in store:
+            if not paper.is_survey:
+                assert paper.citation_count == in_degree[paper.paper_id]
+
+    def test_survey_titles_look_like_surveys(self, store):
+        for survey in store.surveys:
+            assert any(word in survey.title.lower() for word in ("survey", "review"))
+
+    def test_key_phrases_contain_topic_name(self, store, taxonomy):
+        for survey in store.surveys:
+            topic = taxonomy.get(store.get_paper(survey.paper_id).topic)
+            assert topic.name in survey.key_phrases
+
+
+class TestGeneratorEdgeCases:
+    def test_small_corpus_still_produces_surveys(self):
+        config = CorpusConfig(papers_per_topic=8, surveys_per_topic=1,
+                              citations_per_paper=4.0, survey_reference_count=15.0)
+        corpus = CorpusGenerator(config).generate()
+        assert corpus.num_surveys > 0
+
+    def test_custom_taxonomy_subset(self):
+        taxonomy = build_default_taxonomy()
+        config = CorpusConfig(papers_per_topic=10, surveys_per_topic=1)
+        corpus = CorpusGenerator(config, taxonomy=taxonomy).generate()
+        topics_present = {p.topic for p in corpus.store}
+        assert topics_present <= set(taxonomy.topic_ids)

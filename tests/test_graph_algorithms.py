@@ -1,0 +1,235 @@
+"""Unit tests for PageRank, shortest paths, MST, traversal and graph statistics.
+
+Where practical, results are cross-checked against networkx on the same graph.
+"""
+
+from __future__ import annotations
+
+import networkx as nx
+import pytest
+
+from repro.errors import GraphError, NodeNotFoundError
+from repro.graph.citation_graph import CitationGraph
+from repro.graph.metrics import degree_histogram, graph_statistics
+from repro.graph.mst import UnionFind, minimum_spanning_tree
+from repro.graph.pagerank import pagerank
+from repro.graph.shortest_paths import dijkstra, shortest_path
+from repro.graph.traversal import connected_component, connected_components, k_hop_neighborhood
+
+
+def _chain_graph() -> CitationGraph:
+    graph = CitationGraph()
+    for source, target in [("A", "B"), ("B", "C"), ("C", "D"), ("A", "E")]:
+        graph.add_edge(source, target)
+    return graph
+
+
+class TestPageRank:
+    def test_scores_sum_to_one(self, citation_graph):
+        scores = pagerank(citation_graph, max_iterations=30)
+        assert sum(scores.values()) == pytest.approx(1.0, abs=1e-6)
+        assert all(score > 0 for score in scores.values())
+
+    def test_matches_networkx_on_small_graph(self):
+        graph = _chain_graph()
+        ours = pagerank(graph, damping=0.85, max_iterations=200, tolerance=1e-12)
+        nx_graph = nx.DiGraph(list(graph.edges()))
+        theirs = nx.pagerank(nx_graph, alpha=0.85, max_iter=200, tol=1e-12)
+        for node in graph.nodes:
+            assert ours[node] == pytest.approx(theirs[node], abs=1e-4)
+
+    def test_highly_cited_node_scores_higher(self):
+        graph = CitationGraph()
+        for source in ("A", "B", "C", "D"):
+            graph.add_edge(source, "HUB")
+        graph.add_edge("A", "B")
+        scores = pagerank(graph)
+        assert scores["HUB"] == max(scores.values())
+
+    def test_empty_graph_rejected(self):
+        with pytest.raises(GraphError):
+            pagerank(CitationGraph())
+
+    def test_invalid_damping_rejected(self):
+        with pytest.raises(GraphError):
+            pagerank(_chain_graph(), damping=1.5)
+
+    def test_personalization_shifts_mass(self):
+        graph = _chain_graph()
+        scores = pagerank(graph, personalization={"E": 1.0})
+        uniform = pagerank(graph)
+        assert scores["E"] > uniform["E"]
+
+    def test_personalization_without_mass_rejected(self):
+        with pytest.raises(GraphError):
+            pagerank(_chain_graph(), personalization={"Z": 1.0})
+
+
+class TestDijkstra:
+    def test_unit_costs_count_hops(self):
+        graph = _chain_graph()
+        result = dijkstra(graph, "A")
+        assert result.distance_to("D") == 3
+        assert result.path_to("D") == ["A", "B", "C", "D"]
+
+    def test_unreachable_returns_infinity(self):
+        graph = _chain_graph()
+        graph.add_node("LONELY")
+        result = dijkstra(graph, "A")
+        assert result.distance_to("LONELY") == float("inf")
+        assert result.path_to("LONELY") == []
+
+    def test_node_costs_are_added_for_intermediates(self):
+        graph = _chain_graph()
+        result = dijkstra(graph, "A", node_cost=lambda n: 10.0)
+        # A -> B -> C: one intermediate node (B) plus two unit edges.
+        assert result.distance_to("C") == pytest.approx(12.0)
+        # Endpoints are excluded from the node-cost sum.
+        assert result.distance_to("B") == pytest.approx(1.0)
+
+    def test_edge_costs_respected(self):
+        graph = CitationGraph()
+        graph.add_edge("A", "B")
+        graph.add_edge("B", "C")
+        graph.add_edge("A", "C")
+        costs = {("A", "B"): 1.0, ("B", "C"): 1.0, ("A", "C"): 5.0}
+        path, cost = shortest_path(graph, "A", "C", edge_cost=lambda u, v: costs[(u, v)])
+        assert path == ["A", "B", "C"]
+        assert cost == pytest.approx(2.0)
+
+    def test_directed_search_cannot_go_backwards(self):
+        graph = _chain_graph()
+        result = dijkstra(graph, "D", undirected=False)
+        assert result.distance_to("A") == float("inf")
+
+    def test_undirected_search_traverses_reversed_edges(self):
+        graph = _chain_graph()
+        result = dijkstra(graph, "D", undirected=True)
+        assert result.distance_to("A") == 3
+
+    def test_negative_cost_rejected(self):
+        graph = _chain_graph()
+        with pytest.raises(GraphError):
+            dijkstra(graph, "A", edge_cost=lambda u, v: -1.0)
+
+    def test_missing_source_raises(self):
+        with pytest.raises(NodeNotFoundError):
+            dijkstra(_chain_graph(), "Z")
+
+    def test_matches_networkx_shortest_paths(self, citation_graph):
+        some_node = citation_graph.nodes[0]
+        ours = dijkstra(citation_graph, some_node)
+        nx_graph = nx.Graph(list(citation_graph.edges()))
+        theirs = nx.single_source_shortest_path_length(nx_graph, some_node)
+        for node, distance in list(theirs.items())[:200]:
+            assert ours.distance_to(node) == pytest.approx(float(distance))
+
+
+class TestUnionFindAndMst:
+    def test_union_find_merges_and_finds(self):
+        forest = UnionFind(["a", "b", "c"])
+        assert forest.union("a", "b")
+        assert not forest.union("a", "b")
+        assert forest.connected("a", "b")
+        assert not forest.connected("a", "c")
+        assert len(forest.components()) == 2
+
+    def test_union_find_unknown_element_raises(self):
+        with pytest.raises(GraphError):
+            UnionFind(["a"]).find("z")
+
+    def test_mst_matches_networkx(self):
+        edges = [
+            ("a", "b", 1.0), ("b", "c", 2.0), ("a", "c", 2.5),
+            ("c", "d", 1.0), ("b", "d", 4.0), ("d", "e", 0.5),
+        ]
+        ours = minimum_spanning_tree(["a", "b", "c", "d", "e"], edges)
+        total = sum(weight for _, _, weight in ours)
+        nx_graph = nx.Graph()
+        nx_graph.add_weighted_edges_from(edges)
+        theirs = nx.minimum_spanning_tree(nx_graph)
+        assert total == pytest.approx(theirs.size(weight="weight"))
+        assert len(ours) == 4
+
+    def test_mst_on_disconnected_graph_returns_forest(self):
+        edges = [("a", "b", 1.0), ("c", "d", 1.0)]
+        forest = minimum_spanning_tree(["a", "b", "c", "d"], edges)
+        assert len(forest) == 2
+
+    def test_mst_rejects_negative_weights(self):
+        with pytest.raises(GraphError):
+            minimum_spanning_tree(["a", "b"], [("a", "b", -1.0)])
+
+    def test_mst_rejects_unknown_nodes(self):
+        with pytest.raises(GraphError):
+            minimum_spanning_tree(["a"], [("a", "z", 1.0)])
+
+
+class TestTraversal:
+    def test_zero_order_returns_seeds_only(self):
+        graph = _chain_graph()
+        assert k_hop_neighborhood(graph, ["A"], 0) == {"A": 0}
+
+    def test_orders_expand_monotonically(self):
+        graph = _chain_graph()
+        first = set(k_hop_neighborhood(graph, ["A"], 1))
+        second = set(k_hop_neighborhood(graph, ["A"], 2))
+        assert first <= second
+        assert "C" not in first
+        assert "C" in second
+
+    def test_direction_out_follows_citations_only(self):
+        graph = _chain_graph()
+        hood = k_hop_neighborhood(graph, ["B"], 1, direction="out")
+        assert set(hood) == {"B", "C"}
+        hood_in = k_hop_neighborhood(graph, ["B"], 1, direction="in")
+        assert set(hood_in) == {"B", "A"}
+
+    def test_missing_seeds_are_skipped(self):
+        graph = _chain_graph()
+        hood = k_hop_neighborhood(graph, ["A", "MISSING"], 1)
+        assert "MISSING" not in hood
+
+    def test_max_nodes_cap(self):
+        graph = _chain_graph()
+        hood = k_hop_neighborhood(graph, ["A"], 3, max_nodes=2)
+        assert len(hood) == 2
+
+    def test_invalid_arguments_rejected(self):
+        graph = _chain_graph()
+        with pytest.raises(GraphError):
+            k_hop_neighborhood(graph, ["A"], -1)
+        with pytest.raises(GraphError):
+            k_hop_neighborhood(graph, ["A"], 1, direction="sideways")
+
+    def test_connected_components(self):
+        graph = _chain_graph()
+        graph.add_edge("X", "Y")
+        components = connected_components(graph)
+        assert len(components) == 2
+        assert len(components[0]) >= len(components[1])  # sorted by size
+        assert connected_component(graph, "X") == {"X", "Y"}
+
+
+class TestGraphStatistics:
+    def test_statistics_on_shared_graph(self, citation_graph):
+        stats = graph_statistics(citation_graph)
+        assert stats.num_nodes == citation_graph.num_nodes
+        assert stats.num_edges == citation_graph.num_edges
+        assert stats.largest_component_size <= stats.num_nodes
+        assert stats.mean_in_degree == pytest.approx(stats.mean_out_degree)
+
+    def test_statistics_on_empty_graph(self):
+        stats = graph_statistics(CitationGraph())
+        assert stats.num_nodes == 0
+        assert stats.num_components == 0
+
+    def test_degree_histogram_bins(self):
+        graph = _chain_graph()
+        histogram = degree_histogram(graph, bins=[(0, 0), (1, 2)], kind="in")
+        assert histogram["0-0"] == 1  # A has no incoming edge
+        assert histogram["1-2"] == 4
+
+    def test_degree_histogram_invalid_kind(self):
+        with pytest.raises(ValueError):
+            degree_histogram(_chain_graph(), bins=[(0, 1)], kind="bogus")

@@ -1,0 +1,77 @@
+"""End-to-end integration tests: corpus → SurveyBank → pipeline → evaluation.
+
+These tests assert the qualitative findings of the paper hold on the synthetic
+corpus (the quantitative versions are produced by the benchmark harness):
+
+* Observation I/II — search results alone cover little of a survey's reference
+  list, but the coverage grows substantially with 1st/2nd-order neighbours;
+* Fig. 8 — NEWST outperforms the raw search-engine baseline on F1;
+* Fig. 9 — the generated path contains prerequisite papers that the search
+  engine's top results do not contain.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.baselines.search_topk import SearchTopKBaseline
+from repro.config import EvaluationConfig
+from repro.eval.evaluator import OverlapEvaluator, PipelineMethodAdapter, neighborhood_overlap_study
+
+
+@pytest.fixture(scope="module")
+def eval_bank(survey_bank):
+    return survey_bank.filter(min_references=20)
+
+
+class TestObservations:
+    def test_neighbourhood_expansion_closes_the_gap(self, eval_bank, scholar_engine,
+                                                    citation_graph):
+        """Fig. 2: 0th-order coverage is limited; 2nd-order coverage is high."""
+        ratios = neighborhood_overlap_study(
+            eval_bank, scholar_engine, citation_graph, top_k=30, max_surveys=8
+        )
+        assert ratios[0][1] < 0.7
+        assert ratios[2][1] > 0.8
+        assert ratios[2][1] > ratios[0][1] + 0.2
+
+    def test_newst_beats_raw_search_on_f1(self, eval_bank, scholar_engine, pipeline):
+        """Fig. 8 headline: NEWST outperforms the search engine it seeds from."""
+        config = EvaluationConfig(k_values=(30, 50), max_surveys=8)
+        evaluator = OverlapEvaluator(eval_bank, config)
+        newst = evaluator.evaluate(PipelineMethodAdapter(pipeline, "NEWST"))
+        google = evaluator.evaluate(SearchTopKBaseline(scholar_engine, "google-scholar"))
+        assert newst.f1(1, 50) > google.f1(1, 50)
+
+    def test_generated_path_contains_ground_truth_papers_missed_by_search(
+        self, eval_bank, scholar_engine, pipeline
+    ):
+        """Fig. 9: the path contains reference papers absent from the TOP-30."""
+        hits = 0
+        for instance in list(eval_bank)[:5]:
+            top30 = set(
+                scholar_engine.search_ids(
+                    instance.query, top_k=30,
+                    year_cutoff=instance.year, exclude_ids=[instance.survey_id],
+                )
+            )
+            result = pipeline.generate(
+                instance.query, year_cutoff=instance.year,
+                exclude_ids=(instance.survey_id,),
+            )
+            missed_but_found = (set(result.tree.nodes) - top30) & instance.label(1)
+            hits += bool(missed_but_found)
+        assert hits >= 3
+
+    def test_end_to_end_determinism(self, store, scholar_engine, citation_graph):
+        """The same corpus and query always produce the same reading path."""
+        from repro.core.pipeline import RePaGerPipeline
+
+        first = RePaGerPipeline(store, scholar_engine, graph=citation_graph).generate(
+            "question answering"
+        )
+        second = RePaGerPipeline(store, scholar_engine, graph=citation_graph).generate(
+            "question answering"
+        )
+        assert first.reading_path.papers == second.reading_path.papers
+        assert first.reading_path.edges == second.reading_path.edges

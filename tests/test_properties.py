@@ -1,0 +1,171 @@
+"""Property-based tests (hypothesis) for core data structures and invariants."""
+
+from __future__ import annotations
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.dataset.labels import occurrence_labels
+from repro.eval.metrics import f1_at_k, overlap_ratio, precision_at_k, recall_at_k
+from repro.graph.citation_graph import CitationGraph
+from repro.graph.mst import minimum_spanning_tree
+from repro.graph.pagerank import pagerank
+from repro.graph.steiner import node_edge_weighted_steiner_tree
+from repro.graph.traversal import connected_components, k_hop_neighborhood
+from repro.textproc.tokenizer import tokenize
+from repro.types import ReadingPath
+
+# ---------------------------------------------------------------------------
+# Strategies
+# ---------------------------------------------------------------------------
+
+node_ids = st.integers(min_value=0, max_value=24).map(lambda i: f"N{i}")
+
+
+@st.composite
+def directed_graphs(draw, min_edges: int = 1, max_edges: int = 40):
+    """Random small directed graphs without self-loops."""
+    edges = draw(
+        st.lists(
+            st.tuples(node_ids, node_ids).filter(lambda e: e[0] != e[1]),
+            min_size=min_edges,
+            max_size=max_edges,
+        )
+    )
+    graph = CitationGraph()
+    for source, target in edges:
+        graph.add_edge(source, target)
+    return graph
+
+
+occurrence_maps = st.dictionaries(
+    st.text(alphabet="abcdefgh", min_size=1, max_size=3),
+    st.integers(min_value=1, max_value=6),
+    min_size=1,
+    max_size=20,
+)
+
+prediction_lists = st.lists(
+    st.integers(min_value=0, max_value=50).map(str), min_size=1, max_size=30, unique=True
+)
+relevant_sets = st.sets(st.integers(min_value=0, max_value=50).map(str), max_size=30)
+
+
+# ---------------------------------------------------------------------------
+# Graph invariants
+# ---------------------------------------------------------------------------
+
+@settings(max_examples=40, suppress_health_check=[HealthCheck.too_slow], deadline=None)
+@given(graph=directed_graphs())
+def test_pagerank_is_a_probability_distribution(graph):
+    scores = pagerank(graph, max_iterations=50)
+    assert abs(sum(scores.values()) - 1.0) < 1e-6
+    assert all(score >= 0 for score in scores.values())
+    assert set(scores) == set(graph.nodes)
+
+
+@settings(max_examples=40, deadline=None)
+@given(graph=directed_graphs(), order=st.integers(min_value=0, max_value=3))
+def test_k_hop_neighbourhoods_are_monotone_in_order(graph, order):
+    seeds = list(graph.nodes)[:3]
+    smaller = set(k_hop_neighborhood(graph, seeds, order))
+    larger = set(k_hop_neighborhood(graph, seeds, order + 1))
+    assert smaller <= larger
+    assert set(seeds) <= smaller
+
+
+@settings(max_examples=40, deadline=None)
+@given(graph=directed_graphs())
+def test_connected_components_partition_the_graph(graph):
+    components = connected_components(graph)
+    nodes = [node for component in components for node in component]
+    assert sorted(nodes) == sorted(graph.nodes)
+    assert sum(len(c) for c in components) == graph.num_nodes
+
+
+@settings(max_examples=40, deadline=None)
+@given(graph=directed_graphs(min_edges=3))
+def test_steiner_tree_spans_terminals_and_is_acyclic(graph):
+    components = connected_components(graph)
+    component = sorted(components[0])
+    terminals = component[: min(4, len(component))]
+    tree = node_edge_weighted_steiner_tree(graph, terminals, require_all_terminals=False)
+    assert tree.is_tree()
+    assert tree.terminals <= tree.nodes
+    # A tree over n nodes has exactly n-1 edges.
+    if tree.nodes:
+        assert len(tree.edges) == len(tree.nodes) - 1
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    weights=st.lists(st.floats(min_value=0.0, max_value=100.0), min_size=3, max_size=15),
+)
+def test_mst_of_a_cycle_drops_exactly_one_edge(weights):
+    nodes = [f"N{i}" for i in range(len(weights))]
+    edges = [
+        (nodes[i], nodes[(i + 1) % len(nodes)], weights[i]) for i in range(len(nodes))
+    ]
+    tree = minimum_spanning_tree(nodes, edges)
+    assert len(tree) == len(nodes) - 1
+    total = sum(w for _, _, w in tree)
+    assert total <= sum(weights) - min(weights) + 1e-9
+
+
+# ---------------------------------------------------------------------------
+# Metric invariants
+# ---------------------------------------------------------------------------
+
+@settings(max_examples=60, deadline=None)
+@given(predicted=prediction_lists, relevant=relevant_sets, k=st.integers(min_value=1, max_value=40))
+def test_metrics_are_bounded_and_consistent(predicted, relevant, k):
+    precision = precision_at_k(predicted, relevant, k)
+    recall = recall_at_k(predicted, relevant, k)
+    triple = f1_at_k(predicted, relevant, k)
+    assert 0.0 <= precision <= 1.0
+    assert 0.0 <= recall <= 1.0
+    assert 0.0 <= triple.f1 <= 1.0
+    assert triple.f1 <= max(precision, recall) + 1e-9
+    if precision > 0 and recall > 0:
+        assert triple.f1 >= min(precision, recall) - 1e-9
+    else:
+        assert triple.f1 == 0.0
+
+
+@settings(max_examples=60, deadline=None)
+@given(predicted=prediction_lists, relevant=relevant_sets)
+def test_overlap_ratio_bounded_by_one(predicted, relevant):
+    ratio = overlap_ratio(predicted, relevant)
+    assert 0.0 <= ratio <= 1.0
+    if relevant and set(predicted) >= relevant:
+        assert ratio == 1.0
+
+
+@settings(max_examples=60, deadline=None)
+@given(occurrences=occurrence_maps)
+def test_occurrence_labels_are_nested_chains(occurrences):
+    labels = occurrence_labels(occurrences, levels=(1, 2, 3, 4))
+    assert labels[4] <= labels[3] <= labels[2] <= labels[1]
+    assert labels[1] == frozenset(occurrences)
+
+
+# ---------------------------------------------------------------------------
+# Types and text invariants
+# ---------------------------------------------------------------------------
+
+@settings(max_examples=60, deadline=None)
+@given(papers=st.lists(st.text(alphabet="abcdef", min_size=1, max_size=4), min_size=1,
+                       max_size=15, unique=True))
+def test_reading_path_topological_order_is_a_permutation(papers):
+    path = ReadingPath.from_papers("query", papers)
+    assert sorted(path.topological_order()) == sorted(papers)
+    assert path.paper_set == frozenset(papers)
+
+
+@settings(max_examples=60, deadline=None)
+@given(text=st.text(max_size=200))
+def test_tokenizer_never_returns_stopwords_or_uppercase(text):
+    tokens = tokenize(text)
+    assert all(token == token.lower() for token in tokens)
+    assert all(len(token) >= 2 for token in tokens)
+    assert "the" not in tokens

@@ -1,0 +1,165 @@
+"""Unit tests for the RePaGer system layer: renderers, service facade and CLI."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.config import CorpusConfig, PipelineConfig
+from repro.errors import PaperNotFoundError
+from repro.repager.cli import build_parser, main
+from repro.repager.render import render_ascii_tree, render_dot, render_flat_list
+from repro.repager.service import RePaGerService
+from repro.types import ReadingPath, ReadingPathEdge
+
+
+@pytest.fixture(scope="module")
+def service(store, scholar_engine, citation_graph, venues):
+    return RePaGerService(
+        store,
+        search_engine=scholar_engine,
+        pipeline_config=PipelineConfig(num_seeds=15),
+        venues=venues,
+        graph=citation_graph,
+    )
+
+
+@pytest.fixture(scope="module")
+def payload(service):
+    return service.query("pretrained language models")
+
+
+class TestRenderers:
+    def _path(self) -> ReadingPath:
+        return ReadingPath(
+            query="widgets",
+            papers=("A", "B", "C"),
+            edges=(ReadingPathEdge("A", "B", weight=2.0), ReadingPathEdge("B", "C", weight=1.0)),
+            node_weights={"A": 0.9, "B": 0.5, "C": 0.1},
+            seeds=("A",),
+        )
+
+    def test_flat_list_numbers_papers_in_reading_order(self):
+        text = render_flat_list(self._path())
+        lines = text.splitlines()
+        assert lines[0].endswith("widgets")
+        assert lines[1].strip().startswith("1.")
+        assert "A" in lines[1]
+
+    def test_flat_list_marks_seeds(self):
+        text = render_flat_list(self._path())
+        assert "* A" in text
+
+    def test_ascii_tree_shows_edges(self):
+        text = render_ascii_tree(self._path())
+        assert "└── B" in text or "├── B" in text
+
+    def test_ascii_tree_reports_disconnected_papers(self):
+        path = ReadingPath(query="q", papers=("A", "B"), edges=(ReadingPathEdge("A", "B"),))
+        extended = ReadingPath(query="q", papers=("A", "B", "LONE"),
+                               edges=(ReadingPathEdge("A", "B"),))
+        assert "not connected" not in render_ascii_tree(path)
+        assert render_ascii_tree(extended)
+
+    def test_dot_output_is_well_formed(self):
+        dot = render_dot(self._path())
+        assert dot.startswith("digraph")
+        assert dot.rstrip().endswith("}")
+        assert '"A" -> "B"' in dot
+        assert "fillcolor" in dot
+
+    def test_renderers_resolve_titles_from_store(self, store, payload):
+        text = render_flat_list(payload.reading_path, store, limit=5)
+        some_paper = store.get_paper(payload.reading_path.papers[0])
+        assert some_paper.title.split()[0] in text
+
+
+class TestService:
+    def test_payload_structure(self, payload):
+        data = payload.to_dict()
+        assert data["query"] == "pretrained language models"
+        assert data["nodes"]
+        assert data["edges"]
+        assert data["navigation"]
+        assert data["stats"]["tree_size"] > 0
+        assert json.dumps(data)  # JSON-serialisable
+
+    def test_node_importances_are_normalised(self, payload):
+        importances = [node["importance"] for node in payload.nodes]
+        assert max(importances) == pytest.approx(1.0)
+        assert all(0.0 <= value <= 1.0 for value in importances)
+
+    def test_edge_relevances_are_normalised(self, payload):
+        assert all(0.0 <= edge["relevance"] <= 1.0 for edge in payload.edges)
+
+    def test_navigation_matches_tree_papers(self, payload):
+        navigation_ids = {item["paper_id"] for item in payload.navigation}
+        node_ids = {node["paper_id"] for node in payload.nodes}
+        assert navigation_ids == node_ids
+
+    def test_paper_details(self, service, payload):
+        paper_id = payload.nodes[0]["paper_id"]
+        details = service.paper_details(paper_id)
+        assert details["paper_id"] == paper_id
+        assert "title" in details and "references" in details
+
+    def test_paper_details_unknown_id(self, service):
+        with pytest.raises(PaperNotFoundError):
+            service.paper_details("NOPE")
+
+    def test_render_text_both_modes(self, service, payload):
+        assert "Reading path" in service.render_text(payload, as_tree=True)
+        assert "Reading list" in service.render_text(payload, as_tree=False)
+
+    def test_from_synthetic_corpus_factory(self):
+        service = RePaGerService.from_synthetic_corpus(
+            CorpusConfig(papers_per_topic=8, surveys_per_topic=1,
+                         citations_per_paper=4.0, survey_reference_count=12.0),
+            PipelineConfig(num_seeds=5),
+        )
+        payload = service.query("machine learning")
+        assert payload.stats["tree_size"] >= 1
+
+
+class TestCli:
+    def test_parser_has_three_subcommands(self):
+        parser = build_parser()
+        args = parser.parse_args(["query", "deep learning"])
+        assert args.command == "query"
+        assert args.text == "deep learning"
+
+    def test_generate_and_build_surveybank_and_query(self, tmp_path, capsys):
+        corpus_dir = tmp_path / "corpus"
+        exit_code = main([
+            "generate-corpus", "--output", str(corpus_dir),
+            "--papers-per-topic", "8", "--surveys-per-topic", "1",
+        ])
+        assert exit_code == 0
+        assert (corpus_dir / "papers.jsonl").exists()
+
+        bank_path = tmp_path / "bank.jsonl"
+        exit_code = main([
+            "build-surveybank", "--corpus", str(corpus_dir),
+            "--output", str(bank_path), "--min-references", "5",
+        ])
+        assert exit_code == 0
+        assert bank_path.exists()
+
+        exit_code = main([
+            "query", "machine learning", "--corpus", str(corpus_dir), "--seeds", "5",
+        ])
+        assert exit_code == 0
+        output = capsys.readouterr().out
+        assert "Reading path" in output or "Reading list" in output
+
+    def test_query_json_output(self, tmp_path, capsys):
+        corpus_dir = tmp_path / "corpus"
+        main(["generate-corpus", "--output", str(corpus_dir),
+              "--papers-per-topic", "8", "--surveys-per-topic", "1"])
+        capsys.readouterr()
+        exit_code = main(["query", "machine learning", "--corpus", str(corpus_dir),
+                          "--seeds", "5", "--json"])
+        assert exit_code == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["query"] == "machine learning"

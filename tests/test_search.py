@@ -1,0 +1,105 @@
+"""Unit tests for the academic search-engine simulators and the SerpAPI client."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import EmptyQueryError, SearchError
+from repro.search.academic import MicrosoftAcademicEngine
+from repro.search.aminer import AMinerEngine
+from repro.search.engine import RankingPolicy, SearchEngine
+from repro.search.scholar import GoogleScholarEngine
+from repro.search.serapi import SerApiClient
+
+
+class TestSearchEngineCore:
+    def test_results_are_ranked_and_limited(self, scholar_engine):
+        results = scholar_engine.search("pretrained language models", top_k=10)
+        assert 0 < len(results) <= 10
+        scores = [r.score for r in results]
+        assert scores == sorted(scores, reverse=True)
+        assert [r.rank for r in results] == list(range(len(results)))
+
+    def test_results_match_query_topic(self, scholar_engine, store):
+        results = scholar_engine.search("hate speech detection", top_k=10)
+        topics = {store.get_paper(r.paper_id).topic for r in results}
+        assert "hate-speech-detection" in topics
+
+    def test_year_cutoff_respected(self, scholar_engine, store):
+        results = scholar_engine.search("neural networks", top_k=20, year_cutoff=2005)
+        assert all(store.get_paper(r.paper_id).year <= 2005 for r in results)
+
+    def test_exclude_ids_respected(self, scholar_engine):
+        baseline = scholar_engine.search_ids("deep learning", top_k=5)
+        excluded = scholar_engine.search_ids("deep learning", top_k=5, exclude_ids=baseline[:1])
+        assert baseline[0] not in excluded
+
+    def test_empty_query_rejected(self, scholar_engine):
+        with pytest.raises(EmptyQueryError):
+            scholar_engine.search("   ")
+
+    def test_invalid_top_k_rejected(self, scholar_engine):
+        with pytest.raises(SearchError):
+            scholar_engine.search("deep learning", top_k=0)
+
+    def test_irrelevant_papers_never_returned(self, store):
+        engine = SearchEngine(store, policy=RankingPolicy())
+        results = engine.search("zzzz nonexistent gibberish", top_k=10)
+        assert results == []
+
+    def test_engines_have_distinct_rankings(self, store, venues):
+        query = "machine learning"
+        scholar = GoogleScholarEngine(store, venues=venues).search_ids(query, top_k=20)
+        aminer = AMinerEngine(store, venues=venues).search_ids(query, top_k=20)
+        academic = MicrosoftAcademicEngine(store, venues=venues).search_ids(query, top_k=20)
+        assert scholar != aminer or scholar != academic
+
+    def test_scholar_prefers_highly_cited_papers(self, store, scholar_engine):
+        results = scholar_engine.search("machine learning", top_k=10)
+        top_citations = [store.get_paper(r.paper_id).citation_count for r in results[:5]]
+        corpus_mean = sum(p.citation_count for p in store) / len(store)
+        assert sum(top_citations) / len(top_citations) > corpus_mean
+
+    def test_aminer_prefers_recent_papers(self, store, venues):
+        aminer = AMinerEngine(store, venues=venues)
+        scholar = GoogleScholarEngine(store, venues=venues)
+        query = "machine learning"
+        aminer_years = [store.get_paper(pid).year for pid in aminer.search_ids(query, top_k=15)]
+        scholar_years = [store.get_paper(pid).year for pid in scholar.search_ids(query, top_k=15)]
+        assert sum(aminer_years) / len(aminer_years) >= sum(scholar_years) / len(scholar_years)
+
+
+class TestSerApiClient:
+    def test_results_look_like_organic_results(self, scholar_engine):
+        client = SerApiClient(scholar_engine)
+        results = client.search("graph neural networks", num=5)
+        assert results
+        first = results[0]
+        assert first["position"] == 1
+        assert {"paper_id", "title", "year", "score"} <= set(first)
+
+    def test_cache_avoids_repeated_queries(self, scholar_engine):
+        client = SerApiClient(scholar_engine)
+        client.search("graph neural networks", num=5)
+        client.search("graph neural networks", num=5)
+        assert client.stats.queries_issued == 1
+        assert client.stats.cache_hits == 1
+
+    def test_quota_enforced(self, scholar_engine):
+        client = SerApiClient(scholar_engine, quota=1)
+        client.search("graph neural networks", num=3)
+        with pytest.raises(SearchError):
+            client.search("information retrieval", num=3)
+        assert client.remaining_quota == 0
+
+    def test_invalid_construction_rejected(self, scholar_engine):
+        with pytest.raises(SearchError):
+            SerApiClient(scholar_engine, quota=0)
+        with pytest.raises(SearchError):
+            SerApiClient(scholar_engine, latency_per_query=-1.0)
+
+    def test_search_ids_match_engine_ranking(self, scholar_engine):
+        client = SerApiClient(scholar_engine)
+        assert client.search_ids("deep learning", num=5) == scholar_engine.search_ids(
+            "deep learning", top_k=5
+        )

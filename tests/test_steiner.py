@@ -1,0 +1,160 @@
+"""Unit tests for the node-edge weighted Steiner tree (KMB heuristic)."""
+
+from __future__ import annotations
+
+import networkx as nx
+import pytest
+
+from repro.errors import DisconnectedTerminalsError, GraphError, NodeNotFoundError
+from repro.graph.citation_graph import CitationGraph
+from repro.graph.steiner import metric_closure, node_edge_weighted_steiner_tree
+
+
+def _grid_graph() -> CitationGraph:
+    """A small graph where the optimal Steiner tree needs an intermediate node.
+
+        A - M - B
+            |
+            C
+
+    Terminals {A, B, C} are pairwise non-adjacent; M is the natural Steiner node.
+    """
+    graph = CitationGraph()
+    for source, target in [("A", "M"), ("M", "B"), ("M", "C")]:
+        graph.add_edge(source, target)
+    return graph
+
+
+class TestSteinerBasics:
+    def test_star_uses_intermediate_node(self):
+        tree = node_edge_weighted_steiner_tree(_grid_graph(), ["A", "B", "C"])
+        assert tree.nodes == frozenset({"A", "B", "C", "M"})
+        assert tree.is_tree()
+        assert tree.steiner_nodes == frozenset({"M"})
+
+    def test_single_terminal(self):
+        tree = node_edge_weighted_steiner_tree(_grid_graph(), ["A"], node_cost=lambda n: 2.0)
+        assert tree.nodes == frozenset({"A"})
+        assert tree.edges == ()
+        assert tree.total_cost == pytest.approx(2.0)
+
+    def test_two_adjacent_terminals(self):
+        tree = node_edge_weighted_steiner_tree(_grid_graph(), ["A", "M"])
+        assert tree.nodes == frozenset({"A", "M"})
+        assert len(tree.edges) == 1
+
+    def test_no_terminals_rejected(self):
+        with pytest.raises(GraphError):
+            node_edge_weighted_steiner_tree(_grid_graph(), [])
+
+    def test_unknown_terminal_rejected(self):
+        with pytest.raises(NodeNotFoundError):
+            node_edge_weighted_steiner_tree(_grid_graph(), ["A", "Z"])
+
+    def test_spans_all_terminals(self):
+        tree = node_edge_weighted_steiner_tree(_grid_graph(), ["A", "B"])
+        assert {"A", "B"} <= tree.nodes
+
+    def test_duplicate_terminals_deduplicated(self):
+        tree = node_edge_weighted_steiner_tree(_grid_graph(), ["A", "A", "B"])
+        assert tree.terminals == frozenset({"A", "B"})
+
+
+class TestDisconnectedTerminals:
+    def _disconnected(self) -> CitationGraph:
+        graph = _grid_graph()
+        graph.add_edge("X", "Y")
+        return graph
+
+    def test_raises_when_required(self):
+        with pytest.raises(DisconnectedTerminalsError):
+            node_edge_weighted_steiner_tree(
+                self._disconnected(), ["A", "X"], require_all_terminals=True
+            )
+
+    def test_spans_largest_group_when_allowed(self):
+        tree = node_edge_weighted_steiner_tree(
+            self._disconnected(), ["A", "B", "X"], require_all_terminals=False
+        )
+        assert {"A", "B"} <= tree.nodes
+        assert "X" not in tree.nodes
+
+
+class TestWeights:
+    def test_edge_costs_steer_path_choice(self):
+        # Two routes between T1 and T2: direct expensive edge vs cheap two-hop path.
+        graph = CitationGraph()
+        graph.add_edge("T1", "T2")
+        graph.add_edge("T1", "mid")
+        graph.add_edge("mid", "T2")
+        costs = {("T1", "T2"): 10.0, ("T1", "mid"): 1.0, ("mid", "T2"): 1.0}
+
+        def edge_cost(u: str, v: str) -> float:
+            return costs.get((u, v), costs.get((v, u), 1.0))
+
+        tree = node_edge_weighted_steiner_tree(graph, ["T1", "T2"], edge_cost=edge_cost)
+        assert "mid" in tree.nodes
+        assert tree.edge_cost_total == pytest.approx(2.0)
+
+    def test_node_costs_steer_path_choice(self):
+        # Two possible intermediate nodes; the cheap one must be chosen.
+        graph = CitationGraph()
+        graph.add_edge("T1", "cheap")
+        graph.add_edge("cheap", "T2")
+        graph.add_edge("T1", "pricey")
+        graph.add_edge("pricey", "T2")
+        node_costs = {"cheap": 0.1, "pricey": 50.0, "T1": 0.0, "T2": 0.0}
+        tree = node_edge_weighted_steiner_tree(
+            graph, ["T1", "T2"], node_cost=lambda n: node_costs[n]
+        )
+        assert "cheap" in tree.nodes
+        assert "pricey" not in tree.nodes
+
+    def test_total_cost_decomposition(self):
+        tree = node_edge_weighted_steiner_tree(
+            _grid_graph(), ["A", "B", "C"],
+            edge_cost=lambda u, v: 2.0, node_cost=lambda n: 1.0,
+        )
+        assert tree.total_cost == pytest.approx(tree.edge_cost_total + tree.node_cost_total)
+        assert tree.edge_cost_total == pytest.approx(2.0 * len(tree.edges))
+        assert tree.node_cost_total == pytest.approx(float(len(tree.nodes)))
+
+
+class TestApproximationQuality:
+    def test_within_kmb_bound_of_networkx_steiner(self, citation_graph):
+        """On a real subgraph our tree cost stays within the 2x KMB bound of
+        networkx's own approximation (both are approximations, so we compare
+        against each other rather than the unknown optimum)."""
+        nodes = list(citation_graph.nodes)[:300]
+        subgraph = citation_graph.subgraph(nodes)
+        # Pick terminals inside the largest undirected component.
+        nx_graph = nx.Graph(list(subgraph.edges()))
+        if nx_graph.number_of_nodes() == 0:
+            pytest.skip("subgraph has no edges")
+        component = max(nx.connected_components(nx_graph), key=len)
+        terminals = sorted(component)[:6]
+        if len(terminals) < 3:
+            pytest.skip("component too small")
+        ours = node_edge_weighted_steiner_tree(subgraph, terminals)
+        theirs = nx.algorithms.approximation.steiner_tree(
+            nx_graph.subgraph(component).copy(), terminals
+        )
+        ours_cost = len(ours.edges)
+        theirs_cost = theirs.number_of_edges()
+        assert ours_cost <= 2 * max(theirs_cost, 1)
+        assert ours.is_tree()
+
+    def test_metric_closure_symmetry(self):
+        graph = _grid_graph()
+        distances, paths = metric_closure(graph, ["A", "B", "C"])
+        assert distances[("A", "B")] == pytest.approx(2.0)
+        assert paths[("A", "B")][0] == "A"
+        assert paths[("A", "B")][-1] == "B"
+
+    def test_pruning_removes_dangling_steiner_leaves(self):
+        # A path graph where a side branch should never survive pruning.
+        graph = CitationGraph()
+        for source, target in [("A", "B"), ("B", "C"), ("B", "D")]:
+            graph.add_edge(source, target)
+        tree = node_edge_weighted_steiner_tree(graph, ["A", "C"])
+        assert "D" not in tree.nodes

@@ -1,0 +1,119 @@
+"""Unit tests for the corpus store and S2ORC record conversion."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.corpus.s2orc import (
+    S2orcRecord,
+    papers_to_s2orc,
+    read_s2orc_jsonl,
+    s2orc_to_papers,
+    write_s2orc_jsonl,
+)
+from repro.corpus.storage import CorpusStore
+from repro.errors import CorpusError, PaperNotFoundError
+from repro.types import Paper, Survey
+
+
+def _paper(pid: str, topic: str = "t", year: int = 2010, cites: tuple[str, ...] = ()) -> Paper:
+    return Paper(paper_id=pid, title=f"paper {pid}", topic=topic, year=year,
+                 outbound_citations=cites)
+
+
+class TestCorpusStore:
+    def test_add_and_get(self):
+        store = CorpusStore([_paper("P1")])
+        assert store.get_paper("P1").title == "paper P1"
+        assert "P1" in store
+        assert len(store) == 1
+
+    def test_duplicate_paper_rejected(self):
+        store = CorpusStore([_paper("P1")])
+        with pytest.raises(CorpusError):
+            store.add_paper(_paper("P1"))
+
+    def test_missing_paper_raises(self):
+        store = CorpusStore()
+        with pytest.raises(PaperNotFoundError):
+            store.get_paper("nope")
+
+    def test_survey_requires_paper_record(self):
+        store = CorpusStore()
+        survey = Survey(paper_id="S1", title="s", year=2019, key_phrases=("x",),
+                        reference_occurrences={"P1": 1})
+        with pytest.raises(CorpusError):
+            store.add_survey(survey)
+
+    def test_topic_and_year_indexes(self):
+        store = CorpusStore([_paper("P1", topic="a", year=2001),
+                             _paper("P2", topic="a", year=2002),
+                             _paper("P3", topic="b", year=2002)])
+        assert {p.paper_id for p in store.papers_in_topic("a")} == {"P1", "P2"}
+        assert {p.paper_id for p in store.papers_in_year(2002)} == {"P2", "P3"}
+        assert {p.paper_id for p in store.papers_published_by(2001)} == {"P1"}
+
+    def test_citation_counts_from_outbound_lists(self):
+        store = CorpusStore([
+            _paper("P1", cites=("P2", "P3")),
+            _paper("P2", cites=("P3",)),
+            _paper("P3"),
+        ])
+        counts = store.citation_counts()
+        assert counts == {"P1": 0, "P2": 1, "P3": 2}
+
+    def test_replace_paper_updates_indexes(self):
+        store = CorpusStore([_paper("P1", topic="a", year=2001)])
+        store.replace_paper(_paper("P1", topic="b", year=2005))
+        assert store.papers_in_topic("a") == []
+        assert [p.paper_id for p in store.papers_in_topic("b")] == ["P1"]
+        assert [p.paper_id for p in store.papers_in_year(2005)] == ["P1"]
+
+    def test_save_and_load_round_trip(self, tmp_path):
+        papers = [_paper("P1", cites=("P2",)), _paper("P2")]
+        survey = Survey(paper_id="P1", title="s", year=2019, key_phrases=("x",),
+                        reference_occurrences={"P2": 2})
+        store = CorpusStore(papers)
+        store.add_survey(survey)
+        store.save(tmp_path / "corpus")
+        restored = CorpusStore.load(tmp_path / "corpus")
+        assert restored.paper_ids == store.paper_ids
+        assert restored.get_survey("P1").reference_occurrences == {"P2": 2}
+
+    def test_load_missing_directory_raises(self, tmp_path):
+        with pytest.raises(CorpusError):
+            CorpusStore.load(tmp_path / "missing")
+
+
+class TestS2orcRecords:
+    def test_round_trip_through_s2orc_format(self):
+        papers = [_paper("P1", topic="widgets", cites=("P2",)), _paper("P2", topic="gadgets")]
+        records = papers_to_s2orc(papers)
+        restored = s2orc_to_papers(records)
+        assert [p.paper_id for p in restored] == ["P1", "P2"]
+        assert restored[0].topic == "widgets"
+        assert restored[0].outbound_citations == ("P2",)
+
+    def test_jsonl_round_trip(self, tmp_path):
+        records = papers_to_s2orc([_paper("P1"), _paper("P2")])
+        path = tmp_path / "shard.jsonl"
+        assert write_s2orc_jsonl(records, path) == 2
+        loaded = list(read_s2orc_jsonl(path))
+        assert [r.paper_id for r in loaded] == ["P1", "P2"]
+
+    def test_read_missing_shard_raises(self, tmp_path):
+        with pytest.raises(CorpusError):
+            list(read_s2orc_jsonl(tmp_path / "nope.jsonl"))
+
+    def test_is_computer_science_flag(self):
+        record = S2orcRecord(paper_id="P1", title="t", mag_field_of_study=("Biology",))
+        assert not record.is_computer_science()
+        record_cs = S2orcRecord(paper_id="P2", title="t")
+        assert record_cs.is_computer_science()
+
+    def test_from_dict_keeps_unknown_fields(self):
+        record = S2orcRecord.from_dict(
+            {"paper_id": "P1", "title": "t", "custom": 42, "year": None, "venue": None}
+        )
+        assert record.extra["custom"] == 42
+        assert record.year == 0

@@ -1,0 +1,127 @@
+"""Unit tests for the SurveyBank benchmark object and its statistics."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.dataset.statistics import (
+    citation_bins,
+    compute_statistics,
+    reference_bins,
+    topic_distribution,
+    year_bins,
+)
+from repro.dataset.surveybank import UNCERTAIN_DOMAIN, SurveyBank, SurveyBankInstance
+from repro.errors import DatasetError
+
+
+class TestSurveyBankBasics:
+    def test_from_corpus_builds_one_instance_per_survey(self, store, survey_bank):
+        assert len(survey_bank) == len(store.surveys)
+
+    def test_instances_have_nested_labels(self, survey_bank):
+        for instance in survey_bank:
+            assert instance.label(3) <= instance.label(2) <= instance.label(1)
+            assert len(instance.label(1)) == instance.num_references
+
+    def test_duplicate_instances_rejected(self, survey_bank):
+        instance = survey_bank.instances[0]
+        with pytest.raises(DatasetError):
+            SurveyBank([instance, instance])
+
+    def test_get_unknown_instance_raises(self, survey_bank):
+        with pytest.raises(DatasetError):
+            survey_bank.get("nope")
+
+    def test_label_for_unknown_level_raises(self, survey_bank):
+        with pytest.raises(DatasetError):
+            survey_bank.instances[0].label(7)
+
+    def test_score_formula(self):
+        instance = SurveyBankInstance(
+            survey_id="S", title="t", year=2016, domain=UNCERTAIN_DOMAIN,
+            key_phrases=("x",), labels={1: frozenset({"a"})},
+            citation_count=50, num_references=30,
+        )
+        assert instance.score == pytest.approx(50 / (2020 - 2016 + 1))
+
+    def test_round_trip_serialisation(self, survey_bank, tmp_path):
+        path = tmp_path / "bank.jsonl"
+        survey_bank.save(path)
+        restored = SurveyBank.load(path)
+        assert restored.survey_ids == survey_bank.survey_ids
+        first = survey_bank.instances[0]
+        assert restored.get(first.survey_id).label(2) == first.label(2)
+
+    def test_load_missing_file_raises(self, tmp_path):
+        with pytest.raises(DatasetError):
+            SurveyBank.load(tmp_path / "missing.jsonl")
+
+
+class TestSelection:
+    def test_filter_by_min_references(self, survey_bank):
+        filtered = survey_bank.filter(min_references=25)
+        assert all(i.num_references >= 25 for i in filtered)
+        assert len(filtered) <= len(survey_bank)
+
+    def test_filter_by_domain(self, survey_bank):
+        domains = {i.domain for i in survey_bank}
+        some_domain = next(iter(domains))
+        filtered = survey_bank.filter(domains=[some_domain])
+        assert all(i.domain == some_domain for i in filtered)
+
+    def test_top_scoring_orders_by_score(self, survey_bank):
+        top = survey_bank.top_scoring(10)
+        assert len(top) == 10
+        scores = [i.score for i in top]
+        assert min(scores) >= sorted((i.score for i in survey_bank), reverse=True)[10 - 1]
+
+    def test_sample_is_deterministic(self, survey_bank):
+        assert survey_bank.sample(5, seed=3).survey_ids == survey_bank.sample(5, seed=3).survey_ids
+
+    def test_split_partitions_the_benchmark(self, survey_bank):
+        train, test = survey_bank.split(train_fraction=0.75, seed=1)
+        assert len(train) + len(test) == len(survey_bank)
+        assert not set(train.survey_ids) & set(test.survey_ids)
+
+    def test_split_invalid_fraction_rejected(self, survey_bank):
+        with pytest.raises(DatasetError):
+            survey_bank.split(train_fraction=1.5)
+
+    def test_by_domain_covers_all_instances(self, survey_bank):
+        grouped = survey_bank.by_domain()
+        assert sum(len(v) for v in grouped.values()) == len(survey_bank)
+
+
+class TestStatistics:
+    def test_histograms_cover_every_survey(self, survey_bank):
+        assert sum(year_bins(survey_bank).values()) == len(survey_bank)
+        assert sum(reference_bins(survey_bank).values()) == len(survey_bank)
+        assert sum(citation_bins(survey_bank).values()) <= len(survey_bank)
+
+    def test_topic_distribution_matches_size(self, survey_bank):
+        distribution = topic_distribution(survey_bank)
+        assert sum(distribution.values()) == len(survey_bank)
+        assert UNCERTAIN_DOMAIN in distribution
+
+    def test_full_statistics_bundle(self, survey_bank):
+        stats = compute_statistics(survey_bank)
+        assert stats.num_surveys == len(survey_bank)
+        assert stats.mean_references > 10
+        assert 0.0 <= stats.fraction_uncited <= 1.0
+        assert 0.0 <= stats.fraction_highly_cited <= 1.0
+        assert 0.0 < stats.fraction_recent <= 1.0
+        assert stats.to_dict()["num_surveys"] == stats.num_surveys
+
+    def test_statistics_on_empty_bank(self):
+        stats = compute_statistics(SurveyBank([]))
+        assert stats.num_surveys == 0
+        assert stats.mean_references == 0.0
+
+    def test_statistics_shape_mirrors_paper(self, survey_bank):
+        """Qualitative Fig. 4 / Sec. III-C checks: some surveys are uncited,
+        few are extremely cited, and most are recent."""
+        stats = compute_statistics(survey_bank)
+        assert stats.fraction_uncited > 0.05
+        assert stats.fraction_highly_cited < 0.5
+        assert stats.fraction_recent > 0.6

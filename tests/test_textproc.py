@@ -1,0 +1,214 @@
+"""Unit tests for the text-processing substrate."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.textproc.embeddings import EmbeddingMatcher, HashedEmbedder
+from repro.textproc.keyphrase import TopicRankExtractor, extract_key_phrases
+from repro.textproc.similarity import cosine_similarity, jaccard_similarity
+from repro.textproc.stopwords import is_stopword
+from repro.textproc.tfidf import TfidfVectorizer
+from repro.textproc.tokenizer import ngrams, sentences, tokenize
+
+
+class TestTokenizer:
+    def test_lowercases_and_strips_punctuation(self):
+        assert tokenize("Hate-Speech Detection!") == ["hate-speech", "detection"]
+
+    def test_removes_stopwords(self):
+        assert tokenize("a survey of the widgets") == ["survey", "widgets"]
+
+    def test_title_noise_removal_is_optional(self):
+        with_noise = tokenize("a survey on widgets", include_title_noise=True)
+        assert "survey" not in with_noise
+        assert "widgets" in with_noise
+
+    def test_min_length_filter(self):
+        assert tokenize("x is a b word", min_length=3) == ["word"]
+
+    def test_ngrams(self):
+        assert ngrams(["a", "b", "c"], 2) == [("a", "b"), ("b", "c")]
+        assert ngrams(["a"], 2) == []
+        with pytest.raises(ValueError):
+            ngrams(["a"], 0)
+
+    def test_sentences_split_on_punctuation(self):
+        assert list(sentences("First one. Second one! Third")) == [
+            "First one", "Second one", "Third",
+        ]
+
+    def test_stopword_lookup(self):
+        assert is_stopword("The")
+        assert not is_stopword("survey")
+        assert is_stopword("survey", include_title_noise=True)
+
+
+class TestTfidf:
+    def _fitted(self) -> TfidfVectorizer:
+        corpus = [
+            "hate speech detection on social media",
+            "neural machine translation with attention",
+            "graph neural networks for citation analysis",
+            "hate speech classification with embeddings",
+        ]
+        return TfidfVectorizer().fit(corpus)
+
+    def test_transform_before_fit_rejected(self):
+        with pytest.raises(ConfigurationError):
+            TfidfVectorizer().transform("text")
+
+    def test_fit_on_empty_corpus_rejected(self):
+        with pytest.raises(ConfigurationError):
+            TfidfVectorizer().fit([])
+
+    def test_vectors_are_normalised(self):
+        vectorizer = self._fitted()
+        vector = vectorizer.transform("hate speech detection")
+        norm = sum(value ** 2 for value in vector.values()) ** 0.5
+        assert norm == pytest.approx(1.0)
+
+    def test_relevant_document_ranks_first(self):
+        vectorizer = self._fitted()
+        documents = [
+            ("doc1", "hate speech detection on social media"),
+            ("doc2", "graph neural networks for citation analysis"),
+        ]
+        ranked = vectorizer.rank("hate speech", documents)
+        assert ranked[0][0] == "doc1"
+        assert ranked[0][1] > ranked[1][1]
+
+    def test_similarity_is_symmetric(self):
+        vectorizer = self._fitted()
+        a = "hate speech detection"
+        b = "speech detection on media"
+        assert vectorizer.similarity(a, b) == pytest.approx(vectorizer.similarity(b, a))
+
+    def test_unseen_terms_are_ignored(self):
+        vectorizer = self._fitted()
+        assert vectorizer.transform("completely unrelated zebra") == {}
+
+
+class TestKeyphraseExtraction:
+    def test_paper_running_example(self):
+        phrases = extract_key_phrases(
+            "A survey on hate speech detection using natural language processing"
+        )
+        joined = " | ".join(phrases)
+        assert "hate speech detection" in joined
+        assert "natural language processing" in joined
+        assert all("survey" not in phrase for phrase in phrases)
+
+    def test_single_topic_title(self):
+        phrases = extract_key_phrases("A survey of pretrained language models")
+        assert phrases[0] == "pretrained language models"
+
+    def test_empty_title_returns_nothing(self):
+        assert extract_key_phrases("a survey of the") == []
+
+    def test_max_phrases_respected(self):
+        extractor = TopicRankExtractor(max_phrases=1)
+        phrases = extractor.extract(
+            "hate speech detection using natural language processing and deep learning"
+        )
+        assert len(phrases) == 1
+
+    def test_invalid_configuration_rejected(self):
+        with pytest.raises(ConfigurationError):
+            TopicRankExtractor(max_phrases=0)
+        with pytest.raises(ConfigurationError):
+            TopicRankExtractor(clustering_threshold=0.0)
+
+    def test_deterministic(self):
+        title = "graph neural networks for recommender systems"
+        assert extract_key_phrases(title) == extract_key_phrases(title)
+
+
+class TestEmbeddings:
+    def test_embeddings_are_unit_norm_and_deterministic(self):
+        embedder = HashedEmbedder(dimensions=64, lsa_components=0)
+        first = embedder.embed("attention is all you need")
+        second = embedder.embed("attention is all you need")
+        assert np.allclose(first, second)
+        assert np.linalg.norm(first) == pytest.approx(1.0)
+
+    def test_related_texts_more_similar_than_unrelated(self):
+        embedder = HashedEmbedder(dimensions=128, lsa_components=0)
+        related = embedder.similarity(
+            "hate speech detection on twitter", "detecting hate speech in social media"
+        )
+        unrelated = embedder.similarity(
+            "hate speech detection on twitter", "quantum error correction codes"
+        )
+        assert related > unrelated
+
+    def test_lsa_projection_reduces_dimensionality(self):
+        embedder = HashedEmbedder(dimensions=64, lsa_components=8)
+        documents = [
+            "hate speech detection", "graph neural networks", "query optimization",
+            "neural machine translation", "reinforcement learning agents",
+            "operating system scheduling", "wireless sensor networks",
+            "program synthesis from examples", "knowledge graph embeddings",
+            "speech recognition acoustic models",
+        ]
+        embedder.fit(documents)
+        assert embedder.embed("hate speech").shape == (8,)
+        assert embedder.output_dimensions == 8
+
+    def test_lsa_fit_requires_documents(self):
+        with pytest.raises(ConfigurationError):
+            HashedEmbedder(dimensions=32, lsa_components=4).fit(["only one"])
+
+    def test_invalid_dimensions_rejected(self):
+        with pytest.raises(ConfigurationError):
+            HashedEmbedder(dimensions=4)
+        with pytest.raises(ConfigurationError):
+            HashedEmbedder(dimensions=32, lsa_components=64)
+
+
+class TestEmbeddingMatcher:
+    def test_training_separates_positive_and_negative(self):
+        matcher = EmbeddingMatcher(HashedEmbedder(dimensions=64, lsa_components=0), epochs=120)
+        examples = [
+            ("hate speech detection", "a lexicon approach for hate speech detection", "", 1),
+            ("hate speech detection", "detecting hate speech in social media", "", 1),
+            ("hate speech detection", "cache coherence protocols for multicores", "", 0),
+            ("hate speech detection", "quantum error correction with surface codes", "", 0),
+        ]
+        matcher.train(examples)
+        assert matcher.is_trained
+        positive = matcher.score("hate speech detection", "hate speech detection on facebook")
+        negative = matcher.score("hate speech detection", "solid state drive wear leveling")
+        assert positive > negative
+
+    def test_rank_orders_by_score(self):
+        matcher = EmbeddingMatcher(HashedEmbedder(dimensions=64, lsa_components=0))
+        ranked = matcher.rank(
+            "graph neural networks",
+            [
+                ("p1", "graph neural networks for molecules", ""),
+                ("p2", "operating system scheduling", ""),
+            ],
+        )
+        assert ranked[0][0] == "p1"
+
+    def test_training_requires_examples(self):
+        with pytest.raises(ConfigurationError):
+            EmbeddingMatcher().train([])
+
+
+class TestSimilarityHelpers:
+    def test_cosine_similarity_bounds(self):
+        assert cosine_similarity([1, 0], [1, 0]) == pytest.approx(1.0)
+        assert cosine_similarity([1, 0], [0, 1]) == pytest.approx(0.0)
+        assert cosine_similarity([0, 0], [1, 1]) == 0.0
+
+    def test_cosine_similarity_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            cosine_similarity([1, 2], [1, 2, 3])
+
+    def test_jaccard_similarity(self):
+        assert jaccard_similarity({"a", "b"}, {"b", "c"}) == pytest.approx(1 / 3)
+        assert jaccard_similarity(set(), set()) == 1.0

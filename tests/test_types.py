@@ -1,0 +1,149 @@
+"""Unit tests for the core record types."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.types import Paper, ReadingPath, ReadingPathEdge, SearchResult, Survey, ensure_unique
+
+
+class TestPaper:
+    def test_round_trip_serialisation(self):
+        paper = Paper(
+            paper_id="P1",
+            title="a survey on widgets",
+            abstract="we survey widgets",
+            year=2019,
+            venue="ICDE",
+            topic="widgets",
+            outbound_citations=("P2", "P3"),
+            citation_count=7,
+            is_survey=True,
+            fields={"foundational": False},
+        )
+        assert Paper.from_dict(paper.to_dict()) == paper
+
+    def test_text_combines_title_and_abstract(self):
+        paper = Paper(paper_id="P1", title="title", abstract="abstract")
+        assert paper.text == "title. abstract"
+
+    def test_text_without_abstract_is_title(self):
+        assert Paper(paper_id="P1", title="only title").text == "only title"
+
+    def test_empty_id_rejected(self):
+        with pytest.raises(ConfigurationError):
+            Paper(paper_id="", title="x")
+
+    def test_negative_citation_count_rejected(self):
+        with pytest.raises(ConfigurationError):
+            Paper(paper_id="P1", title="x", citation_count=-1)
+
+
+class TestSurvey:
+    def _survey(self) -> Survey:
+        return Survey(
+            paper_id="S1",
+            title="a survey on widgets",
+            year=2018,
+            key_phrases=("widgets",),
+            reference_occurrences={"P1": 3, "P2": 1, "P3": 2},
+            citation_count=30,
+        )
+
+    def test_labels_are_nested(self):
+        survey = self._survey()
+        labels = survey.labels
+        assert labels[3] <= labels[2] <= labels[1]
+        assert labels[1] == frozenset({"P1", "P2", "P3"})
+        assert labels[2] == frozenset({"P1", "P3"})
+        assert labels[3] == frozenset({"P1"})
+
+    def test_label_rejects_non_positive_level(self):
+        with pytest.raises(ConfigurationError):
+            self._survey().label(0)
+
+    def test_score_formula(self):
+        survey = self._survey()
+        assert survey.score == pytest.approx(30 / (2020 - 2018 + 1))
+
+    def test_score_never_divides_by_zero(self):
+        survey = Survey(
+            paper_id="S1", title="t", year=2025, key_phrases=("x",),
+            reference_occurrences={"P1": 1}, citation_count=5,
+        )
+        assert survey.score == 5.0
+
+    def test_query_joins_phrases(self):
+        assert self._survey().query == "widgets"
+
+    def test_round_trip_serialisation(self):
+        survey = self._survey()
+        assert Survey.from_dict(survey.to_dict()) == survey
+
+
+class TestSearchResult:
+    def test_negative_rank_rejected(self):
+        with pytest.raises(ConfigurationError):
+            SearchResult(paper_id="P1", rank=-1, score=0.5)
+
+
+class TestReadingPath:
+    def _path(self) -> ReadingPath:
+        return ReadingPath(
+            query="widgets",
+            papers=("A", "B", "C", "D"),
+            edges=(
+                ReadingPathEdge("A", "B"),
+                ReadingPathEdge("B", "C"),
+                ReadingPathEdge("A", "C"),
+            ),
+            seeds=("A",),
+        )
+
+    def test_edge_to_unknown_paper_rejected(self):
+        with pytest.raises(ConfigurationError):
+            ReadingPath(query="q", papers=("A",), edges=(ReadingPathEdge("A", "Z"),))
+
+    def test_roots_have_no_incoming_edges(self):
+        assert self._path().roots() == ["A", "D"]
+
+    def test_topological_order_respects_edges(self):
+        order = self._path().topological_order()
+        assert order.index("A") < order.index("B") < order.index("C")
+        assert set(order) == {"A", "B", "C", "D"}
+
+    def test_topological_order_includes_cycle_members(self):
+        path = ReadingPath(
+            query="q",
+            papers=("A", "B"),
+            edges=(ReadingPathEdge("A", "B"), ReadingPathEdge("B", "A")),
+        )
+        assert set(path.topological_order()) == {"A", "B"}
+
+    def test_len_and_contains(self):
+        path = self._path()
+        assert len(path) == 4
+        assert "A" in path
+        assert "Z" not in path
+
+    def test_round_trip_serialisation(self):
+        path = self._path()
+        restored = ReadingPath.from_dict(path.to_dict())
+        assert restored.papers == path.papers
+        assert restored.edges == path.edges
+        assert restored.seeds == path.seeds
+
+    def test_from_papers_has_no_edges(self):
+        path = ReadingPath.from_papers("q", ["X", "Y"])
+        assert path.papers == ("X", "Y")
+        assert path.edges == ()
+
+
+def test_ensure_unique_accepts_unique_ids():
+    ensure_unique(["a", "b", "c"])
+
+
+def test_ensure_unique_rejects_duplicates():
+    with pytest.raises(ConfigurationError):
+        ensure_unique(["a", "b", "a"])

@@ -1,0 +1,72 @@
+"""Unit tests for the venue-ranking substrate."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.corpus.vocabulary import DOMAINS
+from repro.errors import ConfigurationError
+from repro.venues.rankings import (
+    CCF_TIER_SCORES,
+    UNRANKED_VENUE_SCORE,
+    Venue,
+    VenueCatalog,
+    build_default_catalog,
+)
+
+
+class TestVenue:
+    def test_score_is_mean_of_tier_and_influence(self):
+        venue = Venue(name="X", domain=DOMAINS[0], ccf_tier="A", aminer_influence=0.8)
+        assert venue.score == pytest.approx((1.0 + 0.8) / 2)
+
+    def test_invalid_tier_rejected(self):
+        with pytest.raises(ConfigurationError):
+            Venue(name="X", domain=DOMAINS[0], ccf_tier="D", aminer_influence=0.5)
+
+    def test_invalid_influence_rejected(self):
+        with pytest.raises(ConfigurationError):
+            Venue(name="X", domain=DOMAINS[0], ccf_tier="A", aminer_influence=1.5)
+
+    def test_unknown_domain_rejected(self):
+        with pytest.raises(ConfigurationError):
+            Venue(name="X", domain="Astrology", ccf_tier="A", aminer_influence=0.5)
+
+
+class TestCatalog:
+    def test_default_catalog_covers_all_domains(self, venues):
+        assert len(venues) > 60
+        for domain in DOMAINS:
+            assert venues.venues_in_domain(domain), domain
+
+    def test_duplicate_names_rejected(self):
+        venue = Venue(name="X", domain=DOMAINS[0], ccf_tier="A", aminer_influence=0.5)
+        with pytest.raises(ConfigurationError):
+            VenueCatalog([venue, venue])
+
+    def test_known_venue_lookup(self, venues):
+        assert venues.get("ICDE") is not None
+        assert venues.domain_of("ICDE") == DOMAINS[1]
+        assert "ICDE" in venues
+
+    def test_unknown_venue_gets_floor_score(self, venues):
+        assert venues.get("arXiv preprint") is None
+        assert venues.score("arXiv preprint") == UNRANKED_VENUE_SCORE
+        assert venues.domain_of("arXiv preprint") is None
+
+    def test_tier_a_scores_above_tier_c_on_average(self, venues):
+        tier_a = [v.score for v in venues if v.ccf_tier == "A"]
+        tier_c = [v.score for v in venues if v.ccf_tier == "C"]
+        assert sum(tier_a) / len(tier_a) > sum(tier_c) / len(tier_c)
+
+    def test_scores_in_unit_interval(self, venues):
+        for venue in venues:
+            assert 0.0 <= venue.score <= 1.0
+
+    def test_tier_scores_ordering(self):
+        assert CCF_TIER_SCORES["A"] > CCF_TIER_SCORES["B"] > CCF_TIER_SCORES["C"]
+
+    def test_catalog_is_deterministic(self):
+        first = {v.name: v.score for v in build_default_catalog()}
+        second = {v.name: v.score for v in build_default_catalog()}
+        assert first == second

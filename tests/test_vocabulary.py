@@ -1,0 +1,94 @@
+"""Unit tests for the topic taxonomy."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.corpus.vocabulary import DOMAINS, Topic, TopicTaxonomy, build_default_taxonomy
+from repro.errors import ConfigurationError
+
+
+class TestTopic:
+    def test_unknown_domain_rejected(self):
+        with pytest.raises(ConfigurationError):
+            Topic(topic_id="x", name="x", domain="Not A Domain")
+
+    def test_all_phrases_include_name_first(self):
+        topic = Topic(topic_id="x", name="widgets", domain=DOMAINS[0], phrases=("gadgets",))
+        assert topic.all_phrases == ("widgets", "gadgets")
+
+
+class TestTaxonomyValidation:
+    def test_duplicate_ids_rejected(self):
+        topics = [
+            Topic(topic_id="a", name="a", domain=DOMAINS[0]),
+            Topic(topic_id="a", name="a2", domain=DOMAINS[0]),
+        ]
+        with pytest.raises(ConfigurationError):
+            TopicTaxonomy(topics)
+
+    def test_unknown_prerequisite_rejected(self):
+        topics = [Topic(topic_id="a", name="a", domain=DOMAINS[0], prerequisites=("missing",))]
+        with pytest.raises(ConfigurationError):
+            TopicTaxonomy(topics)
+
+    def test_self_prerequisite_rejected(self):
+        topics = [Topic(topic_id="a", name="a", domain=DOMAINS[0], prerequisites=("a",))]
+        with pytest.raises(ConfigurationError):
+            TopicTaxonomy(topics)
+
+    def test_cycle_rejected(self):
+        topics = [
+            Topic(topic_id="a", name="a", domain=DOMAINS[0], prerequisites=("b",)),
+            Topic(topic_id="b", name="b", domain=DOMAINS[0], prerequisites=("a",)),
+        ]
+        with pytest.raises(ConfigurationError):
+            TopicTaxonomy(topics)
+
+
+class TestDefaultTaxonomy:
+    def test_has_a_substantial_number_of_topics(self, taxonomy):
+        assert len(taxonomy) >= 80
+
+    def test_topological_order_puts_prerequisites_first(self, taxonomy):
+        order = {tid: index for index, tid in enumerate(taxonomy.topic_ids)}
+        for topic in taxonomy:
+            for prerequisite in topic.prerequisites:
+                assert order[prerequisite] < order[topic.topic_id]
+
+    def test_every_domain_is_covered(self, taxonomy):
+        assert set(taxonomy.domains) == set(DOMAINS)
+
+    def test_running_example_prerequisite_chain(self, taxonomy):
+        """The paper's running example must exist with its prerequisite chain."""
+        prerequisites = taxonomy.transitive_prerequisites("pretrained-language-models")
+        assert "attention-mechanism" in prerequisites
+        assert "word-embeddings" in prerequisites
+        assert "natural-language-processing" in prerequisites
+
+    def test_hate_speech_example_exists(self, taxonomy):
+        prerequisites = taxonomy.transitive_prerequisites("hate-speech-detection")
+        assert "text-classification" in prerequisites
+        assert "natural-language-processing" in prerequisites
+
+    def test_dependents_are_inverse_of_prerequisites(self, taxonomy):
+        assert "pretrained-language-models" in taxonomy.dependents("attention-mechanism")
+
+    def test_prerequisite_depth_increases_along_chains(self, taxonomy):
+        assert taxonomy.prerequisite_depth("machine-learning") == 0
+        assert taxonomy.prerequisite_depth("pretrained-language-models") > taxonomy.prerequisite_depth(
+            "attention-mechanism"
+        )
+
+    def test_phrase_index_resolves_topic_names(self, taxonomy):
+        index = taxonomy.phrase_index()
+        assert index["pretrained language models"] == "pretrained-language-models"
+
+    def test_get_unknown_topic_raises(self, taxonomy):
+        with pytest.raises(ConfigurationError):
+            taxonomy.get("does-not-exist")
+
+    def test_topics_in_domain_filters_correctly(self, taxonomy):
+        ai_topics = taxonomy.topics_in_domain(DOMAINS[0])
+        assert ai_topics
+        assert all(topic.domain == DOMAINS[0] for topic in ai_topics)
