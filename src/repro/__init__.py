@@ -15,7 +15,9 @@ The package implements the paper's full stack:
 * :mod:`repro.baselines` — the comparison methods of the evaluation;
 * :mod:`repro.eval` — overlap metrics, benchmark evaluation, simulated human
   evaluation and runtime measurement;
-* :mod:`repro.repager` — the system layer (service facade, renderers, CLI).
+* :mod:`repro.repager` — the system layer (service facade, renderers, CLI);
+* :mod:`repro.serving` — the production serving layer (query cache, artifact
+  warm-up, concurrent batch executor, dependency-free HTTP JSON API, metrics).
 
 Quickstart::
 
@@ -26,7 +28,13 @@ Quickstart::
     print(service.render_text(payload))
 """
 
-from .config import CorpusConfig, EvaluationConfig, NewstConfig, PipelineConfig
+from .config import (
+    CorpusConfig,
+    EvaluationConfig,
+    NewstConfig,
+    PipelineConfig,
+    ServingConfig,
+)
 from .errors import ReproError
 from .types import Paper, ReadingPath, ReadingPathEdge, SearchResult, Survey
 from .corpus.generator import CorpusGenerator, GeneratedCorpus
@@ -42,6 +50,7 @@ __all__ = [
     "NewstConfig",
     "PipelineConfig",
     "EvaluationConfig",
+    "ServingConfig",
     "ReproError",
     "Paper",
     "Survey",

@@ -9,7 +9,9 @@ seed papers from the search engine.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+import hashlib
+import json
+from dataclasses import asdict, dataclass, field
 
 from .errors import ConfigurationError
 
@@ -18,7 +20,22 @@ __all__ = [
     "NewstConfig",
     "PipelineConfig",
     "EvaluationConfig",
+    "ServingConfig",
+    "config_fingerprint",
 ]
+
+
+def config_fingerprint(config: object) -> str:
+    """Stable 16-hex-digit fingerprint of a (possibly nested) config dataclass.
+
+    The fingerprint is a SHA-256 digest of the canonical JSON encoding of the
+    dataclass fields, so two configs compare equal iff every tunable value is
+    identical.  It is used to key query caches and to detect configuration
+    drift between an artifact snapshot and the pipeline it is restored into.
+    """
+    payload = asdict(config)  # type: ignore[call-overload]
+    blob = json.dumps(payload, sort_keys=True, default=str)
+    return hashlib.sha256(blob.encode("utf-8")).hexdigest()[:16]
 
 
 @dataclass(frozen=True, slots=True)
@@ -116,6 +133,10 @@ class NewstConfig:
         if self.pagerank_tolerance <= 0:
             raise ConfigurationError("pagerank_tolerance must be positive")
 
+    def fingerprint(self) -> str:
+        """Stable fingerprint of every NEWST parameter."""
+        return config_fingerprint(self)
+
 
 @dataclass(frozen=True, slots=True)
 class PipelineConfig:
@@ -165,6 +186,67 @@ class PipelineConfig:
                 f"seed_strategy must be one of {self._VALID_SEED_STRATEGIES}, "
                 f"got {self.seed_strategy!r}"
             )
+
+    def fingerprint(self) -> str:
+        """Stable fingerprint of the pipeline configuration (nested NEWST included).
+
+        Cache keys and artifact snapshots embed this value so that any change
+        to a tunable parameter — including a Table III ablation switch —
+        invalidates previously cached results instead of serving stale paths.
+        """
+        return config_fingerprint(self)
+
+
+@dataclass(frozen=True, slots=True)
+class ServingConfig:
+    """Parameters of the production serving layer (:mod:`repro.serving`).
+
+    Attributes:
+        host / port: Bind address of the HTTP JSON API (port 0 lets the OS
+            pick an ephemeral port — useful for tests).
+        max_workers: Worker threads in the batch executor.
+        queue_depth: Queries allowed to wait beyond the in-flight workers
+            before the executor starts rejecting with HTTP 429.
+        cache_max_entries / cache_ttl_seconds: Size and freshness bounds of
+            the LRU+TTL query-result cache.
+        query_timeout_seconds: Per-query deadline enforced by the executor.
+        warm_up_on_start: Precompute shared per-corpus artifacts (PageRank
+            node weights, venue scores) before accepting traffic so the first
+            query does not pay the set-up cost.
+        max_latency_samples: Reservoir size of each latency histogram.
+    """
+
+    host: str = "127.0.0.1"
+    port: int = 8080
+    max_workers: int = 4
+    queue_depth: int = 16
+    cache_max_entries: int = 256
+    cache_ttl_seconds: float = 300.0
+    query_timeout_seconds: float = 30.0
+    warm_up_on_start: bool = True
+    max_latency_samples: int = 2048
+
+    def __post_init__(self) -> None:
+        if not self.host:
+            raise ConfigurationError("host must be non-empty")
+        if not 0 <= self.port <= 65535:
+            raise ConfigurationError("port must be in [0, 65535]")
+        if self.max_workers < 1:
+            raise ConfigurationError("max_workers must be >= 1")
+        if self.queue_depth < 0:
+            raise ConfigurationError("queue_depth must be non-negative")
+        if self.cache_max_entries < 1:
+            raise ConfigurationError("cache_max_entries must be >= 1")
+        if self.cache_ttl_seconds <= 0:
+            raise ConfigurationError("cache_ttl_seconds must be positive")
+        if self.query_timeout_seconds <= 0:
+            raise ConfigurationError("query_timeout_seconds must be positive")
+        if self.max_latency_samples < 16:
+            raise ConfigurationError("max_latency_samples must be >= 16")
+
+    def fingerprint(self) -> str:
+        """Stable fingerprint of the serving configuration."""
+        return config_fingerprint(self)
 
 
 @dataclass(frozen=True, slots=True)

@@ -23,6 +23,7 @@ NEWST-E   Steiner tree without edge weights
 
 from __future__ import annotations
 
+import threading
 import time
 from dataclasses import dataclass, field, replace
 from typing import Mapping, Sequence
@@ -117,8 +118,11 @@ class RePaGerPipeline:
             store, self.graph, config=self.config.newst, venues=self.venues
         )
         # Node weights depend only on the full graph, so compute them once and
-        # share across queries (the PageRank pass dominates set-up time).
+        # share across queries (the PageRank pass dominates set-up time).  The
+        # lock keeps concurrent first queries from each running their own
+        # PageRank pass when the serving layer skips warm-up.
         self._node_weights = None
+        self._node_weights_lock = threading.Lock()
 
     # -- helpers ------------------------------------------------------------------
 
@@ -126,8 +130,28 @@ class RePaGerPipeline:
     def node_weights(self):
         """Eq. 3 node weights over the full citation graph (computed lazily)."""
         if self._node_weights is None:
-            self._node_weights = self.weight_builder.node_weights()
+            with self._node_weights_lock:
+                if self._node_weights is None:
+                    self._node_weights = self.weight_builder.node_weights()
         return self._node_weights
+
+    @property
+    def config_fingerprint(self) -> str:
+        """Stable fingerprint of this pipeline's configuration.
+
+        The serving layer keys its result cache on this value and artifact
+        snapshots embed it, so configuration drift (a different Table III
+        variant, changed NEWST parameters, ...) invalidates cached state.
+        """
+        return self.config.fingerprint()
+
+    def prime_node_weights(self, node_weights) -> None:
+        """Install precomputed Eq. 3 node weights (warm-up / snapshot restore).
+
+        After priming, concurrent :meth:`generate` calls only read shared
+        state, which makes a thread-pool executor safe without locking.
+        """
+        self._node_weights = node_weights
 
     def _terminals(
         self,

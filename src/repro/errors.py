@@ -75,3 +75,34 @@ class EvaluationError(ReproError):
 
 class PipelineError(ReproError):
     """The RePaGer pipeline could not produce a reading path."""
+
+
+class ServingError(ReproError):
+    """A problem in the serving layer (cache, executor, warm-up, HTTP API)."""
+
+
+class ExecutorOverloadedError(ServingError):
+    """The batch executor's bounded queue is full; the query was rejected."""
+
+
+class QueryTimeoutError(ServingError):
+    """A query did not complete within the configured per-query timeout."""
+
+    def __init__(self, query: str, timeout_seconds: float) -> None:
+        super().__init__(
+            f"query {query!r} exceeded the {timeout_seconds:g}s timeout"
+        )
+        self.query = query
+        self.timeout_seconds = timeout_seconds
+
+
+class SnapshotMismatchError(ServingError):
+    """An artifact snapshot was built under a different pipeline configuration."""
+
+    def __init__(self, expected: str, found: str) -> None:
+        super().__init__(
+            f"artifact snapshot fingerprint {found!r} does not match the "
+            f"pipeline configuration fingerprint {expected!r}"
+        )
+        self.expected = expected
+        self.found = found

@@ -1,13 +1,15 @@
 """Command-line interface for the RePaGer reproduction.
 
-Three subcommands cover the typical workflow::
+Four subcommands cover the typical workflow::
 
     repager generate-corpus --output data/corpus          # build the synthetic corpus
     repager build-surveybank --corpus data/corpus -o data/surveybank.jsonl
     repager query "pretrained language models" --corpus data/corpus
+    repager serve --corpus data/corpus --port 8080        # HTTP JSON API
 
-``query`` can also run directly on a freshly generated corpus (omit
-``--corpus``), which is the quickest way to see a reading path.
+``query`` and ``serve`` can also run directly on a freshly generated corpus
+(omit ``--corpus``), which is the quickest way to see a reading path or to
+poke the API with curl.
 """
 
 from __future__ import annotations
@@ -17,11 +19,15 @@ import json
 import sys
 from pathlib import Path
 
-from ..config import CorpusConfig, PipelineConfig
+from ..config import CorpusConfig, PipelineConfig, ServingConfig
 from ..corpus.generator import CorpusGenerator
 from ..corpus.storage import CorpusStore
 from ..dataset.surveybank import SurveyBank
 from ..repager.service import RePaGerService
+from ..serving.cache import ResultCache
+from ..serving.http_api import create_server
+from ..serving.metrics import MetricsRegistry
+from ..serving.warmup import warm_up
 
 __all__ = ["main", "build_parser"]
 
@@ -61,6 +67,30 @@ def build_parser() -> argparse.ArgumentParser:
     query.add_argument("--seeds", type=int, default=30, help="number of initial seed papers")
     query.add_argument("--json", action="store_true", help="emit the UI JSON payload")
     query.add_argument("--flat", action="store_true", help="print a flat list instead of a tree")
+
+    serve = subparsers.add_parser(
+        "serve", help="serve reading paths over a dependency-free HTTP JSON API"
+    )
+    serve.add_argument("--corpus", help="corpus directory (generated on the fly if omitted)")
+    serve.add_argument("--host", default="127.0.0.1", help="bind address")
+    serve.add_argument("--port", type=int, default=8080, help="bind port (0 = ephemeral)")
+    serve.add_argument("--seeds", type=int, default=30, help="number of initial seed papers")
+    serve.add_argument("--workers", type=int, default=4, help="executor worker threads")
+    serve.add_argument(
+        "--queue-depth", type=int, default=16,
+        help="queries allowed to wait beyond the workers before 429s",
+    )
+    serve.add_argument("--cache-size", type=int, default=256, help="query-cache entries")
+    serve.add_argument(
+        "--cache-ttl", type=float, default=300.0, help="query-cache TTL in seconds"
+    )
+    serve.add_argument(
+        "--timeout", type=float, default=30.0, help="per-query timeout in seconds"
+    )
+    serve.add_argument(
+        "--no-warmup", action="store_true",
+        help="skip artifact precomputation (first query pays the set-up cost)",
+    )
 
     return parser
 
@@ -111,6 +141,53 @@ def _cmd_query(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    serving_config = ServingConfig(
+        host=args.host,
+        port=args.port,
+        max_workers=args.workers,
+        queue_depth=args.queue_depth,
+        cache_max_entries=args.cache_size,
+        cache_ttl_seconds=args.cache_ttl,
+        query_timeout_seconds=args.timeout,
+        warm_up_on_start=not args.no_warmup,
+    )
+    store = _load_or_generate_store(args.corpus)
+    metrics = MetricsRegistry(serving_config.max_latency_samples)
+    service = RePaGerService(
+        store,
+        pipeline_config=PipelineConfig(num_seeds=args.seeds),
+        cache=ResultCache(
+            max_entries=serving_config.cache_max_entries,
+            ttl_seconds=serving_config.cache_ttl_seconds,
+        ),
+        metrics=metrics,
+    )
+    if serving_config.warm_up_on_start:
+        report = warm_up(service)
+        print(
+            f"warmed up {report.graph_nodes} nodes / {report.graph_edges} edges "
+            f"in {report.elapsed_seconds:.2f}s",
+            flush=True,
+        )
+    server = create_server(service, config=serving_config, metrics=metrics)
+    print(
+        f"serving {len(store)} papers on {server.url} "
+        f"({serving_config.max_workers} workers, queue depth "
+        f"{serving_config.queue_depth}) — Ctrl-C to stop",
+        flush=True,
+    )
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        print("shutting down", flush=True)
+    finally:
+        server.shutdown()
+        server.server_close()
+        server.executor.shutdown(wait=False)
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
     """CLI entry point."""
     parser = build_parser()
@@ -119,6 +196,7 @@ def main(argv: list[str] | None = None) -> int:
         "generate-corpus": _cmd_generate_corpus,
         "build-surveybank": _cmd_build_surveybank,
         "query": _cmd_query,
+        "serve": _cmd_serve,
     }
     return handlers[args.command](args)
 

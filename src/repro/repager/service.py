@@ -10,7 +10,8 @@ legend and per-paper detail records).
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+import time
+from dataclasses import dataclass, replace
 from typing import Any, Sequence
 
 from ..config import CorpusConfig, PipelineConfig
@@ -20,6 +21,8 @@ from ..core.pipeline import PipelineResult, RePaGerPipeline
 from ..graph.citation_graph import CitationGraph
 from ..search.engine import SearchEngine
 from ..search.scholar import GoogleScholarEngine
+from ..serving.cache import ResultCache, make_query_key
+from ..serving.metrics import MetricsRegistry
 from ..types import ReadingPath
 from ..venues.rankings import VenueCatalog, build_default_catalog
 from .render import render_ascii_tree, render_flat_list
@@ -39,12 +42,17 @@ class PathPayload:
     stats: dict[str, Any]
 
     def to_dict(self) -> dict[str, Any]:
-        """Serialise to the JSON structure served to a web front end."""
+        """Serialise to the JSON structure served to a web front end.
+
+        Each record dict is copied so callers can mutate the result freely —
+        the payload itself may live in the serving layer's result cache and
+        must never be altered through a returned dict.
+        """
         return {
             "query": self.query,
-            "navigation": list(self.navigation),
-            "nodes": list(self.nodes),
-            "edges": list(self.edges),
+            "navigation": [dict(item) for item in self.navigation],
+            "nodes": [dict(item) for item in self.nodes],
+            "edges": [dict(item) for item in self.edges],
             "stats": dict(self.stats),
         }
 
@@ -59,11 +67,15 @@ class RePaGerService:
         pipeline_config: PipelineConfig | None = None,
         venues: VenueCatalog | None = None,
         graph: CitationGraph | None = None,
+        cache: ResultCache | None = None,
+        metrics: MetricsRegistry | None = None,
     ) -> None:
         self.store = store
         self.venues = venues or build_default_catalog()
         self.search_engine = search_engine or GoogleScholarEngine(store, venues=self.venues)
         self.graph = graph if graph is not None else CitationGraph.from_papers(store.papers)
+        self.cache = cache
+        self.metrics = metrics
         self.pipeline = RePaGerPipeline(
             store,
             self.search_engine,
@@ -91,12 +103,54 @@ class RePaGerService:
         text: str,
         year_cutoff: int | None = None,
         exclude_ids: Sequence[str] = (),
+        use_cache: bool = True,
     ) -> PathPayload:
-        """Generate a reading path and package it for the UI."""
+        """Generate a reading path and package it for the UI.
+
+        When the service was built with a :class:`ResultCache`, identical
+        queries (canonical text, same cutoff/exclusions, same pipeline
+        configuration) are served from the cache; ``use_cache=False``
+        bypasses the lookup *and* the store for one call.  A configured
+        :class:`MetricsRegistry` receives per-query latency observations and
+        the hit/miss counters backing the ``/metrics`` endpoint.
+        """
+        started = time.perf_counter()
+        key = None
+        if self.cache is not None and use_cache:
+            key = make_query_key(
+                text, year_cutoff, exclude_ids, self.pipeline.config_fingerprint
+            )
+            cached = self.cache.get(key)
+            if cached is not None:
+                self._observe(started, cached=True)
+                if cached.query != text:
+                    # The entry was stored under an equivalent-but-differently-
+                    # spelled query; echo the caller's own spelling back.
+                    return replace(cached, query=text)
+                return cached
+
         result = self.pipeline.generate(
             text, year_cutoff=year_cutoff, exclude_ids=exclude_ids
         )
-        return self._payload(result)
+        payload = self._payload(result)
+        if key is not None:
+            self.cache.put(key, payload)
+        self._observe(started, cached=False, pipeline_seconds=result.elapsed_seconds)
+        return payload
+
+    def _observe(
+        self,
+        started: float,
+        cached: bool,
+        pipeline_seconds: float | None = None,
+    ) -> None:
+        if self.metrics is None:
+            return
+        self.metrics.increment("queries_total")
+        self.metrics.increment("cache_hits_total" if cached else "cache_misses_total")
+        self.metrics.observe("serve_seconds", time.perf_counter() - started)
+        if pipeline_seconds is not None:
+            self.metrics.observe("pipeline_seconds", pipeline_seconds)
 
     def paper_details(self, paper_id: str) -> dict[str, Any]:
         """Detail record for a clicked paper (component (d) of Fig. 7)."""
@@ -137,6 +191,7 @@ class RePaGerService:
         weights = path.node_weights
         tree_weights = [weights.get(pid, 0.0) for pid in path.papers if pid in tree_papers]
         max_weight = max(tree_weights, default=1.0) or 1.0
+        terminal_set = set(result.terminals)
         nodes = []
         for paper_id in path.papers:
             if paper_id not in tree_papers:
@@ -148,7 +203,7 @@ class RePaGerService:
                     "title": paper.title,
                     "year": paper.year,
                     "importance": weights.get(paper_id, 0.0) / max_weight,
-                    "is_seed": paper_id in set(result.terminals),
+                    "is_seed": paper_id in terminal_set,
                 }
             )
 

@@ -1,0 +1,173 @@
+"""LRU + TTL cache for query results.
+
+The paper presents RePaGer as a web application whose users issue free-text
+topic queries.  Popular topics repeat, and the pipeline is deterministic given
+``(query, year_cutoff, exclude_ids, configuration)``, so an in-process result
+cache turns repeated queries into dictionary lookups.
+
+Keys are *canonical*: the query text is case- and whitespace-normalised and
+the exclusion list is order-insensitive, so ``"Deep  Learning"`` and
+``"deep learning"`` hit the same entry.  The pipeline-configuration
+fingerprint is part of the key, which makes a configuration change (e.g.
+switching to a Table III ablation variant) an automatic cache invalidation.
+
+The cache is thread-safe and O(1) per operation; eviction is least-recently-
+used and entries expire after a time-to-live.  Hit/miss/eviction/expiration
+counters feed the ``/metrics`` endpoint.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Any, Callable, Sequence
+
+__all__ = ["CacheStats", "QueryKey", "ResultCache", "make_query_key", "normalize_query"]
+
+#: Canonical cache-key type: (normalized_query, year_cutoff, exclude_ids, fingerprint).
+QueryKey = tuple[str, int | None, tuple[str, ...], str]
+
+
+def normalize_query(text: str) -> str:
+    """Canonical form of a query: lower-cased, whitespace collapsed."""
+    return " ".join(text.lower().split())
+
+
+def make_query_key(
+    query: str,
+    year_cutoff: int | None,
+    exclude_ids: Sequence[str],
+    config_fingerprint: str,
+) -> QueryKey:
+    """Build the canonical cache key for one query.
+
+    Two requests map to the same key iff they are guaranteed to produce the
+    same reading path: same normalised query text, same year cutoff, same set
+    of excluded papers and same pipeline-configuration fingerprint.
+    """
+    return (
+        normalize_query(query),
+        year_cutoff,
+        tuple(sorted(set(exclude_ids))),
+        config_fingerprint,
+    )
+
+
+@dataclass(frozen=True, slots=True)
+class CacheStats:
+    """Point-in-time counters of a :class:`ResultCache`."""
+
+    hits: int
+    misses: int
+    evictions: int
+    expirations: int
+    size: int
+    max_entries: int
+
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of lookups served from the cache (0.0 when untouched)."""
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+    def to_dict(self) -> dict[str, float | int]:
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "evictions": self.evictions,
+            "expirations": self.expirations,
+            "size": self.size,
+            "max_entries": self.max_entries,
+            "hit_rate": self.hit_rate,
+        }
+
+
+class ResultCache:
+    """Thread-safe LRU cache with per-entry TTL and observability counters.
+
+    Args:
+        max_entries: Upper bound on stored entries; the least recently used
+            entry is evicted when the bound is exceeded.
+        ttl_seconds: Entries older than this are treated as misses and
+            dropped on access.
+        clock: Monotonic time source (injectable for deterministic tests).
+    """
+
+    def __init__(
+        self,
+        max_entries: int = 256,
+        ttl_seconds: float = 300.0,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        if max_entries < 1:
+            raise ValueError("max_entries must be >= 1")
+        if ttl_seconds <= 0:
+            raise ValueError("ttl_seconds must be positive")
+        self.max_entries = max_entries
+        self.ttl_seconds = ttl_seconds
+        self._clock = clock
+        self._entries: OrderedDict[QueryKey, tuple[Any, float]] = OrderedDict()
+        self._lock = threading.Lock()
+        self._hits = 0
+        self._misses = 0
+        self._evictions = 0
+        self._expirations = 0
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    def __contains__(self, key: QueryKey) -> bool:
+        """Non-mutating membership test (does not refresh LRU order)."""
+        with self._lock:
+            entry = self._entries.get(key)
+            return entry is not None and entry[1] > self._clock()
+
+    def get(self, key: QueryKey) -> Any | None:
+        """Return the cached value for ``key`` or ``None`` on miss/expiry."""
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is None:
+                self._misses += 1
+                return None
+            value, expires_at = entry
+            if expires_at <= self._clock():
+                del self._entries[key]
+                self._expirations += 1
+                self._misses += 1
+                return None
+            self._entries.move_to_end(key)
+            self._hits += 1
+            return value
+
+    def put(self, key: QueryKey, value: Any) -> None:
+        """Insert (or refresh) an entry, evicting the LRU entry when full."""
+        with self._lock:
+            expires_at = self._clock() + self.ttl_seconds
+            if key in self._entries:
+                self._entries[key] = (value, expires_at)
+                self._entries.move_to_end(key)
+                return
+            self._entries[key] = (value, expires_at)
+            while len(self._entries) > self.max_entries:
+                self._entries.popitem(last=False)
+                self._evictions += 1
+
+    def clear(self) -> None:
+        """Drop every entry (counters are preserved)."""
+        with self._lock:
+            self._entries.clear()
+
+    def stats(self) -> CacheStats:
+        """Consistent snapshot of the cache counters."""
+        with self._lock:
+            return CacheStats(
+                hits=self._hits,
+                misses=self._misses,
+                evictions=self._evictions,
+                expirations=self._expirations,
+                size=len(self._entries),
+                max_entries=self.max_entries,
+            )

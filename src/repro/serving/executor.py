@@ -1,0 +1,257 @@
+"""Concurrent batch executor for reading-path queries.
+
+A thread pool runs many queries at once against one shared service.  This is
+safe because, after warm-up, every per-corpus artifact (citation graph,
+PageRank node weights, venue scores, TF-IDF index) is read-only; each query
+builds its own subgraph, reallocation and Steiner tree from scratch.
+
+The executor adds the three behaviours a production front door needs that a
+bare thread pool lacks:
+
+* a **bounded queue** — at most ``max_workers + queue_depth`` queries may be
+  admitted; beyond that :meth:`BatchExecutor.submit` raises
+  :class:`~repro.errors.ExecutorOverloadedError` so overload turns into fast
+  HTTP 429 rejections instead of unbounded memory growth;
+* a **per-query timeout** — callers waiting on a result give up after
+  ``timeout_seconds`` and record a :class:`~repro.errors.QueryTimeoutError`;
+* **graceful batch semantics** — :meth:`BatchExecutor.run_batch` applies
+  backpressure (blocking admission) instead of rejecting, and returns one
+  :class:`BatchOutcome` per request with either a payload or an error, never
+  raising halfway through a batch.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from concurrent.futures import Future, ThreadPoolExecutor
+from concurrent.futures import TimeoutError as FutureTimeoutError
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Any, Callable, Sequence
+
+from ..errors import ExecutorOverloadedError, QueryTimeoutError
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard, types only
+    from .metrics import MetricsRegistry
+
+__all__ = ["BatchExecutor", "BatchOutcome", "QueryRequest"]
+
+
+@dataclass(frozen=True, slots=True)
+class QueryRequest:
+    """One query to run through the service."""
+
+    text: str
+    year_cutoff: int | None = None
+    exclude_ids: tuple[str, ...] = ()
+    use_cache: bool = True
+
+    @classmethod
+    def from_dict(cls, payload: dict[str, Any]) -> "QueryRequest":
+        """Build a request from a JSON body (used by the HTTP API)."""
+        text = payload.get("query")
+        if not isinstance(text, str) or not text.strip():
+            raise ValueError("'query' must be a non-empty string")
+        year_cutoff = payload.get("year_cutoff")
+        if year_cutoff is not None and (
+            not isinstance(year_cutoff, int) or isinstance(year_cutoff, bool)
+        ):
+            raise ValueError("'year_cutoff' must be an integer or null")
+        exclude_ids = payload.get("exclude_ids", ())
+        if not isinstance(exclude_ids, (list, tuple)) or not all(
+            isinstance(pid, str) for pid in exclude_ids
+        ):
+            raise ValueError("'exclude_ids' must be a list of paper ids")
+        use_cache = payload.get("use_cache", True)
+        if not isinstance(use_cache, bool):
+            raise ValueError("'use_cache' must be a boolean")
+        return cls(
+            text=text,
+            year_cutoff=year_cutoff,
+            exclude_ids=tuple(exclude_ids),
+            use_cache=use_cache,
+        )
+
+
+@dataclass(slots=True)
+class BatchOutcome:
+    """Result of one request in a batch: a payload or an error, plus timing."""
+
+    request: QueryRequest
+    payload: Any | None = None
+    error: str | None = None
+    elapsed_seconds: float = field(default=0.0)
+
+    @property
+    def ok(self) -> bool:
+        return self.error is None
+
+
+class BatchExecutor:
+    """Run queries concurrently through one handler with admission control.
+
+    Args:
+        handler: Callable invoked as ``handler(request)`` → payload.  Use
+            :meth:`from_service` to wrap a :class:`RePaGerService`.
+        max_workers: Concurrent worker threads.
+        queue_depth: Admitted-but-waiting queries allowed beyond the workers.
+        timeout_seconds: Per-query deadline (``None`` disables timeouts).
+        metrics: Optional :class:`MetricsRegistry` receiving executor counters
+            (submitted/completed/errors/rejected/timeouts) and the in-flight
+            gauge.
+    """
+
+    def __init__(
+        self,
+        handler: Callable[[QueryRequest], Any],
+        max_workers: int = 4,
+        queue_depth: int = 16,
+        timeout_seconds: float | None = None,
+        metrics: "MetricsRegistry | None" = None,
+    ) -> None:
+        if max_workers < 1:
+            raise ValueError("max_workers must be >= 1")
+        if queue_depth < 0:
+            raise ValueError("queue_depth must be non-negative")
+        if timeout_seconds is not None and timeout_seconds <= 0:
+            raise ValueError("timeout_seconds must be positive or None")
+        self.handler = handler
+        self.max_workers = max_workers
+        self.queue_depth = queue_depth
+        self.timeout_seconds = timeout_seconds
+        self.metrics = metrics
+        self._slots = threading.BoundedSemaphore(max_workers + queue_depth)
+        self._pool = ThreadPoolExecutor(
+            max_workers=max_workers, thread_name_prefix="repager-serve"
+        )
+        self._shutdown = False
+
+    @classmethod
+    def from_service(
+        cls,
+        service: Any,
+        max_workers: int = 4,
+        queue_depth: int = 16,
+        timeout_seconds: float | None = None,
+        metrics: "MetricsRegistry | None" = None,
+    ) -> "BatchExecutor":
+        """Executor whose handler is ``service.query`` (cache-aware)."""
+
+        def handler(request: QueryRequest) -> Any:
+            return service.query(
+                request.text,
+                year_cutoff=request.year_cutoff,
+                exclude_ids=request.exclude_ids,
+                use_cache=request.use_cache,
+            )
+
+        return cls(
+            handler,
+            max_workers=max_workers,
+            queue_depth=queue_depth,
+            timeout_seconds=timeout_seconds,
+            metrics=metrics,
+        )
+
+    # -- admission ---------------------------------------------------------------
+
+    def submit(self, request: QueryRequest) -> Future:
+        """Admit one query, rejecting immediately when the queue is full.
+
+        Raises:
+            ExecutorOverloadedError: All worker and queue slots are taken.
+            RuntimeError: The executor has been shut down.
+        """
+        if self._shutdown:
+            raise RuntimeError("executor has been shut down")
+        if not self._slots.acquire(blocking=False):
+            self._count("executor_rejected_total")
+            raise ExecutorOverloadedError(
+                f"serving queue full ({self.max_workers} workers, "
+                f"{self.queue_depth} waiting slots)"
+            )
+        return self._submit_admitted(request)
+
+    def _submit_admitted(self, request: QueryRequest) -> Future:
+        self._count("executor_submitted_total")
+        try:
+            future = self._pool.submit(self._run, request)
+        except BaseException:
+            self._slots.release()
+            raise
+        future.add_done_callback(lambda _: self._slots.release())
+        return future
+
+    def _run(self, request: QueryRequest) -> Any:
+        if self.metrics is not None:
+            self.metrics.gauge_add("in_flight", 1.0)
+        try:
+            return self.handler(request)
+        finally:
+            if self.metrics is not None:
+                self.metrics.gauge_add("in_flight", -1.0)
+
+    # -- completion --------------------------------------------------------------
+
+    def result(self, request: QueryRequest, future: Future) -> Any:
+        """Wait for one admitted query, enforcing the per-query timeout.
+
+        Raises:
+            QueryTimeoutError: The deadline elapsed (the worker keeps running
+                in the background; its slot is released on completion).
+        """
+        try:
+            value = future.result(timeout=self.timeout_seconds)
+            self._count("executor_completed_total")
+            return value
+        except FutureTimeoutError:
+            self._count("executor_timeouts_total")
+            raise QueryTimeoutError(request.text, self.timeout_seconds or 0.0) from None
+
+    def run_one(self, request: QueryRequest) -> Any:
+        """Admit + wait for a single query (the HTTP API's code path)."""
+        future = self.submit(request)
+        return self.result(request, future)
+
+    def run_batch(self, requests: Sequence[QueryRequest]) -> list[BatchOutcome]:
+        """Run a whole batch with backpressure; one outcome per request.
+
+        Admission blocks (instead of rejecting) when the queue is full, so
+        arbitrarily large batches complete with bounded concurrency.  Failures
+        and timeouts are captured per-request; the batch itself never raises.
+        """
+        admitted: list[tuple[QueryRequest, Future, float]] = []
+        for request in requests:
+            self._slots.acquire()
+            admitted.append((request, self._submit_admitted(request), time.perf_counter()))
+
+        outcomes: list[BatchOutcome] = []
+        for request, future, started in admitted:
+            outcome = BatchOutcome(request=request)
+            try:
+                outcome.payload = self.result(request, future)
+            except QueryTimeoutError as exc:
+                outcome.error = str(exc)
+            except Exception as exc:  # noqa: BLE001 - batch reports, never raises
+                self._count("executor_errors_total")
+                outcome.error = f"{type(exc).__name__}: {exc}"
+            outcome.elapsed_seconds = time.perf_counter() - started
+            outcomes.append(outcome)
+        return outcomes
+
+    # -- lifecycle ---------------------------------------------------------------
+
+    def shutdown(self, wait: bool = True) -> None:
+        """Stop accepting queries and optionally wait for in-flight work."""
+        self._shutdown = True
+        self._pool.shutdown(wait=wait)
+
+    def __enter__(self) -> "BatchExecutor":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.shutdown(wait=True)
+
+    def _count(self, name: str) -> None:
+        if self.metrics is not None:
+            self.metrics.increment(name)

@@ -1,0 +1,249 @@
+"""Dependency-free HTTP JSON API over a :class:`RePaGerService`.
+
+This is the server half of the paper's Fig. 7 web application, built entirely
+on :mod:`http.server` so the serving layer stays stdlib-only.  Routes:
+
+============================  ==================================================
+``POST /query``               Generate (or serve from cache) a reading path.
+                              Body: ``{"query": str, "year_cutoff": int|null,
+                              "exclude_ids": [str], "use_cache": bool}``.
+                              Response: ``PathPayload.to_dict()``.
+``GET /paper/<id>``           Detail record for one paper (Fig. 7 panel (d)).
+``GET /healthz``              Liveness + corpus/graph sizes + uptime.
+``GET /metrics``              Prometheus-style text metrics (latency
+                              percentiles, cache hit rate, executor counters).
+============================  ==================================================
+
+Failure mapping: malformed bodies → 400, unknown papers/routes → 404,
+executor overload → 429 (with ``Retry-After``), per-query timeout → 504,
+anything else from the pipeline → 500 with the error class in the body.
+
+Requests are handled by :class:`ThreadingHTTPServer` (one thread per
+connection); admission control and the per-query deadline come from the
+shared :class:`~repro.serving.executor.BatchExecutor`, so overload behaviour
+is identical for HTTP and programmatic batch clients.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import TYPE_CHECKING, Any
+
+from ..config import ServingConfig
+from ..errors import (
+    ExecutorOverloadedError,
+    PaperNotFoundError,
+    QueryTimeoutError,
+)
+from .executor import BatchExecutor, QueryRequest
+from .metrics import MetricsRegistry
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard, types only
+    from ..repager.service import RePaGerService
+
+__all__ = ["RePaGerHTTPServer", "create_server", "start_in_background"]
+
+
+class RePaGerHTTPServer(ThreadingHTTPServer):
+    """Threading HTTP server that owns the serving components."""
+
+    daemon_threads = True
+
+    def __init__(
+        self,
+        address: tuple[str, int],
+        service: "RePaGerService",
+        executor: BatchExecutor,
+        metrics: MetricsRegistry,
+        quiet: bool = True,
+    ) -> None:
+        super().__init__(address, _Handler)
+        self.service = service
+        self.executor = executor
+        self.metrics = metrics
+        self.quiet = quiet
+        self.started_at = time.monotonic()
+
+    @property
+    def url(self) -> str:
+        host, port = self.server_address[:2]
+        return f"http://{host}:{port}"
+
+
+def create_server(
+    service: "RePaGerService",
+    config: ServingConfig | None = None,
+    metrics: MetricsRegistry | None = None,
+    executor: BatchExecutor | None = None,
+    quiet: bool = True,
+) -> RePaGerHTTPServer:
+    """Build (but do not start) the HTTP server for a service.
+
+    When ``metrics``/``executor`` are omitted they are created from the
+    :class:`ServingConfig`; the service's own metrics sink is reused so the
+    cache and pipeline timings land in the same registry the ``/metrics``
+    endpoint renders.
+    """
+    config = config or ServingConfig()
+    if metrics is None:
+        metrics = getattr(service, "metrics", None) or MetricsRegistry(
+            config.max_latency_samples
+        )
+    if executor is None:
+        executor = BatchExecutor.from_service(
+            service,
+            max_workers=config.max_workers,
+            queue_depth=config.queue_depth,
+            timeout_seconds=config.query_timeout_seconds,
+            metrics=metrics,
+        )
+    return RePaGerHTTPServer(
+        (config.host, config.port), service, executor, metrics, quiet=quiet
+    )
+
+
+def start_in_background(server: RePaGerHTTPServer) -> threading.Thread:
+    """Run ``serve_forever`` on a daemon thread (tests and embedding)."""
+    thread = threading.Thread(
+        target=server.serve_forever, name="repager-http", daemon=True
+    )
+    thread.start()
+    return thread
+
+
+class _Handler(BaseHTTPRequestHandler):
+    """Route dispatch for the JSON API."""
+
+    server: RePaGerHTTPServer  # narrowed type
+    server_version = "RePaGerServing/1.0"
+    protocol_version = "HTTP/1.1"
+
+    # -- routes ------------------------------------------------------------------
+
+    def do_GET(self) -> None:  # noqa: N802 - http.server API
+        path = self.path.split("?", 1)[0].rstrip("/") or "/"
+        if path == "/healthz":
+            self._send_json(200, self._health())
+        elif path == "/metrics":
+            self._send_text(200, self._metrics_text())
+        elif path.startswith("/paper/"):
+            self._paper(path[len("/paper/"):])
+        else:
+            self._send_json(404, {"error": "not_found", "path": self.path})
+
+    def do_POST(self) -> None:  # noqa: N802 - http.server API
+        path = self.path.split("?", 1)[0].rstrip("/")
+        if path != "/query":
+            self._send_json(404, {"error": "not_found", "path": self.path})
+            return
+        self._query()
+
+    # -- handlers ----------------------------------------------------------------
+
+    def _health(self) -> dict[str, Any]:
+        service = self.server.service
+        return {
+            "status": "ok",
+            "papers": len(service.store),
+            "graph_nodes": service.graph.num_nodes,
+            "graph_edges": service.graph.num_edges,
+            "config_fingerprint": service.pipeline.config_fingerprint,
+            "uptime_seconds": time.monotonic() - self.server.started_at,
+        }
+
+    def _metrics_text(self) -> str:
+        cache = getattr(self.server.service, "cache", None)
+        extra = (
+            {f"cache_{k}": float(v) for k, v in cache.stats().to_dict().items()}
+            if cache is not None
+            else None
+        )
+        return self.server.metrics.render_text(extra_gauges=extra)
+
+    def _paper(self, paper_id: str) -> None:
+        if not paper_id:
+            self._send_json(400, {"error": "bad_request", "detail": "missing paper id"})
+            return
+        try:
+            details = self.server.service.paper_details(paper_id)
+        except PaperNotFoundError:
+            self._send_json(404, {"error": "paper_not_found", "paper_id": paper_id})
+            return
+        self._send_json(200, details)
+
+    def _query(self) -> None:
+        started = time.perf_counter()
+        try:
+            request = QueryRequest.from_dict(self._read_json())
+        except ValueError as exc:
+            self._send_json(400, {"error": "bad_request", "detail": str(exc)})
+            return
+        try:
+            payload = self.server.executor.run_one(request)
+        except ExecutorOverloadedError as exc:
+            self._send_json(
+                429,
+                {"error": "overloaded", "detail": str(exc)},
+                extra_headers={"Retry-After": "1"},
+            )
+            return
+        except QueryTimeoutError as exc:
+            self._send_json(504, {"error": "timeout", "detail": str(exc)})
+            return
+        except Exception as exc:  # noqa: BLE001 - client must always get a response
+            self._send_json(
+                500, {"error": type(exc).__name__, "detail": str(exc)}
+            )
+            return
+        body = payload.to_dict()
+        body["served_in_seconds"] = time.perf_counter() - started
+        self._send_json(200, body)
+
+    # -- plumbing ----------------------------------------------------------------
+
+    def _read_json(self) -> dict[str, Any]:
+        length = int(self.headers.get("Content-Length") or 0)
+        if length <= 0:
+            raise ValueError("request body is required")
+        raw = self.rfile.read(length)
+        try:
+            payload = json.loads(raw)
+        except json.JSONDecodeError as exc:
+            raise ValueError(f"request body is not valid JSON: {exc}") from exc
+        if not isinstance(payload, dict):
+            raise ValueError("request body must be a JSON object")
+        return payload
+
+    def _send_json(
+        self,
+        status: int,
+        payload: dict[str, Any],
+        extra_headers: dict[str, str] | None = None,
+    ) -> None:
+        body = json.dumps(payload).encode("utf-8")
+        self._send_bytes(status, body, "application/json", extra_headers)
+
+    def _send_text(self, status: int, text: str) -> None:
+        self._send_bytes(status, text.encode("utf-8"), "text/plain; charset=utf-8")
+
+    def _send_bytes(
+        self,
+        status: int,
+        body: bytes,
+        content_type: str,
+        extra_headers: dict[str, str] | None = None,
+    ) -> None:
+        self.send_response(status)
+        self.send_header("Content-Type", content_type)
+        self.send_header("Content-Length", str(len(body)))
+        for name, value in (extra_headers or {}).items():
+            self.send_header(name, value)
+        self.end_headers()
+        self.wfile.write(body)
+
+    def log_message(self, format: str, *args: Any) -> None:  # noqa: A002
+        if not self.server.quiet:
+            super().log_message(format, *args)

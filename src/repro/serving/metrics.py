@@ -1,0 +1,180 @@
+"""Serving observability: counters, gauges and latency histograms.
+
+Table IV of the paper makes per-query runtime a first-class result, so the
+serving layer measures it continuously rather than in one-off experiments:
+every query contributes to a latency histogram (p50/p95/p99), every cache
+lookup to the hit rate, and the executor reports its in-flight gauge.  The
+registry renders both a JSON snapshot (for programmatic use) and a
+Prometheus-style text exposition for the ``GET /metrics`` endpoint.
+
+Everything here is stdlib-only and thread-safe; histograms keep a bounded
+reservoir of recent samples so memory stays constant under sustained load.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import deque
+from typing import Any, Mapping
+
+__all__ = ["LatencyHistogram", "MetricsRegistry", "percentile"]
+
+
+def percentile(samples: list[float], fraction: float) -> float:
+    """Linear-interpolation percentile of a sorted sample list.
+
+    ``fraction`` is in [0, 1]; an empty sample list yields 0.0.
+    """
+    if not samples:
+        return 0.0
+    if not 0.0 <= fraction <= 1.0:
+        raise ValueError("fraction must be in [0, 1]")
+    if len(samples) == 1:
+        return samples[0]
+    rank = fraction * (len(samples) - 1)
+    low = int(rank)
+    high = min(low + 1, len(samples) - 1)
+    weight = rank - low
+    return samples[low] * (1.0 - weight) + samples[high] * weight
+
+
+class LatencyHistogram:
+    """Bounded-reservoir latency tracker with percentile summaries.
+
+    The reservoir keeps the most recent ``max_samples`` observations (a
+    sliding window); ``count`` and ``total`` keep exact running totals over
+    the full lifetime, so throughput/mean stay accurate even after the window
+    rolls over.
+    """
+
+    def __init__(self, max_samples: int = 2048) -> None:
+        if max_samples < 1:
+            raise ValueError("max_samples must be >= 1")
+        self._samples: deque[float] = deque(maxlen=max_samples)
+        self._count = 0
+        self._total = 0.0
+        self._max = 0.0
+        self._lock = threading.Lock()
+
+    def observe(self, seconds: float) -> None:
+        """Record one latency observation."""
+        with self._lock:
+            self._samples.append(seconds)
+            self._count += 1
+            self._total += seconds
+            if seconds > self._max:
+                self._max = seconds
+
+    @property
+    def count(self) -> int:
+        with self._lock:
+            return self._count
+
+    def summary(self) -> dict[str, float]:
+        """Count, mean and p50/p95/p99/max over the current window."""
+        with self._lock:
+            window = sorted(self._samples)
+            count = self._count
+            total = self._total
+            maximum = self._max
+        return {
+            "count": float(count),
+            "mean": total / count if count else 0.0,
+            "p50": percentile(window, 0.50),
+            "p95": percentile(window, 0.95),
+            "p99": percentile(window, 0.99),
+            "max": maximum,
+        }
+
+
+class MetricsRegistry:
+    """Named counters, gauges and latency histograms behind one lock.
+
+    Metric names are free-form; the serving layer uses ``queries_total``,
+    ``cache_hits_total``, ``serve_seconds``, ``pipeline_seconds``,
+    ``in_flight`` and friends.  Unknown names spring into existence on first
+    use so callers never need registration boilerplate.
+    """
+
+    def __init__(self, max_latency_samples: int = 2048) -> None:
+        self._max_latency_samples = max_latency_samples
+        self._counters: dict[str, int] = {}
+        self._gauges: dict[str, float] = {}
+        self._histograms: dict[str, LatencyHistogram] = {}
+        self._lock = threading.Lock()
+
+    # -- writes -----------------------------------------------------------------
+
+    def increment(self, name: str, amount: int = 1) -> None:
+        """Add ``amount`` to a monotonically increasing counter."""
+        with self._lock:
+            self._counters[name] = self._counters.get(name, 0) + amount
+
+    def gauge_set(self, name: str, value: float) -> None:
+        """Set an instantaneous gauge value."""
+        with self._lock:
+            self._gauges[name] = value
+
+    def gauge_add(self, name: str, delta: float) -> None:
+        """Adjust a gauge by ``delta`` (e.g. in-flight +1 / -1)."""
+        with self._lock:
+            self._gauges[name] = self._gauges.get(name, 0.0) + delta
+
+    def observe(self, name: str, seconds: float) -> None:
+        """Record a latency observation into the named histogram."""
+        with self._lock:
+            histogram = self._histograms.get(name)
+            if histogram is None:
+                histogram = LatencyHistogram(self._max_latency_samples)
+                self._histograms[name] = histogram
+        histogram.observe(seconds)
+
+    # -- reads ------------------------------------------------------------------
+
+    def counter(self, name: str) -> int:
+        with self._lock:
+            return self._counters.get(name, 0)
+
+    def gauge(self, name: str) -> float:
+        with self._lock:
+            return self._gauges.get(name, 0.0)
+
+    def histogram(self, name: str) -> LatencyHistogram | None:
+        with self._lock:
+            return self._histograms.get(name)
+
+    def snapshot(self) -> dict[str, Any]:
+        """JSON-serialisable snapshot of every metric."""
+        with self._lock:
+            counters = dict(self._counters)
+            gauges = dict(self._gauges)
+            histograms = dict(self._histograms)
+        return {
+            "counters": counters,
+            "gauges": gauges,
+            "histograms": {name: h.summary() for name, h in histograms.items()},
+        }
+
+    def render_text(self, extra_gauges: Mapping[str, float] | None = None) -> str:
+        """Prometheus-style text exposition (one ``repager_*`` line per value)."""
+        snapshot = self.snapshot()
+        lines: list[str] = []
+        for name, value in sorted(snapshot["counters"].items()):
+            lines.append(f"repager_{name} {value}")
+        gauges = dict(snapshot["gauges"])
+        if extra_gauges:
+            gauges.update(extra_gauges)
+        for name, value in sorted(gauges.items()):
+            lines.append(f"repager_{name} {_fmt(value)}")
+        for name, summary in sorted(snapshot["histograms"].items()):
+            lines.append(f"repager_{name}_count {int(summary['count'])}")
+            lines.append(f"repager_{name}_mean {_fmt(summary['mean'])}")
+            for quantile in ("p50", "p95", "p99", "max"):
+                lines.append(
+                    f'repager_{name}{{quantile="{quantile}"}} {_fmt(summary[quantile])}'
+                )
+        return "\n".join(lines) + "\n"
+
+
+def _fmt(value: float) -> str:
+    return f"{value:.6f}".rstrip("0").rstrip(".") or "0"

@@ -4,7 +4,14 @@ from __future__ import annotations
 
 import pytest
 
-from repro.config import CorpusConfig, EvaluationConfig, NewstConfig, PipelineConfig
+from repro.config import (
+    CorpusConfig,
+    EvaluationConfig,
+    NewstConfig,
+    PipelineConfig,
+    ServingConfig,
+)
+from repro.core.pipeline import VARIANT_CONFIGS, make_variant_config
 from repro.errors import ConfigurationError
 
 
@@ -79,6 +86,60 @@ class TestPipelineConfig:
     def test_all_seed_strategies_accepted(self):
         for strategy in ("reallocated", "initial", "union", "intersection"):
             assert PipelineConfig(seed_strategy=strategy).seed_strategy == strategy
+
+
+class TestFingerprints:
+    def test_fingerprint_is_stable(self):
+        assert PipelineConfig().fingerprint() == PipelineConfig().fingerprint()
+        assert NewstConfig().fingerprint() == NewstConfig().fingerprint()
+
+    def test_fingerprint_format(self):
+        fingerprint = PipelineConfig().fingerprint()
+        assert len(fingerprint) == 16
+        assert all(c in "0123456789abcdef" for c in fingerprint)
+
+    def test_any_field_change_alters_fingerprint(self):
+        base = PipelineConfig().fingerprint()
+        assert PipelineConfig(num_seeds=31).fingerprint() != base
+        assert PipelineConfig(use_node_weights=False).fingerprint() != base
+
+    def test_nested_newst_change_alters_fingerprint(self):
+        base = PipelineConfig().fingerprint()
+        assert PipelineConfig(newst=NewstConfig(alpha=4.0)).fingerprint() != base
+
+    def test_all_table3_variants_have_distinct_fingerprints(self):
+        fingerprints = {
+            name: make_variant_config(name).fingerprint() for name in VARIANT_CONFIGS
+        }
+        assert len(set(fingerprints.values())) == len(VARIANT_CONFIGS)
+
+    def test_serving_config_fingerprint_changes_with_fields(self):
+        assert ServingConfig().fingerprint() != ServingConfig(port=9999).fingerprint()
+
+
+class TestServingConfig:
+    def test_defaults_are_valid(self):
+        config = ServingConfig()
+        assert config.max_workers >= 1
+        assert config.cache_ttl_seconds > 0
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"host": ""},
+            {"port": -1},
+            {"port": 70000},
+            {"max_workers": 0},
+            {"queue_depth": -1},
+            {"cache_max_entries": 0},
+            {"cache_ttl_seconds": 0.0},
+            {"query_timeout_seconds": 0.0},
+            {"max_latency_samples": 4},
+        ],
+    )
+    def test_invalid_values_rejected(self, kwargs):
+        with pytest.raises(ConfigurationError):
+            ServingConfig(**kwargs)
 
 
 class TestEvaluationConfig:
