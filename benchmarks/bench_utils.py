@@ -1,12 +1,33 @@
-"""Helpers shared by the benchmark modules (table printing and sizing constants)."""
+"""Helpers shared by the benchmark modules (table printing and sizing constants).
+
+Sizing constants honour ``REPRO_BENCH_*`` environment variables so CI can run
+the whole harness as a fast smoke test (small corpus, few surveys) without a
+separate code path — see the ``bench-smoke`` job in
+``.github/workflows/ci.yml``.
+"""
 
 from __future__ import annotations
 
+import os
 from typing import Mapping, Sequence
+
+
+def env_int(name: str, default: int) -> int:
+    """An integer sizing knob from the environment (``REPRO_BENCH_*``)."""
+    return int(os.environ.get(name, default))
+
+
+def env_float(name: str, default: float) -> float:
+    """A float threshold knob from the environment (``REPRO_BENCH_*``)."""
+    return float(os.environ.get(name, default))
+
 
 #: Number of benchmark surveys evaluated per method (keeps the harness fast
 #: while averaging over enough queries to be stable).
-BENCH_SURVEYS = 12
+BENCH_SURVEYS = env_int("REPRO_BENCH_SURVEYS", 12)
+
+#: Papers per topic of the shared benchmark corpus.
+BENCH_PAPERS_PER_TOPIC = env_int("REPRO_BENCH_PAPERS_PER_TOPIC", 80)
 
 #: K values reported by the Fig. 8 benchmark (the paper uses 20..50).
 BENCH_K_VALUES = (20, 25, 30, 35, 40, 45, 50)

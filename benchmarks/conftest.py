@@ -16,7 +16,11 @@ from __future__ import annotations
 
 import pytest
 
-from bench_utils import BENCH_K_VALUES, BENCH_SURVEYS  # noqa: F401 - re-exported for benchmarks
+from bench_utils import (  # noqa: F401 - re-exported for benchmarks
+    BENCH_K_VALUES,
+    BENCH_PAPERS_PER_TOPIC,
+    BENCH_SURVEYS,
+)
 
 from repro.config import CorpusConfig, EvaluationConfig
 from repro.core.pipeline import RePaGerPipeline
@@ -28,8 +32,11 @@ from repro.search.aminer import AMinerEngine
 from repro.search.scholar import GoogleScholarEngine
 from repro.venues.rankings import build_default_catalog
 
-#: Corpus used by every benchmark (larger than the unit-test corpus).
-BENCH_CORPUS_CONFIG = CorpusConfig(seed=7, papers_per_topic=80, surveys_per_topic=2)
+#: Corpus used by every benchmark (larger than the unit-test corpus; the size
+#: is overridable via REPRO_BENCH_PAPERS_PER_TOPIC for CI smoke runs).
+BENCH_CORPUS_CONFIG = CorpusConfig(
+    seed=7, papers_per_topic=BENCH_PAPERS_PER_TOPIC, surveys_per_topic=2
+)
 
 
 @pytest.fixture(scope="session")

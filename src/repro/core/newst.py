@@ -16,6 +16,7 @@ from typing import Sequence
 from ..config import NewstConfig
 from ..errors import DisconnectedTerminalsError, PipelineError
 from ..graph.citation_graph import CitationGraph
+from ..graph.indexed import IndexedGraph
 from ..graph.steiner import SteinerTreeResult, node_edge_weighted_steiner_tree
 from .weights import EdgeCosts, NodeWeights
 
@@ -30,11 +31,15 @@ class NewstModel:
         config: NEWST cost parameters (alpha, beta, gamma, a, b).
         use_node_weights: If False the node-weight term is dropped (NEWST-N).
         use_edge_weights: If False every edge costs a constant alpha (NEWST-E).
+        graph_backend: ``"indexed"`` routes the metric closure through the
+            array kernels of :mod:`repro.graph.kernels`; ``"dict"`` keeps the
+            original per-edge closure dispatch.  Results are identical.
     """
 
     config: NewstConfig
     use_node_weights: bool = True
     use_edge_weights: bool = True
+    graph_backend: str = "dict"
 
     def solve(
         self,
@@ -42,6 +47,7 @@ class NewstModel:
         terminals: Sequence[str],
         node_weights: NodeWeights,
         edge_costs: EdgeCosts,
+        snapshot: IndexedGraph | None = None,
     ) -> SteinerTreeResult:
         """Compute the Steiner tree spanning ``terminals`` in ``subgraph``.
 
@@ -51,12 +57,21 @@ class NewstModel:
         connectable group, matching the behaviour of a production system that
         must always return *some* reading path.
 
+        Args:
+            snapshot: Optional prebuilt :class:`IndexedGraph` view of
+                ``subgraph`` (the pipeline carves it out of the per-corpus
+                snapshot); built on the fly when the backend is ``"indexed"``
+                and none is supplied.
+
         Raises:
             PipelineError: If no terminal is present in the subgraph.
         """
         present = [t for t in dict.fromkeys(terminals) if t in subgraph]
         if not present:
             raise PipelineError("no compulsory terminal is present in the subgraph")
+
+        if snapshot is None and self.graph_backend == "indexed":
+            snapshot = IndexedGraph.from_graph(subgraph)
 
         node_cost = node_weights.as_cost_function() if self.use_node_weights else (
             lambda _node: 0.0
@@ -74,6 +89,7 @@ class NewstModel:
                 edge_cost=edge_cost,
                 node_cost=node_cost,
                 require_all_terminals=False,
+                snapshot=snapshot,
             )
         except DisconnectedTerminalsError as exc:  # pragma: no cover - defensive
             raise PipelineError(f"could not connect the terminal papers: {exc}") from exc

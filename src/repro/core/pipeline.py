@@ -115,7 +115,11 @@ class RePaGerPipeline:
         self.graph = graph if graph is not None else CitationGraph.from_papers(store.papers)
         self.seed_selector = SeedSelector(search_source)
         self.weight_builder = WeightedGraphBuilder(
-            store, self.graph, config=self.config.newst, venues=self.venues
+            store,
+            self.graph,
+            config=self.config.newst,
+            venues=self.venues,
+            graph_backend=self.config.graph_backend,
         )
         # Node weights depend only on the full graph, so compute them once and
         # share across queries (the PageRank pass dominates set-up time).  The
@@ -134,6 +138,17 @@ class RePaGerPipeline:
                 if self._node_weights is None:
                     self._node_weights = self.weight_builder.node_weights()
         return self._node_weights
+
+    @property
+    def indexed_graph(self):
+        """Per-corpus :class:`~repro.graph.indexed.IndexedGraph` snapshot.
+
+        Built once (lazily, or eagerly by :func:`repro.serving.warmup.warm_up`)
+        and shared across queries: PageRank runs on it, and each query's
+        candidate subgraph is carved out of it with
+        :meth:`~repro.graph.indexed.IndexedGraph.induced`.
+        """
+        return self.weight_builder.indexed_snapshot()
 
     @property
     def config_fingerprint(self) -> str:
@@ -246,8 +261,16 @@ class RePaGerPipeline:
                 config=self.config.newst,
                 use_node_weights=self.config.use_node_weights,
                 use_edge_weights=self.config.use_edge_weights,
+                graph_backend=self.config.graph_backend,
             )
-            tree = model.solve(subgraph, terminals, self.node_weights, edge_costs)
+            snapshot = (
+                self.indexed_graph.induced(subgraph.nodes)
+                if self.config.graph_backend == "indexed"
+                else None
+            )
+            tree = model.solve(
+                subgraph, terminals, self.node_weights, edge_costs, snapshot=snapshot
+            )
             relevance = self._relevance_scores(initial_seeds, cooccurrence)
             padding = self._padding(
                 set(tree.nodes), relevance, candidate_hops, pad_to - len(tree.nodes)

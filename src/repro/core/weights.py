@@ -22,13 +22,16 @@ terms live on comparable scales regardless of graph size.
 
 from __future__ import annotations
 
+import threading
 from dataclasses import dataclass
 from typing import Mapping
 
-from ..config import NewstConfig
+from ..config import GRAPH_BACKENDS, NewstConfig
 from ..corpus.storage import CorpusStore
-from ..errors import GraphError
+from ..errors import ConfigurationError, GraphError
 from ..graph.citation_graph import CitationGraph
+from ..graph.indexed import IndexedGraph
+from ..graph.kernels import indexed_pagerank
 from ..graph.pagerank import pagerank
 from ..venues.rankings import VenueCatalog, build_default_catalog
 
@@ -96,24 +99,54 @@ class WeightedGraphBuilder:
         graph: CitationGraph,
         config: NewstConfig | None = None,
         venues: VenueCatalog | None = None,
+        graph_backend: str = "dict",
     ) -> None:
+        if graph_backend not in GRAPH_BACKENDS:
+            raise ConfigurationError(
+                f"graph_backend must be one of {GRAPH_BACKENDS}, got {graph_backend!r}"
+            )
         self.store = store
         self.graph = graph
         self.config = config or NewstConfig()
         self.venues = venues or build_default_catalog()
+        self.graph_backend = graph_backend
         self._pagerank: dict[str, float] | None = None
+        self._snapshot: IndexedGraph | None = None
+        self._snapshot_lock = threading.Lock()
+
+    # -- indexed snapshot --------------------------------------------------------
+
+    def indexed_snapshot(self) -> IndexedGraph:
+        """The per-corpus :class:`IndexedGraph` snapshot (built once, cached).
+
+        The snapshot backs both the PageRank pass and per-query induced
+        subgraphs, so the dict graph is only ever walked once per corpus.
+        """
+        if self._snapshot is None:
+            with self._snapshot_lock:
+                if self._snapshot is None:
+                    self._snapshot = IndexedGraph.from_graph(self.graph)
+        return self._snapshot
 
     # -- node weights ------------------------------------------------------------
 
     def pagerank_scores(self) -> Mapping[str, float]:
         """PageRank of every paper in the full citation graph (cached, normalised)."""
         if self._pagerank is None:
-            raw = pagerank(
-                self.graph,
-                damping=self.config.pagerank_damping,
-                max_iterations=self.config.pagerank_max_iterations,
-                tolerance=self.config.pagerank_tolerance,
-            )
+            if self.graph_backend == "indexed":
+                raw = indexed_pagerank(
+                    self.indexed_snapshot(),
+                    damping=self.config.pagerank_damping,
+                    max_iterations=self.config.pagerank_max_iterations,
+                    tolerance=self.config.pagerank_tolerance,
+                )
+            else:
+                raw = pagerank(
+                    self.graph,
+                    damping=self.config.pagerank_damping,
+                    max_iterations=self.config.pagerank_max_iterations,
+                    tolerance=self.config.pagerank_tolerance,
+                )
             low = min(raw.values())
             high = max(raw.values())
             span = high - low

@@ -9,6 +9,8 @@ Kou–Markowsky–Berman (KMB) heuristic for the node-edge weighted Steiner tree
 """
 
 from .citation_graph import CitationGraph
+from .indexed import BoundCosts, IndexedGraph
+from .kernels import indexed_dijkstra, indexed_metric_closure, indexed_pagerank
 from .pagerank import pagerank
 from .shortest_paths import dijkstra, shortest_path, PathResult
 from .mst import minimum_spanning_tree, UnionFind
@@ -23,6 +25,11 @@ from .metrics import GraphStatistics, graph_statistics, degree_histogram
 
 __all__ = [
     "CitationGraph",
+    "BoundCosts",
+    "IndexedGraph",
+    "indexed_dijkstra",
+    "indexed_metric_closure",
+    "indexed_pagerank",
     "pagerank",
     "dijkstra",
     "shortest_path",

@@ -70,6 +70,7 @@ def dijkstra(
     node_cost: NodeCost | None = None,
     undirected: bool = True,
     targets: Iterable[str] | None = None,
+    include_endpoints: bool = False,
 ) -> PathResult:
     """Single-source Dijkstra with node and edge costs.
 
@@ -83,6 +84,11 @@ def dijkstra(
             NEWST formulation) edges can be traversed in either direction.
         targets: If given, the search may stop early once every target has
             been settled.
+        include_endpoints: If True, each reported distance additionally
+            includes the node costs of the source and of the reached node
+            (the source's cost is counted once when the target *is* the
+            source).  The metric closure keeps the default (False) so that
+            terminal weights are not double-counted.
 
     Returns:
         A :class:`PathResult` with distances and predecessor links.
@@ -129,6 +135,18 @@ def dijkstra(
                 predecessors[neighbor] = node
                 heapq.heappush(heap, (candidate, neighbor))
 
+    if include_endpoints:
+        source_cost = node_cost(source)
+        if source_cost < 0:
+            raise GraphError("Dijkstra requires non-negative node and edge costs")
+        adjusted: dict[str, float] = {}
+        for node, distance in distances.items():
+            endpoint_cost = node_cost(node) if node != source else 0.0
+            if endpoint_cost < 0:
+                raise GraphError("Dijkstra requires non-negative node and edge costs")
+            adjusted[node] = distance + source_cost + endpoint_cost
+        distances = adjusted
+
     return PathResult(source=source, distances=distances, predecessors=predecessors)
 
 
@@ -139,6 +157,7 @@ def shortest_path(
     edge_cost: EdgeCost | None = None,
     node_cost: NodeCost | None = None,
     undirected: bool = True,
+    include_endpoints: bool = False,
 ) -> tuple[list[str], float]:
     """Shortest path between two nodes.
 
@@ -154,5 +173,6 @@ def shortest_path(
         node_cost=node_cost,
         undirected=undirected,
         targets=[target],
+        include_endpoints=include_endpoints,
     )
     return result.path_to(target), result.distance_to(target)

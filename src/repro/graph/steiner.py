@@ -25,6 +25,8 @@ from typing import Callable, Iterable, Mapping, Sequence
 
 from ..errors import DisconnectedTerminalsError, GraphError, NodeNotFoundError
 from .citation_graph import CitationGraph
+from .indexed import IndexedGraph
+from .kernels import indexed_metric_closure
 from .mst import minimum_spanning_tree
 from .shortest_paths import dijkstra
 
@@ -96,13 +98,23 @@ def metric_closure(
     terminals: Sequence[str],
     edge_cost: EdgeCost | None = None,
     node_cost: NodeCost | None = None,
+    snapshot: IndexedGraph | None = None,
 ) -> tuple[dict[tuple[str, str], float], dict[tuple[str, str], list[str]]]:
     """Pairwise shortest-path distances and paths between terminals.
+
+    Args:
+        snapshot: Optional :class:`IndexedGraph` view of ``graph``.  When
+            given, the closure runs on the array kernels (cost callables are
+            prefetched once per node/edge instead of being invoked on every
+            relaxation) and returns identical results.
 
     Returns:
         ``(distances, paths)`` keyed by ordered terminal pairs ``(u, v)`` with
         ``u < v``.  Unreachable pairs are omitted.
     """
+    if snapshot is not None:
+        costs = snapshot.bind_costs(edge_cost, node_cost)
+        return indexed_metric_closure(snapshot, costs, list(dict.fromkeys(terminals)))
     distances: dict[tuple[str, str], float] = {}
     paths: dict[tuple[str, str], list[str]] = {}
     terminal_list = list(dict.fromkeys(terminals))
@@ -137,6 +149,7 @@ def node_edge_weighted_steiner_tree(
     edge_cost: EdgeCost | None = None,
     node_cost: NodeCost | None = None,
     require_all_terminals: bool = True,
+    snapshot: IndexedGraph | None = None,
 ) -> SteinerTreeResult:
     """Compute a node-edge weighted Steiner tree spanning ``terminals``.
 
@@ -148,6 +161,8 @@ def node_edge_weighted_steiner_tree(
         require_all_terminals: If True, terminals in different connected
             components raise :class:`DisconnectedTerminalsError`; if False the
             tree spans only the terminals in the largest reachable group.
+        snapshot: Optional :class:`IndexedGraph` view of ``graph``; routes the
+            metric closure (the dominant cost) through the array kernels.
 
     Returns:
         A :class:`SteinerTreeResult`.
@@ -181,7 +196,9 @@ def node_edge_weighted_steiner_tree(
         )
 
     # Step 1: metric closure over the terminals.
-    distances, closure_paths = metric_closure(graph, terminal_list, edge_cost, node_cost)
+    distances, closure_paths = metric_closure(
+        graph, terminal_list, edge_cost, node_cost, snapshot=snapshot
+    )
 
     connected_terminals = _largest_connected_terminal_group(terminal_list, distances)
     if len(connected_terminals) < len(terminal_list):

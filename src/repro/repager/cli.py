@@ -19,7 +19,13 @@ import json
 import sys
 from pathlib import Path
 
-from ..config import CorpusConfig, PipelineConfig, ServingConfig
+from ..config import (
+    DEFAULT_GRAPH_BACKEND,
+    GRAPH_BACKENDS,
+    CorpusConfig,
+    PipelineConfig,
+    ServingConfig,
+)
 from ..corpus.generator import CorpusGenerator
 from ..corpus.storage import CorpusStore
 from ..dataset.surveybank import SurveyBank
@@ -67,6 +73,10 @@ def build_parser() -> argparse.ArgumentParser:
     query.add_argument("--seeds", type=int, default=30, help="number of initial seed papers")
     query.add_argument("--json", action="store_true", help="emit the UI JSON payload")
     query.add_argument("--flat", action="store_true", help="print a flat list instead of a tree")
+    query.add_argument(
+        "--graph-backend", choices=GRAPH_BACKENDS, default=DEFAULT_GRAPH_BACKEND,
+        help="graph core for PageRank and the NEWST metric closure",
+    )
 
     serve = subparsers.add_parser(
         "serve", help="serve reading paths over a dependency-free HTTP JSON API"
@@ -90,6 +100,10 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument(
         "--no-warmup", action="store_true",
         help="skip artifact precomputation (first query pays the set-up cost)",
+    )
+    serve.add_argument(
+        "--graph-backend", choices=GRAPH_BACKENDS, default=DEFAULT_GRAPH_BACKEND,
+        help="graph core for PageRank and the NEWST metric closure",
     )
 
     return parser
@@ -126,7 +140,12 @@ def _cmd_build_surveybank(args: argparse.Namespace) -> int:
 
 def _cmd_query(args: argparse.Namespace) -> int:
     store = _load_or_generate_store(args.corpus)
-    service = RePaGerService(store, pipeline_config=PipelineConfig(num_seeds=args.seeds))
+    service = RePaGerService(
+        store,
+        pipeline_config=PipelineConfig(
+            num_seeds=args.seeds, graph_backend=args.graph_backend
+        ),
+    )
     payload = service.query(args.text)
     if args.json:
         print(json.dumps(payload.to_dict(), indent=2))
@@ -156,7 +175,9 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     metrics = MetricsRegistry(serving_config.max_latency_samples)
     service = RePaGerService(
         store,
-        pipeline_config=PipelineConfig(num_seeds=args.seeds),
+        pipeline_config=PipelineConfig(
+            num_seeds=args.seeds, graph_backend=args.graph_backend
+        ),
         cache=ResultCache(
             max_entries=serving_config.cache_max_entries,
             ttl_seconds=serving_config.cache_ttl_seconds,

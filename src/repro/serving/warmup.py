@@ -46,6 +46,7 @@ class WarmupReport:
     pagerank_entries: int
     venue_entries: int
     from_snapshot: bool
+    graph_backend: str = "dict"
 
     def to_dict(self) -> dict[str, object]:
         return {
@@ -57,6 +58,7 @@ class WarmupReport:
             "pagerank_entries": self.pagerank_entries,
             "venue_entries": self.venue_entries,
             "from_snapshot": self.from_snapshot,
+            "graph_backend": self.graph_backend,
         }
 
 
@@ -147,10 +149,15 @@ def warm_up(
     started = time.perf_counter()
     if snapshot is not None:
         snapshot.restore_into(service)
-    weights = service.pipeline.node_weights  # forces PageRank + venue scores
+    pipeline = service.pipeline
+    if pipeline.config.graph_backend == "indexed":
+        # Build the per-corpus CSR snapshot eagerly: it backs the PageRank
+        # pass below and every query's induced candidate subgraph.
+        pipeline.indexed_graph
+    weights = pipeline.node_weights  # forces PageRank + venue scores
     elapsed = time.perf_counter() - started
     return WarmupReport(
-        config_fingerprint=service.pipeline.config_fingerprint,
+        config_fingerprint=pipeline.config_fingerprint,
         elapsed_seconds=elapsed,
         num_papers=len(service.store),
         graph_nodes=service.graph.num_nodes,
@@ -158,4 +165,5 @@ def warm_up(
         pagerank_entries=len(weights.pagerank_scores),
         venue_entries=len(weights.venue_scores),
         from_snapshot=snapshot is not None,
+        graph_backend=pipeline.config.graph_backend,
     )

@@ -10,7 +10,8 @@ from __future__ import annotations
 
 import pytest
 
-from repro.config import CorpusConfig, EvaluationConfig, PipelineConfig
+from golden_utils import GOLDEN_CORPUS_CONFIG
+from repro.config import EvaluationConfig, PipelineConfig
 from repro.corpus.generator import CorpusGenerator, GeneratedCorpus
 from repro.corpus.storage import CorpusStore
 from repro.corpus.vocabulary import build_default_taxonomy
@@ -21,12 +22,9 @@ from repro.search.scholar import GoogleScholarEngine
 from repro.venues.rankings import build_default_catalog
 
 
-SMALL_CONFIG = CorpusConfig(
-    seed=7,
-    papers_per_topic=30,
-    surveys_per_topic=2,
-    citations_per_paper=10.0,
-)
+# The unit-test corpus is the golden-fixture corpus (tests/golden_utils.py)
+# so the session fixtures can be reused by the golden regression suite.
+SMALL_CONFIG = GOLDEN_CORPUS_CONFIG
 
 
 @pytest.fixture(scope="session")

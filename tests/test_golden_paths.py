@@ -1,0 +1,81 @@
+"""Golden regression: frozen top-K reading paths for all Table III variants.
+
+Each fixture under ``tests/golden/`` freezes the reading-path output of one
+NEWST variant on the deterministic synthetic corpus.  The tests recompute the
+paths with *both* graph backends and diff them against the fixtures, which
+pins down two properties at once:
+
+1. regression safety — any behavioural change to the pipeline (kernels, cost
+   model, ranking, reallocation) produces a visible fixture diff;
+2. backend equivalence — the indexed CSR backend must reproduce the dict
+   backend's output byte for byte, per variant and per query.
+
+Fixtures are regenerated with ``PYTHONPATH=src python scripts/regen_golden.py``
+(see ``tests/golden/README.md``); only re-freeze when output is *supposed* to
+change, and commit the diff with the change that caused it.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from golden_utils import (
+    GOLDEN_QUERIES,
+    GOLDEN_VARIANTS,
+    compute_all_payloads,
+    fixture_path,
+)
+
+
+@pytest.fixture(scope="module")
+def golden_payloads(store, scholar_engine, citation_graph):
+    """Recomputed payloads per backend (node weights shared across variants)."""
+    return {
+        backend: compute_all_payloads(
+            store, scholar_engine, citation_graph, graph_backend=backend
+        )
+        for backend in ("dict", "indexed")
+    }
+
+
+def load_fixture(variant: str) -> dict:
+    path = fixture_path(variant)
+    assert path.exists(), (
+        f"missing golden fixture {path}; regenerate with "
+        "`PYTHONPATH=src python scripts/regen_golden.py`"
+    )
+    return json.loads(path.read_text(encoding="utf-8"))
+
+
+@pytest.mark.parametrize("variant", GOLDEN_VARIANTS)
+@pytest.mark.parametrize("backend", ("dict", "indexed"))
+def test_variant_matches_golden_fixture(golden_payloads, variant, backend):
+    """Both backends reproduce the frozen fixture for every variant."""
+    assert golden_payloads[backend][variant] == load_fixture(variant)
+
+
+@pytest.mark.parametrize("variant", GOLDEN_VARIANTS)
+def test_backends_byte_identical(golden_payloads, variant):
+    """The indexed backend's reading paths equal the dict backend's exactly.
+
+    This is stronger than both matching the fixture: it also compares the
+    payloads as serialised bytes, so a fixture regeneration can never paper
+    over a backend divergence.
+    """
+    dict_payload = golden_payloads["dict"][variant]
+    indexed_payload = golden_payloads["indexed"][variant]
+    assert dict_payload == indexed_payload
+    assert json.dumps(dict_payload, sort_keys=True) == json.dumps(
+        indexed_payload, sort_keys=True
+    )
+
+
+def test_fixtures_cover_all_variants_and_queries():
+    for variant in GOLDEN_VARIANTS:
+        fixture = load_fixture(variant)
+        assert set(fixture["queries"]) == set(GOLDEN_QUERIES)
+        for query, payload in fixture["queries"].items():
+            assert payload["top_k"], f"{variant}/{query} froze an empty reading path"
+            assert payload["terminals"], f"{variant}/{query} froze no terminals"

@@ -1,0 +1,193 @@
+"""Randomized equivalence: indexed (CSR) backend vs the dict-of-dicts backend.
+
+The indexed graph core (:mod:`repro.graph.indexed` / :mod:`repro.graph.kernels`)
+promises *identical* results to the dict implementations — same distances and
+predecessors from Dijkstra (heap ties included), same metric closure, same
+Steiner trees, bit-identical PageRank.  These tests enforce that promise on
+seeded random graphs sweeping density, weight regimes (including the tie-heavy
+unit-cost case) and disconnected components, so future kernel rewrites cannot
+silently drift.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.graph.citation_graph import CitationGraph
+from repro.graph.indexed import IndexedGraph
+from repro.graph.kernels import indexed_dijkstra, indexed_pagerank
+from repro.graph.pagerank import pagerank
+from repro.graph.shortest_paths import dijkstra
+from repro.graph.steiner import metric_closure, node_edge_weighted_steiner_tree
+
+# Each case: (seed, num_nodes, edge_factor, weighted, components)
+#   edge_factor: average out-degree of the random graph
+#   weighted:    False -> unit edge costs / zero node costs (maximally tie-heavy)
+#   components:  number of disjoint clusters the nodes are split into
+CASES = [
+    (1, 12, 1.2, False, 1),
+    (2, 20, 2.5, True, 1),
+    (3, 30, 4.0, True, 1),
+    (4, 25, 1.5, False, 3),
+    (5, 40, 3.0, True, 2),
+    (6, 8, 0.8, True, 2),
+    (7, 35, 5.0, False, 1),
+    (8, 50, 2.0, True, 4),
+]
+
+
+def make_random_case(seed: int, num_nodes: int, edge_factor: float,
+                     weighted: bool, components: int):
+    """A seeded random directed graph plus matching cost functions.
+
+    Node ids are inserted in shuffled order so that insertion order and
+    lexicographic order disagree — the regime where heap tie-breaking between
+    the two backends could diverge if the snapshot's ``sort_rank`` were wrong.
+    """
+    rng = random.Random(seed)
+    names = [f"N{i:03d}" for i in range(num_nodes)]
+    insertion = names[:]
+    rng.shuffle(insertion)
+    graph = CitationGraph()
+    for name in insertion:
+        graph.add_node(name)
+
+    # Split nodes into disjoint clusters; edges only ever stay in-cluster.
+    clusters: list[list[str]] = [[] for _ in range(components)]
+    for position, name in enumerate(names):
+        clusters[position % components].append(name)
+
+    edge_costs: dict[tuple[str, str], float] = {}
+    node_costs: dict[str, float] = {}
+    for cluster in clusters:
+        target_edges = max(1, int(len(cluster) * edge_factor))
+        for _ in range(target_edges):
+            source, target = rng.sample(cluster, 2) if len(cluster) >= 2 else (None, None)
+            if source is None:
+                continue
+            graph.add_edge(source, target)
+            if (source, target) not in edge_costs:
+                edge_costs[(source, target)] = (
+                    round(rng.uniform(0.1, 5.0), 3) if weighted else 1.0
+                )
+    for name in names:
+        node_costs[name] = round(rng.uniform(0.0, 2.0), 3) if weighted else 0.0
+
+    def edge_cost(u: str, v: str) -> float:
+        return edge_costs.get((u, v), 1.0)
+
+    def node_cost(n: str) -> float:
+        return node_costs[n]
+
+    return graph, edge_cost, node_cost, rng
+
+
+@pytest.mark.parametrize("seed,n,factor,weighted,components", CASES)
+def test_dijkstra_equivalence(seed, n, factor, weighted, components):
+    graph, edge_cost, node_cost, rng = make_random_case(seed, n, factor, weighted, components)
+    snapshot = IndexedGraph.from_graph(graph)
+    sources = rng.sample(sorted(graph.nodes), min(5, len(graph)))
+    for source in sources:
+        for undirected in (True, False):
+            expected = dijkstra(
+                graph, source, edge_cost, node_cost, undirected=undirected
+            )
+            actual = indexed_dijkstra(
+                snapshot, source, edge_cost, node_cost, undirected=undirected
+            )
+            assert dict(actual.distances) == dict(expected.distances)
+            assert dict(actual.predecessors) == dict(expected.predecessors)
+
+
+@pytest.mark.parametrize("seed,n,factor,weighted,components", CASES)
+def test_dijkstra_targets_and_endpoints_equivalence(seed, n, factor, weighted, components):
+    graph, edge_cost, node_cost, rng = make_random_case(seed, n, factor, weighted, components)
+    snapshot = IndexedGraph.from_graph(graph)
+    nodes = sorted(graph.nodes)
+    source = rng.choice(nodes)
+    targets = rng.sample(nodes, min(4, len(nodes))) + ["MISSING-TARGET"]
+    for include_endpoints in (False, True):
+        expected = dijkstra(
+            graph, source, edge_cost, node_cost,
+            targets=targets, include_endpoints=include_endpoints,
+        )
+        actual = indexed_dijkstra(
+            snapshot, source, edge_cost, node_cost,
+            targets=targets, include_endpoints=include_endpoints,
+        )
+        assert dict(actual.distances) == dict(expected.distances)
+        assert dict(actual.predecessors) == dict(expected.predecessors)
+
+
+@pytest.mark.parametrize("seed,n,factor,weighted,components", CASES)
+def test_metric_closure_equivalence(seed, n, factor, weighted, components):
+    graph, edge_cost, node_cost, rng = make_random_case(seed, n, factor, weighted, components)
+    snapshot = IndexedGraph.from_graph(graph)
+    terminals = rng.sample(sorted(graph.nodes), min(7, len(graph)))
+    expected_dist, expected_paths = metric_closure(graph, terminals, edge_cost, node_cost)
+    actual_dist, actual_paths = metric_closure(
+        graph, terminals, edge_cost, node_cost, snapshot=snapshot
+    )
+    assert actual_dist == expected_dist
+    assert actual_paths == expected_paths
+
+
+@pytest.mark.parametrize("seed,n,factor,weighted,components", CASES)
+def test_steiner_tree_equivalence(seed, n, factor, weighted, components):
+    graph, edge_cost, node_cost, rng = make_random_case(seed, n, factor, weighted, components)
+    snapshot = IndexedGraph.from_graph(graph)
+    terminals = rng.sample(sorted(graph.nodes), min(6, len(graph)))
+    expected = node_edge_weighted_steiner_tree(
+        graph, terminals, edge_cost, node_cost, require_all_terminals=False
+    )
+    actual = node_edge_weighted_steiner_tree(
+        graph, terminals, edge_cost, node_cost,
+        require_all_terminals=False, snapshot=snapshot,
+    )
+    assert actual.nodes == expected.nodes
+    assert actual.edges == expected.edges
+    assert actual.terminals == expected.terminals
+    assert actual.total_cost == pytest.approx(expected.total_cost, abs=1e-9)
+    assert actual.edge_cost_total == pytest.approx(expected.edge_cost_total, abs=1e-9)
+    assert actual.node_cost_total == pytest.approx(expected.node_cost_total, abs=1e-9)
+
+
+@pytest.mark.parametrize("seed,n,factor,weighted,components", CASES)
+def test_pagerank_equivalence_bit_identical(seed, n, factor, weighted, components):
+    graph, _, _, _ = make_random_case(seed, n, factor, weighted, components)
+    snapshot = IndexedGraph.from_graph(graph)
+    expected = pagerank(graph)
+    actual = indexed_pagerank(snapshot)
+    assert set(actual) == set(expected)
+    for node, score in expected.items():
+        # Bit-identical by design: every accumulation runs in insertion order.
+        assert actual[node] == score
+
+
+def test_pagerank_personalization_equivalence():
+    graph, _, _, rng = make_random_case(9, 30, 3.0, True, 1)
+    snapshot = IndexedGraph.from_graph(graph)
+    nodes = sorted(graph.nodes)
+    personalization = {node: rng.random() for node in rng.sample(nodes, 10)}
+    expected = pagerank(graph, personalization=personalization)
+    actual = indexed_pagerank(snapshot, personalization=personalization)
+    for node, score in expected.items():
+        assert actual[node] == score
+
+
+def test_induced_snapshot_matches_from_graph_of_subgraph():
+    graph, edge_cost, node_cost, rng = make_random_case(10, 40, 3.0, True, 1)
+    parent = IndexedGraph.from_graph(graph)
+    kept = rng.sample(sorted(graph.nodes), 25)
+    induced = parent.induced(kept)
+    direct = IndexedGraph.from_graph(graph.subgraph(kept))
+    assert set(induced.node_ids) == set(direct.node_ids)
+    assert induced.num_edges == direct.num_edges
+    # Same search results either way.
+    source = min(induced.node_ids)
+    a = indexed_dijkstra(induced, source, edge_cost, node_cost)
+    b = indexed_dijkstra(direct, source, edge_cost, node_cost)
+    assert dict(a.distances) == dict(b.distances)
+    assert dict(a.predecessors) == dict(b.predecessors)

@@ -1,0 +1,200 @@
+"""Edge-case coverage for :mod:`repro.graph.shortest_paths`.
+
+Complements ``test_graph_algorithms.py`` with the corner cases of the Dijkstra
+contract that the NEWST metric closure depends on: early exit on ``targets``,
+the ``include_endpoints`` switch, unreachable targets, zero-weight nodes and
+the reversed-edge cost branch of undirected traversal.  Each behaviour is also
+checked against the indexed kernel, which must match exactly.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import GraphError, NodeNotFoundError
+from repro.graph.citation_graph import CitationGraph
+from repro.graph.indexed import IndexedGraph
+from repro.graph.kernels import indexed_dijkstra
+from repro.graph.shortest_paths import dijkstra, shortest_path
+
+
+def chain_graph() -> CitationGraph:
+    """A -> B -> C -> D plus a short detour A -> X -> D."""
+    graph = CitationGraph()
+    for source, target in [("A", "B"), ("B", "C"), ("C", "D"), ("A", "X"), ("X", "D")]:
+        graph.add_edge(source, target)
+    return graph
+
+
+class TestTargetsEarlyExit:
+    def test_search_stops_once_targets_settle(self):
+        graph = CitationGraph()
+        # Source S with a near target T and a long tail the search never needs.
+        graph.add_edge("S", "T")
+        previous = "T"
+        for i in range(20):
+            node = f"TAIL{i:02d}"
+            graph.add_edge(previous, node)
+            previous = node
+        result = dijkstra(graph, "S", targets=["T"])
+        assert result.distance_to("T") == 1.0
+        # The early exit leaves the far end of the tail undiscovered.
+        assert "TAIL19" not in result.distances
+
+    def test_missing_target_disables_early_exit(self):
+        graph = chain_graph()
+        result = dijkstra(graph, "A", targets=["NOT-IN-GRAPH"])
+        # The search cannot satisfy the target set, so it settles everything.
+        assert set(result.distances) == set(graph.nodes)
+        assert result.distance_to("NOT-IN-GRAPH") == float("inf")
+
+    def test_indexed_backend_matches(self):
+        graph = chain_graph()
+        snapshot = IndexedGraph.from_graph(graph)
+        expected = dijkstra(graph, "A", targets=["D"])
+        actual = indexed_dijkstra(snapshot, "A", targets=["D"])
+        assert dict(actual.distances) == dict(expected.distances)
+
+
+class TestIncludeEndpoints:
+    NODE_COSTS = {"A": 5.0, "B": 1.0, "C": 2.0, "D": 7.0, "X": 100.0}
+
+    def node_cost(self, node: str) -> float:
+        return self.NODE_COSTS[node]
+
+    def test_endpoint_costs_added_once(self):
+        graph = chain_graph()
+        # Path A-B-C-D: 3 edges + intermediates B,C = 3 + 1 + 2 = 6 by default.
+        path, cost = shortest_path(graph, "A", "D", node_cost=self.node_cost)
+        assert path == ["A", "B", "C", "D"]
+        assert cost == 6.0
+        # With endpoints included the same path also pays w(A) + w(D).
+        path, cost = shortest_path(
+            graph, "A", "D", node_cost=self.node_cost, include_endpoints=True
+        )
+        assert path == ["A", "B", "C", "D"]
+        assert cost == 6.0 + 5.0 + 7.0
+
+    def test_source_pays_its_own_cost_once(self):
+        graph = chain_graph()
+        result = dijkstra(graph, "A", node_cost=self.node_cost, include_endpoints=True)
+        assert result.distance_to("A") == 5.0
+
+    def test_route_choice_is_not_affected(self):
+        # include_endpoints is a reporting adjustment: the heavy X node still
+        # makes the detour more expensive than the chain.
+        graph = chain_graph()
+        result = dijkstra(graph, "A", node_cost=self.node_cost, include_endpoints=True)
+        assert result.path_to("D") == ["A", "B", "C", "D"]
+
+    def test_negative_endpoint_cost_rejected(self):
+        graph = chain_graph()
+        costs = dict(self.NODE_COSTS, A=-1.0)
+        with pytest.raises(GraphError):
+            dijkstra(graph, "A", node_cost=costs.__getitem__, include_endpoints=True)
+
+    def test_indexed_backend_matches(self):
+        graph = chain_graph()
+        snapshot = IndexedGraph.from_graph(graph)
+        expected = dijkstra(graph, "A", node_cost=self.node_cost, include_endpoints=True)
+        actual = indexed_dijkstra(
+            snapshot, "A", node_cost=self.node_cost, include_endpoints=True
+        )
+        assert dict(actual.distances) == dict(expected.distances)
+
+
+class TestUnreachableTargets:
+    def test_unreachable_component_is_absent_from_distances(self):
+        graph = CitationGraph()
+        graph.add_edge("A", "B")
+        graph.add_edge("ISLAND1", "ISLAND2")
+        result = dijkstra(graph, "A", targets=["ISLAND2"])
+        assert result.distance_to("ISLAND2") == float("inf")
+        assert result.path_to("ISLAND2") == []
+        assert "ISLAND1" not in result.distances
+
+    def test_shortest_path_to_unreachable_target(self):
+        graph = CitationGraph()
+        graph.add_edge("A", "B")
+        graph.add_node("LONER")
+        path, cost = shortest_path(graph, "A", "LONER")
+        assert path == []
+        assert cost == float("inf")
+
+    def test_missing_source_still_raises(self):
+        graph = chain_graph()
+        with pytest.raises(NodeNotFoundError):
+            dijkstra(graph, "GHOST")
+        snapshot = IndexedGraph.from_graph(graph)
+        with pytest.raises(NodeNotFoundError):
+            indexed_dijkstra(snapshot, "GHOST")
+
+
+class TestZeroWeightNodes:
+    def test_zero_weight_intermediates_add_nothing(self):
+        graph = chain_graph()
+        result = dijkstra(graph, "A", node_cost=lambda _n: 0.0)
+        assert result.distance_to("D") == 2.0  # A->X->D wins on hop count alone
+
+    def test_zero_weight_hub_attracts_paths(self):
+        # D is reachable via B (cost 10) or via the free hub H (cost 0).
+        graph = CitationGraph()
+        graph.add_edge("A", "B")
+        graph.add_edge("B", "D")
+        graph.add_edge("A", "H")
+        graph.add_edge("H", "D")
+        costs = {"A": 0.0, "B": 10.0, "D": 0.0, "H": 0.0}
+        result = dijkstra(graph, "A", node_cost=costs.__getitem__)
+        assert result.path_to("D") == ["A", "H", "D"]
+        assert result.distance_to("D") == 2.0
+
+    def test_zero_edge_costs_allowed(self):
+        graph = chain_graph()
+        result = dijkstra(graph, "A", edge_cost=lambda _u, _v: 0.0)
+        assert result.distance_to("D") == 0.0
+
+
+class TestReversedEdgeCostBranch:
+    def test_backward_traversal_uses_directed_edge_cost(self):
+        # Only B -> A exists; walking A -> B undirected must pay cost(B, A).
+        graph = CitationGraph()
+        graph.add_edge("B", "A")
+
+        def edge_cost(u: str, v: str) -> float:
+            assert (u, v) == ("B", "A"), "cost must be queried in edge direction"
+            return 4.0
+
+        result = dijkstra(graph, "A", edge_cost=edge_cost)
+        assert result.distance_to("B") == 4.0
+
+    def test_asymmetric_costs_pick_the_existing_direction(self):
+        # A -> M exists, T -> M exists.  Route A..T crosses M: the first hop is
+        # forward (cost of (A, M)), the second is reversed (cost of (T, M)).
+        graph = CitationGraph()
+        graph.add_edge("A", "M")
+        graph.add_edge("T", "M")
+        costs = {("A", "M"): 1.5, ("T", "M"): 2.5}
+        result = dijkstra(graph, "A", edge_cost=lambda u, v: costs[(u, v)])
+        assert result.distance_to("T") == 4.0
+        assert result.path_to("T") == ["A", "M", "T"]
+
+    def test_mutual_citation_uses_forward_direction(self):
+        # When both directions exist the forward cost is the one charged.
+        graph = CitationGraph()
+        graph.add_edge("A", "B")
+        graph.add_edge("B", "A")
+        costs = {("A", "B"): 1.0, ("B", "A"): 9.0}
+        result = dijkstra(graph, "A", edge_cost=lambda u, v: costs[(u, v)])
+        assert result.distance_to("B") == 1.0
+
+    def test_indexed_backend_matches_reversed_branch(self):
+        graph = CitationGraph()
+        graph.add_edge("B", "A")
+        graph.add_edge("A", "C")
+        graph.add_edge("D", "C")
+        costs = {("B", "A"): 4.0, ("A", "C"): 1.0, ("D", "C"): 2.0}
+        snapshot = IndexedGraph.from_graph(graph)
+        expected = dijkstra(graph, "A", edge_cost=lambda u, v: costs[(u, v)])
+        actual = indexed_dijkstra(snapshot, "A", edge_cost=lambda u, v: costs[(u, v)])
+        assert dict(actual.distances) == dict(expected.distances)
+        assert dict(actual.predecessors) == dict(expected.predecessors)
