@@ -1,0 +1,262 @@
+"""Query-preparation latency: dict reference path vs the indexed fast path.
+
+PR 2 moved the NEWST Steiner solve onto the CSR snapshot, which shifted the
+per-query bottleneck to everything *before* the solve:
+
+* **search scoring** — the dict reference dots the query vector against every
+  stored paper per query; the indexed path scores only papers sharing a term
+  with the query through a per-corpus
+  :class:`~repro.textproc.postings.PostingsIndex`;
+* **expansion + edge costs** — the dict reference walks the dict graph
+  breadth-first and re-intersects predecessor sets per edge per query; the
+  indexed path BFSes the CSR snapshot and slices a per-corpus edge-relevance
+  map;
+* **end-to-end pipeline** — the whole of the above plus the (already indexed)
+  Steiner solve, per backend, with byte-identical reading paths.
+
+Each measurement is written to ``benchmarks/BENCH_query_prep.json`` so runs
+can be compared across commits.  Thresholds and sizes honour
+``REPRO_BENCH_*`` environment variables (see the CI ``bench-smoke`` job).
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from pathlib import Path
+
+import pytest
+
+from bench_utils import env_float, env_int, print_table
+
+from repro.config import CorpusConfig, PipelineConfig
+from repro.core.pipeline import RePaGerPipeline
+from repro.core.subgraph import SubgraphBuilder
+from repro.core.weights import WeightedGraphBuilder
+from repro.corpus.generator import CorpusGenerator
+from repro.graph.citation_graph import CitationGraph
+from repro.graph.indexed import IndexedGraph
+from repro.search.scholar import GoogleScholarEngine
+
+#: Acceptance criteria: minimum speedups of the indexed query-preparation path.
+MIN_SEARCH_SPEEDUP = env_float("REPRO_BENCH_MIN_SEARCH_SPEEDUP", 3.0)
+MIN_PREP_SPEEDUP = env_float("REPRO_BENCH_MIN_PREP_SPEEDUP", 2.0)
+MIN_E2E_SPEEDUP = env_float("REPRO_BENCH_MIN_QP_E2E_SPEEDUP", 1.3)
+
+#: ~1k nodes with the default taxonomy (99 topics x (papers + 1 survey)).
+QP_PAPERS_PER_TOPIC = env_int("REPRO_BENCH_KERNEL_PAPERS_PER_TOPIC", 10)
+
+SEARCH_QUERIES = (
+    "information retrieval",
+    "image processing",
+    "machine learning",
+    "hate speech detection",
+    "neural networks",
+)
+PIPELINE_QUERIES = ("information retrieval", "image processing", "machine learning")
+
+RESULTS_PATH = Path(__file__).resolve().parent / "BENCH_query_prep.json"
+
+
+def best_of(fn, repeats: int = 3) -> float:
+    """Best-of-N wall-clock seconds for ``fn()`` (min damps scheduler noise)."""
+    best = float("inf")
+    for _ in range(repeats):
+        started = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - started)
+    return best
+
+
+@pytest.fixture(scope="module")
+def qp_env():
+    """Corpus, graph and per-backend engines for the query-prep benchmarks."""
+    config = CorpusConfig(
+        seed=11, papers_per_topic=QP_PAPERS_PER_TOPIC, surveys_per_topic=1
+    )
+    corpus = CorpusGenerator(config).generate()
+    store = corpus.store
+    graph = CitationGraph.from_papers(store.papers)
+    engines = {
+        backend: GoogleScholarEngine(store, backend=backend)
+        for backend in ("dict", "indexed")
+    }
+    # Warm the per-corpus artifacts so the timings below measure per-query
+    # work, the way a warmed serving replica pays it.
+    engines["indexed"].ensure_index()
+    for query in SEARCH_QUERIES:
+        engines["dict"].search(query, top_k=1)  # fills the document-vector cache
+    return {"store": store, "graph": graph, "engines": engines}
+
+
+@pytest.fixture(scope="module")
+def bench_results():
+    """Collected measurements, flushed to BENCH_query_prep.json at teardown."""
+    results: dict[str, object] = {}
+    yield results
+    RESULTS_PATH.write_text(
+        json.dumps(results, indent=2, sort_keys=True) + "\n", encoding="utf-8"
+    )
+    print(f"\nwrote {RESULTS_PATH.name}")
+
+
+def test_search_scoring_speedup(qp_env, bench_results):
+    engines = qp_env["engines"]
+    store = qp_env["store"]
+
+    def run(backend):
+        return [engines[backend].search(query, top_k=30) for query in SEARCH_QUERIES]
+
+    assert run("indexed") == run("dict"), "postings path diverged from corpus scan"
+
+    dict_seconds = best_of(lambda: run("dict"))
+    indexed_seconds = best_of(lambda: run("indexed"))
+    index_build_seconds = best_of(
+        lambda: GoogleScholarEngine(store, backend="indexed").ensure_index(), repeats=1
+    )
+
+    speedup = dict_seconds / max(indexed_seconds, 1e-9)
+    print_table(
+        f"Query prep: search scoring ({len(store)} papers, "
+        f"{len(SEARCH_QUERIES)} queries)",
+        ["backend", "seconds", "speedup"],
+        [
+            ["dict (score every paper)", dict_seconds, 1.0],
+            ["indexed (postings index)", indexed_seconds, speedup],
+            ["indexed one-off index build", index_build_seconds, ""],
+        ],
+    )
+    bench_results["search_scoring"] = {
+        "papers": len(store),
+        "queries": list(SEARCH_QUERIES),
+        "dict_seconds": dict_seconds,
+        "indexed_seconds": indexed_seconds,
+        "index_build_seconds": index_build_seconds,
+        "speedup": speedup,
+        "min_speedup": MIN_SEARCH_SPEEDUP,
+    }
+    assert speedup >= MIN_SEARCH_SPEEDUP, (
+        f"postings search only {speedup:.2f}x faster "
+        f"({indexed_seconds:.4f}s vs {dict_seconds:.4f}s); need "
+        f">= {MIN_SEARCH_SPEEDUP:.1f}x"
+    )
+
+
+def test_expansion_and_edge_costs_speedup(qp_env, bench_results):
+    store = qp_env["store"]
+    graph = qp_env["graph"]
+    seeds = qp_env["engines"]["indexed"].search_ids("information retrieval", top_k=30)
+
+    snapshot = IndexedGraph.from_graph(graph)
+    builders = {
+        backend: WeightedGraphBuilder(store, graph, graph_backend=backend)
+        for backend in ("dict", "indexed")
+    }
+    expanders = {
+        "dict": SubgraphBuilder(graph, expansion_order=2, max_nodes=4000),
+        "indexed": SubgraphBuilder(
+            graph, expansion_order=2, max_nodes=4000, snapshot=snapshot
+        ),
+    }
+    # Per-corpus warm-up (amortised across queries, measured separately).
+    relevance_build_seconds = best_of(
+        lambda: builders["indexed"].edge_relevance(), repeats=1
+    )
+
+    def run(backend):
+        candidates = expanders[backend].expand(seeds)
+        return candidates, builders[backend].edge_costs(set(candidates))
+
+    dict_candidates, dict_costs = run("dict")
+    indexed_candidates, indexed_costs = run("indexed")
+    assert indexed_candidates == dict_candidates, "expansion diverged"
+    assert indexed_costs.relevance == dict_costs.relevance, "edge relevance diverged"
+
+    dict_seconds = best_of(lambda: run("dict"))
+    indexed_seconds = best_of(lambda: run("indexed"))
+
+    speedup = dict_seconds / max(indexed_seconds, 1e-9)
+    print_table(
+        f"Query prep: expansion + edge costs ({graph.num_nodes} nodes, "
+        f"{graph.num_edges} edges, {len(dict_candidates)} candidates)",
+        ["backend", "seconds", "speedup"],
+        [
+            ["dict (BFS + per-edge intersections)", dict_seconds, 1.0],
+            ["indexed (CSR BFS + relevance slice)", indexed_seconds, speedup],
+            ["indexed one-off relevance build", relevance_build_seconds, ""],
+        ],
+    )
+    bench_results["expansion_edge_costs"] = {
+        "nodes": graph.num_nodes,
+        "edges": graph.num_edges,
+        "candidates": len(dict_candidates),
+        "dict_seconds": dict_seconds,
+        "indexed_seconds": indexed_seconds,
+        "relevance_build_seconds": relevance_build_seconds,
+        "speedup": speedup,
+        "min_speedup": MIN_PREP_SPEEDUP,
+    }
+    assert speedup >= MIN_PREP_SPEEDUP, (
+        f"indexed expansion+edge-costs only {speedup:.2f}x faster "
+        f"({indexed_seconds:.4f}s vs {dict_seconds:.4f}s); need "
+        f">= {MIN_PREP_SPEEDUP:.1f}x"
+    )
+
+
+def test_end_to_end_pipeline_speedup(qp_env, bench_results):
+    store = qp_env["store"]
+    graph = qp_env["graph"]
+    engines = qp_env["engines"]
+
+    timings: dict[str, float] = {}
+    outputs: dict[str, list] = {}
+    for backend in ("dict", "indexed"):
+        pipeline = RePaGerPipeline(
+            store, engines[backend], graph=graph,
+            config=PipelineConfig(graph_backend=backend),
+        )
+        # Per-corpus warm-up: PageRank, and on the indexed backend the CSR
+        # snapshot + edge-relevance map (the engines are warmed in qp_env).
+        pipeline.node_weights
+        if backend == "indexed":
+            pipeline.indexed_graph
+            pipeline.weight_builder.edge_relevance()
+
+        last_run: list = []
+
+        def run_queries(pipeline=pipeline, last_run=last_run):
+            # A fresh per-candidate-set cache per run: time the cold path, not
+            # the bound-cost reuse.
+            pipeline._prepared_cache.clear()
+            last_run[:] = [pipeline.generate(query) for query in PIPELINE_QUERIES]
+
+        timings[backend] = best_of(run_queries, repeats=2)
+        outputs[backend] = [
+            (result.reading_path.papers, result.reading_path.edges)
+            for result in last_run
+        ]
+
+    assert outputs["indexed"] == outputs["dict"], (
+        "backends produced different reading paths"
+    )
+
+    speedup = timings["dict"] / max(timings["indexed"], 1e-9)
+    print_table(
+        f"Query prep: end-to-end pipeline ({len(PIPELINE_QUERIES)} queries)",
+        ["backend", "seconds", "speedup"],
+        [
+            ["dict", timings["dict"], 1.0],
+            ["indexed", timings["indexed"], speedup],
+        ],
+    )
+    bench_results["pipeline_end_to_end"] = {
+        "queries": list(PIPELINE_QUERIES),
+        "dict_seconds": timings["dict"],
+        "indexed_seconds": timings["indexed"],
+        "speedup": speedup,
+        "min_speedup": MIN_E2E_SPEEDUP,
+    }
+    assert speedup >= MIN_E2E_SPEEDUP, (
+        f"indexed pipeline only {speedup:.2f}x faster than dict; need "
+        f">= {MIN_E2E_SPEEDUP:.1f}x"
+    )

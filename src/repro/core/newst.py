@@ -11,12 +11,12 @@ the paper-specific cost functions and the Table III ablation switches
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Sequence
+from typing import Callable, Sequence
 
 from ..config import NewstConfig
 from ..errors import DisconnectedTerminalsError, PipelineError
 from ..graph.citation_graph import CitationGraph
-from ..graph.indexed import IndexedGraph
+from ..graph.indexed import BoundCosts, IndexedGraph
 from ..graph.steiner import SteinerTreeResult, node_edge_weighted_steiner_tree
 from .weights import EdgeCosts, NodeWeights
 
@@ -41,6 +41,25 @@ class NewstModel:
     use_edge_weights: bool = True
     graph_backend: str = "dict"
 
+    def cost_functions(
+        self, node_weights: NodeWeights, edge_costs: EdgeCosts
+    ) -> tuple[Callable[[str, str], float], Callable[[str], float]]:
+        """The ``(edge_cost, node_cost)`` callables after ablation switches.
+
+        Exposed so callers that prefetch cost arrays
+        (:meth:`~repro.graph.indexed.IndexedGraph.bind_costs`) bind exactly
+        the functions :meth:`solve` would use.
+        """
+        node_cost = node_weights.as_cost_function() if self.use_node_weights else (
+            lambda _node: 0.0
+        )
+        if self.use_edge_weights:
+            edge_cost = edge_costs.as_cost_function()
+        else:
+            constant = self.config.alpha
+            edge_cost = lambda _u, _v: constant  # noqa: E731 - tiny closure
+        return edge_cost, node_cost
+
     def solve(
         self,
         subgraph: CitationGraph,
@@ -48,6 +67,7 @@ class NewstModel:
         node_weights: NodeWeights,
         edge_costs: EdgeCosts,
         snapshot: IndexedGraph | None = None,
+        costs: BoundCosts | None = None,
     ) -> SteinerTreeResult:
         """Compute the Steiner tree spanning ``terminals`` in ``subgraph``.
 
@@ -62,6 +82,9 @@ class NewstModel:
                 ``subgraph`` (the pipeline carves it out of the per-corpus
                 snapshot); built on the fly when the backend is ``"indexed"``
                 and none is supplied.
+            costs: Optional cost arrays pre-bound from :meth:`cost_functions`
+                on ``snapshot`` — the pipeline reuses them across queries that
+                share a candidate subgraph.
 
         Raises:
             PipelineError: If no terminal is present in the subgraph.
@@ -73,14 +96,7 @@ class NewstModel:
         if snapshot is None and self.graph_backend == "indexed":
             snapshot = IndexedGraph.from_graph(subgraph)
 
-        node_cost = node_weights.as_cost_function() if self.use_node_weights else (
-            lambda _node: 0.0
-        )
-        if self.use_edge_weights:
-            edge_cost = edge_costs.as_cost_function()
-        else:
-            constant = self.config.alpha
-            edge_cost = lambda _u, _v: constant  # noqa: E731 - tiny closure
+        edge_cost, node_cost = self.cost_functions(node_weights, edge_costs)
 
         try:
             return node_edge_weighted_steiner_tree(
@@ -90,6 +106,7 @@ class NewstModel:
                 node_cost=node_cost,
                 require_all_terminals=False,
                 snapshot=snapshot,
+                costs=costs,
             )
         except DisconnectedTerminalsError as exc:  # pragma: no cover - defensive
             raise PipelineError(f"could not connect the terminal papers: {exc}") from exc

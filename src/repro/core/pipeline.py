@@ -25,6 +25,7 @@ from __future__ import annotations
 
 import threading
 import time
+from collections import OrderedDict
 from dataclasses import dataclass, field, replace
 from typing import Mapping, Sequence
 
@@ -32,6 +33,7 @@ from ..config import PipelineConfig
 from ..corpus.storage import CorpusStore
 from ..errors import PipelineError
 from ..graph.citation_graph import CitationGraph
+from ..graph.indexed import BoundCosts, IndexedGraph
 from ..graph.steiner import SteinerTreeResult
 from ..search.engine import SearchEngine
 from ..search.serapi import SerApiClient
@@ -42,9 +44,32 @@ from .reading_path import build_reading_path, rank_path_papers
 from .reallocation import cooccurrence_counts, reallocate_seeds
 from .seeds import SeedSelector
 from .subgraph import SubgraphBuilder
-from .weights import WeightedGraphBuilder
+from .weights import EdgeCosts, WeightedGraphBuilder
 
 __all__ = ["PipelineResult", "RePaGerPipeline", "VARIANT_CONFIGS", "make_variant_config"]
+
+
+@dataclass(slots=True)
+class _PreparedSubgraph:
+    """Per-candidate-set artifacts shared by queries with the same expansion.
+
+    Two queries whose seed expansions produce the same candidate set also
+    share the induced CSR snapshot, the sliced Eq. 2 edge costs and — once a
+    Steiner solve has run — the bound cost arrays, so the pipeline caches all
+    three keyed on the candidate frozenset.  ``bound_costs`` is filled lazily
+    (NEWST-C never binds costs); a racy double-bind computes identical arrays,
+    so the benign last-writer-wins is safe.
+    """
+
+    snapshot: IndexedGraph
+    edge_costs: EdgeCosts
+    bound_costs: BoundCosts | None = None
+
+
+#: Candidate-set cache entries kept per pipeline (LRU).  Each entry holds an
+#: induced snapshot of at most ``max_expanded_nodes`` nodes, so the worst case
+#: is a few MB on the paper-scale configuration.
+_PREPARED_CACHE_CAPACITY = 32
 
 
 @dataclass(slots=True)
@@ -127,6 +152,13 @@ class RePaGerPipeline:
         # PageRank pass when the serving layer skips warm-up.
         self._node_weights = None
         self._node_weights_lock = threading.Lock()
+        # Queries that expand to the same candidate set share their induced
+        # snapshot, sliced edge costs and bound cost arrays (indexed backend).
+        self._prepared_cache: OrderedDict[frozenset[str], _PreparedSubgraph] = (
+            OrderedDict()
+        )
+        self._prepared_lock = threading.Lock()
+        self._prepared_hits = 0
 
     # -- helpers ------------------------------------------------------------------
 
@@ -225,11 +257,14 @@ class RePaGerPipeline:
         )
 
         # Step 3: expand to the candidate subgraph (step 2's node weights are
-        # computed once per pipeline and shared).
+        # computed once per pipeline and shared).  On the indexed backend the
+        # BFS runs on the per-corpus CSR snapshot.
+        use_indexed = self.config.graph_backend == "indexed"
         subgraph_builder = SubgraphBuilder(
             self.graph,
             expansion_order=self.config.expansion_order,
             max_nodes=self.config.max_expanded_nodes,
+            snapshot=self.indexed_graph if use_indexed else None,
         )
         subgraph, candidate_hops = subgraph_builder.build(
             initial_seeds, year_cutoff=year_cutoff, exclude_ids=exclude_ids
@@ -247,29 +282,45 @@ class RePaGerPipeline:
         if not terminals:
             raise PipelineError(f"no usable terminal papers for query {query!r}")
 
-        edge_costs = self.weight_builder.edge_costs(set(candidate_hops))
-
         if not self.config.steiner_only:
-            # NEWST-C: the reallocated papers (plus seeds) are the output.
+            # NEWST-C: the reallocated papers (plus seeds) are the output —
+            # no tree, so neither edge costs nor an induced snapshot is built.
             result_path, padding = self._without_steiner(
                 query, initial_seeds, reallocated, cooccurrence, candidate_hops, pad_to
             )
             tree = None
         else:
             # Step 5: NEWST Steiner tree and reading path.
+            prepared = (
+                self._prepared(frozenset(candidate_hops)) if use_indexed else None
+            )
+            edge_costs = (
+                prepared.edge_costs
+                if prepared is not None
+                else self.weight_builder.edge_costs(set(candidate_hops))
+            )
             model = NewstModel(
                 config=self.config.newst,
                 use_node_weights=self.config.use_node_weights,
                 use_edge_weights=self.config.use_edge_weights,
                 graph_backend=self.config.graph_backend,
             )
-            snapshot = (
-                self.indexed_graph.induced(subgraph.nodes)
-                if self.config.graph_backend == "indexed"
-                else None
-            )
+            snapshot = costs = None
+            if prepared is not None:
+                snapshot = prepared.snapshot
+                if prepared.bound_costs is None:
+                    edge_fn, node_fn = model.cost_functions(
+                        self.node_weights, edge_costs
+                    )
+                    prepared.bound_costs = snapshot.bind_costs(edge_fn, node_fn)
+                costs = prepared.bound_costs
             tree = model.solve(
-                subgraph, terminals, self.node_weights, edge_costs, snapshot=snapshot
+                subgraph,
+                terminals,
+                self.node_weights,
+                edge_costs,
+                snapshot=snapshot,
+                costs=costs,
             )
             relevance = self._relevance_scores(initial_seeds, cooccurrence)
             padding = self._padding(
@@ -300,6 +351,34 @@ class RePaGerPipeline:
             elapsed_seconds=elapsed,
             padding=tuple(padding),
         )
+
+    # -- per-candidate-set cache ------------------------------------------------------
+
+    def _prepared(self, candidates: frozenset[str]) -> _PreparedSubgraph:
+        """Shared artifacts for one candidate set (indexed backend only).
+
+        The induced snapshot and the sliced Eq. 2 edge costs depend only on
+        the candidate set (node weights and the relevance map are per-corpus),
+        so queries that expand to the same candidates reuse them — including
+        the bound cost arrays once a Steiner solve has filled them in.
+        """
+        with self._prepared_lock:
+            entry = self._prepared_cache.get(candidates)
+            if entry is not None:
+                self._prepared_cache.move_to_end(candidates)
+                self._prepared_hits += 1
+                return entry
+        snapshot = self.indexed_graph.induced(candidates)
+        entry = _PreparedSubgraph(
+            snapshot=snapshot,
+            edge_costs=self.weight_builder.edge_costs(set(candidates)),
+        )
+        with self._prepared_lock:
+            entry = self._prepared_cache.setdefault(candidates, entry)
+            self._prepared_cache.move_to_end(candidates)
+            while len(self._prepared_cache) > _PREPARED_CACHE_CAPACITY:
+                self._prepared_cache.popitem(last=False)
+        return entry
 
     # -- variant internals ----------------------------------------------------------
 
@@ -362,11 +441,15 @@ class RePaGerPipeline:
         if needed <= 0:
             return []
         pool = [pid for pid in candidate_hops if pid not in already]
+        # One importance lookup per candidate instead of two mapping probes
+        # per sort comparison (the pool is the whole expanded subgraph).
+        importance = self.node_weights.importance
+        scores = {pid: importance(pid) for pid in pool}
         pool.sort(
             key=lambda pid: (
                 -relevance.get(pid, 0.0),
                 candidate_hops.get(pid, 9),
-                -self.node_weights.importance(pid),
+                -scores[pid],
                 pid,
             )
         )

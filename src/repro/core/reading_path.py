@@ -66,12 +66,16 @@ def rank_path_papers(
     """
     seed_set = set(seeds)
     relevance = relevance or {}
+    # Precompute the importance scores once: the sort evaluates its key with
+    # two mapping lookups per paper otherwise, and this runs on every query.
+    importance = node_weights.importance
+    scores = {pid: importance(pid) for pid in papers}
     return sorted(
         papers,
         key=lambda pid: (
             0 if pid in seed_set else 1,
             -relevance.get(pid, 0.0),
-            -node_weights.importance(pid),
+            -scores[pid],
             pid,
         ),
     )

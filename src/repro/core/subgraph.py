@@ -16,19 +16,30 @@ from typing import Iterable, Sequence
 
 from ..errors import PipelineError
 from ..graph.citation_graph import CitationGraph
+from ..graph.indexed import IndexedGraph
+from ..graph.kernels import indexed_k_hop
 from ..graph.traversal import k_hop_neighborhood
 
 __all__ = ["SubgraphBuilder"]
 
 
 class SubgraphBuilder:
-    """Expand seeds into the candidate subgraph."""
+    """Expand seeds into the candidate subgraph.
+
+    When a per-corpus :class:`IndexedGraph` snapshot of ``graph`` is supplied,
+    the breadth-first expansion runs on the snapshot's flat adjacency arrays
+    (:func:`~repro.graph.kernels.indexed_k_hop`) instead of walking the dict
+    graph, with identical candidates and hop distances; year filtering and
+    subgraph induction still read the dict graph, which owns the node
+    attributes.
+    """
 
     def __init__(
         self,
         graph: CitationGraph,
         expansion_order: int = 2,
         max_nodes: int = 4000,
+        snapshot: IndexedGraph | None = None,
     ) -> None:
         if expansion_order < 1:
             raise PipelineError("expansion_order must be >= 1")
@@ -37,6 +48,7 @@ class SubgraphBuilder:
         self.graph = graph
         self.expansion_order = expansion_order
         self.max_nodes = max_nodes
+        self.snapshot = snapshot
 
     def expand(
         self,
@@ -60,13 +72,22 @@ class SubgraphBuilder:
         if not present:
             raise PipelineError("none of the seed papers exist in the citation graph")
 
-        distances = k_hop_neighborhood(
-            self.graph,
-            present,
-            order=self.expansion_order,
-            direction="both",
-            max_nodes=self.max_nodes * 3,
-        )
+        if self.snapshot is not None:
+            distances = indexed_k_hop(
+                self.snapshot,
+                present,
+                order=self.expansion_order,
+                direction="both",
+                max_nodes=self.max_nodes * 3,
+            )
+        else:
+            distances = k_hop_neighborhood(
+                self.graph,
+                present,
+                order=self.expansion_order,
+                direction="both",
+                max_nodes=self.max_nodes * 3,
+            )
         excluded = set(exclude_ids)
         candidates: dict[str, int] = {}
         for node, distance in distances.items():

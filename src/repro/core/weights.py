@@ -113,6 +113,8 @@ class WeightedGraphBuilder:
         self._pagerank: dict[str, float] | None = None
         self._snapshot: IndexedGraph | None = None
         self._snapshot_lock = threading.Lock()
+        self._edge_relevance: dict[tuple[str, str], float] | None = None
+        self._edge_relevance_lock = threading.Lock()
 
     # -- indexed snapshot --------------------------------------------------------
 
@@ -178,6 +180,65 @@ class WeightedGraphBuilder:
 
     # -- edge costs ------------------------------------------------------------------
 
+    def edge_relevance(self) -> Mapping[tuple[str, str], float]:
+        """Per-corpus relevance ``con(i, j)`` for every adjacent pair (cached).
+
+        Relevance depends only on the corpus — direct citation links between
+        the pair plus the co-citation component — never on the query, so it is
+        computed once on the CSR snapshot and sliced per query by
+        :meth:`edge_costs`.  Direct links are counted straight off the edge
+        arrays; co-citation counts come from a sorted-adjacency two-pointer
+        intersection of the predecessor lists (the dict implementation builds
+        two fresh Python sets per edge per query).
+
+        Memory: one dict entry per undirected adjacent pair, i.e. O(edges)
+        — about 100 bytes per entry, the same order as the snapshot itself.
+        """
+        if self._edge_relevance is None:
+            with self._edge_relevance_lock:
+                if self._edge_relevance is None:
+                    self._edge_relevance = self._compute_edge_relevance()
+        return self._edge_relevance
+
+    def prime_edge_relevance(self, relevance: Mapping[tuple[str, str], float]) -> None:
+        """Install a precomputed relevance map (artifact-snapshot restore)."""
+        self._edge_relevance = dict(relevance)
+
+    def _compute_edge_relevance(self) -> dict[tuple[str, str], float]:
+        snapshot = self.indexed_snapshot()
+        ids = snapshot.node_ids
+        rank = snapshot.sort_rank
+        # Direct links: every directed edge adds 1.0 to its undirected pair,
+        # keyed (u, v) with u lexicographically smaller — exactly the dict
+        # implementation's key and accumulation.
+        pair_links: dict[tuple[int, int], float] = {}
+        for source, target in zip(snapshot.edge_src, snapshot.edge_dst):
+            key = (source, target) if rank[source] < rank[target] else (target, source)
+            pair_links[key] = pair_links.get(key, 0.0) + 1.0
+
+        # Predecessor lists in CSR edge order are automatically sorted by
+        # source index, which is what makes the merge intersection linear.
+        in_offsets, in_sources = snapshot.in_adjacency()
+        relevance: dict[tuple[str, str], float] = {}
+        for (u, v), links in pair_links.items():
+            i, i_end = in_offsets[u], in_offsets[u + 1]
+            j, j_end = in_offsets[v], in_offsets[v + 1]
+            common = 0
+            while i < i_end and j < j_end:
+                a, b = in_sources[i], in_sources[j]
+                if a == b:
+                    common += 1
+                    i += 1
+                    j += 1
+                elif a < b:
+                    i += 1
+                else:
+                    j += 1
+            if common:
+                links += 0.5 * common
+            relevance[(ids[u], ids[v])] = links
+        return relevance
+
     def edge_costs(self, nodes: set[str] | None = None) -> EdgeCosts:
         """Build the Eq. 2 edge-cost object.
 
@@ -185,9 +246,16 @@ class WeightedGraphBuilder:
         ``j`` (1 or 2) plus half a point per common citing paper (co-citation).
         When ``nodes`` is given, only edges inside that node set are scored
         (the pipeline only ever needs costs inside the expanded subgraph).
+
+        On the ``"indexed"`` backend the per-pair relevance comes from the
+        cached per-corpus :meth:`edge_relevance` map — each query only *slices*
+        it to the candidate set instead of re-intersecting predecessor sets.
+        Both backends produce bit-identical relevance values.
         """
         if self.graph.num_nodes == 0:
             raise GraphError("cannot compute edge costs on an empty graph")
+        if self.graph_backend == "indexed":
+            return self._sliced_edge_costs(nodes)
         scope = nodes if nodes is not None else set(self.graph.nodes)
         relevance: dict[tuple[str, str], float] = {}
         for source in scope:
@@ -208,4 +276,33 @@ class WeightedGraphBuilder:
             common = len(citing_source & citing_target)
             if common:
                 relevance[key] += 0.5 * common
+        return EdgeCosts(relevance=relevance, config=self.config)
+
+    def _sliced_edge_costs(self, nodes: set[str] | None) -> EdgeCosts:
+        """Slice the per-corpus relevance map to a candidate scope."""
+        full = self.edge_relevance()
+        if nodes is None:
+            return EdgeCosts(relevance=dict(full), config=self.config)
+        snapshot = self.indexed_snapshot()
+        index = snapshot.index
+        in_scope = bytearray(snapshot.num_nodes)
+        positions: list[int] = []
+        for node in nodes:
+            i = index.get(node)
+            if i is not None:
+                in_scope[i] = 1
+                positions.append(i)
+        ids = snapshot.node_ids
+        offsets = snapshot.adj_offsets
+        targets = snapshot.adj_nodes
+        out_degree = snapshot.out_degree
+        relevance: dict[tuple[str, str], float] = {}
+        for i in positions:
+            start = offsets[i]
+            source = ids[i]
+            for j in targets[start:start + out_degree[i]]:
+                if in_scope[j]:
+                    target = ids[j]
+                    key = (source, target) if source < target else (target, source)
+                    relevance[key] = full[key]
         return EdgeCosts(relevance=relevance, config=self.config)

@@ -10,7 +10,12 @@ Kou–Markowsky–Berman (KMB) heuristic for the node-edge weighted Steiner tree
 
 from .citation_graph import CitationGraph
 from .indexed import BoundCosts, IndexedGraph
-from .kernels import indexed_dijkstra, indexed_metric_closure, indexed_pagerank
+from .kernels import (
+    indexed_dijkstra,
+    indexed_k_hop,
+    indexed_metric_closure,
+    indexed_pagerank,
+)
 from .pagerank import pagerank
 from .shortest_paths import dijkstra, shortest_path, PathResult
 from .mst import minimum_spanning_tree, UnionFind
@@ -28,6 +33,7 @@ __all__ = [
     "BoundCosts",
     "IndexedGraph",
     "indexed_dijkstra",
+    "indexed_k_hop",
     "indexed_metric_closure",
     "indexed_pagerank",
     "pagerank",

@@ -121,6 +121,8 @@ class IndexedGraph:
         "adj_edge",
         "adj_forward",
         "out_degree",
+        "_in_offsets",
+        "_in_nodes",
     )
 
     def __init__(
@@ -148,6 +150,8 @@ class IndexedGraph:
         self.adj_edge = adj_edge
         self.adj_forward = adj_forward
         self.out_degree = out_degree
+        self._in_offsets: list[int] | None = None
+        self._in_nodes: list[int] | None = None
 
     # -- construction ----------------------------------------------------------
 
@@ -250,6 +254,33 @@ class IndexedGraph:
             return self.index[node_id]
         except KeyError:
             raise NodeNotFoundError(node_id) from None
+
+    def in_adjacency(self) -> tuple[list[int], list[int]]:
+        """Directed in-adjacency as a CSR block ``(offsets, sources)``.
+
+        The sources of node ``v`` are ``sources[offsets[v]:offsets[v + 1]]``
+        in CSR edge order (ascending source index), which matches the dict
+        graph's predecessor insertion order for any graph whose edges were
+        added source-major — :meth:`CitationGraph.from_papers` graphs in
+        particular.  Built lazily on first use and cached; the computation is
+        deterministic, so a benign double-build under concurrency is safe.
+        """
+        if self._in_offsets is None or self._in_nodes is None:
+            n = len(self.node_ids)
+            counts = [0] * n
+            for target in self.edge_dst:
+                counts[target] += 1
+            offsets = [0] * (n + 1)
+            for i in range(n):
+                offsets[i + 1] = offsets[i] + counts[i]
+            sources = [0] * len(self.edge_src)
+            cursor = offsets[:n]
+            for source, target in zip(self.edge_src, self.edge_dst):
+                sources[cursor[target]] = source
+                cursor[target] += 1
+            self._in_offsets = offsets
+            self._in_nodes = sources
+        return self._in_offsets, self._in_nodes
 
     # -- cost prefetch ---------------------------------------------------------
 

@@ -7,7 +7,10 @@ These are drop-in fast paths for the three algorithms on the NEWST hot path:
 * :func:`indexed_metric_closure` — batched multi-terminal metric closure,
   mirroring :func:`repro.graph.steiner.metric_closure`;
 * :func:`indexed_pagerank` — power iteration, mirroring
-  :func:`repro.graph.pagerank.pagerank` bit for bit.
+  :func:`repro.graph.pagerank.pagerank` bit for bit;
+* :func:`indexed_k_hop` — breadth-first k-hop expansion, mirroring
+  :func:`repro.graph.traversal.k_hop_neighborhood` including its
+  ``max_nodes`` truncation semantics.
 
 Equivalence contract: given the same graph and cost functions, every kernel
 returns *identical* results to its dict counterpart — identical distances and
@@ -21,13 +24,19 @@ property-based equivalence suites under ``tests/`` enforce this contract.
 from __future__ import annotations
 
 import heapq
+from collections import deque
 from typing import Callable, Iterable, Mapping, Sequence
 
 from ..errors import GraphError, NodeNotFoundError
 from .indexed import BoundCosts, IndexedGraph
 from .shortest_paths import PathResult
 
-__all__ = ["indexed_dijkstra", "indexed_metric_closure", "indexed_pagerank"]
+__all__ = [
+    "indexed_dijkstra",
+    "indexed_k_hop",
+    "indexed_metric_closure",
+    "indexed_pagerank",
+]
 
 EdgeCost = Callable[[str, str], float]
 NodeCost = Callable[[str], float]
@@ -153,6 +162,75 @@ def indexed_dijkstra(
         distances = {ids[i]: d for i, d in enumerate(dist) if d != _INF}
     predecessors = {ids[i]: ids[p] for i, p in enumerate(pred) if p >= 0}
     return PathResult(source=source, distances=distances, predecessors=predecessors)
+
+
+def indexed_k_hop(
+    snapshot: IndexedGraph,
+    seeds: Iterable[str],
+    order: int,
+    direction: str = "both",
+    max_nodes: int | None = None,
+) -> dict[str, int]:
+    """Breadth-first k-hop expansion on a snapshot's flat adjacency arrays.
+
+    Mirrors :func:`repro.graph.traversal.k_hop_neighborhood` — same arguments,
+    same validation, same hop distances, and (crucially) the same ``max_nodes``
+    truncation: the returned dict is filled in discovery order and the
+    expansion stops mid-scan the moment the cap is reached, so the *set* of
+    kept nodes matches the dict implementation whenever the snapshot's
+    adjacency order matches the dict graph's neighbour order (always true for
+    :meth:`CitationGraph.from_papers` graphs, whose edges are inserted
+    source-major).
+
+    Returns:
+        Mapping from node id to its hop distance from the nearest seed, in
+        discovery order.
+
+    Raises:
+        GraphError: If ``order`` is negative or ``direction`` is invalid.
+    """
+    if order < 0:
+        raise GraphError("expansion order must be non-negative")
+    if direction not in ("out", "in", "both"):
+        raise GraphError(f"invalid direction {direction!r}")
+
+    index = snapshot.index
+    ids = snapshot.node_ids
+    present = [index[s] for s in seeds if s in index]
+    distances = [-1] * snapshot.num_nodes
+    result: dict[str, int] = {}
+    for seed in present:
+        if distances[seed] == -1:
+            distances[seed] = 0
+            result[ids[seed]] = 0
+    queue: deque[int] = deque(present)
+
+    if direction == "in":
+        offsets, neighbors = snapshot.in_adjacency()
+        out_degree = None
+    else:
+        offsets = snapshot.adj_offsets
+        neighbors = snapshot.adj_nodes
+        # The undirected block starts with the directed out-neighbours, so
+        # "out" is simply a prefix of each node's block.
+        out_degree = snapshot.out_degree if direction == "out" else None
+
+    while queue:
+        node = queue.popleft()
+        depth = distances[node]
+        if depth >= order:
+            continue
+        start = offsets[node]
+        end = start + out_degree[node] if out_degree is not None else offsets[node + 1]
+        for neighbor in neighbors[start:end]:
+            if distances[neighbor] != -1:
+                continue
+            if max_nodes is not None and len(result) >= max_nodes:
+                return result
+            distances[neighbor] = depth + 1
+            result[ids[neighbor]] = depth + 1
+            queue.append(neighbor)
+    return result
 
 
 def indexed_metric_closure(

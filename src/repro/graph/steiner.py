@@ -25,7 +25,7 @@ from typing import Callable, Iterable, Mapping, Sequence
 
 from ..errors import DisconnectedTerminalsError, GraphError, NodeNotFoundError
 from .citation_graph import CitationGraph
-from .indexed import IndexedGraph
+from .indexed import BoundCosts, IndexedGraph
 from .kernels import indexed_metric_closure
 from .mst import minimum_spanning_tree
 from .shortest_paths import dijkstra
@@ -99,6 +99,7 @@ def metric_closure(
     edge_cost: EdgeCost | None = None,
     node_cost: NodeCost | None = None,
     snapshot: IndexedGraph | None = None,
+    costs: BoundCosts | None = None,
 ) -> tuple[dict[tuple[str, str], float], dict[tuple[str, str], list[str]]]:
     """Pairwise shortest-path distances and paths between terminals.
 
@@ -107,13 +108,18 @@ def metric_closure(
             given, the closure runs on the array kernels (cost callables are
             prefetched once per node/edge instead of being invoked on every
             relaxation) and returns identical results.
+        costs: Optional pre-bound cost arrays for ``snapshot`` (ignored
+            without one).  Callers running many queries over the same
+            candidate subgraph pass this to amortise the cost prefetch; the
+            arrays must have been bound from the same cost functions.
 
     Returns:
         ``(distances, paths)`` keyed by ordered terminal pairs ``(u, v)`` with
         ``u < v``.  Unreachable pairs are omitted.
     """
     if snapshot is not None:
-        costs = snapshot.bind_costs(edge_cost, node_cost)
+        if costs is None:
+            costs = snapshot.bind_costs(edge_cost, node_cost)
         return indexed_metric_closure(snapshot, costs, list(dict.fromkeys(terminals)))
     distances: dict[tuple[str, str], float] = {}
     paths: dict[tuple[str, str], list[str]] = {}
@@ -150,6 +156,7 @@ def node_edge_weighted_steiner_tree(
     node_cost: NodeCost | None = None,
     require_all_terminals: bool = True,
     snapshot: IndexedGraph | None = None,
+    costs: BoundCosts | None = None,
 ) -> SteinerTreeResult:
     """Compute a node-edge weighted Steiner tree spanning ``terminals``.
 
@@ -163,6 +170,8 @@ def node_edge_weighted_steiner_tree(
             tree spans only the terminals in the largest reachable group.
         snapshot: Optional :class:`IndexedGraph` view of ``graph``; routes the
             metric closure (the dominant cost) through the array kernels.
+        costs: Optional pre-bound cost arrays for ``snapshot``; must have been
+            bound from the same ``edge_cost``/``node_cost`` functions.
 
     Returns:
         A :class:`SteinerTreeResult`.
@@ -197,7 +206,7 @@ def node_edge_weighted_steiner_tree(
 
     # Step 1: metric closure over the terminals.
     distances, closure_paths = metric_closure(
-        graph, terminal_list, edge_cost, node_cost, snapshot=snapshot
+        graph, terminal_list, edge_cost, node_cost, snapshot=snapshot, costs=costs
     )
 
     connected_terminals = _largest_connected_terminal_group(terminal_list, distances)

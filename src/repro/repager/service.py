@@ -72,7 +72,14 @@ class RePaGerService:
     ) -> None:
         self.store = store
         self.venues = venues or build_default_catalog()
-        self.search_engine = search_engine or GoogleScholarEngine(store, venues=self.venues)
+        config = pipeline_config or PipelineConfig()
+        # The default engine follows the pipeline's backend switch so that one
+        # flag flips the whole query-preparation path (search scoring, k-hop
+        # expansion, edge costs) between the dict reference and the indexed
+        # fast path.
+        self.search_engine = search_engine or GoogleScholarEngine(
+            store, venues=self.venues, backend=config.graph_backend
+        )
         self.graph = graph if graph is not None else CitationGraph.from_papers(store.papers)
         self.cache = cache
         self.metrics = metrics
@@ -80,7 +87,7 @@ class RePaGerService:
             store,
             self.search_engine,
             graph=self.graph,
-            config=pipeline_config or PipelineConfig(),
+            config=config,
             venues=self.venues,
         )
 

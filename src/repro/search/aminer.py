@@ -7,6 +7,7 @@ mild citation boost.
 
 from __future__ import annotations
 
+from ..config import DEFAULT_GRAPH_BACKEND
 from ..corpus.storage import CorpusStore
 from ..venues.rankings import VenueCatalog
 from .engine import RankingPolicy, SearchEngine
@@ -24,6 +25,7 @@ class AMinerEngine(SearchEngine):
         store: CorpusStore,
         venues: VenueCatalog | None = None,
         exclude_surveys: bool = False,
+        backend: str = DEFAULT_GRAPH_BACKEND,
     ) -> None:
         policy = RankingPolicy(
             citation_weight=0.8,
@@ -32,5 +34,9 @@ class AMinerEngine(SearchEngine):
             title_match_bonus=1.4,
         )
         super().__init__(
-            store, policy=policy, venues=venues, exclude_surveys=exclude_surveys
+            store,
+            policy=policy,
+            venues=venues,
+            exclude_surveys=exclude_surveys,
+            backend=backend,
         )

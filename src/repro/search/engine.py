@@ -7,16 +7,35 @@ recency).  The combination is multiplicative on relevance so that papers whose
 text does not match the query at all can never be ranked, which is exactly the
 behaviour of real keyword search engines that the paper's Observation I
 describes.
+
+Two scoring backends share the ranking code, switched by the same
+``"dict"``/``"indexed"`` knob as the graph core (see
+:data:`repro.config.GRAPH_BACKENDS`):
+
+* ``"dict"`` — the reference corpus scan: every stored paper is scored
+  against the query;
+* ``"indexed"`` — an inverted :class:`~repro.textproc.postings.PostingsIndex`
+  built once per corpus; only papers sharing at least one term with the query
+  are scored, with bit-identical scores and therefore byte-identical rankings
+  (papers sharing no term have zero relevance and can never be returned by
+  the reference scan either).
+
+All per-corpus artifacts — the fitted vectoriser, document vectors and the
+postings index — are built lazily (or eagerly by the serving warm-up), so
+constructing an engine is cheap regardless of corpus size.
 """
 
 from __future__ import annotations
 
 import math
+import threading
 from dataclasses import dataclass
 from typing import Sequence
 
+from ..config import DEFAULT_GRAPH_BACKEND, GRAPH_BACKENDS
 from ..corpus.storage import CorpusStore
-from ..errors import EmptyQueryError, SearchError
+from ..errors import ConfigurationError, EmptyQueryError, SearchError
+from ..textproc.postings import PostingsIndex
 from ..textproc.tfidf import TfidfVectorizer
 from ..types import Paper, SearchResult
 from ..venues.rankings import VenueCatalog, build_default_catalog
@@ -59,19 +78,124 @@ class SearchEngine:
         policy: RankingPolicy | None = None,
         venues: VenueCatalog | None = None,
         exclude_surveys: bool = False,
+        backend: str = DEFAULT_GRAPH_BACKEND,
     ) -> None:
+        if backend not in GRAPH_BACKENDS:
+            raise ConfigurationError(
+                f"search backend must be one of {GRAPH_BACKENDS}, got {backend!r}"
+            )
         self.store = store
         self.policy = policy or RankingPolicy()
         self.venues = venues or build_default_catalog()
         self.exclude_surveys = exclude_surveys
+        self.backend = backend
         self._vectorizer = TfidfVectorizer()
-        self._vectorizer.fit(paper.text for paper in store)
-        self._document_vectors = {
-            paper.paper_id: self._vectorizer.transform(paper.text) for paper in store
-        }
+        self._fitted = False
+        self._vector_cache: dict[str, dict[str, float]] = {}
+        self._postings: PostingsIndex | None = None
+        self._index_papers: tuple[Paper, ...] = ()
+        self._index_lock = threading.RLock()
         years = [paper.year for paper in store if paper.year > 0]
         self._min_year = min(years) if years else 0
         self._max_year = max(years) if years else 0
+
+    # -- per-corpus artifacts (lazy) ---------------------------------------------
+
+    @property
+    def vectorizer(self) -> TfidfVectorizer:
+        """The TF-IDF model, fitted on first use (one corpus pass)."""
+        if not self._fitted:
+            with self._index_lock:
+                if not self._fitted:
+                    self._vectorizer.fit(paper.text for paper in self.store)
+                    self._fitted = True
+        return self._vectorizer
+
+    def _document_vector(self, paper: Paper) -> dict[str, float]:
+        """The paper's TF-IDF vector, transformed on first use and cached."""
+        vector = self._vector_cache.get(paper.paper_id)
+        if vector is None:
+            vector = self.vectorizer.transform(paper.text)
+            self._vector_cache[paper.paper_id] = vector
+        return vector
+
+    def ensure_index(self) -> PostingsIndex | None:
+        """Build (or return) the per-corpus postings index.
+
+        Returns ``None`` on the ``"dict"`` backend, which never consults the
+        index.  The serving warm-up calls :meth:`warm` eagerly so the first
+        query does not pay the corpus transform; otherwise the first indexed
+        search does.
+        """
+        if self.backend != "indexed":
+            return None
+        if self._postings is None:
+            with self._index_lock:
+                if self._postings is None:
+                    papers = tuple(self.store)
+                    vectors = [self._document_vector(paper) for paper in papers]
+                    self._index_papers = papers
+                    self._postings = PostingsIndex(vectors)
+        return self._postings
+
+    def warm(self) -> None:
+        """Precompute every per-corpus artifact this engine's backend needs.
+
+        On the indexed backend: the fitted vectoriser, all document vectors
+        and the postings index.  On the dict backend: the vectoriser and the
+        document-vector cache (the reference scan reads nothing else), so
+        concurrent first queries only *read* shared state either way.
+        """
+        if self.backend == "indexed":
+            self.ensure_index()
+            return
+        with self._index_lock:
+            for paper in self.store:
+                self._document_vector(paper)
+
+    # -- artifact-snapshot support ----------------------------------------------
+
+    def export_index_state(self) -> dict[str, object]:
+        """Serialisable per-corpus search state (vectoriser + document vectors).
+
+        The postings lists themselves are cheap to rebuild from the vectors
+        (no tokenisation), so the snapshot stores only the vectors and the
+        fitted IDF table.
+        """
+        self.ensure_index()
+        return {
+            "vectorizer": self.vectorizer.export_state(),
+            "document_vectors": {
+                paper.paper_id: self._document_vector(paper) for paper in self.store
+            },
+        }
+
+    def prime_index(self, state: dict[str, object]) -> None:
+        """Restore per-corpus search state captured by :meth:`export_index_state`.
+
+        Raises:
+            SearchError: If the state does not cover every stored paper.
+        """
+        vectors = {
+            str(pid): {str(t): float(w) for t, w in vector.items()}
+            for pid, vector in state["document_vectors"].items()  # type: ignore[union-attr]
+        }
+        missing = [p.paper_id for p in self.store if p.paper_id not in vectors]
+        if missing:
+            raise SearchError(
+                f"search-index state is missing {len(missing)} papers, "
+                f"e.g. {missing[:3]}"
+            )
+        with self._index_lock:
+            self._vectorizer = TfidfVectorizer.from_state(state["vectorizer"])  # type: ignore[arg-type]
+            self._fitted = True
+            self._vector_cache = vectors
+            if self.backend == "indexed":
+                papers = tuple(self.store)
+                self._index_papers = papers
+                self._postings = PostingsIndex(
+                    [vectors[paper.paper_id] for paper in papers]
+                )
 
     # -- scoring ------------------------------------------------------------------
 
@@ -84,11 +208,10 @@ class SearchEngine:
         title = paper.title.lower()
         return all(token in title for token in query_tokens)
 
-    def score(self, query: str, paper: Paper) -> float:
-        """Score a single paper for a query under this engine's policy."""
-        relevance = self._vectorizer.dot(
-            self._vectorizer.transform(query), self._document_vectors[paper.paper_id]
-        )
+    def _policy_score(
+        self, relevance: float, paper: Paper, query_tokens: Sequence[str]
+    ) -> float:
+        """Apply the engine policy to a precomputed lexical relevance."""
         if relevance < self.policy.min_relevance:
             return 0.0
         policy = self.policy
@@ -99,10 +222,74 @@ class SearchEngine:
             score *= 1.0 + policy.venue_weight * self.venues.score(paper.venue)
         if policy.recency_weight:
             score *= 1.0 + policy.recency_weight * self._recency(paper)
-        query_tokens = [t for t in query.lower().split() if t]
         if query_tokens and self._title_matches(query_tokens, paper):
             score *= policy.title_match_bonus
         return score
+
+    def score(self, query: str, paper: Paper) -> float:
+        """Score a single paper for a query under this engine's policy."""
+        relevance = TfidfVectorizer.dot(
+            self.vectorizer.transform(query), self._document_vector(paper)
+        )
+        query_tokens = [t for t in query.lower().split() if t]
+        return self._policy_score(relevance, paper, query_tokens)
+
+    # -- backends ------------------------------------------------------------------
+
+    def _scan_scored(
+        self,
+        query: str,
+        excluded: set[str],
+        year_cutoff: int | None,
+    ) -> list[tuple[float, str]]:
+        """Reference backend: score every stored paper against the query.
+
+        The query vector and tokens are hoisted out of the corpus loop —
+        bit-identical to calling :meth:`score` per paper (``transform`` is
+        deterministic), without re-tokenising the query per document.
+        """
+        query_vector = self.vectorizer.transform(query)
+        query_tokens = [t for t in query.lower().split() if t]
+        dot = TfidfVectorizer.dot
+        scored: list[tuple[float, str]] = []
+        for paper in self.store:
+            if paper.paper_id in excluded:
+                continue
+            if self.exclude_surveys and paper.is_survey:
+                continue
+            if year_cutoff is not None and paper.year > year_cutoff:
+                continue
+            relevance = dot(query_vector, self._document_vector(paper))
+            value = self._policy_score(relevance, paper, query_tokens)
+            if value > 0.0:
+                scored.append((value, paper.paper_id))
+        return scored
+
+    def _indexed_scored(
+        self,
+        query: str,
+        excluded: set[str],
+        year_cutoff: int | None,
+    ) -> list[tuple[float, str]]:
+        """Postings backend: score only papers sharing a term with the query."""
+        index = self.ensure_index()
+        assert index is not None  # backend == "indexed"
+        query_vector = self.vectorizer.transform(query)
+        query_tokens = [t for t in query.lower().split() if t]
+        papers = self._index_papers
+        scored: list[tuple[float, str]] = []
+        for position, relevance in index.scores(query_vector).items():
+            paper = papers[position]
+            if paper.paper_id in excluded:
+                continue
+            if self.exclude_surveys and paper.is_survey:
+                continue
+            if year_cutoff is not None and paper.year > year_cutoff:
+                continue
+            value = self._policy_score(relevance, paper, query_tokens)
+            if value > 0.0:
+                scored.append((value, paper.paper_id))
+        return scored
 
     # -- public API ------------------------------------------------------------------
 
@@ -135,17 +322,10 @@ class SearchEngine:
         normalized_query = query.replace(",", " ")
         excluded = set(exclude_ids)
 
-        scored: list[tuple[float, str]] = []
-        for paper in self.store:
-            if paper.paper_id in excluded:
-                continue
-            if self.exclude_surveys and paper.is_survey:
-                continue
-            if year_cutoff is not None and paper.year > year_cutoff:
-                continue
-            value = self.score(normalized_query, paper)
-            if value > 0.0:
-                scored.append((value, paper.paper_id))
+        if self.backend == "indexed":
+            scored = self._indexed_scored(normalized_query, excluded, year_cutoff)
+        else:
+            scored = self._scan_scored(normalized_query, excluded, year_cutoff)
         scored.sort(key=lambda item: (-item[0], item[1]))
 
         return [

@@ -8,6 +8,7 @@ boost and a mild recency preference.
 
 from __future__ import annotations
 
+from ..config import DEFAULT_GRAPH_BACKEND
 from ..corpus.storage import CorpusStore
 from ..venues.rankings import VenueCatalog
 from .engine import RankingPolicy, SearchEngine
@@ -25,6 +26,7 @@ class GoogleScholarEngine(SearchEngine):
         store: CorpusStore,
         venues: VenueCatalog | None = None,
         exclude_surveys: bool = False,
+        backend: str = DEFAULT_GRAPH_BACKEND,
     ) -> None:
         policy = RankingPolicy(
             citation_weight=2.5,
@@ -33,5 +35,9 @@ class GoogleScholarEngine(SearchEngine):
             title_match_bonus=1.8,
         )
         super().__init__(
-            store, policy=policy, venues=venues, exclude_surveys=exclude_surveys
+            store,
+            policy=policy,
+            venues=venues,
+            exclude_surveys=exclude_surveys,
+            backend=backend,
         )

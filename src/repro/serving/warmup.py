@@ -2,36 +2,42 @@
 
 The expensive parts of answering a query are split between *per-corpus*
 artifacts (the PageRank pass behind Eq. 3 node weights, venue scores, the
-citation-graph adjacency) and *per-query* work (subgraph expansion, seed
-reallocation, the Steiner tree).  The per-corpus artifacts are computed
-lazily by :class:`~repro.core.pipeline.RePaGerPipeline`, which means the
-first query of a fresh process pays for all of them.
+citation-graph adjacency, the inverted search index, the edge-relevance map)
+and *per-query* work (subgraph expansion, seed reallocation, the Steiner
+tree).  The per-corpus artifacts are computed lazily by
+:class:`~repro.core.pipeline.RePaGerPipeline` and the search engine, which
+means the first query of a fresh process pays for all of them.
 
 :func:`warm_up` forces that computation eagerly so first-query latency
 collapses to per-query work only, and :class:`ArtifactSnapshot` makes the
 artifacts serialisable: a snapshot captured once can be shipped to every
-serving replica and restored in milliseconds instead of re-running PageRank.
-Snapshots embed the pipeline-configuration fingerprint and refuse to restore
-into a pipeline with drifted configuration.
+serving replica and restored in milliseconds instead of re-running PageRank,
+re-tokenising the corpus for the search index, or re-intersecting predecessor
+lists for the edge-relevance map.  Snapshots embed the pipeline-configuration
+fingerprint and refuse to restore into a pipeline with drifted configuration.
 """
 
 from __future__ import annotations
 
 import json
 import time
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from pathlib import Path
 from typing import TYPE_CHECKING
 
 from ..core.weights import NodeWeights
 from ..errors import ServingError, SnapshotMismatchError
+from ..search.engine import SearchEngine
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard, types only
     from ..repager.service import RePaGerService
 
 __all__ = ["ArtifactSnapshot", "WarmupReport", "warm_up"]
 
-_SNAPSHOT_VERSION = 1
+#: Version 2 adds the per-corpus search index (fitted vectoriser + document
+#: vectors) and the edge-relevance map.  Version-1 snapshots still load; the
+#: missing artifacts are simply rebuilt on demand.
+_SNAPSHOT_VERSION = 2
 
 
 @dataclass(frozen=True, slots=True)
@@ -47,6 +53,8 @@ class WarmupReport:
     venue_entries: int
     from_snapshot: bool
     graph_backend: str = "dict"
+    search_index_terms: int = 0
+    edge_relevance_entries: int = 0
 
     def to_dict(self) -> dict[str, object]:
         return {
@@ -59,33 +67,51 @@ class WarmupReport:
             "venue_entries": self.venue_entries,
             "from_snapshot": self.from_snapshot,
             "graph_backend": self.graph_backend,
+            "search_index_terms": self.search_index_terms,
+            "edge_relevance_entries": self.edge_relevance_entries,
         }
 
 
 @dataclass(frozen=True, slots=True)
 class ArtifactSnapshot:
-    """Serialisable per-corpus artifacts keyed by configuration fingerprint."""
+    """Serialisable per-corpus artifacts keyed by configuration fingerprint.
+
+    ``search_index`` and ``edge_relevance`` are captured only on the indexed
+    backend (the dict reference path derives everything on the fly); they are
+    ``None``/empty for dict-backend services and for version-1 snapshots.
+    """
 
     config_fingerprint: str
     pagerank_scores: dict[str, float]
     venue_scores: dict[str, float]
     graph_nodes: int
     graph_edges: int
+    search_index: dict[str, object] | None = None
+    edge_relevance: dict[tuple[str, str], float] = field(default_factory=dict)
 
     @classmethod
     def capture(cls, service: "RePaGerService") -> "ArtifactSnapshot":
         """Capture the shared artifacts of a (warmed or cold) service."""
         weights = service.pipeline.node_weights
+        indexed = service.pipeline.config.graph_backend == "indexed"
+        search_index = None
+        if indexed and isinstance(service.search_engine, SearchEngine):
+            search_index = service.search_engine.export_index_state()
+        edge_relevance = (
+            dict(service.pipeline.weight_builder.edge_relevance()) if indexed else {}
+        )
         return cls(
             config_fingerprint=service.pipeline.config_fingerprint,
             pagerank_scores=dict(weights.pagerank_scores),
             venue_scores=dict(weights.venue_scores),
             graph_nodes=service.graph.num_nodes,
             graph_edges=service.graph.num_edges,
+            search_index=search_index,
+            edge_relevance=edge_relevance,
         )
 
     def restore_into(self, service: "RePaGerService") -> None:
-        """Prime a service's pipeline with the snapshot's node weights.
+        """Prime a service's pipeline with the snapshot's shared artifacts.
 
         Raises:
             SnapshotMismatchError: If the snapshot was captured under a
@@ -94,6 +120,19 @@ class ArtifactSnapshot:
         expected = service.pipeline.config_fingerprint
         if expected != self.config_fingerprint:
             raise SnapshotMismatchError(expected, self.config_fingerprint)
+        if (
+            self.graph_nodes != service.graph.num_nodes
+            or self.graph_edges != service.graph.num_edges
+        ):
+            # The fingerprint only covers configuration; a snapshot from a
+            # different corpus would prime maps whose keys don't exist here
+            # and surface later as inexplicable KeyErrors on the hot path.
+            raise ServingError(
+                f"artifact snapshot was captured on a different corpus: "
+                f"snapshot graph is {self.graph_nodes} nodes / "
+                f"{self.graph_edges} edges, service graph is "
+                f"{service.graph.num_nodes} nodes / {service.graph.num_edges} edges"
+            )
         service.pipeline.prime_node_weights(
             NodeWeights(
                 pagerank_scores=dict(self.pagerank_scores),
@@ -101,6 +140,12 @@ class ArtifactSnapshot:
                 config=service.pipeline.config.newst,
             )
         )
+        if self.edge_relevance:
+            service.pipeline.weight_builder.prime_edge_relevance(self.edge_relevance)
+        if self.search_index is not None and isinstance(
+            service.search_engine, SearchEngine
+        ):
+            service.search_engine.prime_index(self.search_index)
 
     # -- persistence -------------------------------------------------------------
 
@@ -113,6 +158,11 @@ class ArtifactSnapshot:
             "venue_scores": self.venue_scores,
             "graph_nodes": self.graph_nodes,
             "graph_edges": self.graph_edges,
+            "search_index": self.search_index,
+            # JSON has no tuple keys; flatten to [u, v, relevance] rows.
+            "edge_relevance": [
+                [u, v, value] for (u, v), value in self.edge_relevance.items()
+            ],
         }
         Path(path).write_text(json.dumps(payload, sort_keys=True), encoding="utf-8")
 
@@ -123,7 +173,7 @@ class ArtifactSnapshot:
             payload = json.loads(Path(path).read_text(encoding="utf-8"))
         except (OSError, json.JSONDecodeError) as exc:
             raise ServingError(f"cannot load artifact snapshot from {path}: {exc}") from exc
-        if payload.get("version") != _SNAPSHOT_VERSION:
+        if payload.get("version") not in (1, _SNAPSHOT_VERSION):
             raise ServingError(
                 f"unsupported artifact snapshot version {payload.get('version')!r}"
             )
@@ -133,6 +183,11 @@ class ArtifactSnapshot:
             venue_scores={k: float(v) for k, v in payload["venue_scores"].items()},
             graph_nodes=int(payload["graph_nodes"]),
             graph_edges=int(payload["graph_edges"]),
+            search_index=payload.get("search_index"),
+            edge_relevance={
+                (str(u), str(v)): float(value)
+                for u, v, value in payload.get("edge_relevance", ())
+            },
         )
 
 
@@ -142,18 +197,29 @@ def warm_up(
 ) -> WarmupReport:
     """Precompute (or restore) every shared per-corpus artifact of a service.
 
-    After this returns, concurrent queries only ever *read* the shared state,
-    which is what makes the batch executor's thread pool safe without locks
-    on the hot path.
+    On the indexed backend this covers the CSR graph snapshot, Eq. 3 node
+    weights (PageRank + venue scores), the inverted search index and the
+    edge-relevance map.  After this returns, concurrent queries only ever
+    *read* the shared state, which is what makes the batch executor's thread
+    pool safe without locks on the hot path.
     """
     started = time.perf_counter()
     if snapshot is not None:
         snapshot.restore_into(service)
     pipeline = service.pipeline
+    search_index_terms = 0
+    edge_relevance_entries = 0
     if pipeline.config.graph_backend == "indexed":
         # Build the per-corpus CSR snapshot eagerly: it backs the PageRank
-        # pass below and every query's induced candidate subgraph.
+        # pass below, every query's induced candidate subgraph, and the
+        # edge-relevance precomputation.
         pipeline.indexed_graph
+        edge_relevance_entries = len(pipeline.weight_builder.edge_relevance())
+    if isinstance(service.search_engine, SearchEngine):
+        service.search_engine.warm()
+        postings = service.search_engine.ensure_index()
+        if postings is not None:
+            search_index_terms = postings.num_terms
     weights = pipeline.node_weights  # forces PageRank + venue scores
     elapsed = time.perf_counter() - started
     return WarmupReport(
@@ -166,4 +232,6 @@ def warm_up(
         venue_entries=len(weights.venue_scores),
         from_snapshot=snapshot is not None,
         graph_backend=pipeline.config.graph_backend,
+        search_index_terms=search_index_terms,
+        edge_relevance_entries=edge_relevance_entries,
     )

@@ -14,6 +14,7 @@ Provides the lexical and semantic machinery the paper relies on:
 from .tokenizer import tokenize, ngrams, sentences
 from .stopwords import STOPWORDS, is_stopword
 from .tfidf import TfidfVectorizer
+from .postings import PostingsIndex
 from .keyphrase import TopicRankExtractor, extract_key_phrases
 from .embeddings import HashedEmbedder, EmbeddingMatcher
 from .similarity import cosine_similarity, jaccard_similarity
@@ -25,6 +26,7 @@ __all__ = [
     "STOPWORDS",
     "is_stopword",
     "TfidfVectorizer",
+    "PostingsIndex",
     "TopicRankExtractor",
     "extract_key_phrases",
     "HashedEmbedder",

@@ -1,0 +1,109 @@
+"""Inverted postings index over sparse TF-IDF document vectors.
+
+The search-engine simulators score a query against every document with a
+sparse cosine (:meth:`TfidfVectorizer.dot`).  Scanning the whole corpus per
+query is O(documents); but the dot product is non-zero only for documents
+sharing at least one term with the query, and on a scholarly corpus a query
+touches a tiny fraction of the vocabulary.  :class:`PostingsIndex` inverts
+the document vectors once per corpus — ``term -> [(document, weight), ...]``
+— so a query accumulates scores over exactly the documents it can match.
+
+Exactness contract: :meth:`PostingsIndex.scores` returns *bit-identical*
+floats to ``TfidfVectorizer.dot(query_vector, document_vector)`` for every
+candidate document.  ``dot`` iterates the smaller operand in insertion order
+and skips nothing, but adding a zero product never changes an IEEE-754
+accumulator, so walking the query's terms in query-vector order reproduces
+the accumulation exactly whenever the query vector is the smaller operand.
+The rare documents with *fewer* terms than the query (where ``dot`` would
+iterate the document instead) are re-scored through ``dot`` itself.  The
+dict-vs-indexed search equivalence suite enforces this contract.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Mapping, Sequence
+
+from .tfidf import TfidfVectorizer
+
+__all__ = ["PostingsIndex"]
+
+
+class PostingsIndex:
+    """Immutable inverted index: term -> ``(document position, weight)`` rows.
+
+    Document positions index into the ``vectors`` sequence the index was
+    built from; callers keep their own position-aligned metadata (the search
+    engine keeps the :class:`~repro.types.Paper` records).  Instances are
+    read-only after construction and safe to share across serving threads.
+    """
+
+    __slots__ = ("vectors", "_postings")
+
+    def __init__(self, vectors: Sequence[Mapping[str, float]]) -> None:
+        self.vectors = tuple(vectors)
+        postings: dict[str, list[tuple[int, float]]] = {}
+        for position, vector in enumerate(self.vectors):
+            for term, weight in vector.items():
+                postings.setdefault(term, []).append((position, weight))
+        self._postings = postings
+
+    # -- introspection -----------------------------------------------------------
+
+    @property
+    def num_documents(self) -> int:
+        """Number of indexed documents."""
+        return len(self.vectors)
+
+    @property
+    def num_terms(self) -> int:
+        """Number of distinct terms with at least one posting."""
+        return len(self._postings)
+
+    @property
+    def num_postings(self) -> int:
+        """Total number of ``(term, document)`` incidences (index size)."""
+        return sum(len(rows) for rows in self._postings.values())
+
+    def document_frequency(self, term: str) -> int:
+        """Number of documents containing ``term``."""
+        return len(self._postings.get(term, ()))
+
+    def candidates(self, query_vector: Mapping[str, float]) -> Iterator[int]:
+        """Positions of documents sharing at least one term with the query."""
+        seen: set[int] = set()
+        for term in query_vector:
+            for position, _ in self._postings.get(term, ()):
+                if position not in seen:
+                    seen.add(position)
+                    yield position
+
+    # -- scoring -----------------------------------------------------------------
+
+    def scores(self, query_vector: Mapping[str, float]) -> dict[int, float]:
+        """Sparse-cosine scores of every candidate document for a query.
+
+        Returns a mapping from document position to the exact value
+        ``TfidfVectorizer.dot(query_vector, self.vectors[position])``;
+        documents sharing no term with the query are absent (their dot
+        product is zero).
+        """
+        scores: dict[int, float] = {}
+        postings = self._postings
+        for term, query_weight in query_vector.items():
+            rows = postings.get(term)
+            if rows is None:
+                continue
+            for position, weight in rows:
+                previous = scores.get(position)
+                product = query_weight * weight
+                scores[position] = product if previous is None else previous + product
+        # ``dot`` iterates the smaller operand; for documents shorter than the
+        # query its accumulation order differs from ours, so re-score those
+        # through ``dot`` itself to keep the floats bit-identical.
+        query_length = len(query_vector)
+        vectors = self.vectors
+        for position in scores:
+            vector = vectors[position]
+            if len(vector) < query_length:
+                scores[position] = TfidfVectorizer.dot(query_vector, vector)
+        return scores

@@ -67,6 +67,47 @@ class TfidfVectorizer:
         """Whether :meth:`fit` has been called."""
         return self._num_documents > 0
 
+    # -- state (de)hydration ----------------------------------------------------
+
+    def export_state(self) -> dict[str, object]:
+        """JSON-serialisable fitted state (artifact-snapshot support).
+
+        Raises:
+            ConfigurationError: If the vectoriser has not been fitted.
+        """
+        if not self.is_fitted:
+            raise ConfigurationError("cannot export the state of an unfitted vectorizer")
+        return {
+            "use_bigrams": self.use_bigrams,
+            "min_document_frequency": self.min_document_frequency,
+            "sublinear_tf": self.sublinear_tf,
+            "num_documents": self._num_documents,
+            "idf": dict(self._idf),
+        }
+
+    @classmethod
+    def from_state(cls, state: Mapping[str, object]) -> "TfidfVectorizer":
+        """Rebuild a fitted vectoriser from :meth:`export_state` output.
+
+        Restoring skips the corpus pass entirely, which is what lets a serving
+        replica warm up from an artifact snapshot without re-tokenising every
+        document.
+        """
+        vectorizer = cls(
+            use_bigrams=bool(state["use_bigrams"]),
+            min_document_frequency=int(state["min_document_frequency"]),  # type: ignore[arg-type]
+            sublinear_tf=bool(state["sublinear_tf"]),
+        )
+        num_documents = int(state["num_documents"])  # type: ignore[arg-type]
+        if num_documents < 1:
+            raise ConfigurationError("vectorizer state must cover at least one document")
+        vectorizer._num_documents = num_documents
+        vectorizer._idf = {
+            str(term): float(value)
+            for term, value in state["idf"].items()  # type: ignore[union-attr]
+        }
+        return vectorizer
+
     @property
     def vocabulary_size(self) -> int:
         """Number of terms with an IDF weight."""

@@ -1,0 +1,312 @@
+"""Dict-vs-indexed equivalence of the query-preparation fast path.
+
+PR 3 moved the three per-query stages that run *before* the NEWST solve onto
+per-corpus indexes: postings-based search scoring, CSR k-hop expansion and a
+cached edge-relevance map sliced per query.  Each promises *identical* output
+to its dict reference implementation — identical search scores and tie-breaks,
+identical hop distances and ``max_nodes`` truncation, bit-identical relevance
+values.  These tests enforce those promises on the shared corpus and on
+seeded random graphs, so future index rewrites cannot silently drift.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.config import CorpusConfig, PipelineConfig
+from repro.core.pipeline import RePaGerPipeline
+from repro.core.subgraph import SubgraphBuilder
+from repro.core.weights import WeightedGraphBuilder
+from repro.corpus.generator import CorpusGenerator
+from repro.corpus.storage import CorpusStore
+from repro.errors import GraphError
+from repro.graph.citation_graph import CitationGraph
+from repro.graph.indexed import IndexedGraph
+from repro.graph.kernels import indexed_k_hop
+from repro.graph.traversal import k_hop_neighborhood
+from repro.search.scholar import GoogleScholarEngine
+from repro.types import Paper
+
+
+# ---------------------------------------------------------------------------
+# Search scoring: postings index vs full corpus scan
+# ---------------------------------------------------------------------------
+
+SEARCH_QUERIES = (
+    "information retrieval",
+    "image processing",
+    "hate speech detection",
+    "neural networks, graph",
+    "learning",
+    "zzz gibberish nonsense",
+)
+
+
+@pytest.fixture(scope="module")
+def engines(store, venues):
+    return {
+        backend: GoogleScholarEngine(store, venues=venues, backend=backend)
+        for backend in ("dict", "indexed")
+    }
+
+
+class TestSearchEquivalence:
+    @pytest.mark.parametrize("query", SEARCH_QUERIES)
+    def test_results_identical(self, engines, query):
+        expected = engines["dict"].search(query, top_k=40)
+        actual = engines["indexed"].search(query, top_k=40)
+        assert actual == expected  # scores, ranks and tie-breaks, exactly
+
+    def test_filters_identical(self, engines):
+        exclude = engines["dict"].search_ids("information retrieval", top_k=3)
+        for kwargs in (
+            {"year_cutoff": 2008},
+            {"exclude_ids": exclude},
+            {"year_cutoff": 2015, "exclude_ids": exclude},
+        ):
+            expected = engines["dict"].search("information retrieval", top_k=30, **kwargs)
+            actual = engines["indexed"].search("information retrieval", top_k=30, **kwargs)
+            assert actual == expected
+
+    def test_exclude_surveys_identical(self, store, venues):
+        dict_engine = GoogleScholarEngine(
+            store, venues=venues, exclude_surveys=True, backend="dict"
+        )
+        indexed_engine = GoogleScholarEngine(
+            store, venues=venues, exclude_surveys=True, backend="indexed"
+        )
+        query = "image processing"
+        assert indexed_engine.search(query, top_k=30) == dict_engine.search(query, top_k=30)
+
+    def test_query_longer_than_document(self):
+        """Documents with fewer terms than the query hit ``dot``'s swapped
+        accumulation order; the postings index must re-score them exactly."""
+        papers = [
+            Paper(paper_id="P1", title="graph", year=2000),
+            Paper(paper_id="P2", title="graph neural networks survey text", year=2001),
+            Paper(paper_id="P3", title="unrelated topic entirely", year=2002),
+        ]
+        store = CorpusStore(papers=papers)
+        query = "graph neural networks for large scale citation analysis"
+        dict_engine = GoogleScholarEngine(store, backend="dict")
+        indexed_engine = GoogleScholarEngine(store, backend="indexed")
+        assert indexed_engine.search(query, top_k=3) == dict_engine.search(query, top_k=3)
+
+    def test_construction_is_lazy(self, store):
+        engine = GoogleScholarEngine(store, backend="indexed")
+        assert not engine._fitted
+        assert not engine._vector_cache
+        assert engine._postings is None
+        engine.search("information retrieval", top_k=5)
+        assert engine._fitted
+        assert engine._postings is not None
+
+    def test_randomized_corpora_identical(self):
+        for seed in (3, 19):
+            corpus = CorpusGenerator(
+                CorpusConfig(seed=seed, papers_per_topic=8, surveys_per_topic=1)
+            ).generate()
+            dict_engine = GoogleScholarEngine(corpus.store, backend="dict")
+            indexed_engine = GoogleScholarEngine(corpus.store, backend="indexed")
+            rng = random.Random(seed)
+            topics = ["retrieval", "networks", "learning models", "speech", "graph data"]
+            for query in rng.sample(topics, 3):
+                assert indexed_engine.search(query, top_k=25) == dict_engine.search(
+                    query, top_k=25
+                )
+
+
+# ---------------------------------------------------------------------------
+# k-hop expansion: CSR BFS vs dict BFS
+# ---------------------------------------------------------------------------
+
+def make_source_major_graph(seed: int, num_nodes: int, edge_factor: float) -> CitationGraph:
+    """A seeded random graph whose edges are inserted source-major.
+
+    Node ids are inserted in shuffled order (so insertion order disagrees with
+    lexicographic order), but each node's out-edges are added while visiting
+    that node in insertion order — the edge layout of
+    :meth:`CitationGraph.from_papers`, under which the snapshot's adjacency
+    blocks reproduce the dict graph's neighbour iteration order exactly (the
+    regime where ``max_nodes`` truncation must agree).
+    """
+    rng = random.Random(seed)
+    names = [f"N{i:03d}" for i in range(num_nodes)]
+    insertion = names[:]
+    rng.shuffle(insertion)
+    graph = CitationGraph()
+    for name in insertion:
+        graph.add_node(name)
+    for name in insertion:
+        for target in rng.sample(names, min(len(names), max(1, int(edge_factor)))):
+            if target != name:
+                graph.add_edge(name, target)
+    return graph
+
+
+KHOP_CASES = [(1, 20, 2), (2, 40, 3), (3, 60, 4), (4, 25, 1), (5, 50, 6)]
+
+
+class TestKHopEquivalence:
+    @pytest.mark.parametrize("seed,n,factor", KHOP_CASES)
+    def test_distances_identical_all_directions(self, seed, n, factor):
+        graph = make_source_major_graph(seed, n, factor)
+        snapshot = IndexedGraph.from_graph(graph)
+        rng = random.Random(seed)
+        seeds = rng.sample(sorted(graph.nodes), 3) + ["MISSING-SEED"]
+        for direction in ("out", "in", "both"):
+            for order in (0, 1, 2, 3):
+                expected = k_hop_neighborhood(graph, seeds, order, direction=direction)
+                actual = indexed_k_hop(snapshot, seeds, order, direction=direction)
+                assert actual == expected
+
+    @pytest.mark.parametrize("seed,n,factor", KHOP_CASES)
+    def test_max_nodes_truncation_identical(self, seed, n, factor):
+        graph = make_source_major_graph(seed, n, factor)
+        snapshot = IndexedGraph.from_graph(graph)
+        rng = random.Random(seed + 100)
+        seeds = rng.sample(sorted(graph.nodes), 2)
+        for max_nodes in (1, 3, 7, 15, n):
+            expected = k_hop_neighborhood(graph, seeds, 3, max_nodes=max_nodes)
+            actual = indexed_k_hop(snapshot, seeds, 3, max_nodes=max_nodes)
+            # Same truncated *set* and same discovery order.
+            assert list(actual.items()) == list(expected.items())
+
+    def test_corpus_graph_truncation_and_directions(self, citation_graph, scholar_engine):
+        """Satellite coverage on the real corpus graph, both backends."""
+        snapshot = IndexedGraph.from_graph(citation_graph)
+        seeds = scholar_engine.search_ids("information retrieval", top_k=10)
+        for direction in ("out", "in", "both"):
+            expected = k_hop_neighborhood(citation_graph, seeds, 2, direction=direction)
+            actual = indexed_k_hop(snapshot, seeds, 2, direction=direction)
+            assert actual == expected
+        for max_nodes in (5, 50, 500):
+            expected = k_hop_neighborhood(citation_graph, seeds, 2, max_nodes=max_nodes)
+            actual = indexed_k_hop(snapshot, seeds, 2, max_nodes=max_nodes)
+            assert list(actual.items()) == list(expected.items())
+            # Seeds are always kept; the cap bounds everything else.
+            assert len(actual) <= max(max_nodes, len(seeds))
+
+    def test_validation_matches_dict(self, citation_graph):
+        snapshot = IndexedGraph.from_graph(citation_graph)
+        with pytest.raises(GraphError):
+            indexed_k_hop(snapshot, ["x"], -1)
+        with pytest.raises(GraphError):
+            indexed_k_hop(snapshot, ["x"], 1, direction="sideways")
+
+    def test_subgraph_builder_routes_through_snapshot(self, citation_graph, scholar_engine):
+        seeds = scholar_engine.search_ids("deep learning", top_k=10)
+        snapshot = IndexedGraph.from_graph(citation_graph)
+        dict_builder = SubgraphBuilder(citation_graph, expansion_order=2, max_nodes=300)
+        indexed_builder = SubgraphBuilder(
+            citation_graph, expansion_order=2, max_nodes=300, snapshot=snapshot
+        )
+        for kwargs in ({}, {"year_cutoff": 2012}, {"exclude_ids": seeds[:2]}):
+            expected = dict_builder.expand(seeds, **kwargs)
+            actual = indexed_builder.expand(seeds, **kwargs)
+            assert actual == expected
+
+
+# ---------------------------------------------------------------------------
+# Edge relevance: per-corpus cache + per-query slice vs per-query recompute
+# ---------------------------------------------------------------------------
+
+class TestEdgeRelevanceEquivalence:
+    @pytest.fixture(scope="class")
+    def builders(self, store, citation_graph, venues):
+        return {
+            backend: WeightedGraphBuilder(
+                store, citation_graph, venues=venues, graph_backend=backend
+            )
+            for backend in ("dict", "indexed")
+        }
+
+    def test_full_graph_relevance_identical(self, builders):
+        expected = builders["dict"].edge_costs().relevance
+        actual = builders["indexed"].edge_costs().relevance
+        assert actual == expected  # keys and bit-identical values
+
+    def test_scoped_relevance_identical(self, builders, citation_graph, scholar_engine):
+        seeds = scholar_engine.search_ids("image processing", top_k=10)
+        candidates = SubgraphBuilder(
+            citation_graph, expansion_order=2, max_nodes=400
+        ).expand(seeds)
+        scope = set(candidates)
+        expected = builders["dict"].edge_costs(scope).relevance
+        actual = builders["indexed"].edge_costs(scope).relevance
+        assert actual == expected
+
+    @pytest.mark.parametrize("backend", ("dict", "indexed"))
+    def test_scope_filtering_never_scores_outside_nodes(
+        self, builders, citation_graph, scholar_engine, backend
+    ):
+        """Satellite: nodes outside the candidate set never appear in keys."""
+        seeds = scholar_engine.search_ids("machine learning", top_k=8)
+        scope = set(
+            SubgraphBuilder(citation_graph, expansion_order=1, max_nodes=200).expand(seeds)
+        )
+        relevance = builders[backend].edge_costs(scope).relevance
+        assert relevance, "expected at least one in-scope edge"
+        for u, v in relevance:
+            assert u in scope and v in scope
+
+    @pytest.mark.parametrize("backend", ("dict", "indexed"))
+    def test_empty_scope_scores_nothing(self, builders, backend):
+        assert builders[backend].edge_costs(set()).relevance == {}
+
+    def test_random_graphs_identical(self, store, venues):
+        for seed in (11, 23):
+            graph = make_source_major_graph(seed, 40, 4)
+            builders = {
+                backend: WeightedGraphBuilder(
+                    store, graph, venues=venues, graph_backend=backend
+                )
+                for backend in ("dict", "indexed")
+            }
+            assert (
+                builders["indexed"].edge_costs().relevance
+                == builders["dict"].edge_costs().relevance
+            )
+            rng = random.Random(seed)
+            scope = set(rng.sample(sorted(graph.nodes), 15)) | {"NOT-IN-GRAPH"}
+            assert (
+                builders["indexed"].edge_costs(scope).relevance
+                == builders["dict"].edge_costs(scope).relevance
+            )
+
+    def test_relevance_cache_is_reused(self, store, citation_graph, venues):
+        builder = WeightedGraphBuilder(
+            store, citation_graph, venues=venues, graph_backend="indexed"
+        )
+        first = builder.edge_relevance()
+        assert builder.edge_relevance() is first
+
+
+# ---------------------------------------------------------------------------
+# Bound-cost reuse across queries sharing a candidate subgraph
+# ---------------------------------------------------------------------------
+
+class TestPreparedSubgraphCache:
+    def test_same_candidates_reuse_snapshot_and_bound_costs(
+        self, store, scholar_engine, citation_graph
+    ):
+        pipeline = RePaGerPipeline(
+            store,
+            scholar_engine,
+            graph=citation_graph,
+            config=PipelineConfig(num_seeds=10, graph_backend="indexed"),
+        )
+        first = pipeline.generate("information retrieval")
+        assert pipeline._prepared_hits == 0
+        assert len(pipeline._prepared_cache) == 1
+        entry = next(iter(pipeline._prepared_cache.values()))
+        assert entry.bound_costs is not None
+        bound_before = entry.bound_costs
+
+        second = pipeline.generate("information retrieval")
+        assert pipeline._prepared_hits == 1
+        assert next(iter(pipeline._prepared_cache.values())).bound_costs is bound_before
+        assert second.reading_path.papers == first.reading_path.papers
+        assert second.reading_path.edges == first.reading_path.edges

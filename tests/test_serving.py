@@ -10,8 +10,15 @@ import urllib.request
 import pytest
 
 from repro.config import PipelineConfig, ServingConfig
-from repro.errors import ExecutorOverloadedError, QueryTimeoutError, SnapshotMismatchError
+from repro.errors import (
+    ExecutorOverloadedError,
+    QueryTimeoutError,
+    ServingError,
+    SnapshotMismatchError,
+)
+from repro.graph.citation_graph import CitationGraph
 from repro.repager.service import RePaGerService
+from repro.search.scholar import GoogleScholarEngine
 from repro.serving import (
     ArtifactSnapshot,
     BatchExecutor,
@@ -209,6 +216,32 @@ class TestWarmup:
         )
         assert restored == expected
 
+    def test_snapshot_restores_query_prep_indexes(self, serving_service, store,
+                                                  citation_graph, venues):
+        """A v2 snapshot primes the search index and the edge-relevance map,
+        so a restored replica skips the corpus tokenisation pass and the
+        predecessor intersections entirely."""
+        snapshot = ArtifactSnapshot.capture(serving_service)
+        assert snapshot.search_index is not None
+        assert snapshot.edge_relevance
+
+        fresh_engine = GoogleScholarEngine(store, venues=venues, backend="indexed")
+        fresh = RePaGerService(
+            store,
+            search_engine=fresh_engine,
+            pipeline_config=PipelineConfig(num_seeds=10),
+            venues=venues,
+            graph=citation_graph,
+        )
+        snapshot.restore_into(fresh)
+        assert fresh_engine._fitted
+        assert fresh_engine._postings is not None
+        assert fresh.pipeline.weight_builder._edge_relevance is not None
+        # The restored engine ranks exactly like the capture-side engine.
+        assert fresh_engine.search_ids("image processing", top_k=10) == (
+            serving_service.search_engine.search_ids("image processing", top_k=10)
+        )
+
     def test_snapshot_rejects_config_drift(self, serving_service, store,
                                            scholar_engine, citation_graph, venues):
         snapshot = ArtifactSnapshot.capture(serving_service)
@@ -221,6 +254,22 @@ class TestWarmup:
         )
         with pytest.raises(SnapshotMismatchError):
             warm_up(drifted, snapshot=snapshot)
+
+    def test_snapshot_rejects_corpus_mismatch(self, serving_service, store,
+                                              scholar_engine, venues):
+        """Same configuration, different corpus graph: the primed maps would
+        miss this graph's keys, so restore must fail fast and loudly."""
+        snapshot = ArtifactSnapshot.capture(serving_service)
+        small_graph = CitationGraph.from_papers(list(store)[: len(store) // 2])
+        other = RePaGerService(
+            store,
+            search_engine=scholar_engine,
+            pipeline_config=PipelineConfig(num_seeds=10),
+            venues=venues,
+            graph=small_graph,
+        )
+        with pytest.raises(ServingError):
+            warm_up(other, snapshot=snapshot)
 
 
 class TestQueryRequest:
