@@ -42,6 +42,7 @@ from .corpus.storage import CorpusStore
 from .dataset.surveybank import SurveyBank, SurveyBankInstance
 from .core.pipeline import RePaGerPipeline, make_variant_config
 from .repager.service import RePaGerService
+from .repager.app import CorpusRegistry, QueryOptions, QueryResponse, RePaGerApp
 
 __version__ = "1.0.0"
 
@@ -65,5 +66,9 @@ __all__ = [
     "RePaGerPipeline",
     "make_variant_config",
     "RePaGerService",
+    "RePaGerApp",
+    "CorpusRegistry",
+    "QueryOptions",
+    "QueryResponse",
     "__version__",
 ]

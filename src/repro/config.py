@@ -234,6 +234,10 @@ class ServingConfig:
             node weights, venue scores) before accepting traffic so the first
             query does not pay the set-up cost.
         max_latency_samples: Reservoir size of each latency histogram.
+        max_body_bytes: Upper bound on an HTTP request body; larger bodies
+            are rejected with 413 instead of being buffered.
+        default_corpus: Tenant name the legacy single-corpus routes
+            (``POST /query``, ``GET /paper/<id>``) alias onto.
     """
 
     host: str = "127.0.0.1"
@@ -245,6 +249,8 @@ class ServingConfig:
     query_timeout_seconds: float = 30.0
     warm_up_on_start: bool = True
     max_latency_samples: int = 2048
+    max_body_bytes: int = 1 << 20
+    default_corpus: str = "default"
 
     def __post_init__(self) -> None:
         if not self.host:
@@ -263,6 +269,10 @@ class ServingConfig:
             raise ConfigurationError("query_timeout_seconds must be positive")
         if self.max_latency_samples < 16:
             raise ConfigurationError("max_latency_samples must be >= 16")
+        if self.max_body_bytes < 1024:
+            raise ConfigurationError("max_body_bytes must be >= 1024")
+        if not self.default_corpus:
+            raise ConfigurationError("default_corpus must be non-empty")
 
     def fingerprint(self) -> str:
         """Stable fingerprint of the serving configuration."""

@@ -200,6 +200,11 @@ class RePaGerPipeline:
         """
         self._node_weights = node_weights
 
+    @property
+    def primed_node_weights(self):
+        """The node weights if already computed/primed, without computing them."""
+        return self._node_weights
+
     def _terminals(
         self,
         initial_seeds: Sequence[str],

@@ -204,6 +204,25 @@ class WeightedGraphBuilder:
         """Install a precomputed relevance map (artifact-snapshot restore)."""
         self._edge_relevance = dict(relevance)
 
+    def prime_indexed_snapshot(self, snapshot: IndexedGraph) -> None:
+        """Share an already-built CSR snapshot (pipeline-variant services).
+
+        The snapshot is immutable, so tenants hosting several Table III
+        variants of one corpus hand the same object to every variant pipeline
+        instead of re-walking the dict graph per variant.
+        """
+        self._snapshot = snapshot
+
+    @property
+    def primed_snapshot(self) -> IndexedGraph | None:
+        """The CSR snapshot if already built, without building it."""
+        return self._snapshot
+
+    @property
+    def primed_edge_relevance(self) -> Mapping[tuple[str, str], float] | None:
+        """The relevance map if already computed, without computing it."""
+        return self._edge_relevance
+
     def _compute_edge_relevance(self) -> dict[tuple[str, str], float]:
         snapshot = self.indexed_snapshot()
         ids = snapshot.node_ids

@@ -1,27 +1,53 @@
-"""Exception hierarchy for the ``repro`` package.
+"""Exception hierarchy and error taxonomy for the ``repro`` package.
 
 Every error raised by the library derives from :class:`ReproError` so that
 callers can catch library failures with a single ``except`` clause while still
 being able to distinguish the individual failure modes.
+
+Each class additionally carries a machine-readable taxonomy — a stable
+``code`` string and the ``http_status`` the HTTP layer maps it to — so the
+programmatic API, the batch executor and the ``/v1`` HTTP surface all report
+failures with one vocabulary.  :func:`error_payload` renders the canonical
+JSON error body.
 """
 
 from __future__ import annotations
 
+from typing import Any
+
 
 class ReproError(Exception):
-    """Base class for all errors raised by the ``repro`` package."""
+    """Base class for all errors raised by the ``repro`` package.
+
+    Class attributes:
+        code: Stable machine-readable error identifier.  Part of the public
+            API contract — clients switch on it, so values never change once
+            released.
+        http_status: The HTTP status the serving layer maps this error to.
+    """
+
+    code: str = "internal"
+    http_status: int = 500
 
 
 class ConfigurationError(ReproError):
     """A configuration object contains an invalid or inconsistent value."""
 
+    code = "invalid_config"
+    http_status = 400
+
 
 class CorpusError(ReproError):
     """A problem with the scholarly corpus (missing paper, bad record, ...)."""
 
+    code = "corpus_error"
+
 
 class PaperNotFoundError(CorpusError):
     """A paper id was requested that does not exist in the corpus or graph."""
+
+    code = "paper_not_found"
+    http_status = 404
 
     def __init__(self, paper_id: str) -> None:
         super().__init__(f"paper not found: {paper_id!r}")
@@ -56,9 +82,14 @@ class DisconnectedTerminalsError(GraphError):
 class SearchError(ReproError):
     """A search-engine query failed or was malformed."""
 
+    code = "search_error"
+
 
 class EmptyQueryError(SearchError):
     """The search query contained no usable terms."""
+
+    code = "empty_query"
+    http_status = 400
 
 
 class DatasetError(ReproError):
@@ -76,17 +107,27 @@ class EvaluationError(ReproError):
 class PipelineError(ReproError):
     """The RePaGer pipeline could not produce a reading path."""
 
+    code = "pipeline_error"
+
 
 class ServingError(ReproError):
     """A problem in the serving layer (cache, executor, warm-up, HTTP API)."""
+
+    code = "serving_error"
 
 
 class ExecutorOverloadedError(ServingError):
     """The batch executor's bounded queue is full; the query was rejected."""
 
+    code = "overloaded"
+    http_status = 429
+
 
 class QueryTimeoutError(ServingError):
     """A query did not complete within the configured per-query timeout."""
+
+    code = "timeout"
+    http_status = 504
 
     def __init__(self, query: str, timeout_seconds: float) -> None:
         super().__init__(
@@ -99,6 +140,9 @@ class QueryTimeoutError(ServingError):
 class SnapshotMismatchError(ServingError):
     """An artifact snapshot was built under a different pipeline configuration."""
 
+    code = "snapshot_mismatch"
+    http_status = 409
+
     def __init__(self, expected: str, found: str) -> None:
         super().__init__(
             f"artifact snapshot fingerprint {found!r} does not match the "
@@ -106,3 +150,108 @@ class SnapshotMismatchError(ServingError):
         )
         self.expected = expected
         self.found = found
+
+
+class RequestValidationError(ReproError, ValueError):
+    """A request body or parameter failed validation.
+
+    Subclasses :class:`ValueError` so call sites that predate the taxonomy
+    (``except ValueError`` around ``QueryRequest.from_dict``) keep working.
+    """
+
+    code = "bad_request"
+    http_status = 400
+
+
+class UnknownFieldsError(RequestValidationError):
+    """A request body contained fields the endpoint does not define.
+
+    Silently ignoring unknown keys turns a typo (``"year_cutof"``) into a
+    silently-wrong query, so the validator rejects them and names each one.
+    """
+
+    code = "unknown_fields"
+
+    def __init__(self, fields: tuple[str, ...], allowed: tuple[str, ...]) -> None:
+        super().__init__(
+            f"unknown field(s) {sorted(fields)}; allowed fields are {sorted(allowed)}"
+        )
+        self.fields = tuple(sorted(fields))
+        self.allowed = tuple(sorted(allowed))
+
+
+class UnknownVariantError(RequestValidationError):
+    """A request asked for a pipeline variant that is not registered."""
+
+    code = "unknown_variant"
+
+    def __init__(self, variant: str, known: tuple[str, ...]) -> None:
+        super().__init__(
+            f"unknown pipeline variant {variant!r}; choose from {sorted(known)}"
+        )
+        self.variant = variant
+        self.known = tuple(sorted(known))
+
+
+class RequestTooLargeError(RequestValidationError):
+    """A request body exceeded the configured size cap."""
+
+    code = "payload_too_large"
+    http_status = 413
+
+    def __init__(self, length: int, limit: int) -> None:
+        super().__init__(
+            f"request body of {length} bytes exceeds the {limit}-byte limit"
+        )
+        self.length = length
+        self.limit = limit
+
+
+class CorpusNotFoundError(ServingError):
+    """A corpus name was requested that is not attached to the registry."""
+
+    code = "corpus_not_found"
+    http_status = 404
+
+    def __init__(self, name: str, attached: tuple[str, ...] = ()) -> None:
+        detail = f"corpus not attached: {name!r}"
+        if attached:
+            detail += f"; attached corpora: {sorted(attached)}"
+        super().__init__(detail)
+        self.name = name
+        self.attached = tuple(sorted(attached))
+
+
+class DuplicateCorpusError(ServingError):
+    """A corpus was attached under a name that is already taken."""
+
+    code = "corpus_exists"
+    http_status = 409
+
+    def __init__(self, name: str) -> None:
+        super().__init__(f"a corpus named {name!r} is already attached")
+        self.name = name
+
+
+def error_payload(exc: BaseException) -> dict[str, Any]:
+    """Canonical machine-readable JSON body for an exception.
+
+    The shape is shared verbatim by the HTTP layer, the batch executor and
+    programmatic callers: ``error`` duplicates ``code`` for compatibility with
+    the pre-``/v1`` body format (clients read ``body["error"]``).
+    """
+    if isinstance(exc, ReproError):
+        code, status = exc.code, exc.http_status
+        detail = str(exc) or type(exc).__name__
+    else:
+        # Anything outside the taxonomy — including bare ValueErrors from
+        # deep inside the pipeline — is an *internal* failure: client-caused
+        # validation problems are always raised as RequestValidationError.
+        code, status = ReproError.code, ReproError.http_status
+        detail = f"{type(exc).__name__}: {exc}" if str(exc) else type(exc).__name__
+    return {
+        "error": code,
+        "code": code,
+        "http_status": status,
+        "detail": detail,
+    }

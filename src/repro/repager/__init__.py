@@ -10,16 +10,34 @@ layer here provides the equivalent programmatic surface:
   the navigation-bar listing);
 * :mod:`repro.repager.render` — ASCII-tree and Graphviz DOT renderings of a
   reading path (the Fig. 9 visualisation);
+* :mod:`repro.repager.app` — the multi-tenant application layer: a
+  :class:`~repro.repager.app.CorpusRegistry` of named corpora behind one
+  :class:`~repro.repager.app.RePaGerApp` facade with a typed request/response
+  contract (:class:`~repro.repager.app.QueryOptions` /
+  :class:`~repro.repager.app.QueryResponse`) and the shared error taxonomy;
 * :mod:`repro.repager.cli` — a command-line interface (``repager``) for
-  generating a corpus, building SurveyBank and querying reading paths.
+  generating a corpus, building SurveyBank, querying reading paths and
+  serving one or many corpora over HTTP.
 """
 
 from .service import RePaGerService, PathPayload
 from .render import render_ascii_tree, render_dot, render_flat_list
+from .app import (
+    CorpusRegistry,
+    QueryOptions,
+    QueryResponse,
+    RePaGerApp,
+    Tenant,
+)
 
 __all__ = [
     "RePaGerService",
     "PathPayload",
+    "RePaGerApp",
+    "CorpusRegistry",
+    "Tenant",
+    "QueryOptions",
+    "QueryResponse",
     "render_ascii_tree",
     "render_dot",
     "render_flat_list",

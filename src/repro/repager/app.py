@@ -1,0 +1,641 @@
+"""Multi-tenant application layer: many corpora behind one typed contract.
+
+The paper ships RePaGer as one web application over one corpus; a production
+deployment hosts *many* — one per research domain, per customer, per corpus
+snapshot generation — behind a single process and a single stable API.  This
+module is that layer:
+
+* :class:`CorpusRegistry` owns N named tenants.  Each :class:`Tenant` wraps a
+  :class:`~repro.repager.service.RePaGerService` with its own store, graph
+  snapshot and indexes, a *namespaced* slice of the shared result cache, and
+  its own labelled metrics registry;
+* :class:`RePaGerApp` is the facade every front end goes through — the
+  programmatic API, :class:`~repro.serving.executor.BatchExecutor` batches and
+  the ``/v1`` HTTP surface all speak the same typed contract:
+  :class:`QueryOptions` in, :class:`QueryResponse` out, and failures carry the
+  machine-readable taxonomy of :mod:`repro.errors` (``code``, ``http_status``,
+  ``detail``);
+* one **bounded executor is shared across tenants**, so admission control and
+  per-query deadlines bound the whole process no matter how many corpora are
+  attached;
+* per-request **pipeline-variant overrides**: a query may name any Table III
+  variant (``"NEWST-W"``, ``"NEWST-C"``, ...) and the tenant lazily
+  instantiates a variant service that shares the corpus artifacts (CSR
+  snapshot, node weights, edge relevance, search index) with the base
+  pipeline — only the Steiner-stage configuration differs.
+"""
+
+from __future__ import annotations
+
+import re
+import threading
+import time
+from dataclasses import dataclass, replace
+from typing import Any, Mapping
+
+from ..config import PipelineConfig, ServingConfig
+from ..core.pipeline import VARIANT_CONFIGS, make_variant_config
+from ..corpus.storage import CorpusStore
+from ..errors import (
+    CorpusNotFoundError,
+    DuplicateCorpusError,
+    RequestValidationError,
+    ServingError,
+    UnknownVariantError,
+)
+from ..serving.cache import ResultCache
+from ..serving.executor import BatchExecutor, QueryRequest, validate_query_body
+from ..serving.metrics import MetricsRegistry
+from .service import PathPayload, RePaGerService
+
+__all__ = [
+    "CorpusRegistry",
+    "QueryOptions",
+    "QueryResponse",
+    "RePaGerApp",
+    "Tenant",
+    "normalize_variant",
+]
+
+#: Label used for a query answered by the tenant's configured base pipeline
+#: (no per-request variant override).
+DEFAULT_VARIANT = "default"
+
+#: Corpus names must be URL- and metric-label-safe.
+_NAME_RE = re.compile(r"^[A-Za-z0-9][A-Za-z0-9._-]{0,63}$")
+
+
+def normalize_variant(name: str) -> str:
+    """Canonical (upper-case) form of a Table III variant name.
+
+    Raises:
+        UnknownVariantError: The name is not a registered variant.
+    """
+    canonical = name.upper()
+    if canonical not in VARIANT_CONFIGS:
+        raise UnknownVariantError(name, tuple(VARIANT_CONFIGS))
+    return canonical
+
+
+@dataclass(frozen=True, slots=True)
+class QueryOptions:
+    """Typed request contract shared by every front end.
+
+    Attributes:
+        query: Free-text topic query.
+        year_cutoff: Only consider papers published up to this year.
+        exclude_ids: Paper ids the reading path must not contain.
+        variant: Optional per-request pipeline-variant override (a Table III
+            name, case-insensitive).  ``None`` runs the tenant's configured
+            base pipeline.
+        use_cache: Cache policy — ``False`` bypasses the result cache for
+            this request (lookup *and* store).
+    """
+
+    query: str
+    year_cutoff: int | None = None
+    exclude_ids: tuple[str, ...] = ()
+    variant: str | None = None
+    use_cache: bool = True
+
+    _FIELDS = ("query", "year_cutoff", "exclude_ids", "use_cache", "variant")
+
+    @classmethod
+    def from_dict(cls, payload: Mapping[str, Any]) -> "QueryOptions":
+        """Validate a JSON body into options, rejecting unknown fields.
+
+        Unknown keys raise :class:`~repro.errors.UnknownFieldsError` naming
+        each offender (HTTP 400), so client typos fail loudly instead of
+        silently running a different query.
+        """
+        body = validate_query_body(dict(payload), cls._FIELDS)
+        variant = body.get("variant")
+        if variant is not None:
+            if not isinstance(variant, str):
+                raise RequestValidationError("'variant' must be a string or null")
+            variant = normalize_variant(variant)
+        return cls(
+            query=body["query"],
+            year_cutoff=body["year_cutoff"],
+            exclude_ids=body["exclude_ids"],
+            variant=variant,
+            use_cache=body["use_cache"],
+        )
+
+    def to_request(self, corpus: str | None = None) -> QueryRequest:
+        """The executor-level request carrying the routing fields."""
+        return QueryRequest(
+            text=self.query,
+            year_cutoff=self.year_cutoff,
+            exclude_ids=self.exclude_ids,
+            use_cache=self.use_cache,
+            corpus=corpus,
+            variant=self.variant,
+        )
+
+
+@dataclass(frozen=True, slots=True)
+class QueryResponse:
+    """Typed response contract: the payload plus serving metadata."""
+
+    payload: PathPayload
+    corpus: str
+    variant: str
+    cached: bool
+    config_fingerprint: str
+    served_in_seconds: float = 0.0
+
+    def serving_meta(self) -> dict[str, Any]:
+        return {
+            "corpus": self.corpus,
+            "variant": self.variant,
+            "cached": self.cached,
+            "config_fingerprint": self.config_fingerprint,
+            "served_in_seconds": self.served_in_seconds,
+        }
+
+    def to_dict(self) -> dict[str, Any]:
+        """The ``/v1`` response body: ``{"payload": ..., "serving": ...}``."""
+        return {"payload": self.payload.to_dict(), "serving": self.serving_meta()}
+
+    def to_legacy_dict(self) -> dict[str, Any]:
+        """The pre-``/v1`` body shape (payload fields at the top level)."""
+        body = self.payload.to_dict()
+        body["served_in_seconds"] = self.served_in_seconds
+        return body
+
+
+class Tenant:
+    """One named corpus and its services (base pipeline + lazy variants)."""
+
+    def __init__(self, name: str, service: RePaGerService, source: str = "") -> None:
+        self.name = name
+        self.service = service
+        self.source = source
+        self.attached_at = time.monotonic()
+        self._variants: dict[str, RePaGerService] = {}
+        self._lock = threading.Lock()
+
+    def service_for(self, variant: str | None = None) -> RePaGerService:
+        """The service answering queries for ``variant`` (``None`` = base).
+
+        Variant services are created on first use and share every per-corpus
+        artifact with the base pipeline — the store, graph, CSR snapshot,
+        node weights, edge-relevance map, search engine (and its index), the
+        namespaced cache and the tenant's metrics registry.  Only the
+        pipeline configuration differs, so instantiation is cheap.
+        """
+        if variant is None:
+            return self.service
+        canonical = normalize_variant(variant)
+        config = make_variant_config(canonical, self.service.pipeline.config)
+        if config == self.service.pipeline.config:
+            return self.service
+        with self._lock:
+            existing = self._variants.get(canonical)
+            if existing is not None:
+                return existing
+            service = self._build_variant(config)
+            self._variants[canonical] = service
+            return service
+
+    def _build_variant(self, config: PipelineConfig) -> RePaGerService:
+        base = self.service
+        service = RePaGerService(
+            base.store,
+            search_engine=base.search_engine,
+            pipeline_config=config,
+            venues=base.venues,
+            graph=base.graph,
+            cache=base.cache,
+            metrics=base.metrics,
+            cache_namespace=base.cache_namespace,
+        )
+        base_pipeline = base.pipeline
+        builder = base_pipeline.weight_builder
+        # Hand over whatever the base pipeline has already computed; anything
+        # missing stays lazy.  Variant overrides never touch NewstConfig, so
+        # the node-weight object is directly reusable.
+        snapshot = builder.primed_snapshot
+        if snapshot is not None:
+            service.pipeline.weight_builder.prime_indexed_snapshot(snapshot)
+        if base_pipeline.primed_node_weights is not None:
+            service.pipeline.prime_node_weights(base_pipeline.node_weights)
+        relevance = builder.primed_edge_relevance
+        if relevance is not None:
+            service.pipeline.weight_builder.prime_edge_relevance(relevance)
+        return service
+
+    def variants_loaded(self) -> tuple[str, ...]:
+        with self._lock:
+            return tuple(sorted(self._variants))
+
+    def health(self) -> dict[str, Any]:
+        """Per-tenant health: sizes, config fingerprint and readiness flags."""
+        service = self.service
+        readiness = service.readiness()
+        warmed = all(
+            bool(value) for key, value in readiness.items() if key.endswith("_ready")
+        )
+        return {
+            "status": "ok",
+            "corpus": self.name,
+            "source": self.source,
+            "papers": len(service.store),
+            "graph_nodes": service.graph.num_nodes,
+            "graph_edges": service.graph.num_edges,
+            "config_fingerprint": service.pipeline.config_fingerprint,
+            "graph_backend": readiness["graph_backend"],
+            "warmed": warmed,
+            "readiness": {
+                key: value for key, value in readiness.items() if key.endswith("_ready")
+            },
+            "variants_loaded": list(self.variants_loaded()),
+        }
+
+
+class CorpusRegistry:
+    """Thread-safe mapping of corpus name → :class:`Tenant`.
+
+    The first attached tenant becomes the default unless a later attach (or
+    :meth:`set_default`) overrides it; legacy single-corpus entry points
+    resolve to the default tenant.
+    """
+
+    def __init__(self) -> None:
+        self._tenants: dict[str, Tenant] = {}
+        self._default: str | None = None
+        self._lock = threading.RLock()
+
+    def attach(
+        self,
+        name: str,
+        service: RePaGerService,
+        default: bool = False,
+        source: str = "",
+    ) -> Tenant:
+        """Register a service under ``name``.
+
+        Raises:
+            RequestValidationError: The name is not URL/label-safe.
+            DuplicateCorpusError: The name is already attached.
+        """
+        if not _NAME_RE.match(name):
+            raise RequestValidationError(
+                f"invalid corpus name {name!r}: must match {_NAME_RE.pattern}"
+            )
+        with self._lock:
+            if name in self._tenants:
+                raise DuplicateCorpusError(name)
+            tenant = Tenant(name, service, source=source)
+            self._tenants[name] = tenant
+            if default or self._default is None:
+                self._default = name
+            return tenant
+
+    def detach(self, name: str) -> Tenant:
+        """Remove and return a tenant; detaching the default clears the default.
+
+        The default is deliberately *not* reassigned to some surviving tenant:
+        legacy single-corpus clients would silently start receiving another
+        corpus's reading paths.  They get an explicit
+        :class:`CorpusNotFoundError` (404) until an operator attaches a new
+        default or calls :meth:`set_default`.
+        """
+        with self._lock:
+            tenant = self._tenants.pop(name, None)
+            if tenant is None:
+                raise CorpusNotFoundError(name, tuple(self._tenants))
+            if self._default == name:
+                self._default = None
+            return tenant
+
+    def get(self, name: str) -> Tenant:
+        with self._lock:
+            tenant = self._tenants.get(name)
+            if tenant is None:
+                raise CorpusNotFoundError(name, tuple(self._tenants))
+            return tenant
+
+    def default(self) -> Tenant:
+        """The default tenant (legacy single-corpus routes resolve here)."""
+        with self._lock:
+            if self._default is None:
+                raise CorpusNotFoundError("<default>", tuple(self._tenants))
+            return self._tenants[self._default]
+
+    def resolve(self, name: str | None) -> Tenant:
+        """``name`` → its tenant; ``None`` → the default tenant."""
+        return self.get(name) if name is not None else self.default()
+
+    def set_default(self, name: str) -> None:
+        with self._lock:
+            if name not in self._tenants:
+                raise CorpusNotFoundError(name, tuple(self._tenants))
+            self._default = name
+
+    @property
+    def default_name(self) -> str | None:
+        with self._lock:
+            return self._default
+
+    def names(self) -> tuple[str, ...]:
+        with self._lock:
+            return tuple(self._tenants)
+
+    def items(self) -> list[tuple[str, Tenant]]:
+        """Point-in-time snapshot of (name, tenant) pairs."""
+        with self._lock:
+            return list(self._tenants.items())
+
+    def __contains__(self, name: object) -> bool:
+        with self._lock:
+            return name in self._tenants
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._tenants)
+
+
+class RePaGerApp:
+    """Application facade: N corpora, one executor, one typed contract.
+
+    Args:
+        config: Serving parameters (executor sizing, cache bounds, body cap,
+            default-corpus name).
+        registry: Pre-populated registry (one is created when omitted).
+        metrics: App-level registry receiving executor counters; per-tenant
+            query metrics live in each tenant's own registry and are rendered
+            with a ``corpus="<name>"`` label.
+        cache: The shared result cache handed to tenants attached via
+            :meth:`attach_store` / :meth:`attach_directory`; entries are
+            namespaced per tenant.
+        executor: Pre-built executor (one is created from ``config`` when
+            omitted).
+    """
+
+    def __init__(
+        self,
+        config: ServingConfig | None = None,
+        registry: CorpusRegistry | None = None,
+        metrics: MetricsRegistry | None = None,
+        cache: ResultCache | None = None,
+        executor: BatchExecutor | None = None,
+        pipeline_config: PipelineConfig | None = None,
+    ) -> None:
+        self.config = config or ServingConfig()
+        self.registry = registry or CorpusRegistry()
+        #: Pipeline configuration used for tenants attached without an
+        #: explicit one (including runtime HTTP attaches).
+        self.pipeline_config = pipeline_config
+        self.metrics = metrics or MetricsRegistry(self.config.max_latency_samples)
+        self.cache = cache or ResultCache(
+            max_entries=self.config.cache_max_entries,
+            ttl_seconds=self.config.cache_ttl_seconds,
+        )
+        self.executor = executor or BatchExecutor.from_app(
+            self,
+            max_workers=self.config.max_workers,
+            queue_depth=self.config.queue_depth,
+            timeout_seconds=self.config.query_timeout_seconds,
+            metrics=self.metrics,
+        )
+        self.started_at = time.monotonic()
+
+    # -- tenant management -------------------------------------------------------
+
+    def attach_service(
+        self,
+        name: str,
+        service: RePaGerService,
+        default: bool = False,
+        source: str = "attached",
+    ) -> Tenant:
+        """Attach a pre-built service as a tenant.
+
+        A service without a metrics registry gets a fresh one so every tenant
+        exports labelled metrics, and a cached service without a cache
+        namespace adopts the tenant name — its cache may be shared with other
+        tenants, and an empty namespace would let two same-config tenants
+        serve each other's entries (the fingerprint encodes configuration,
+        not the corpus).
+        """
+        if service.metrics is None:
+            service.metrics = MetricsRegistry(self.config.max_latency_samples)
+        if service.cache is not None and not service.cache_namespace:
+            service.cache_namespace = name
+        return self.registry.attach(name, service, default=default, source=source)
+
+    def attach_store(
+        self,
+        name: str,
+        store: CorpusStore,
+        pipeline_config: PipelineConfig | None = None,
+        default: bool = False,
+        source: str = "store",
+    ) -> Tenant:
+        """Build a tenant service over ``store`` with app-owned serving state:
+        the shared namespaced cache and a per-tenant metrics registry."""
+        service = RePaGerService(
+            store,
+            pipeline_config=pipeline_config or self.pipeline_config,
+            cache=self.cache,
+            metrics=MetricsRegistry(self.config.max_latency_samples),
+            cache_namespace=name,
+        )
+        return self.registry.attach(name, service, default=default, source=source)
+
+    def attach_directory(
+        self,
+        name: str,
+        corpus_dir: str,
+        pipeline_config: PipelineConfig | None = None,
+        default: bool = False,
+    ) -> Tenant:
+        """Load a corpus from disk and attach it (the HTTP attach path).
+
+        Raises:
+            RequestValidationError: The directory does not hold a loadable
+                corpus (mapped to HTTP 400).
+        """
+        try:
+            store = CorpusStore.load(corpus_dir)
+        except Exception as exc:  # noqa: BLE001 - any load failure is a client error
+            raise RequestValidationError(
+                f"cannot load a corpus from {corpus_dir!r}: {exc}"
+            ) from exc
+        return self.attach_store(
+            name,
+            store,
+            pipeline_config=pipeline_config,
+            default=default,
+            source=corpus_dir,
+        )
+
+    def detach(self, name: str) -> Tenant:
+        """Detach a tenant and drop its namespaced entries from the shared cache."""
+        tenant = self.registry.detach(name)
+        # The tenant's cache entries can never be hit again (the namespace is
+        # gone), so free them eagerly when the cache is the app-shared one.
+        if tenant.service.cache is self.cache:
+            self.cache.drop_namespace(name)
+        return tenant
+
+    # -- queries -----------------------------------------------------------------
+
+    def query(
+        self,
+        options: "QueryOptions | Mapping[str, Any] | str",
+        corpus: str | None = None,
+    ) -> QueryResponse:
+        """Answer one query through the shared bounded executor.
+
+        ``options`` may be a :class:`QueryOptions`, a raw JSON-style mapping
+        (validated strictly) or a bare query string.  ``corpus`` selects the
+        tenant (``None`` = default).
+
+        Raises errors from the shared taxonomy: :class:`CorpusNotFoundError`,
+        :class:`~repro.errors.RequestValidationError`,
+        :class:`~repro.errors.ExecutorOverloadedError`,
+        :class:`~repro.errors.QueryTimeoutError`, ...
+        """
+        if isinstance(options, str):
+            options = QueryOptions(query=options)
+        elif not isinstance(options, QueryOptions):
+            options = QueryOptions.from_dict(options)
+        tenant = self.registry.resolve(corpus)
+        started = time.perf_counter()
+        response = self.executor.run_one(options.to_request(tenant.name))
+        if not isinstance(response, QueryResponse):
+            # A caller-supplied executor with the pre-registry handler
+            # contract (BatchExecutor.from_service) returns the bare payload
+            # of the one service it wraps; it cannot honour per-request
+            # variant overrides or corpus routing, so reject rather than
+            # mislabel that service's output as another tenant/ablation.
+            if options.variant is not None:
+                raise ServingError(
+                    "the configured executor does not support per-request "
+                    "pipeline variants"
+                )
+            if tenant.name != self.registry.default_name:
+                raise ServingError(
+                    "the configured executor serves only the default tenant; "
+                    f"it cannot route to corpus {tenant.name!r}"
+                )
+            response = QueryResponse(
+                payload=response,
+                corpus=tenant.name,
+                variant=DEFAULT_VARIANT,
+                cached=False,
+                config_fingerprint=tenant.service.pipeline.config_fingerprint,
+            )
+        return replace(response, served_in_seconds=time.perf_counter() - started)
+
+    def handle_request(self, request: QueryRequest) -> QueryResponse:
+        """Executor handler: route a request to its tenant (and variant)."""
+        tenant = self.registry.resolve(request.corpus)
+        service = tenant.service_for(request.variant)
+        payload, cached = service.query_with_meta(
+            request.text,
+            year_cutoff=request.year_cutoff,
+            exclude_ids=request.exclude_ids,
+            use_cache=request.use_cache,
+        )
+        return QueryResponse(
+            payload=payload,
+            corpus=tenant.name,
+            variant=normalize_variant(request.variant)
+            if request.variant
+            else DEFAULT_VARIANT,
+            cached=cached,
+            config_fingerprint=service.pipeline.config_fingerprint,
+        )
+
+    def paper_details(self, paper_id: str, corpus: str | None = None) -> dict[str, Any]:
+        """Detail record for one paper of one tenant."""
+        return self.registry.resolve(corpus).service.paper_details(paper_id)
+
+    # -- observability -----------------------------------------------------------
+
+    def corpora(self) -> list[dict[str, Any]]:
+        """Descriptor list for ``GET /v1/corpora``."""
+        default = self.registry.default_name
+        return [
+            {
+                "name": name,
+                "default": name == default,
+                "papers": len(tenant.service.store),
+                "config_fingerprint": tenant.service.pipeline.config_fingerprint,
+                "source": tenant.source,
+            }
+            for name, tenant in self.registry.items()
+        ]
+
+    def health(self, corpus: str | None = None) -> dict[str, Any]:
+        """Per-corpus health (``corpus`` given) or the aggregate rollup."""
+        if corpus is not None:
+            tenant = self.registry.get(corpus)
+            report = tenant.health()
+            report["default"] = corpus == self.registry.default_name
+            return report
+        per_corpus = {name: tenant.health() for name, tenant in self.registry.items()}
+        default = self.registry.default_name
+        body: dict[str, Any] = {
+            "status": "ok",
+            "corpora": per_corpus,
+            "default_corpus": default,
+            "num_corpora": len(per_corpus),
+            "uptime_seconds": time.monotonic() - self.started_at,
+        }
+        # Legacy mirror: pre-/v1 /healthz consumers read these at the top
+        # level, so the default tenant's sizes stay where they were.  .get():
+        # a concurrent attach-with-default may have changed the default after
+        # the per-corpus snapshot above was taken.
+        summary = per_corpus.get(default) if default is not None else None
+        if summary is not None:
+            for key in ("papers", "graph_nodes", "graph_edges", "config_fingerprint"):
+                body[key] = summary[key]
+        return body
+
+    def metrics_text(self) -> str:
+        """One ``/metrics`` exposition: labelled per-tenant series + app series.
+
+        A tenant's ``cache_*`` gauges are emitted under its ``corpus`` label
+        only when the cache is the tenant's own; the app-shared cache holds
+        whole-process numbers and is rendered once, unlabelled, with the app
+        registry (per-tenant hit/miss *counters* already live in each
+        tenant's registry as ``cache_hits_total``/``cache_misses_total``).
+        """
+        parts: list[str] = []
+        seen_registries: set[int] = set()
+        for name, tenant in self.registry.items():
+            registry = tenant.service.metrics
+            if registry is None:
+                continue
+            cache = tenant.service.cache
+            extra = (
+                {f"cache_{k}": float(v) for k, v in cache.stats().to_dict().items()}
+                if cache is not None and cache is not self.cache
+                else None
+            )
+            parts.append(registry.render_text(extra_gauges=extra, labels={"corpus": name}))
+            seen_registries.add(id(registry))
+        if id(self.metrics) not in seen_registries:
+            shared = {
+                f"cache_{k}": float(v)
+                for k, v in self.cache.stats().to_dict().items()
+            }
+            parts.append(self.metrics.render_text(extra_gauges=shared))
+        return "".join(parts)
+
+    # -- lifecycle ---------------------------------------------------------------
+
+    def close(self, wait: bool = True) -> None:
+        """Shut down the shared executor."""
+        self.executor.shutdown(wait=wait)
+
+    def __enter__(self) -> "RePaGerApp":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()

@@ -7,6 +7,12 @@ Four subcommands cover the typical workflow::
     repager query "pretrained language models" --corpus data/corpus
     repager serve --corpus data/corpus --port 8080        # HTTP JSON API
 
+``serve`` is multi-tenant: repeat ``--corpus NAME=DIR`` to host several
+corpora in one process behind the versioned ``/v1`` HTTP API, and pick the
+tenant the legacy single-corpus routes alias onto with ``--default-corpus``::
+
+    repager serve --corpus cs=data/cs --corpus bio=data/bio --default-corpus cs
+
 ``query`` and ``serve`` can also run directly on a freshly generated corpus
 (omit ``--corpus``), which is the quickest way to see a reading path or to
 poke the API with curl.
@@ -29,11 +35,10 @@ from ..config import (
 from ..corpus.generator import CorpusGenerator
 from ..corpus.storage import CorpusStore
 from ..dataset.surveybank import SurveyBank
+from ..repager.app import RePaGerApp
 from ..repager.service import RePaGerService
-from ..serving.cache import ResultCache
 from ..serving.http_api import create_server
-from ..serving.metrics import MetricsRegistry
-from ..serving.warmup import warm_up
+from ..serving.warmup import load_snapshots, warm_up_registry
 
 __all__ = ["main", "build_parser"]
 
@@ -81,7 +86,21 @@ def build_parser() -> argparse.ArgumentParser:
     serve = subparsers.add_parser(
         "serve", help="serve reading paths over a dependency-free HTTP JSON API"
     )
-    serve.add_argument("--corpus", help="corpus directory (generated on the fly if omitted)")
+    serve.add_argument(
+        "--corpus", action="append", metavar="[NAME=]DIR",
+        help="corpus to serve; repeatable for multi-tenant serving "
+             "(NAME=DIR attaches DIR as tenant NAME; a bare DIR uses the "
+             "default tenant name; omitted entirely = one synthetic corpus)",
+    )
+    serve.add_argument(
+        "--default-corpus", default="default", metavar="NAME",
+        help="tenant the legacy single-corpus routes alias onto",
+    )
+    serve.add_argument(
+        "--snapshot", action="append", metavar="NAME=PATH",
+        help="warm tenant NAME from an ArtifactSnapshot file instead of "
+             "recomputing its artifacts; repeatable",
+    )
     serve.add_argument("--host", default="127.0.0.1", help="bind address")
     serve.add_argument("--port", type=int, default=8080, help="bind port (0 = ephemeral)")
     serve.add_argument("--seeds", type=int, default=30, help="number of initial seed papers")
@@ -96,6 +115,10 @@ def build_parser() -> argparse.ArgumentParser:
     )
     serve.add_argument(
         "--timeout", type=float, default=30.0, help="per-query timeout in seconds"
+    )
+    serve.add_argument(
+        "--max-body-bytes", type=int, default=1 << 20,
+        help="request-body size cap; larger bodies are rejected with 413",
     )
     serve.add_argument(
         "--no-warmup", action="store_true",
@@ -160,6 +183,23 @@ def _cmd_query(args: argparse.Namespace) -> int:
     return 0
 
 
+def _parse_named_values(
+    values: list[str] | None, option: str, default_name: str
+) -> dict[str, str]:
+    """Parse repeatable ``NAME=VALUE`` options (bare values take ``default_name``)."""
+    named: dict[str, str] = {}
+    for value in values or []:
+        name, sep, rest = value.partition("=")
+        if not sep:
+            name, rest = default_name, value
+        if not name or not rest:
+            raise SystemExit(f"{option} expects NAME=VALUE, got {value!r}")
+        if name in named:
+            raise SystemExit(f"{option} names {name!r} twice")
+        named[name] = rest
+    return named
+
+
 def _cmd_serve(args: argparse.Namespace) -> int:
     serving_config = ServingConfig(
         host=args.host,
@@ -170,32 +210,72 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         cache_ttl_seconds=args.cache_ttl,
         query_timeout_seconds=args.timeout,
         warm_up_on_start=not args.no_warmup,
+        max_body_bytes=args.max_body_bytes,
+        default_corpus=args.default_corpus,
     )
-    store = _load_or_generate_store(args.corpus)
-    metrics = MetricsRegistry(serving_config.max_latency_samples)
-    service = RePaGerService(
-        store,
-        pipeline_config=PipelineConfig(
-            num_seeds=args.seeds, graph_backend=args.graph_backend
-        ),
-        cache=ResultCache(
-            max_entries=serving_config.cache_max_entries,
-            ttl_seconds=serving_config.cache_ttl_seconds,
-        ),
-        metrics=metrics,
+    pipeline_config = PipelineConfig(
+        num_seeds=args.seeds, graph_backend=args.graph_backend
     )
-    if serving_config.warm_up_on_start:
-        report = warm_up(service)
+    corpora = _parse_named_values(args.corpus, "--corpus", args.default_corpus)
+
+    app = RePaGerApp(config=serving_config, pipeline_config=pipeline_config)
+    if corpora:
+        if args.default_corpus not in corpora:
+            raise SystemExit(
+                f"--default-corpus {args.default_corpus!r} is not among the "
+                f"attached corpora {sorted(corpora)}"
+            )
+        for name, corpus_dir in corpora.items():
+            tenant = app.attach_directory(
+                name, corpus_dir, default=name == args.default_corpus
+            )
+            print(
+                f"attached corpus {name!r} ({len(tenant.service.store)} papers) "
+                f"from {Path(corpus_dir).resolve()}",
+                flush=True,
+            )
+    else:
+        store = _load_or_generate_store(None)
+        app.attach_store(
+            args.default_corpus, store, default=True, source="synthetic"
+        )
         print(
-            f"warmed up {report.graph_nodes} nodes / {report.graph_edges} edges "
-            f"in {report.elapsed_seconds:.2f}s",
+            f"attached synthetic corpus {args.default_corpus!r} "
+            f"({len(store)} papers)",
             flush=True,
         )
-    server = create_server(service, config=serving_config, metrics=metrics)
+
+    snapshot_paths = _parse_named_values(args.snapshot, "--snapshot", args.default_corpus)
+    unknown_snapshots = sorted(set(snapshot_paths) - set(app.registry.names()))
+    if unknown_snapshots:
+        raise SystemExit(
+            f"--snapshot names {unknown_snapshots} do not match any attached "
+            f"corpus {sorted(app.registry.names())}"
+        )
+    snapshots = load_snapshots(snapshot_paths)
+    if serving_config.warm_up_on_start:
+        for name, report in warm_up_registry(app.registry, snapshots=snapshots).items():
+            print(
+                f"warmed up {name!r}: {report.graph_nodes} nodes / "
+                f"{report.graph_edges} edges in {report.elapsed_seconds:.2f}s"
+                + (" (from snapshot)" if report.from_snapshot else ""),
+                flush=True,
+            )
+    else:
+        # --no-warmup skips the eager artifact computation, but an explicitly
+        # requested snapshot must never be silently dropped: restore it so
+        # the first query starts from the shipped artifacts.
+        for name, snapshot in snapshots.items():
+            snapshot.restore_into(app.registry.get(name).service)
+            print(f"restored snapshot into {name!r} (no warm-up)", flush=True)
+
+    server = create_server(app, config=serving_config)
+    names = ", ".join(app.registry.names())
     print(
-        f"serving {len(store)} papers on {server.url} "
+        f"serving corpora [{names}] on {server.url} "
         f"({serving_config.max_workers} workers, queue depth "
-        f"{serving_config.queue_depth}) — Ctrl-C to stop",
+        f"{serving_config.queue_depth}, default corpus "
+        f"{args.default_corpus!r}) — Ctrl-C to stop",
         flush=True,
     )
     try:
@@ -205,7 +285,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     finally:
         server.shutdown()
         server.server_close()
-        server.executor.shutdown(wait=False)
+        app.close(wait=False)
     return 0
 
 

@@ -69,9 +69,14 @@ class RePaGerService:
         graph: CitationGraph | None = None,
         cache: ResultCache | None = None,
         metrics: MetricsRegistry | None = None,
+        cache_namespace: str = "",
     ) -> None:
         self.store = store
         self.venues = venues or build_default_catalog()
+        # When one ResultCache is shared across a corpus registry, the
+        # namespace (the tenant name) keeps tenants' entries apart even if
+        # their pipeline fingerprints happen to collide.
+        self.cache_namespace = cache_namespace
         config = pipeline_config or PipelineConfig()
         # The default engine follows the pipeline's backend switch so that one
         # flag flips the whole query-preparation path (search scoring, k-hop
@@ -121,11 +126,28 @@ class RePaGerService:
         :class:`MetricsRegistry` receives per-query latency observations and
         the hit/miss counters backing the ``/metrics`` endpoint.
         """
+        payload, _ = self.query_with_meta(
+            text, year_cutoff=year_cutoff, exclude_ids=exclude_ids, use_cache=use_cache
+        )
+        return payload
+
+    def query_with_meta(
+        self,
+        text: str,
+        year_cutoff: int | None = None,
+        exclude_ids: Sequence[str] = (),
+        use_cache: bool = True,
+    ) -> tuple[PathPayload, bool]:
+        """:meth:`query` plus serving metadata: ``(payload, served_from_cache)``."""
         started = time.perf_counter()
         key = None
         if self.cache is not None and use_cache:
             key = make_query_key(
-                text, year_cutoff, exclude_ids, self.pipeline.config_fingerprint
+                text,
+                year_cutoff,
+                exclude_ids,
+                self.pipeline.config_fingerprint,
+                namespace=self.cache_namespace,
             )
             cached = self.cache.get(key)
             if cached is not None:
@@ -133,8 +155,8 @@ class RePaGerService:
                 if cached.query != text:
                     # The entry was stored under an equivalent-but-differently-
                     # spelled query; echo the caller's own spelling back.
-                    return replace(cached, query=text)
-                return cached
+                    return replace(cached, query=text), True
+                return cached, True
 
         result = self.pipeline.generate(
             text, year_cutoff=year_cutoff, exclude_ids=exclude_ids
@@ -143,7 +165,29 @@ class RePaGerService:
         if key is not None:
             self.cache.put(key, payload)
         self._observe(started, cached=False, pipeline_seconds=result.elapsed_seconds)
-        return payload
+        return payload, False
+
+    def readiness(self) -> dict[str, Any]:
+        """Which shared per-corpus artifacts are already built.
+
+        Replicas gate per-tenant readiness on these flags: a tenant whose
+        warm-up has not run yet answers its first queries at cold-start
+        latency, so ``/v1/corpora/<name>/healthz`` surfaces them.
+        """
+        pipeline = self.pipeline
+        indexed = pipeline.config.graph_backend == "indexed"
+        builder = pipeline.weight_builder
+        search_index_built = False
+        if isinstance(self.search_engine, SearchEngine):
+            search_index_built = self.search_engine.index_built
+        return {
+            "graph_backend": pipeline.config.graph_backend,
+            "node_weights_ready": pipeline.primed_node_weights is not None,
+            "graph_snapshot_ready": (not indexed) or builder.primed_snapshot is not None,
+            "search_index_ready": (not indexed) or search_index_built,
+            "edge_relevance_ready": (not indexed)
+            or builder.primed_edge_relevance is not None,
+        }
 
     def _observe(
         self,

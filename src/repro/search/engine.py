@@ -119,6 +119,15 @@ class SearchEngine:
             self._vector_cache[paper.paper_id] = vector
         return vector
 
+    @property
+    def index_built(self) -> bool:
+        """Whether the postings index already exists (no building side effect).
+
+        Readiness probes use this instead of :meth:`ensure_index`, which
+        would *build* the index and turn a health check into warm-up work.
+        """
+        return self._postings is not None
+
     def ensure_index(self) -> PostingsIndex | None:
         """Build (or return) the per-corpus postings index.
 

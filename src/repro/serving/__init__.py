@@ -18,9 +18,15 @@ library:
 """
 
 from .cache import CacheStats, QueryKey, ResultCache, make_query_key, normalize_query
-from .executor import BatchExecutor, BatchOutcome, QueryRequest
+from .executor import BatchExecutor, BatchOutcome, QueryRequest, validate_query_body
 from .metrics import LatencyHistogram, MetricsRegistry, percentile
-from .warmup import ArtifactSnapshot, WarmupReport, warm_up
+from .warmup import (
+    ArtifactSnapshot,
+    WarmupReport,
+    load_snapshots,
+    warm_up,
+    warm_up_registry,
+)
 from .http_api import RePaGerHTTPServer, create_server, start_in_background
 
 __all__ = [
@@ -36,9 +42,12 @@ __all__ = [
     "ResultCache",
     "WarmupReport",
     "create_server",
+    "load_snapshots",
     "make_query_key",
     "normalize_query",
     "percentile",
     "start_in_background",
+    "validate_query_body",
     "warm_up",
+    "warm_up_registry",
 ]

@@ -26,8 +26,9 @@ from typing import Any, Callable, Sequence
 
 __all__ = ["CacheStats", "QueryKey", "ResultCache", "make_query_key", "normalize_query"]
 
-#: Canonical cache-key type: (normalized_query, year_cutoff, exclude_ids, fingerprint).
-QueryKey = tuple[str, int | None, tuple[str, ...], str]
+#: Canonical cache-key type:
+#: (namespace, normalized_query, year_cutoff, exclude_ids, fingerprint).
+QueryKey = tuple[str, str, int | None, tuple[str, ...], str]
 
 
 def normalize_query(text: str) -> str:
@@ -40,14 +41,18 @@ def make_query_key(
     year_cutoff: int | None,
     exclude_ids: Sequence[str],
     config_fingerprint: str,
+    namespace: str = "",
 ) -> QueryKey:
     """Build the canonical cache key for one query.
 
     Two requests map to the same key iff they are guaranteed to produce the
-    same reading path: same normalised query text, same year cutoff, same set
-    of excluded papers and same pipeline-configuration fingerprint.
+    same reading path: same namespace (the tenant name when one
+    :class:`ResultCache` is shared across a corpus registry), same normalised
+    query text, same year cutoff, same set of excluded papers and same
+    pipeline-configuration fingerprint.
     """
     return (
+        namespace,
         normalize_query(query),
         year_cutoff,
         tuple(sorted(set(exclude_ids))),
@@ -159,6 +164,19 @@ class ResultCache:
         """Drop every entry (counters are preserved)."""
         with self._lock:
             self._entries.clear()
+
+    def drop_namespace(self, namespace: str) -> int:
+        """Drop every entry of one namespace (tenant detach); returns the count.
+
+        Namespaced keys are how one cache serves a whole corpus registry, so
+        detaching a tenant must not leave its unreachable entries squatting on
+        LRU capacity.
+        """
+        with self._lock:
+            doomed = [key for key in self._entries if key[0] == namespace]
+            for key in doomed:
+                del self._entries[key]
+            return len(doomed)
 
     def stats(self) -> CacheStats:
         """Consistent snapshot of the cache counters."""

@@ -29,57 +29,112 @@ from concurrent.futures import TimeoutError as FutureTimeoutError
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Any, Callable, Sequence
 
-from ..errors import ExecutorOverloadedError, QueryTimeoutError
+from ..errors import (
+    ExecutorOverloadedError,
+    QueryTimeoutError,
+    RequestValidationError,
+    UnknownFieldsError,
+    error_payload,
+)
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard, types only
     from .metrics import MetricsRegistry
 
-__all__ = ["BatchExecutor", "BatchOutcome", "QueryRequest"]
+__all__ = [
+    "BatchExecutor",
+    "BatchOutcome",
+    "QueryRequest",
+    "validate_query_body",
+]
+
+
+def validate_query_body(
+    payload: dict[str, Any], allowed: tuple[str, ...]
+) -> dict[str, Any]:
+    """Validate the common query-body fields, rejecting unknown keys.
+
+    Returns the validated values for ``query``/``year_cutoff``/``exclude_ids``/
+    ``use_cache`` (plus any extra allowed keys verbatim).  Unknown keys raise
+    :class:`UnknownFieldsError` naming each one, so a typo like
+    ``"year_cutof"`` becomes a 400 instead of silently running the wrong
+    query.
+    """
+    unknown = tuple(key for key in payload if key not in allowed)
+    if unknown:
+        raise UnknownFieldsError(unknown, allowed)
+    text = payload.get("query")
+    if not isinstance(text, str) or not text.strip():
+        raise RequestValidationError("'query' must be a non-empty string")
+    year_cutoff = payload.get("year_cutoff")
+    if year_cutoff is not None and (
+        not isinstance(year_cutoff, int) or isinstance(year_cutoff, bool)
+    ):
+        raise RequestValidationError("'year_cutoff' must be an integer or null")
+    exclude_ids = payload.get("exclude_ids", ())
+    if not isinstance(exclude_ids, (list, tuple)) or not all(
+        isinstance(pid, str) for pid in exclude_ids
+    ):
+        raise RequestValidationError("'exclude_ids' must be a list of paper ids")
+    use_cache = payload.get("use_cache", True)
+    if not isinstance(use_cache, bool):
+        raise RequestValidationError("'use_cache' must be a boolean")
+    validated = dict(payload)
+    validated.update(
+        query=text,
+        year_cutoff=year_cutoff,
+        exclude_ids=tuple(exclude_ids),
+        use_cache=use_cache,
+    )
+    return validated
 
 
 @dataclass(frozen=True, slots=True)
 class QueryRequest:
-    """One query to run through the service."""
+    """One query to run through the service.
+
+    ``corpus`` and ``variant`` are routing fields used by the multi-tenant
+    application layer (:class:`~repro.repager.app.RePaGerApp`): ``corpus``
+    names the tenant the query runs against (``None`` = the default tenant)
+    and ``variant`` optionally overrides the pipeline variant (a Table III
+    name such as ``"NEWST-W"``) for this request only.  Single-service
+    executors built with :meth:`BatchExecutor.from_service` ignore both.
+    """
 
     text: str
     year_cutoff: int | None = None
     exclude_ids: tuple[str, ...] = ()
     use_cache: bool = True
+    corpus: str | None = None
+    variant: str | None = None
+
+    _FIELDS = ("query", "year_cutoff", "exclude_ids", "use_cache")
 
     @classmethod
     def from_dict(cls, payload: dict[str, Any]) -> "QueryRequest":
-        """Build a request from a JSON body (used by the HTTP API)."""
-        text = payload.get("query")
-        if not isinstance(text, str) or not text.strip():
-            raise ValueError("'query' must be a non-empty string")
-        year_cutoff = payload.get("year_cutoff")
-        if year_cutoff is not None and (
-            not isinstance(year_cutoff, int) or isinstance(year_cutoff, bool)
-        ):
-            raise ValueError("'year_cutoff' must be an integer or null")
-        exclude_ids = payload.get("exclude_ids", ())
-        if not isinstance(exclude_ids, (list, tuple)) or not all(
-            isinstance(pid, str) for pid in exclude_ids
-        ):
-            raise ValueError("'exclude_ids' must be a list of paper ids")
-        use_cache = payload.get("use_cache", True)
-        if not isinstance(use_cache, bool):
-            raise ValueError("'use_cache' must be a boolean")
+        """Build a request from a JSON body, rejecting unknown fields."""
+        body = validate_query_body(payload, cls._FIELDS)
         return cls(
-            text=text,
-            year_cutoff=year_cutoff,
-            exclude_ids=tuple(exclude_ids),
-            use_cache=use_cache,
+            text=body["query"],
+            year_cutoff=body["year_cutoff"],
+            exclude_ids=body["exclude_ids"],
+            use_cache=body["use_cache"],
         )
 
 
 @dataclass(slots=True)
 class BatchOutcome:
-    """Result of one request in a batch: a payload or an error, plus timing."""
+    """Result of one request in a batch: a payload or an error, plus timing.
+
+    ``error_code``/``error_status`` carry the same machine-readable taxonomy
+    the HTTP layer serves (:func:`repro.errors.error_payload`), so batch
+    clients can switch on stable codes instead of parsing message strings.
+    """
 
     request: QueryRequest
     payload: Any | None = None
     error: str | None = None
+    error_code: str | None = None
+    error_status: int | None = None
     elapsed_seconds: float = field(default=0.0)
 
     @property
@@ -147,6 +202,30 @@ class BatchExecutor:
 
         return cls(
             handler,
+            max_workers=max_workers,
+            queue_depth=queue_depth,
+            timeout_seconds=timeout_seconds,
+            metrics=metrics,
+        )
+
+    @classmethod
+    def from_app(
+        cls,
+        app: Any,
+        max_workers: int = 4,
+        queue_depth: int = 16,
+        timeout_seconds: float | None = None,
+        metrics: "MetricsRegistry | None" = None,
+    ) -> "BatchExecutor":
+        """One bounded executor shared by every tenant of a ``RePaGerApp``.
+
+        The handler routes each request to the tenant named by
+        ``request.corpus`` (falling back to the app's default tenant), so a
+        single worker pool and admission queue bound the whole process no
+        matter how many corpora are attached.
+        """
+        return cls(
+            app.handle_request,
             max_workers=max_workers,
             queue_depth=queue_depth,
             timeout_seconds=timeout_seconds,
@@ -231,10 +310,16 @@ class BatchExecutor:
             try:
                 outcome.payload = self.result(request, future)
             except QueryTimeoutError as exc:
+                taxonomy = error_payload(exc)
                 outcome.error = str(exc)
+                outcome.error_code = taxonomy["code"]
+                outcome.error_status = taxonomy["http_status"]
             except Exception as exc:  # noqa: BLE001 - batch reports, never raises
                 self._count("executor_errors_total")
+                taxonomy = error_payload(exc)
                 outcome.error = f"{type(exc).__name__}: {exc}"
+                outcome.error_code = taxonomy["code"]
+                outcome.error_status = taxonomy["http_status"]
             outcome.elapsed_seconds = time.perf_counter() - started
             outcomes.append(outcome)
         return outcomes

@@ -1,27 +1,52 @@
-"""Dependency-free HTTP JSON API over a :class:`RePaGerService`.
+"""Dependency-free, versioned HTTP JSON API over a :class:`RePaGerApp`.
 
 This is the server half of the paper's Fig. 7 web application, built entirely
-on :mod:`http.server` so the serving layer stays stdlib-only.  Routes:
+on :mod:`http.server` so the serving layer stays stdlib-only.  Since the
+multi-tenant application layer (:mod:`repro.repager.app`) one process hosts N
+named corpora behind a versioned ``/v1`` surface:
 
-============================  ==================================================
-``POST /query``               Generate (or serve from cache) a reading path.
-                              Body: ``{"query": str, "year_cutoff": int|null,
-                              "exclude_ids": [str], "use_cache": bool}``.
-                              Response: ``PathPayload.to_dict()``.
-``GET /paper/<id>``           Detail record for one paper (Fig. 7 panel (d)).
-``GET /healthz``              Liveness + corpus/graph sizes + uptime.
-``GET /metrics``              Prometheus-style text metrics (latency
-                              percentiles, cache hit rate, executor counters).
-============================  ==================================================
+=========================================  ===================================
+``GET /v1/corpora``                        List attached corpora.
+``POST /v1/corpora``                       Attach a corpus at runtime.  Body:
+                                           ``{"name": str, "corpus_dir": str,
+                                           "default": bool, "warm_up": bool}``.
+``DELETE /v1/corpora/<name>``              Detach a corpus.
+``POST /v1/corpora/<name>/query``          Generate (or serve from cache) a
+                                           reading path.  Body:
+                                           :meth:`QueryOptions.from_dict`;
+                                           response: ``{"payload": ...,
+                                           "serving": ...}``.
+``GET /v1/corpora/<name>/paper/<id>``      Detail record for one paper.
+``GET /v1/corpora/<name>/healthz``         Per-corpus health: sizes, config
+                                           fingerprint, warm-up/index
+                                           readiness flags.
+``GET /healthz`` (also ``/v1/healthz``)    Aggregate health across corpora.
+``GET /metrics`` (also ``/v1/metrics``)    Prometheus-style text metrics,
+                                           per-corpus series labelled
+                                           ``corpus="<name>"``.
+=========================================  ===================================
 
-Failure mapping: malformed bodies → 400, unknown papers/routes → 404,
-executor overload → 429 (with ``Retry-After``), per-query timeout → 504,
-anything else from the pipeline → 500 with the error class in the body.
+The pre-``/v1`` single-corpus routes are kept as thin aliases onto the
+registry's default tenant and answer with a ``Deprecation`` header plus a
+``Link`` to the successor route:
+
+* ``POST /query``      → ``POST /v1/corpora/<default>/query`` (response body
+  stays in the legacy top-level shape);
+* ``GET /paper/<id>``  → ``GET /v1/corpora/<default>/paper/<id>``.
+
+Failures are mapped through the shared error taxonomy of
+:mod:`repro.errors`: every error body carries a stable machine-readable
+``code`` (mirrored in ``error`` for pre-``/v1`` clients), the ``http_status``
+it was served with and a human-readable ``detail``.  Oversized request bodies
+are rejected with 413 before buffering (``ServingConfig.max_body_bytes``);
+executor overload yields 429 with ``Retry-After``; per-query deadlines yield
+504.
 
 Requests are handled by :class:`ThreadingHTTPServer` (one thread per
-connection); admission control and the per-query deadline come from the
-shared :class:`~repro.serving.executor.BatchExecutor`, so overload behaviour
-is identical for HTTP and programmatic batch clients.
+connection); admission control and the per-query deadline come from the app's
+single bounded :class:`~repro.serving.executor.BatchExecutor` shared across
+all tenants, so overload behaviour is identical for HTTP and programmatic
+batch clients.
 """
 
 from __future__ import annotations
@@ -34,36 +59,36 @@ from typing import TYPE_CHECKING, Any
 
 from ..config import ServingConfig
 from ..errors import (
+    CorpusNotFoundError,
     ExecutorOverloadedError,
     PaperNotFoundError,
-    QueryTimeoutError,
+    RequestTooLargeError,
+    RequestValidationError,
+    UnknownFieldsError,
+    error_payload,
 )
-from .executor import BatchExecutor, QueryRequest
 from .metrics import MetricsRegistry
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard, types only
+    from ..repager.app import RePaGerApp
     from ..repager.service import RePaGerService
 
 __all__ = ["RePaGerHTTPServer", "create_server", "start_in_background"]
 
 
 class RePaGerHTTPServer(ThreadingHTTPServer):
-    """Threading HTTP server that owns the serving components."""
+    """Threading HTTP server over one multi-tenant :class:`RePaGerApp`."""
 
     daemon_threads = True
 
     def __init__(
         self,
         address: tuple[str, int],
-        service: "RePaGerService",
-        executor: BatchExecutor,
-        metrics: MetricsRegistry,
+        app: "RePaGerApp",
         quiet: bool = True,
     ) -> None:
         super().__init__(address, _Handler)
-        self.service = service
-        self.executor = executor
-        self.metrics = metrics
+        self.app = app
         self.quiet = quiet
         self.started_at = time.monotonic()
 
@@ -72,37 +97,64 @@ class RePaGerHTTPServer(ThreadingHTTPServer):
         host, port = self.server_address[:2]
         return f"http://{host}:{port}"
 
+    @property
+    def executor(self):
+        """The app's shared executor.
+
+        Note the contract change from the pre-``/v1`` server: this executor's
+        ``run_one``/``run_batch`` return
+        :class:`~repro.repager.app.QueryResponse` objects (payload + serving
+        metadata), not bare ``PathPayload`` values — embedders that consumed
+        ``run_one(...).to_dict()`` directly should read ``.payload`` first or
+        migrate to :meth:`RePaGerApp.query`.
+        """
+        return self.app.executor
+
+    @property
+    def metrics(self) -> MetricsRegistry:
+        return self.app.metrics
+
+    @property
+    def service(self) -> "RePaGerService":
+        """The default tenant's service (kept for pre-``/v1`` embedders)."""
+        return self.app.registry.default().service
+
 
 def create_server(
-    service: "RePaGerService",
+    service: "RePaGerService | RePaGerApp",
     config: ServingConfig | None = None,
     metrics: MetricsRegistry | None = None,
-    executor: BatchExecutor | None = None,
+    executor: Any = None,
     quiet: bool = True,
 ) -> RePaGerHTTPServer:
-    """Build (but do not start) the HTTP server for a service.
+    """Build (but do not start) the HTTP server.
 
-    When ``metrics``/``executor`` are omitted they are created from the
-    :class:`ServingConfig`; the service's own metrics sink is reused so the
-    cache and pipeline timings land in the same registry the ``/metrics``
-    endpoint renders.
+    Accepts either a ready :class:`RePaGerApp` (the multi-tenant path) or a
+    bare :class:`RePaGerService`, which is wrapped into a single-tenant app
+    under ``config.default_corpus`` — the pre-``/v1`` embedding API keeps
+    working unchanged.  When wrapping a service, its own metrics registry is
+    reused so cache and pipeline timings land in the same registry the
+    ``/metrics`` endpoint renders.  A caller-supplied ``executor`` must obey
+    the app handler contract (``handler(request) -> QueryResponse``).
     """
+    from ..repager.app import RePaGerApp  # runtime import: avoids module cycle
+
     config = config or ServingConfig()
-    if metrics is None:
-        metrics = getattr(service, "metrics", None) or MetricsRegistry(
-            config.max_latency_samples
-        )
-    if executor is None:
-        executor = BatchExecutor.from_service(
-            service,
-            max_workers=config.max_workers,
-            queue_depth=config.queue_depth,
-            timeout_seconds=config.query_timeout_seconds,
-            metrics=metrics,
-        )
-    return RePaGerHTTPServer(
-        (config.host, config.port), service, executor, metrics, quiet=quiet
-    )
+    if isinstance(service, RePaGerApp):
+        if metrics is not None or executor is not None:
+            raise ValueError(
+                "metrics/executor cannot be overridden for a ready RePaGerApp; "
+                "pass them to the RePaGerApp constructor instead"
+            )
+        app = service
+    else:
+        if metrics is None:
+            metrics = getattr(service, "metrics", None) or MetricsRegistry(
+                config.max_latency_samples
+            )
+        app = RePaGerApp(config=config, metrics=metrics, executor=executor)
+        app.attach_service(config.default_corpus, service, default=True)
+    return RePaGerHTTPServer((config.host, config.port), app, quiet=quiet)
 
 
 def start_in_background(server: RePaGerHTTPServer) -> threading.Thread:
@@ -121,101 +173,235 @@ class _Handler(BaseHTTPRequestHandler):
     server_version = "RePaGerServing/1.0"
     protocol_version = "HTTP/1.1"
 
-    # -- routes ------------------------------------------------------------------
+    # -- dispatch ----------------------------------------------------------------
 
     def do_GET(self) -> None:  # noqa: N802 - http.server API
-        path = self.path.split("?", 1)[0].rstrip("/") or "/"
-        if path == "/healthz":
-            self._send_json(200, self._health())
-        elif path == "/metrics":
-            self._send_text(200, self._metrics_text())
-        elif path.startswith("/paper/"):
-            self._paper(path[len("/paper/"):])
-        else:
-            self._send_json(404, {"error": "not_found", "path": self.path})
+        self._dispatch("GET")
 
     def do_POST(self) -> None:  # noqa: N802 - http.server API
-        path = self.path.split("?", 1)[0].rstrip("/")
-        if path != "/query":
-            self._send_json(404, {"error": "not_found", "path": self.path})
-            return
-        self._query()
+        self._dispatch("POST")
+
+    def do_DELETE(self) -> None:  # noqa: N802 - http.server API
+        self._dispatch("DELETE")
+
+    def _dispatch(self, method: str) -> None:
+        path = self.path.split("?", 1)[0]
+        segments = [part for part in path.split("/") if part]
+        try:
+            self._route(method, segments)
+        except Exception as exc:  # noqa: BLE001 - client must always get a response
+            self._send_error(exc)
+
+    def _route(self, method: str, segments: list[str]) -> None:
+        app = self.server.app
+        versioned = segments[:1] == ["v1"]
+        tail = segments[1:] if versioned else segments
+
+        if method == "GET":
+            if tail == ["healthz"]:
+                self._send_json(200, self._aggregate_health())
+                return
+            if tail == ["metrics"]:
+                self._send_text(200, app.metrics_text())
+                return
+            if versioned and tail == ["corpora"]:
+                self._send_json(200, {"corpora": app.corpora()})
+                return
+            if versioned and len(tail) == 2 and tail[0] == "corpora":
+                self._send_json(200, app.health(tail[1]))
+                return
+            if (
+                versioned
+                and len(tail) == 3
+                and tail[0] == "corpora"
+                and tail[2] == "healthz"
+            ):
+                self._send_json(200, app.health(tail[1]))
+                return
+            if (
+                versioned
+                and len(tail) == 4
+                and tail[0] == "corpora"
+                and tail[2] == "paper"
+            ):
+                self._send_json(200, app.paper_details(tail[3], corpus=tail[1]))
+                return
+            if not versioned and len(segments) == 2 and segments[0] == "paper":
+                details = app.paper_details(segments[1])
+                self._send_json(
+                    200,
+                    details,
+                    extra_headers=self._deprecation_headers(f"paper/{segments[1]}"),
+                )
+                return
+
+        elif method == "POST":
+            if versioned and tail == ["corpora"]:
+                self._attach()
+                return
+            if (
+                versioned
+                and len(tail) == 3
+                and tail[0] == "corpora"
+                and tail[2] == "query"
+            ):
+                self._query(tail[1])
+                return
+            if not versioned and segments == ["query"]:
+                self._legacy_query()
+                return
+
+        elif method == "DELETE":
+            if versioned and len(tail) == 2 and tail[0] == "corpora":
+                self._detach(tail[1])
+                return
+
+        if method != "GET":
+            # The request may carry an unread body; drop the connection so
+            # keep-alive never parses it as the next request.
+            self.close_connection = True
+        self._send_json(
+            404,
+            {
+                "error": "not_found",
+                "code": "not_found",
+                "http_status": 404,
+                "detail": f"no such route: {method} {self.path}",
+                "path": self.path,
+            },
+        )
 
     # -- handlers ----------------------------------------------------------------
 
-    def _health(self) -> dict[str, Any]:
-        service = self.server.service
-        return {
-            "status": "ok",
-            "papers": len(service.store),
-            "graph_nodes": service.graph.num_nodes,
-            "graph_edges": service.graph.num_edges,
-            "config_fingerprint": service.pipeline.config_fingerprint,
-            "uptime_seconds": time.monotonic() - self.server.started_at,
-        }
+    def _aggregate_health(self) -> dict[str, Any]:
+        body = self.server.app.health()
+        body["uptime_seconds"] = time.monotonic() - self.server.started_at
+        return body
 
-    def _metrics_text(self) -> str:
-        cache = getattr(self.server.service, "cache", None)
-        extra = (
-            {f"cache_{k}": float(v) for k, v in cache.stats().to_dict().items()}
-            if cache is not None
-            else None
+    def _query(self, corpus: str) -> None:
+        from ..repager.app import QueryOptions  # runtime import: module cycle
+
+        options = QueryOptions.from_dict(self._read_json())
+        response = self.server.app.query(options, corpus=corpus)
+        self._send_json(200, response.to_dict())
+
+    def _legacy_query(self) -> None:
+        from ..repager.app import QueryOptions  # runtime import: module cycle
+
+        options = QueryOptions.from_dict(self._read_json())
+        response = self.server.app.query(options)
+        self._send_json(
+            200,
+            response.to_legacy_dict(),
+            extra_headers=self._deprecation_headers("query"),
         )
-        return self.server.metrics.render_text(extra_gauges=extra)
 
-    def _paper(self, paper_id: str) -> None:
-        if not paper_id:
-            self._send_json(400, {"error": "bad_request", "detail": "missing paper id"})
-            return
-        try:
-            details = self.server.service.paper_details(paper_id)
-        except PaperNotFoundError:
-            self._send_json(404, {"error": "paper_not_found", "paper_id": paper_id})
-            return
-        self._send_json(200, details)
+    def _attach(self) -> None:
+        from ..serving.warmup import warm_up
 
-    def _query(self) -> None:
-        started = time.perf_counter()
-        try:
-            request = QueryRequest.from_dict(self._read_json())
-        except ValueError as exc:
-            self._send_json(400, {"error": "bad_request", "detail": str(exc)})
-            return
-        try:
-            payload = self.server.executor.run_one(request)
-        except ExecutorOverloadedError as exc:
-            self._send_json(
-                429,
-                {"error": "overloaded", "detail": str(exc)},
-                extra_headers={"Retry-After": "1"},
+        body = self._read_json()
+        allowed = ("name", "corpus_dir", "default", "warm_up")
+        unknown = tuple(key for key in body if key not in allowed)
+        if unknown:
+            raise UnknownFieldsError(unknown, allowed)
+        name = body.get("name")
+        if not isinstance(name, str) or not name:
+            raise RequestValidationError("'name' must be a non-empty string")
+        corpus_dir = body.get("corpus_dir")
+        if not isinstance(corpus_dir, str) or not corpus_dir:
+            raise RequestValidationError("'corpus_dir' must be a non-empty string")
+        default = body.get("default", False)
+        if not isinstance(default, bool):
+            raise RequestValidationError("'default' must be a boolean")
+        warm = body.get("warm_up", True)
+        if not isinstance(warm, bool):
+            raise RequestValidationError("'warm_up' must be a boolean")
+        # Attach without touching the default yet: if warm-up fails the
+        # registry must be exactly as it was, and while warm-up runs legacy
+        # traffic must keep hitting the previous (warm) default.
+        self.server.app.attach_directory(name, corpus_dir)
+        tenant = self.server.app.registry.get(name)
+        if warm:
+            try:
+                warm_up(tenant.service)
+            except Exception:
+                # Never leave a half-warmed tenant attached: queries would
+                # route to it and a retried attach would 409.
+                self.server.app.detach(name)
+                raise
+        if default:
+            self.server.app.registry.set_default(name)
+        self._send_json(201, self.server.app.health(name))
+
+    def _detach(self, name: str) -> None:
+        self.server.app.detach(name)
+        registry = self.server.app.registry
+        self._send_json(
+            200,
+            {
+                "detached": name,
+                "remaining": list(registry.names()),
+                "default_corpus": registry.default_name,
+            },
+        )
+
+    def _deprecation_headers(self, successor_path: str) -> dict[str, str]:
+        """``Deprecation`` plus a ``Link`` to the complete successor route."""
+        headers = {"Deprecation": "true"}
+        default = self.server.app.registry.default_name
+        if default is not None:
+            headers["Link"] = (
+                f"</v1/corpora/{default}/{successor_path}>; rel=\"successor-version\""
             )
-            return
-        except QueryTimeoutError as exc:
-            self._send_json(504, {"error": "timeout", "detail": str(exc)})
-            return
-        except Exception as exc:  # noqa: BLE001 - client must always get a response
-            self._send_json(
-                500, {"error": type(exc).__name__, "detail": str(exc)}
-            )
-            return
-        body = payload.to_dict()
-        body["served_in_seconds"] = time.perf_counter() - started
-        self._send_json(200, body)
+        return headers
 
     # -- plumbing ----------------------------------------------------------------
 
     def _read_json(self) -> dict[str, Any]:
-        length = int(self.headers.get("Content-Length") or 0)
+        limit = self.server.app.config.max_body_bytes
+        # Any rejection below happens before the body is read, so the
+        # connection cannot be reused for keep-alive: unread body bytes would
+        # be parsed as the next request.
+        try:
+            length = int(self.headers.get("Content-Length") or 0)
+        except ValueError:
+            self.close_connection = True
+            raise RequestValidationError(
+                "Content-Length header must be an integer"
+            ) from None
         if length <= 0:
-            raise ValueError("request body is required")
+            self.close_connection = True
+            raise RequestValidationError("request body is required")
+        if length > limit:
+            # Reject before buffering; the unread body makes the connection
+            # unusable for keep-alive, so _send_error closes it.
+            raise RequestTooLargeError(length, limit)
         raw = self.rfile.read(length)
         try:
             payload = json.loads(raw)
         except json.JSONDecodeError as exc:
-            raise ValueError(f"request body is not valid JSON: {exc}") from exc
+            raise RequestValidationError(
+                f"request body is not valid JSON: {exc}"
+            ) from exc
         if not isinstance(payload, dict):
-            raise ValueError("request body must be a JSON object")
+            raise RequestValidationError("request body must be a JSON object")
         return payload
+
+    def _send_error(self, exc: BaseException) -> None:
+        payload = error_payload(exc)
+        headers: dict[str, str] = {}
+        if isinstance(exc, ExecutorOverloadedError):
+            headers["Retry-After"] = "1"
+        if isinstance(exc, PaperNotFoundError):
+            payload["paper_id"] = exc.paper_id
+        if isinstance(exc, CorpusNotFoundError):
+            payload["corpus"] = exc.name
+        if isinstance(exc, UnknownFieldsError):
+            payload["unknown_fields"] = list(exc.fields)
+        if isinstance(exc, RequestTooLargeError):
+            payload["limit_bytes"] = exc.limit
+            self.close_connection = True
+        self._send_json(payload["http_status"], payload, extra_headers=headers)
 
     def _send_json(
         self,

@@ -155,25 +155,46 @@ class MetricsRegistry:
             "histograms": {name: h.summary() for name, h in histograms.items()},
         }
 
-    def render_text(self, extra_gauges: Mapping[str, float] | None = None) -> str:
-        """Prometheus-style text exposition (one ``repager_*`` line per value)."""
+    def render_text(
+        self,
+        extra_gauges: Mapping[str, float] | None = None,
+        labels: Mapping[str, str] | None = None,
+    ) -> str:
+        """Prometheus-style text exposition (one ``repager_*`` line per value).
+
+        ``labels`` (e.g. ``{"corpus": "cs-papers"}``) are attached to every
+        line, which is how a multi-tenant registry keeps per-corpus series
+        apart on one ``/metrics`` endpoint.
+        """
         snapshot = self.snapshot()
+        label = _label_suffix(labels)
         lines: list[str] = []
         for name, value in sorted(snapshot["counters"].items()):
-            lines.append(f"repager_{name} {value}")
+            lines.append(f"repager_{name}{label} {value}")
         gauges = dict(snapshot["gauges"])
         if extra_gauges:
             gauges.update(extra_gauges)
         for name, value in sorted(gauges.items()):
-            lines.append(f"repager_{name} {_fmt(value)}")
+            lines.append(f"repager_{name}{label} {_fmt(value)}")
         for name, summary in sorted(snapshot["histograms"].items()):
-            lines.append(f"repager_{name}_count {int(summary['count'])}")
-            lines.append(f"repager_{name}_mean {_fmt(summary['mean'])}")
+            lines.append(f"repager_{name}_count{label} {int(summary['count'])}")
+            lines.append(f"repager_{name}_mean{label} {_fmt(summary['mean'])}")
             for quantile in ("p50", "p95", "p99", "max"):
+                quantile_label = _label_suffix(labels, quantile=quantile)
                 lines.append(
-                    f'repager_{name}{{quantile="{quantile}"}} {_fmt(summary[quantile])}'
+                    f"repager_{name}{quantile_label} {_fmt(summary[quantile])}"
                 )
         return "\n".join(lines) + "\n"
+
+
+def _label_suffix(labels: Mapping[str, str] | None, **extra: str) -> str:
+    """``{a="x",b="y"}`` rendering of label pairs ('' when there are none)."""
+    pairs = dict(labels or {})
+    pairs.update(extra)
+    if not pairs:
+        return ""
+    body = ",".join(f'{key}="{value}"' for key, value in pairs.items())
+    return "{" + body + "}"
 
 
 def _fmt(value: float) -> str:

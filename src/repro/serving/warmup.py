@@ -23,16 +23,23 @@ import json
 import time
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import TYPE_CHECKING
+from typing import TYPE_CHECKING, Mapping
 
 from ..core.weights import NodeWeights
 from ..errors import ServingError, SnapshotMismatchError
 from ..search.engine import SearchEngine
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard, types only
+    from ..repager.app import CorpusRegistry
     from ..repager.service import RePaGerService
 
-__all__ = ["ArtifactSnapshot", "WarmupReport", "warm_up"]
+__all__ = [
+    "ArtifactSnapshot",
+    "WarmupReport",
+    "load_snapshots",
+    "warm_up",
+    "warm_up_registry",
+]
 
 #: Version 2 adds the per-corpus search index (fitted vectoriser + document
 #: vectors) and the edge-relevance map.  Version-1 snapshots still load; the
@@ -235,3 +242,25 @@ def warm_up(
         search_index_terms=search_index_terms,
         edge_relevance_entries=edge_relevance_entries,
     )
+
+
+def warm_up_registry(
+    registry: "CorpusRegistry",
+    snapshots: Mapping[str, ArtifactSnapshot] | None = None,
+) -> dict[str, "WarmupReport"]:
+    """Warm every tenant of a corpus registry, one report per tenant.
+
+    ``snapshots`` optionally maps tenant names to pre-captured
+    :class:`ArtifactSnapshot` objects; tenants without an entry warm up by
+    computing their artifacts from scratch.
+    """
+    reports: dict[str, WarmupReport] = {}
+    for name, tenant in registry.items():
+        snapshot = snapshots.get(name) if snapshots else None
+        reports[name] = warm_up(tenant.service, snapshot=snapshot)
+    return reports
+
+
+def load_snapshots(paths: Mapping[str, str | Path]) -> dict[str, ArtifactSnapshot]:
+    """Load a ``{tenant name: snapshot path}`` mapping from disk."""
+    return {name: ArtifactSnapshot.load(path) for name, path in paths.items()}

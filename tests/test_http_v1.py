@@ -1,0 +1,321 @@
+"""HTTP tests for the versioned ``/v1`` surface and the legacy aliases.
+
+Exercises the multi-tenant server end to end over real sockets: two corpora
+behind one process, runtime attach/detach, the unified error taxonomy
+(400/404/409/413 with stable codes), the ``Deprecation`` header on legacy
+routes, and byte-identical legacy payloads.
+"""
+
+from __future__ import annotations
+
+import json
+import urllib.error
+import urllib.request
+
+import pytest
+
+from repro.config import CorpusConfig, PipelineConfig, ServingConfig
+from repro.corpus.generator import CorpusGenerator
+from repro.repager.app import RePaGerApp
+from repro.repager.service import RePaGerService
+from repro.serving import create_server, start_in_background, warm_up_registry
+
+#: Distinct generator seed so the second tenant's corpus (and therefore its
+#: payloads) differ from the shared session corpus.
+SECOND_CORPUS_CONFIG = CorpusConfig(
+    seed=13, papers_per_topic=20, surveys_per_topic=2, citations_per_paper=10.0
+)
+
+
+@pytest.fixture(scope="module")
+def second_store():
+    return CorpusGenerator(SECOND_CORPUS_CONFIG).generate().store
+
+
+@pytest.fixture(scope="module")
+def second_corpus_dir(second_store, tmp_path_factory):
+    path = tmp_path_factory.mktemp("corpora") / "second"
+    second_store.save(path)
+    return str(path)
+
+
+@pytest.fixture(scope="module")
+def app(store, scholar_engine, citation_graph, venues, second_store):
+    app = RePaGerApp(
+        config=ServingConfig(
+            port=0,
+            max_workers=2,
+            queue_depth=4,
+            query_timeout_seconds=120.0,
+            max_body_bytes=64 * 1024,
+            default_corpus="alpha",
+        ),
+        pipeline_config=PipelineConfig(num_seeds=10),
+    )
+    alpha = RePaGerService(
+        store,
+        search_engine=scholar_engine,
+        pipeline_config=PipelineConfig(num_seeds=10),
+        venues=venues,
+        graph=citation_graph,
+    )
+    app.attach_service("alpha", alpha, default=True)
+    app.attach_store("beta", second_store, PipelineConfig(num_seeds=10))
+    warm_up_registry(app.registry)
+    yield app
+    app.close(wait=False)
+
+
+@pytest.fixture(scope="module")
+def server(app):
+    server = create_server(app, config=app.config)
+    thread = start_in_background(server)
+    yield server
+    server.shutdown()
+    server.server_close()
+    thread.join(timeout=5)
+
+
+def _request(server, method: str, path: str, body: dict | bytes | None = None):
+    """(status, parsed body, headers) — HTTPError bodies are parsed too."""
+    data = None
+    if body is not None:
+        data = body if isinstance(body, bytes) else json.dumps(body).encode()
+    request = urllib.request.Request(
+        server.url + path,
+        data=data,
+        method=method,
+        headers={"Content-Type": "application/json"} if data else {},
+    )
+    try:
+        with urllib.request.urlopen(request, timeout=60) as response:
+            return response.status, json.loads(response.read()), dict(response.headers)
+    except urllib.error.HTTPError as exc:
+        return exc.code, json.loads(exc.read()), dict(exc.headers)
+
+
+class TestV1Routes:
+    def test_list_corpora(self, server):
+        status, body, _ = _request(server, "GET", "/v1/corpora")
+        assert status == 200
+        by_name = {entry["name"]: entry for entry in body["corpora"]}
+        assert set(by_name) == {"alpha", "beta"}
+        assert by_name["alpha"]["default"] is True
+        assert by_name["beta"]["default"] is False
+
+    def test_per_corpus_query_routes_to_the_right_tenant(self, server, app):
+        results = {}
+        for name in ("alpha", "beta"):
+            status, body, _ = _request(
+                server, "POST", f"/v1/corpora/{name}/query",
+                {"query": "machine learning", "use_cache": False},
+            )
+            assert status == 200
+            assert body["serving"]["corpus"] == name
+            assert body["serving"]["cached"] is False
+            results[name] = body["payload"]
+        # Different corpora, different reading paths.
+        assert results["alpha"]["nodes"] != results["beta"]["nodes"]
+        direct = app.registry.get("beta").service.query(
+            "machine learning", use_cache=False
+        )
+        assert results["beta"]["nodes"] == direct.to_dict()["nodes"]
+
+    def test_per_corpus_health(self, server, app):
+        status, body, _ = _request(server, "GET", "/v1/corpora/beta/healthz")
+        assert status == 200
+        assert body["corpus"] == "beta"
+        assert body["default"] is False
+        service = app.registry.get("beta").service
+        assert body["config_fingerprint"] == service.pipeline.config_fingerprint
+        assert body["warmed"] is True
+        assert body["readiness"]["search_index_ready"] is True
+
+    def test_aggregate_health_lists_all_corpora(self, server, app):
+        status, body, _ = _request(server, "GET", "/healthz")
+        assert status == 200
+        assert body["status"] == "ok"
+        assert set(body["corpora"]) == {"alpha", "beta"}
+        assert body["default_corpus"] == "alpha"
+        # Legacy mirror of the default tenant.
+        assert body["papers"] == len(app.registry.get("alpha").service.store)
+        # /v1/healthz serves the same document.
+        status_v1, body_v1, _ = _request(server, "GET", "/v1/healthz")
+        assert status_v1 == 200
+        assert set(body_v1["corpora"]) == set(body["corpora"])
+
+    def test_v1_paper_route(self, server, app):
+        paper_id = app.registry.get("beta").service.store.paper_ids[0]
+        status, body, _ = _request(
+            server, "GET", f"/v1/corpora/beta/paper/{paper_id}"
+        )
+        assert status == 200
+        assert body["paper_id"] == paper_id
+
+    def test_metrics_carry_corpus_labels(self, server):
+        _request(server, "POST", "/v1/corpora/beta/query", {"query": "deep learning"})
+        with urllib.request.urlopen(server.url + "/metrics", timeout=30) as response:
+            text = response.read().decode()
+        assert 'repager_queries_total{corpus="beta"}' in text
+        assert 'corpus="alpha"' in text
+
+
+class TestLegacyAliases:
+    def test_legacy_query_is_byte_identical_and_deprecated(self, server, app):
+        status, body, headers = _request(
+            server, "POST", "/query", {"query": "pretrained language models"}
+        )
+        assert status == 200
+        assert headers.get("Deprecation") == "true"
+        assert "/v1/corpora/alpha/query" in headers.get("Link", "")
+        served = body.pop("served_in_seconds")
+        assert served >= 0.0
+        direct = app.registry.get("alpha").service.query(
+            "pretrained language models"
+        ).to_dict()
+        # The cache makes the second computation identical including timing.
+        status2, v1_body, _ = _request(
+            server, "POST", "/v1/corpora/alpha/query",
+            {"query": "pretrained language models"},
+        )
+        assert status2 == 200
+        assert body["nodes"] == direct["nodes"]
+        assert body["edges"] == direct["edges"]
+        assert set(body) == {"query", "navigation", "nodes", "edges", "stats"}
+        assert v1_body["payload"]["nodes"] == body["nodes"]
+
+    def test_legacy_paper_route_aliases_default_corpus(self, server, app):
+        paper_id = app.registry.get("alpha").service.store.paper_ids[0]
+        status, body, headers = _request(server, "GET", f"/paper/{paper_id}")
+        assert status == 200
+        assert body["paper_id"] == paper_id
+        assert headers.get("Deprecation") == "true"
+        # The successor pointer is the complete, routable /v1 URL.
+        successor = f"/v1/corpora/alpha/paper/{paper_id}"
+        assert successor in headers.get("Link", "")
+        status_v1, v1_body, _ = _request(server, "GET", successor)
+        assert status_v1 == 200
+        assert v1_body == body
+
+
+class TestErrorPaths:
+    def test_unknown_corpus_is_404_with_code(self, server):
+        status, body, _ = _request(
+            server, "POST", "/v1/corpora/nope/query", {"query": "x"}
+        )
+        assert status == 404
+        assert body["code"] == "corpus_not_found"
+        assert body["error"] == "corpus_not_found"
+        assert body["corpus"] == "nope"
+
+    def test_unknown_field_is_400_listing_the_typo(self, server):
+        status, body, _ = _request(
+            server, "POST", "/v1/corpora/alpha/query",
+            {"query": "x", "year_cutof": 2015},
+        )
+        assert status == 400
+        assert body["code"] == "unknown_fields"
+        assert body["unknown_fields"] == ["year_cutof"]
+
+    def test_unknown_variant_is_400(self, server):
+        status, body, _ = _request(
+            server, "POST", "/v1/corpora/alpha/query",
+            {"query": "x", "variant": "NEWST-Z"},
+        )
+        assert status == 400
+        assert body["code"] == "unknown_variant"
+
+    def test_oversized_body_is_413(self, server, app):
+        huge = {"query": "x", "exclude_ids": ["P" * 80] * 2000}
+        raw = json.dumps(huge).encode()
+        assert len(raw) > app.config.max_body_bytes
+        status, body, _ = _request(server, "POST", "/v1/corpora/alpha/query", raw)
+        assert status == 413
+        assert body["code"] == "payload_too_large"
+        assert body["limit_bytes"] == app.config.max_body_bytes
+
+    def test_malformed_json_is_400(self, server):
+        status, body, _ = _request(server, "POST", "/query", b"not json")
+        assert status == 400
+        assert body["code"] == "bad_request"
+        assert body["error"] == "bad_request"
+
+    def test_unknown_paper_is_404_with_code(self, server):
+        status, body, _ = _request(server, "GET", "/v1/corpora/alpha/paper/NOPE")
+        assert status == 404
+        assert body["code"] == "paper_not_found"
+        assert body["paper_id"] == "NOPE"
+
+    def test_unknown_route_is_404(self, server):
+        status, body, _ = _request(server, "GET", "/v1/bogus")
+        assert status == 404
+        assert body["code"] == "not_found"
+
+
+class TestRuntimeAttachDetach:
+    def test_attach_query_detach_lifecycle(self, server, second_corpus_dir):
+        status, body, _ = _request(
+            server, "POST", "/v1/corpora",
+            {"name": "gamma", "corpus_dir": second_corpus_dir, "warm_up": False},
+        )
+        assert status == 201
+        assert body["corpus"] == "gamma"
+
+        status, listing, _ = _request(server, "GET", "/v1/corpora")
+        assert "gamma" in {entry["name"] for entry in listing["corpora"]}
+
+        status, query_body, _ = _request(
+            server, "POST", "/v1/corpora/gamma/query", {"query": "machine learning"}
+        )
+        assert status == 200
+        assert query_body["serving"]["corpus"] == "gamma"
+
+        status, detach_body, _ = _request(server, "DELETE", "/v1/corpora/gamma")
+        assert status == 200
+        assert detach_body["detached"] == "gamma"
+        assert "gamma" not in detach_body["remaining"]
+
+        status, body, _ = _request(
+            server, "POST", "/v1/corpora/gamma/query", {"query": "x"}
+        )
+        assert status == 404
+        assert body["code"] == "corpus_not_found"
+
+    def test_duplicate_attach_is_409(self, server, second_corpus_dir):
+        status, body, _ = _request(
+            server, "POST", "/v1/corpora",
+            {"name": "alpha", "corpus_dir": second_corpus_dir},
+        )
+        assert status == 409
+        assert body["code"] == "corpus_exists"
+
+    def test_attach_bad_directory_is_400(self, server):
+        status, body, _ = _request(
+            server, "POST", "/v1/corpora",
+            {"name": "ghost", "corpus_dir": "/nonexistent/dir"},
+        )
+        assert status == 400
+        assert body["code"] == "bad_request"
+
+    def test_attach_unknown_field_is_400(self, server, second_corpus_dir):
+        status, body, _ = _request(
+            server, "POST", "/v1/corpora",
+            {"name": "x", "corpus_dir": second_corpus_dir, "warmup": True},
+        )
+        assert status == 400
+        assert body["code"] == "unknown_fields"
+        assert body["unknown_fields"] == ["warmup"]
+
+    def test_detach_unknown_corpus_is_404(self, server):
+        status, body, _ = _request(server, "DELETE", "/v1/corpora/never-attached")
+        assert status == 404
+        assert body["code"] == "corpus_not_found"
+
+
+def test_create_server_rejects_overrides_for_ready_app(app):
+    """metrics/executor overrides are constructor arguments of RePaGerApp;
+    silently dropping them for a ready app would be a confusing no-op."""
+    from repro.serving import MetricsRegistry
+
+    with pytest.raises(ValueError):
+        create_server(app, metrics=MetricsRegistry())

@@ -15,6 +15,7 @@ from repro.errors import (
     QueryTimeoutError,
     ServingError,
     SnapshotMismatchError,
+    UnknownFieldsError,
 )
 from repro.graph.citation_graph import CitationGraph
 from repro.repager.service import RePaGerService
@@ -295,6 +296,15 @@ class TestQueryRequest:
     def test_from_dict_rejects_bad_bodies(self, body):
         with pytest.raises(ValueError):
             QueryRequest.from_dict(body)
+
+    def test_from_dict_rejects_unknown_fields(self):
+        """A typo like 'year_cutof' must 400, not silently run a wrong query."""
+        with pytest.raises(UnknownFieldsError) as excinfo:
+            QueryRequest.from_dict({"query": "q", "year_cutof": 2015})
+        assert excinfo.value.fields == ("year_cutof",)
+        assert excinfo.value.http_status == 400
+        # The taxonomy error is still a ValueError for legacy call sites.
+        assert isinstance(excinfo.value, ValueError)
 
 
 class TestBatchExecutor:

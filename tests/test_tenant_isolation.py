@@ -1,0 +1,144 @@
+"""Tenant isolation under concurrency: two corpora, one process, no bleed.
+
+The multi-tenant app shares one bounded executor and one result cache across
+tenants.  These tests serve two different corpora concurrently through 8
+workers and assert that nothing cross-contaminates: every payload is
+byte-for-byte identical (modulo wall-clock timing) to the same corpus served
+alone, cache entries stay in their tenant's namespace, and metrics land in
+the right tenant's registry.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.config import CorpusConfig, PipelineConfig, ServingConfig
+from repro.corpus.generator import CorpusGenerator
+from repro.repager.app import QueryOptions, RePaGerApp
+from repro.repager.service import RePaGerService
+from repro.serving import warm_up, warm_up_registry
+
+QUERIES = (
+    "pretrained language models",
+    "machine learning",
+    "deep learning",
+    "neural networks",
+)
+
+#: Second corpus from a different generator seed: same vocabulary, different
+#: papers/citations, so identical queries produce different reading paths.
+OTHER_CORPUS_CONFIG = CorpusConfig(
+    seed=13, papers_per_topic=20, surveys_per_topic=2, citations_per_paper=10.0
+)
+
+PIPELINE = PipelineConfig(num_seeds=10)
+
+
+def canonical(payload) -> dict:
+    data = payload.to_dict()
+    data["stats"] = {k: v for k, v in data["stats"].items() if k != "elapsed_seconds"}
+    return data
+
+
+@pytest.fixture(scope="module")
+def other_store():
+    return CorpusGenerator(OTHER_CORPUS_CONFIG).generate().store
+
+
+@pytest.fixture(scope="module")
+def solo_payloads(store, other_store):
+    """Ground truth: each corpus served alone, sequentially, no cache."""
+    truths = {}
+    for name, corpus_store in (("alpha", store), ("beta", other_store)):
+        service = RePaGerService(corpus_store, pipeline_config=PIPELINE)
+        warm_up(service)
+        truths[name] = {
+            query: canonical(service.query(query, use_cache=False))
+            for query in QUERIES
+        }
+    return truths
+
+
+@pytest.fixture()
+def app(store, other_store):
+    app = RePaGerApp(
+        config=ServingConfig(
+            port=0, max_workers=8, queue_depth=16, query_timeout_seconds=120.0
+        ),
+        pipeline_config=PIPELINE,
+    )
+    app.attach_store("alpha", store, PIPELINE, default=True)
+    app.attach_store("beta", other_store, PIPELINE)
+    warm_up_registry(app.registry)
+    yield app
+    app.close(wait=False)
+
+
+def test_concurrent_tenants_match_solo_serving(app, solo_payloads):
+    """8 workers, both tenants interleaved: payloads match each corpus alone."""
+    requests = [
+        QueryOptions(query=query).to_request(corpus)
+        for corpus in ("alpha", "beta")
+        for query in QUERIES
+    ] * 2  # 16 overlapping requests across the two tenants
+    outcomes = app.executor.run_batch(requests)
+
+    assert len(outcomes) == 16
+    assert all(outcome.ok for outcome in outcomes), [o.error for o in outcomes]
+    for outcome in outcomes:
+        response = outcome.payload
+        assert response.corpus == outcome.request.corpus
+        assert canonical(response.payload) == (
+            solo_payloads[outcome.request.corpus][outcome.request.text]
+        )
+
+    # The two corpora genuinely differ, so equality above is meaningful.
+    for query in QUERIES:
+        assert solo_payloads["alpha"][query] != solo_payloads["beta"][query]
+
+
+def test_shared_cache_stays_namespaced(app, solo_payloads):
+    """Identical query text on both tenants: two distinct cache entries, and
+    each tenant keeps hitting its own."""
+    first_alpha = app.query("machine learning", corpus="alpha")
+    first_beta = app.query("machine learning", corpus="beta")
+    assert first_alpha.cached is False
+    assert first_beta.cached is False
+
+    again_alpha = app.query("machine learning", corpus="alpha")
+    again_beta = app.query("machine learning", corpus="beta")
+    assert again_alpha.cached is True
+    assert again_beta.cached is True
+    assert canonical(again_alpha.payload) == solo_payloads["alpha"]["machine learning"]
+    assert canonical(again_beta.payload) == solo_payloads["beta"]["machine learning"]
+
+    namespaces = {key[0] for key in app.cache._entries}
+    assert namespaces == {"alpha", "beta"}
+
+
+def test_metrics_and_snapshots_are_per_tenant(app):
+    """Queries against one tenant never move the other tenant's counters, and
+    the tenants' graph snapshots are distinct objects."""
+    alpha_metrics = app.registry.get("alpha").service.metrics
+    beta_metrics = app.registry.get("beta").service.metrics
+    assert alpha_metrics is not beta_metrics
+
+    before = beta_metrics.counter("queries_total")
+    app.query("deep learning", corpus="alpha")
+    assert beta_metrics.counter("queries_total") == before
+    assert alpha_metrics.counter("queries_total") >= 1
+
+    alpha_builder = app.registry.get("alpha").service.pipeline.weight_builder
+    beta_builder = app.registry.get("beta").service.pipeline.weight_builder
+    assert alpha_builder._snapshot is not beta_builder._snapshot
+    assert alpha_builder._snapshot.num_nodes != beta_builder._snapshot.num_nodes
+
+
+def test_detaching_one_tenant_leaves_the_other_untouched(app, solo_payloads):
+    app.query("machine learning", corpus="alpha")
+    app.query("machine learning", corpus="beta")
+    app.detach("beta")
+    assert {key[0] for key in app.cache._entries} == {"alpha"}
+    still = app.query("machine learning", corpus="alpha")
+    assert still.cached is True
+    assert canonical(still.payload) == solo_payloads["alpha"]["machine learning"]
