@@ -34,6 +34,8 @@ from .config import (
     NewstConfig,
     PipelineConfig,
     ServingConfig,
+    TenantOverrides,
+    TenantQuota,
 )
 from .errors import ReproError
 from .types import Paper, ReadingPath, ReadingPathEdge, SearchResult, Survey
@@ -52,6 +54,8 @@ __all__ = [
     "PipelineConfig",
     "EvaluationConfig",
     "ServingConfig",
+    "TenantOverrides",
+    "TenantQuota",
     "ReproError",
     "Paper",
     "Survey",

@@ -12,8 +12,9 @@ from __future__ import annotations
 import hashlib
 import json
 from dataclasses import asdict, dataclass, field
+from typing import Any, Mapping
 
-from .errors import ConfigurationError
+from .errors import ConfigurationError, RequestValidationError, UnknownFieldsError
 
 __all__ = [
     "CorpusConfig",
@@ -21,6 +22,8 @@ __all__ = [
     "PipelineConfig",
     "EvaluationConfig",
     "ServingConfig",
+    "TenantOverrides",
+    "TenantQuota",
     "config_fingerprint",
     "GRAPH_BACKENDS",
     "DEFAULT_GRAPH_BACKEND",
@@ -217,6 +220,148 @@ class PipelineConfig:
         return config_fingerprint(self)
 
 
+def _check_fields(payload: Mapping[str, Any], allowed: tuple[str, ...]) -> None:
+    unknown = tuple(key for key in payload if key not in allowed)
+    if unknown:
+        raise UnknownFieldsError(unknown, allowed)
+
+
+@dataclass(frozen=True, slots=True)
+class TenantQuota:
+    """Per-tenant admission policy enforced by the shared batch executor.
+
+    A quota bounds how much of the shared worker pool one tenant may occupy,
+    so a flooding tenant turns into fast, deterministic 429s for *itself*
+    instead of queue starvation for everyone else.
+
+    Attributes:
+        max_in_flight: Requests of this tenant allowed to occupy worker slots
+            at once (``None`` disables the concurrency cap).
+        max_queued: Admitted-but-waiting requests allowed beyond
+            ``max_in_flight``; requires ``max_in_flight``.  The tenant's total
+            admission capacity is ``max_in_flight + max_queued``.
+        rate_per_second: Optional token-bucket refill rate; each admission
+            consumes one token and an empty bucket rejects with a computed
+            ``Retry-After``.
+        burst: Token-bucket capacity (how many requests may arrive
+            back-to-back before the rate limit bites).
+    """
+
+    max_in_flight: int | None = None
+    max_queued: int | None = None
+    rate_per_second: float | None = None
+    burst: int = 1
+
+    _FIELDS = ("max_in_flight", "max_queued", "rate_per_second", "burst")
+
+    def __post_init__(self) -> None:
+        if self.max_in_flight is not None and self.max_in_flight < 1:
+            raise ConfigurationError("max_in_flight must be >= 1 or None")
+        if self.max_queued is not None:
+            if self.max_queued < 0:
+                raise ConfigurationError("max_queued must be non-negative or None")
+            if self.max_in_flight is None:
+                raise ConfigurationError("max_queued requires max_in_flight")
+        if self.rate_per_second is not None and self.rate_per_second <= 0:
+            raise ConfigurationError("rate_per_second must be positive or None")
+        if self.burst < 1:
+            raise ConfigurationError("burst must be >= 1")
+
+    def capacity(self) -> int | None:
+        """Total admitted requests allowed at once (``None`` = unbounded)."""
+        if self.max_in_flight is None:
+            return None
+        return self.max_in_flight + (self.max_queued or 0)
+
+    @classmethod
+    def from_dict(cls, payload: Mapping[str, Any]) -> "TenantQuota":
+        """Validate a JSON object into a quota, rejecting unknown fields."""
+        _check_fields(payload, cls._FIELDS)
+        for key in ("max_in_flight", "max_queued", "burst"):
+            value = payload.get(key)
+            if value is not None and (
+                not isinstance(value, int) or isinstance(value, bool)
+            ):
+                raise RequestValidationError(f"quota {key!r} must be an integer or null")
+        rate = payload.get("rate_per_second")
+        if rate is not None and (
+            not isinstance(rate, (int, float)) or isinstance(rate, bool)
+        ):
+            raise RequestValidationError(
+                "quota 'rate_per_second' must be a number or null"
+            )
+        burst = payload.get("burst")
+        return cls(
+            max_in_flight=payload.get("max_in_flight"),
+            max_queued=payload.get("max_queued"),
+            rate_per_second=float(rate) if rate is not None else None,
+            burst=burst if burst is not None else 1,
+        )
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "max_in_flight": self.max_in_flight,
+            "max_queued": self.max_queued,
+            "rate_per_second": self.rate_per_second,
+            "burst": self.burst,
+        }
+
+
+@dataclass(frozen=True, slots=True)
+class TenantOverrides:
+    """Per-tenant overrides of the process-wide :class:`ServingConfig`.
+
+    Resolved once at attach time and surfaced in ``GET /v1/corpora/<name>``;
+    ``None`` fields inherit the shared serving configuration.
+
+    Attributes:
+        cache_ttl_seconds: Freshness bound of this tenant's entries in the
+            shared result cache.
+        query_timeout_seconds: Per-query deadline for this tenant's requests.
+        quota: Admission policy (see :class:`TenantQuota`).
+    """
+
+    cache_ttl_seconds: float | None = None
+    query_timeout_seconds: float | None = None
+    quota: TenantQuota | None = None
+
+    _FIELDS = ("cache_ttl_seconds", "query_timeout_seconds", "quota")
+
+    def __post_init__(self) -> None:
+        if self.cache_ttl_seconds is not None and self.cache_ttl_seconds <= 0:
+            raise ConfigurationError("cache_ttl_seconds must be positive or None")
+        if self.query_timeout_seconds is not None and self.query_timeout_seconds <= 0:
+            raise ConfigurationError("query_timeout_seconds must be positive or None")
+
+    @classmethod
+    def from_dict(cls, payload: Mapping[str, Any]) -> "TenantOverrides":
+        """Validate a JSON object into overrides, rejecting unknown fields."""
+        _check_fields(payload, cls._FIELDS)
+        for key in ("cache_ttl_seconds", "query_timeout_seconds"):
+            value = payload.get(key)
+            if value is not None and (
+                not isinstance(value, (int, float)) or isinstance(value, bool)
+            ):
+                raise RequestValidationError(f"{key!r} must be a number or null")
+        quota = payload.get("quota")
+        if quota is not None and not isinstance(quota, Mapping):
+            raise RequestValidationError("'quota' must be an object or null")
+        ttl = payload.get("cache_ttl_seconds")
+        timeout = payload.get("query_timeout_seconds")
+        return cls(
+            cache_ttl_seconds=float(ttl) if ttl is not None else None,
+            query_timeout_seconds=float(timeout) if timeout is not None else None,
+            quota=TenantQuota.from_dict(quota) if quota is not None else None,
+        )
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "cache_ttl_seconds": self.cache_ttl_seconds,
+            "query_timeout_seconds": self.query_timeout_seconds,
+            "quota": self.quota.to_dict() if self.quota is not None else None,
+        }
+
+
 @dataclass(frozen=True, slots=True)
 class ServingConfig:
     """Parameters of the production serving layer (:mod:`repro.serving`).
@@ -238,6 +383,11 @@ class ServingConfig:
             are rejected with 413 instead of being buffered.
         default_corpus: Tenant name the legacy single-corpus routes
             (``POST /query``, ``GET /paper/<id>``) alias onto.
+        max_resident_corpora: Resident-tenant limit of the lazy eviction
+            policy — when more corpora than this are attached, the least
+            recently used evictable tenant is detached (its artifacts are
+            snapshotted to disk) and transparently re-attached on its next
+            request.  ``None`` disables eviction.
     """
 
     host: str = "127.0.0.1"
@@ -251,6 +401,7 @@ class ServingConfig:
     max_latency_samples: int = 2048
     max_body_bytes: int = 1 << 20
     default_corpus: str = "default"
+    max_resident_corpora: int | None = None
 
     def __post_init__(self) -> None:
         if not self.host:
@@ -273,6 +424,8 @@ class ServingConfig:
             raise ConfigurationError("max_body_bytes must be >= 1024")
         if not self.default_corpus:
             raise ConfigurationError("default_corpus must be non-empty")
+        if self.max_resident_corpora is not None and self.max_resident_corpora < 1:
+            raise ConfigurationError("max_resident_corpora must be >= 1 or None")
 
     def fingerprint(self) -> str:
         """Stable fingerprint of the serving configuration."""

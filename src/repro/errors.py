@@ -123,6 +123,28 @@ class ExecutorOverloadedError(ServingError):
     http_status = 429
 
 
+class TenantQuotaExceededError(ServingError):
+    """A tenant's admission quota rejected the request.
+
+    Unlike :class:`ExecutorOverloadedError` (the whole process is saturated),
+    this rejection is scoped to one tenant: the shared executor still has
+    capacity, but this corpus has exhausted its configured in-flight/queued
+    allowance or token-bucket rate.  ``retry_after_seconds`` is the caller's
+    earliest useful retry time, served as the HTTP ``Retry-After`` header.
+    """
+
+    code = "tenant_quota_exceeded"
+    http_status = 429
+
+    def __init__(
+        self, corpus: str, reason: str, retry_after_seconds: float = 1.0
+    ) -> None:
+        super().__init__(f"tenant quota exceeded for corpus {corpus!r}: {reason}")
+        self.corpus = corpus
+        self.reason = reason
+        self.retry_after_seconds = retry_after_seconds
+
+
 class QueryTimeoutError(ServingError):
     """A query did not complete within the configured per-query timeout."""
 

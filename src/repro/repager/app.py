@@ -18,6 +18,14 @@ module is that layer:
 * one **bounded executor is shared across tenants**, so admission control and
   per-query deadlines bound the whole process no matter how many corpora are
   attached;
+* **per-tenant fairness and lifecycle**: each tenant may carry
+  :class:`~repro.config.TenantOverrides` (cache TTL, query timeout, a
+  :class:`~repro.config.TenantQuota` admission policy) resolved at attach
+  time, and the registry tracks per-tenant idleness so that — past a
+  configurable resident limit — the least recently used corpus is *evicted*:
+  its artifacts are snapshotted to disk, its memory, cache namespace and
+  metrics label dropped, and the next request transparently re-attaches it
+  from the recorded :class:`~repro.serving.warmup.ArtifactSnapshot`;
 * per-request **pipeline-variant overrides**: a query may name any Table III
   variant (``"NEWST-W"``, ``"NEWST-C"``, ...) and the tenant lazily
   instantiates a variant service that shares the corpus artifacts (CSR
@@ -28,12 +36,15 @@ module is that layer:
 from __future__ import annotations
 
 import re
+import shutil
+import tempfile
 import threading
 import time
 from dataclasses import dataclass, replace
+from pathlib import Path
 from typing import Any, Mapping
 
-from ..config import PipelineConfig, ServingConfig
+from ..config import PipelineConfig, ServingConfig, TenantOverrides
 from ..core.pipeline import VARIANT_CONFIGS, make_variant_config
 from ..corpus.storage import CorpusStore
 from ..errors import (
@@ -50,6 +61,7 @@ from .service import PathPayload, RePaGerService
 
 __all__ = [
     "CorpusRegistry",
+    "EvictedTenant",
     "QueryOptions",
     "QueryResponse",
     "RePaGerApp",
@@ -166,15 +178,48 @@ class QueryResponse:
 
 
 class Tenant:
-    """One named corpus and its services (base pipeline + lazy variants)."""
+    """One named corpus and its services (base pipeline + lazy variants).
 
-    def __init__(self, name: str, service: RePaGerService, source: str = "") -> None:
+    Args:
+        name: Registry name (URL- and metric-label-safe).
+        service: The tenant's base-pipeline service.
+        source: Human-readable origin label (``"store"``, a directory, ...).
+        overrides: Per-tenant serving overrides resolved at attach time.
+        corpus_dir: The on-disk corpus this tenant was loaded from; only
+            tenants with a ``corpus_dir`` are *evictable* (an in-memory store
+            could not be re-attached).
+        snapshot_path: Recorded :class:`ArtifactSnapshot` path used for warm
+            attach and for the eviction/re-attach round trip.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        service: RePaGerService,
+        source: str = "",
+        overrides: TenantOverrides | None = None,
+        corpus_dir: str | None = None,
+        snapshot_path: str | None = None,
+    ) -> None:
         self.name = name
         self.service = service
         self.source = source
+        self.overrides = overrides
+        self.corpus_dir = corpus_dir
+        self.snapshot_path = snapshot_path
         self.attached_at = time.monotonic()
+        self.last_used = self.attached_at
         self._variants: dict[str, RePaGerService] = {}
         self._lock = threading.Lock()
+
+    def touch(self) -> None:
+        """Record one use for the registry's LRU idle tracking."""
+        self.last_used = time.monotonic()
+
+    @property
+    def evictable(self) -> bool:
+        """Whether this tenant can be dropped and re-attached from disk."""
+        return self.corpus_dir is not None
 
     def service_for(self, variant: str | None = None) -> RePaGerService:
         """The service answering queries for ``variant`` (``None`` = base).
@@ -240,6 +285,8 @@ class Tenant:
         return {
             "status": "ok",
             "corpus": self.name,
+            "resident": True,
+            "evicted": False,
             "source": self.source,
             "papers": len(service.store),
             "graph_nodes": service.graph.num_nodes,
@@ -251,6 +298,44 @@ class Tenant:
                 key: value for key, value in readiness.items() if key.endswith("_ready")
             },
             "variants_loaded": list(self.variants_loaded()),
+            "overrides": self.overrides.to_dict() if self.overrides else None,
+            "snapshot_path": self.snapshot_path,
+            "idle_seconds": max(0.0, time.monotonic() - self.last_used),
+        }
+
+
+@dataclass(frozen=True, slots=True)
+class EvictedTenant:
+    """Everything needed to transparently re-attach an evicted tenant.
+
+    The record is deliberately tiny — names, paths and configuration only.
+    The corpus store, graph snapshot, search index and caches are *gone*;
+    re-attach reloads the store from ``corpus_dir`` and restores the shared
+    artifacts from the snapshot at ``snapshot_path``, reproducing the evicted
+    service byte for byte (the snapshot round trip preserves the golden
+    contract).
+    """
+
+    name: str
+    corpus_dir: str
+    snapshot_path: str | None
+    source: str
+    pipeline_config: PipelineConfig | None
+    overrides: TenantOverrides | None
+    default: bool
+    evicted_at: float
+
+    def descriptor(self) -> dict[str, Any]:
+        """The ``GET /v1/corpora`` / health entry for an evicted tenant."""
+        return {
+            "status": "evicted",
+            "corpus": self.name,
+            "resident": False,
+            "evicted": True,
+            "source": self.source,
+            "snapshot_path": self.snapshot_path,
+            "overrides": self.overrides.to_dict() if self.overrides else None,
+            "evicted_seconds_ago": max(0.0, time.monotonic() - self.evicted_at),
         }
 
 
@@ -260,10 +345,19 @@ class CorpusRegistry:
     The first attached tenant becomes the default unless a later attach (or
     :meth:`set_default`) overrides it; legacy single-corpus entry points
     resolve to the default tenant.
+
+    The registry is also the **idle tracker** behind lazy eviction: every
+    query touches its tenant's ``last_used`` stamp, :meth:`eviction_candidate`
+    names the least recently used evictable tenant, and :meth:`evict` swaps a
+    resident :class:`Tenant` for a tiny :class:`EvictedTenant` record that
+    the application layer re-attaches on demand.  Evicting the default
+    tenant keeps the default *name* pointing at it, so legacy routes
+    transparently re-attach instead of 404ing.
     """
 
     def __init__(self) -> None:
         self._tenants: dict[str, Tenant] = {}
+        self._evicted: dict[str, EvictedTenant] = {}
         self._default: str | None = None
         self._lock = threading.RLock()
 
@@ -273,21 +367,33 @@ class CorpusRegistry:
         service: RePaGerService,
         default: bool = False,
         source: str = "",
+        overrides: TenantOverrides | None = None,
+        corpus_dir: str | None = None,
+        snapshot_path: str | None = None,
     ) -> Tenant:
         """Register a service under ``name``.
 
         Raises:
             RequestValidationError: The name is not URL/label-safe.
-            DuplicateCorpusError: The name is already attached.
+            DuplicateCorpusError: The name is already attached (resident or
+                evicted — an evicted tenant still owns its name until it is
+                detached for good).
         """
         if not _NAME_RE.match(name):
             raise RequestValidationError(
                 f"invalid corpus name {name!r}: must match {_NAME_RE.pattern}"
             )
         with self._lock:
-            if name in self._tenants:
+            if name in self._tenants or name in self._evicted:
                 raise DuplicateCorpusError(name)
-            tenant = Tenant(name, service, source=source)
+            tenant = Tenant(
+                name,
+                service,
+                source=source,
+                overrides=overrides,
+                corpus_dir=corpus_dir,
+                snapshot_path=snapshot_path,
+            )
             self._tenants[name] = tenant
             if default or self._default is None:
                 self._default = name
@@ -322,7 +428,110 @@ class CorpusRegistry:
         with self._lock:
             if self._default is None:
                 raise CorpusNotFoundError("<default>", tuple(self._tenants))
-            return self._tenants[self._default]
+            tenant = self._tenants.get(self._default)
+            if tenant is None:
+                # The default tenant is evicted (the name survives eviction so
+                # legacy routes can transparently re-attach): raise with the
+                # real name so the caller can find the eviction record.
+                raise CorpusNotFoundError(self._default, tuple(self._tenants))
+            return tenant
+
+    # -- idle tracking and eviction ----------------------------------------------
+
+    def mark_used(self, name: str) -> None:
+        """Touch a tenant's LRU stamp (no-op if it is not resident)."""
+        with self._lock:
+            tenant = self._tenants.get(name)
+            if tenant is not None:
+                tenant.touch()
+
+    def eviction_candidate(self, protect: frozenset[str] = frozenset()) -> Tenant | None:
+        """The least recently used evictable tenant, or ``None``.
+
+        ``protect`` names tenants that must stay resident (typically the one
+        whose attach triggered the resident-limit check — evicting what was
+        just attached would thrash).
+        """
+        with self._lock:
+            candidates = [
+                tenant
+                for name, tenant in self._tenants.items()
+                if tenant.evictable and name not in protect
+            ]
+        if not candidates:
+            return None
+        return min(candidates, key=lambda tenant: tenant.last_used)
+
+    def evict(self, name: str, snapshot_path: str | None) -> EvictedTenant:
+        """Swap a resident tenant for its :class:`EvictedTenant` record.
+
+        The default *name* is preserved: an evicted default stays the default
+        and is re-attached on the next legacy-route request.
+
+        Raises:
+            CorpusNotFoundError: ``name`` is not resident.
+            ServingError: The tenant has no ``corpus_dir`` to re-attach from.
+        """
+        with self._lock:
+            tenant = self._tenants.get(name)
+            if tenant is None:
+                raise CorpusNotFoundError(name, tuple(self._tenants))
+            if not tenant.evictable:
+                raise ServingError(
+                    f"corpus {name!r} was attached from an in-memory store and "
+                    "cannot be evicted (no corpus_dir to re-attach from)"
+                )
+            record = EvictedTenant(
+                name=name,
+                corpus_dir=tenant.corpus_dir,
+                snapshot_path=snapshot_path,
+                source=tenant.source,
+                pipeline_config=tenant.service.pipeline.config,
+                overrides=tenant.overrides,
+                default=self._default == name,
+                evicted_at=time.monotonic(),
+            )
+            del self._tenants[name]
+            self._evicted[name] = record
+            return record
+
+    def evicted_record(self, name: str) -> EvictedTenant | None:
+        with self._lock:
+            return self._evicted.get(name)
+
+    def pop_evicted(self, name: str) -> EvictedTenant:
+        """Remove and return an eviction record (the re-attach handshake).
+
+        Raises:
+            CorpusNotFoundError: ``name`` has no eviction record.
+        """
+        with self._lock:
+            record = self._evicted.pop(name, None)
+            if record is None:
+                raise CorpusNotFoundError(name, tuple(self._tenants))
+            return record
+
+    def discard_evicted(self, name: str) -> EvictedTenant | None:
+        """Drop an eviction record for good (full detach of an evicted tenant)."""
+        with self._lock:
+            record = self._evicted.pop(name, None)
+            if record is not None and self._default == name:
+                self._default = None
+            return record
+
+    def evicted_names(self) -> tuple[str, ...]:
+        with self._lock:
+            return tuple(self._evicted)
+
+    def evicted_items(self) -> list[tuple[str, EvictedTenant]]:
+        """Point-in-time snapshot of (name, record) pairs."""
+        with self._lock:
+            return list(self._evicted.items())
+
+    def known_names(self) -> tuple[str, ...]:
+        """Resident and evicted names (every name the registry owns)."""
+        with self._lock:
+            return tuple(self._tenants) + tuple(self._evicted)
 
     def resolve(self, name: str | None) -> Tenant:
         """``name`` → its tenant; ``None`` → the default tenant."""
@@ -384,12 +593,15 @@ class RePaGerApp:
         pipeline_config: PipelineConfig | None = None,
     ) -> None:
         self.config = config or ServingConfig()
-        self.registry = registry or CorpusRegistry()
+        # `is None` rather than `or`: an *empty* registry/cache is falsy
+        # (both define __len__), and silently replacing a caller's injected
+        # empty cache would detach it from the caller's clock and counters.
+        self.registry = registry if registry is not None else CorpusRegistry()
         #: Pipeline configuration used for tenants attached without an
         #: explicit one (including runtime HTTP attaches).
         self.pipeline_config = pipeline_config
         self.metrics = metrics or MetricsRegistry(self.config.max_latency_samples)
-        self.cache = cache or ResultCache(
+        self.cache = cache if cache is not None else ResultCache(
             max_entries=self.config.cache_max_entries,
             ttl_seconds=self.config.cache_ttl_seconds,
         )
@@ -401,6 +613,10 @@ class RePaGerApp:
             metrics=self.metrics,
         )
         self.started_at = time.monotonic()
+        #: Serialises evict / re-attach transitions (queries themselves never
+        #: take this lock once their tenant is resident).
+        self._lifecycle_lock = threading.Lock()
+        self._snapshot_dir: str | None = None
 
     # -- tenant management -------------------------------------------------------
 
@@ -410,6 +626,9 @@ class RePaGerApp:
         service: RePaGerService,
         default: bool = False,
         source: str = "attached",
+        overrides: TenantOverrides | None = None,
+        corpus_dir: str | None = None,
+        snapshot_path: str | None = None,
     ) -> Tenant:
         """Attach a pre-built service as a tenant.
 
@@ -419,12 +638,47 @@ class RePaGerApp:
         tenants, and an empty namespace would let two same-config tenants
         serve each other's entries (the fingerprint encodes configuration,
         not the corpus).
+
+        ``overrides`` is resolved here, at attach time: the cache-TTL
+        override lands on the service, and the quota/timeout overrides are
+        installed into the shared executor under this tenant's namespace.
         """
         if service.metrics is None:
             service.metrics = MetricsRegistry(self.config.max_latency_samples)
         if service.cache is not None and not service.cache_namespace:
             service.cache_namespace = name
-        return self.registry.attach(name, service, default=default, source=source)
+        if overrides is not None and overrides.cache_ttl_seconds is not None:
+            service.cache_ttl_seconds = overrides.cache_ttl_seconds
+        tenant = self.registry.attach(
+            name,
+            service,
+            default=default,
+            source=source,
+            overrides=overrides,
+            corpus_dir=corpus_dir,
+            snapshot_path=snapshot_path,
+        )
+        self._configure_executor_tenant(name, service, overrides)
+        return tenant
+
+    def _configure_executor_tenant(
+        self,
+        name: str,
+        service: RePaGerService,
+        overrides: TenantOverrides | None,
+    ) -> None:
+        """Install the tenant's quota/timeout/metrics into the shared executor."""
+        configure = getattr(self.executor, "configure_tenant", None)
+        if configure is None:
+            return
+        configure(
+            name,
+            quota=overrides.quota if overrides is not None else None,
+            timeout_seconds=(
+                overrides.query_timeout_seconds if overrides is not None else None
+            ),
+            metrics=service.metrics,
+        )
 
     def attach_store(
         self,
@@ -433,6 +687,9 @@ class RePaGerApp:
         pipeline_config: PipelineConfig | None = None,
         default: bool = False,
         source: str = "store",
+        overrides: TenantOverrides | None = None,
+        corpus_dir: str | None = None,
+        snapshot_path: str | None = None,
     ) -> Tenant:
         """Build a tenant service over ``store`` with app-owned serving state:
         the shared namespaced cache and a per-tenant metrics registry."""
@@ -443,7 +700,15 @@ class RePaGerApp:
             metrics=MetricsRegistry(self.config.max_latency_samples),
             cache_namespace=name,
         )
-        return self.registry.attach(name, service, default=default, source=source)
+        return self.attach_service(
+            name,
+            service,
+            default=default,
+            source=source,
+            overrides=overrides,
+            corpus_dir=corpus_dir,
+            snapshot_path=snapshot_path,
+        )
 
     def attach_directory(
         self,
@@ -451,8 +716,16 @@ class RePaGerApp:
         corpus_dir: str,
         pipeline_config: PipelineConfig | None = None,
         default: bool = False,
+        overrides: TenantOverrides | None = None,
+        snapshot_path: str | None = None,
     ) -> Tenant:
         """Load a corpus from disk and attach it (the HTTP attach path).
+
+        Directory-backed tenants are *evictable*: past the configured
+        resident limit the registry snapshots the least recently used one to
+        disk and re-attaches it on demand.  ``snapshot_path`` warm-attaches
+        from a pre-captured :class:`ArtifactSnapshot` and is recorded for the
+        eviction round trip.
 
         Raises:
             RequestValidationError: The directory does not hold a loadable
@@ -464,21 +737,183 @@ class RePaGerApp:
             raise RequestValidationError(
                 f"cannot load a corpus from {corpus_dir!r}: {exc}"
             ) from exc
-        return self.attach_store(
+        tenant = self.attach_store(
             name,
             store,
             pipeline_config=pipeline_config,
             default=default,
             source=corpus_dir,
+            overrides=overrides,
+            corpus_dir=corpus_dir,
+            snapshot_path=snapshot_path,
         )
+        self.enforce_resident_limit(protect=name)
+        return tenant
 
-    def detach(self, name: str) -> Tenant:
-        """Detach a tenant and drop its namespaced entries from the shared cache."""
-        tenant = self.registry.detach(name)
+    def detach(self, name: str) -> Tenant | None:
+        """Detach a tenant for good and drop every trace of it.
+
+        Works on resident *and* evicted tenants (an evicted tenant still owns
+        its name until detached); returns the resident :class:`Tenant` or
+        ``None`` when only an eviction record existed.
+        """
+        try:
+            tenant = self.registry.detach(name)
+        except CorpusNotFoundError:
+            record = self.registry.discard_evicted(name)
+            if record is None:
+                raise
+            # Evicted tenants already dropped their cache namespace; the
+            # executor accounting goes with the final detach.
+            self._drop_executor_tenant(name)
+            return None
         # The tenant's cache entries can never be hit again (the namespace is
         # gone), so free them eagerly when the cache is the app-shared one.
         if tenant.service.cache is self.cache:
             self.cache.drop_namespace(name)
+        self._drop_executor_tenant(name)
+        return tenant
+
+    def _drop_executor_tenant(self, name: str) -> None:
+        drop = getattr(self.executor, "drop_tenant", None)
+        if drop is not None:
+            drop(name)
+
+    # -- eviction and re-attach --------------------------------------------------
+
+    def evict(self, name: str) -> EvictedTenant:
+        """Evict one resident tenant: snapshot its artifacts, drop its memory.
+
+        The tenant's shared artifacts (PageRank/venue scores, search index,
+        edge relevance) are captured to the tenant's recorded snapshot path —
+        or to an app-owned temporary file when none was recorded — its cache
+        namespace is dropped, and its metrics label disappears from
+        ``/metrics``.  The next request for this corpus transparently
+        re-attaches from the snapshot with byte-identical results.
+
+        Raises:
+            CorpusNotFoundError: ``name`` is not resident.
+            ServingError: The tenant has no corpus directory to reload from.
+        """
+        with self._lifecycle_lock:
+            tenant = self.registry.get(name)
+            if not tenant.evictable:
+                raise ServingError(
+                    f"corpus {name!r} was attached from an in-memory store and "
+                    "cannot be evicted (no corpus_dir to re-attach from)"
+                )
+            from ..serving.warmup import capture_snapshot  # runtime: module cycle
+
+            snapshot_path = tenant.snapshot_path
+            if (
+                snapshot_path is None
+                and tenant.service.pipeline.primed_node_weights is not None
+            ):
+                # Snapshot only artifacts that already exist.  A cold tenant
+                # (never queried, never warmed) has nothing worth capturing —
+                # forcing a full PageRank pass just to evict it would be the
+                # exact work eviction is meant to shed; re-attach recomputes
+                # lazily and deterministically instead.
+                snapshot_path = str(
+                    Path(self._snapshot_directory()) / f"{name}.snapshot.json"
+                )
+                capture_snapshot(tenant.service, snapshot_path)
+            record = self.registry.evict(name, snapshot_path)
+            if tenant.service.cache is self.cache:
+                self.cache.drop_namespace(name)
+            return record
+
+    def _snapshot_directory(self) -> str:
+        if self._snapshot_dir is None:
+            self._snapshot_dir = tempfile.mkdtemp(prefix="repager-evicted-")
+        return self._snapshot_dir
+
+    def _reattach(self, name: str) -> Tenant:
+        """Re-attach an evicted tenant from its recorded snapshot path."""
+        with self._lifecycle_lock:
+            # Double-check under the lock: another request may have already
+            # re-attached (or an operator re-attached a fresh corpus).
+            if name in self.registry:
+                return self.registry.get(name)
+            record = self.registry.evicted_record(name)
+            if record is None:
+                raise CorpusNotFoundError(name, self.registry.names())
+            try:
+                store = CorpusStore.load(record.corpus_dir)
+            except Exception as exc:  # noqa: BLE001 - surfaced as a serving error
+                raise ServingError(
+                    f"cannot re-attach evicted corpus {name!r} from "
+                    f"{record.corpus_dir!r}: {exc}"
+                ) from exc
+            service = RePaGerService(
+                store,
+                pipeline_config=record.pipeline_config or self.pipeline_config,
+                cache=self.cache,
+                metrics=MetricsRegistry(self.config.max_latency_samples),
+                cache_namespace=name,
+            )
+            if record.snapshot_path is not None:
+                from ..serving.warmup import ArtifactSnapshot  # runtime: cycle
+
+                try:
+                    snapshot = ArtifactSnapshot.load(record.snapshot_path)
+                except ServingError:
+                    # A vanished or corrupted snapshot (tmp cleaner, operator
+                    # mishap) must not brick the tenant: a cold re-attach
+                    # recomputes the same artifacts deterministically, it is
+                    # merely slower.  Fingerprint drift in a *loadable*
+                    # snapshot still raises below — that is a real
+                    # inconsistency, not a degraded cache.
+                    snapshot = None
+                if snapshot is not None:
+                    snapshot.restore_into(service)
+            self.registry.pop_evicted(name)
+            tenant = self.attach_service(
+                name,
+                service,
+                default=record.default,
+                source=record.source,
+                overrides=record.overrides,
+                corpus_dir=record.corpus_dir,
+                snapshot_path=record.snapshot_path,
+            )
+        # Re-attaching may itself push the process past the resident limit.
+        self.enforce_resident_limit(protect=name)
+        return tenant
+
+    def enforce_resident_limit(self, protect: str | None = None) -> list[str]:
+        """Evict LRU evictable tenants until the resident limit holds.
+
+        Returns the names evicted (empty when no limit is configured, the
+        limit already holds, or nothing is evictable).
+        """
+        limit = self.config.max_resident_corpora
+        if limit is None:
+            return []
+        protected = frozenset((protect,)) if protect is not None else frozenset()
+        evicted: list[str] = []
+        while len(self.registry) > limit:
+            candidate = self.registry.eviction_candidate(protect=protected)
+            if candidate is None:
+                break
+            try:
+                self.evict(candidate.name)
+            except CorpusNotFoundError:
+                continue  # raced with a detach; re-check the limit
+            evicted.append(candidate.name)
+        return evicted
+
+    def _resolve_tenant(self, name: str | None) -> Tenant:
+        """``registry.resolve`` plus transparent re-attach of evicted tenants."""
+        try:
+            tenant = self.registry.resolve(name)
+        except CorpusNotFoundError as exc:
+            # exc.name is the actual default name when ``name`` was None and
+            # the (still-default) tenant is currently evicted.
+            if self.registry.evicted_record(exc.name) is None:
+                raise
+            tenant = self._reattach(exc.name)
+        tenant.touch()
         return tenant
 
     # -- queries -----------------------------------------------------------------
@@ -503,7 +938,7 @@ class RePaGerApp:
             options = QueryOptions(query=options)
         elif not isinstance(options, QueryOptions):
             options = QueryOptions.from_dict(options)
-        tenant = self.registry.resolve(corpus)
+        tenant = self._resolve_tenant(corpus)
         started = time.perf_counter()
         response = self.executor.run_one(options.to_request(tenant.name))
         if not isinstance(response, QueryResponse):
@@ -532,8 +967,13 @@ class RePaGerApp:
         return replace(response, served_in_seconds=time.perf_counter() - started)
 
     def handle_request(self, request: QueryRequest) -> QueryResponse:
-        """Executor handler: route a request to its tenant (and variant)."""
-        tenant = self.registry.resolve(request.corpus)
+        """Executor handler: route a request to its tenant (and variant).
+
+        An evicted tenant is transparently re-attached here too — batch
+        clients submit requests directly to the executor without passing
+        through :meth:`query`.
+        """
+        tenant = self._resolve_tenant(request.corpus)
         service = tenant.service_for(request.variant)
         payload, cached = service.query_with_meta(
             request.text,
@@ -553,30 +993,58 @@ class RePaGerApp:
 
     def paper_details(self, paper_id: str, corpus: str | None = None) -> dict[str, Any]:
         """Detail record for one paper of one tenant."""
-        return self.registry.resolve(corpus).service.paper_details(paper_id)
+        return self._resolve_tenant(corpus).service.paper_details(paper_id)
 
     # -- observability -----------------------------------------------------------
 
     def corpora(self) -> list[dict[str, Any]]:
-        """Descriptor list for ``GET /v1/corpora``."""
+        """Descriptor list for ``GET /v1/corpora`` (resident *and* evicted)."""
         default = self.registry.default_name
-        return [
+        entries = [
             {
                 "name": name,
                 "default": name == default,
+                "resident": True,
                 "papers": len(tenant.service.store),
                 "config_fingerprint": tenant.service.pipeline.config_fingerprint,
                 "source": tenant.source,
             }
             for name, tenant in self.registry.items()
         ]
+        entries.extend(
+            {
+                "name": name,
+                "default": name == default,
+                "resident": False,
+                "source": record.source,
+                "snapshot_path": record.snapshot_path,
+            }
+            for name, record in self.registry.evicted_items()
+        )
+        return entries
 
     def health(self, corpus: str | None = None) -> dict[str, Any]:
-        """Per-corpus health (``corpus`` given) or the aggregate rollup."""
+        """Per-corpus health (``corpus`` given) or the aggregate rollup.
+
+        Health checks are observational: asking after an evicted tenant
+        reports its eviction record instead of re-attaching it (monitoring
+        must never defeat the eviction policy).
+        """
         if corpus is not None:
-            tenant = self.registry.get(corpus)
+            try:
+                tenant = self.registry.get(corpus)
+            except CorpusNotFoundError:
+                record = self.registry.evicted_record(corpus)
+                if record is None:
+                    raise
+                report = record.descriptor()
+                report["default"] = corpus == self.registry.default_name
+                return report
             report = tenant.health()
             report["default"] = corpus == self.registry.default_name
+            usage = getattr(self.executor, "tenant_usage", lambda _name: None)(corpus)
+            if usage is not None:
+                report["quota_usage"] = usage
             return report
         per_corpus = {name: tenant.health() for name, tenant in self.registry.items()}
         default = self.registry.default_name
@@ -585,6 +1053,7 @@ class RePaGerApp:
             "corpora": per_corpus,
             "default_corpus": default,
             "num_corpora": len(per_corpus),
+            "evicted_corpora": sorted(self.registry.evicted_names()),
             "uptime_seconds": time.monotonic() - self.started_at,
         }
         # Legacy mirror: pre-/v1 /healthz consumers read these at the top
@@ -631,8 +1100,11 @@ class RePaGerApp:
     # -- lifecycle ---------------------------------------------------------------
 
     def close(self, wait: bool = True) -> None:
-        """Shut down the shared executor."""
+        """Shut down the shared executor and drop any eviction snapshots."""
         self.executor.shutdown(wait=wait)
+        if self._snapshot_dir is not None:
+            shutil.rmtree(self._snapshot_dir, ignore_errors=True)
+            self._snapshot_dir = None
 
     def __enter__(self) -> "RePaGerApp":
         return self

@@ -31,7 +31,10 @@ from ..config import (
     CorpusConfig,
     PipelineConfig,
     ServingConfig,
+    TenantOverrides,
+    TenantQuota,
 )
+from ..errors import ConfigurationError
 from ..corpus.generator import CorpusGenerator
 from ..corpus.storage import CorpusStore
 from ..dataset.surveybank import SurveyBank
@@ -99,7 +102,20 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument(
         "--snapshot", action="append", metavar="NAME=PATH",
         help="warm tenant NAME from an ArtifactSnapshot file instead of "
-             "recomputing its artifacts; repeatable",
+             "recomputing its artifacts; repeatable (the path is also "
+             "recorded for the eviction/re-attach round trip)",
+    )
+    serve.add_argument(
+        "--quota", action="append", metavar="NAME=IN_FLIGHT[:QUEUED[:RATE[:BURST]]]",
+        help="per-tenant admission quota: max in-flight requests, waiting "
+             "slots beyond them, an optional token-bucket rate (requests/s) "
+             "and burst; empty segments inherit 'unlimited'; repeatable",
+    )
+    serve.add_argument(
+        "--max-resident", type=int, default=None, metavar="N",
+        help="resident-corpus limit for lazy eviction: beyond N attached "
+             "corpora the least recently used one is snapshotted to disk and "
+             "transparently re-attached on its next request",
     )
     serve.add_argument("--host", default="127.0.0.1", help="bind address")
     serve.add_argument("--port", type=int, default=8080, help="bind port (0 = ephemeral)")
@@ -200,6 +216,28 @@ def _parse_named_values(
     return named
 
 
+def _parse_quota_spec(spec: str, name: str) -> TenantQuota:
+    """Parse ``IN_FLIGHT[:QUEUED[:RATE[:BURST]]]`` (empty segment = unlimited)."""
+    parts = spec.split(":")
+    if len(parts) > 4:
+        raise SystemExit(
+            f"--quota {name}={spec!r}: expected IN_FLIGHT[:QUEUED[:RATE[:BURST]]]"
+        )
+    try:
+        max_in_flight = int(parts[0]) if parts[0] else None
+        max_queued = int(parts[1]) if len(parts) > 1 and parts[1] else None
+        rate = float(parts[2]) if len(parts) > 2 and parts[2] else None
+        burst = int(parts[3]) if len(parts) > 3 and parts[3] else 1
+        return TenantQuota(
+            max_in_flight=max_in_flight,
+            max_queued=max_queued,
+            rate_per_second=rate,
+            burst=burst,
+        )
+    except (ValueError, ConfigurationError) as exc:
+        raise SystemExit(f"--quota {name}={spec!r}: {exc}") from None
+
+
 def _cmd_serve(args: argparse.Namespace) -> int:
     serving_config = ServingConfig(
         host=args.host,
@@ -212,11 +250,26 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         warm_up_on_start=not args.no_warmup,
         max_body_bytes=args.max_body_bytes,
         default_corpus=args.default_corpus,
+        max_resident_corpora=args.max_resident,
     )
     pipeline_config = PipelineConfig(
         num_seeds=args.seeds, graph_backend=args.graph_backend
     )
     corpora = _parse_named_values(args.corpus, "--corpus", args.default_corpus)
+    snapshot_paths = _parse_named_values(args.snapshot, "--snapshot", args.default_corpus)
+    quota_specs = _parse_named_values(args.quota, "--quota", args.default_corpus)
+    attached_names = set(corpora) if corpora else {args.default_corpus}
+    for option, named in (("--snapshot", snapshot_paths), ("--quota", quota_specs)):
+        unknown = sorted(set(named) - attached_names)
+        if unknown:
+            raise SystemExit(
+                f"{option} names {unknown} do not match any attached "
+                f"corpus {sorted(attached_names)}"
+            )
+    overrides_by_name = {
+        name: TenantOverrides(quota=_parse_quota_spec(spec, name))
+        for name, spec in quota_specs.items()
+    }
 
     app = RePaGerApp(config=serving_config, pipeline_config=pipeline_config)
     if corpora:
@@ -227,7 +280,11 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             )
         for name, corpus_dir in corpora.items():
             tenant = app.attach_directory(
-                name, corpus_dir, default=name == args.default_corpus
+                name,
+                corpus_dir,
+                default=name == args.default_corpus,
+                overrides=overrides_by_name.get(name),
+                snapshot_path=snapshot_paths.get(name),
             )
             print(
                 f"attached corpus {name!r} ({len(tenant.service.store)} papers) "
@@ -237,7 +294,11 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     else:
         store = _load_or_generate_store(None)
         app.attach_store(
-            args.default_corpus, store, default=True, source="synthetic"
+            args.default_corpus,
+            store,
+            default=True,
+            source="synthetic",
+            overrides=overrides_by_name.get(args.default_corpus),
         )
         print(
             f"attached synthetic corpus {args.default_corpus!r} "
@@ -245,14 +306,12 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             flush=True,
         )
 
-    snapshot_paths = _parse_named_values(args.snapshot, "--snapshot", args.default_corpus)
-    unknown_snapshots = sorted(set(snapshot_paths) - set(app.registry.names()))
-    if unknown_snapshots:
-        raise SystemExit(
-            f"--snapshot names {unknown_snapshots} do not match any attached "
-            f"corpus {sorted(app.registry.names())}"
-        )
-    snapshots = load_snapshots(snapshot_paths)
+    # Startup eviction (more corpora than --max-resident) may have already
+    # moved some tenants out of residence; only resident ones warm up, the
+    # rest re-attach from their snapshots on first use.
+    snapshots = load_snapshots(
+        {n: p for n, p in snapshot_paths.items() if n in app.registry.names()}
+    )
     if serving_config.warm_up_on_start:
         for name, report in warm_up_registry(app.registry, snapshots=snapshots).items():
             print(
@@ -268,6 +327,8 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         for name, snapshot in snapshots.items():
             snapshot.restore_into(app.registry.get(name).service)
             print(f"restored snapshot into {name!r} (no warm-up)", flush=True)
+    for name in sorted(app.registry.evicted_names()):
+        print(f"corpus {name!r} evicted at startup (resident limit)", flush=True)
 
     server = create_server(app, config=serving_config)
     names = ", ".join(app.registry.names())

@@ -70,6 +70,7 @@ class RePaGerService:
         cache: ResultCache | None = None,
         metrics: MetricsRegistry | None = None,
         cache_namespace: str = "",
+        cache_ttl_seconds: float | None = None,
     ) -> None:
         self.store = store
         self.venues = venues or build_default_catalog()
@@ -77,6 +78,9 @@ class RePaGerService:
         # namespace (the tenant name) keeps tenants' entries apart even if
         # their pipeline fingerprints happen to collide.
         self.cache_namespace = cache_namespace
+        # Per-tenant TTL override: entries this service stores into a shared
+        # cache expire on the tenant's own clock, not the cache-wide default.
+        self.cache_ttl_seconds = cache_ttl_seconds
         config = pipeline_config or PipelineConfig()
         # The default engine follows the pipeline's backend switch so that one
         # flag flips the whole query-preparation path (search scoring, k-hop
@@ -163,7 +167,7 @@ class RePaGerService:
         )
         payload = self._payload(result)
         if key is not None:
-            self.cache.put(key, payload)
+            self.cache.put(key, payload, ttl_seconds=self.cache_ttl_seconds)
         self._observe(started, cached=False, pipeline_seconds=result.elapsed_seconds)
         return payload, False
 

@@ -19,10 +19,11 @@ library:
 
 from .cache import CacheStats, QueryKey, ResultCache, make_query_key, normalize_query
 from .executor import BatchExecutor, BatchOutcome, QueryRequest, validate_query_body
-from .metrics import LatencyHistogram, MetricsRegistry, percentile
+from .metrics import LatencyHistogram, MetricsRegistry, parse_metrics_text, percentile
 from .warmup import (
     ArtifactSnapshot,
     WarmupReport,
+    capture_snapshot,
     load_snapshots,
     warm_up,
     warm_up_registry,
@@ -41,10 +42,12 @@ __all__ = [
     "RePaGerHTTPServer",
     "ResultCache",
     "WarmupReport",
+    "capture_snapshot",
     "create_server",
     "load_snapshots",
     "make_query_key",
     "normalize_query",
+    "parse_metrics_text",
     "percentile",
     "start_in_background",
     "validate_query_body",

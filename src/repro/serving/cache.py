@@ -147,10 +147,19 @@ class ResultCache:
             self._hits += 1
             return value
 
-    def put(self, key: QueryKey, value: Any) -> None:
-        """Insert (or refresh) an entry, evicting the LRU entry when full."""
+    def put(self, key: QueryKey, value: Any, ttl_seconds: float | None = None) -> None:
+        """Insert (or refresh) an entry, evicting the LRU entry when full.
+
+        ``ttl_seconds`` overrides the cache-wide TTL for this entry only —
+        per-tenant TTL overrides store tenant entries with the tenant's own
+        freshness bound while sharing one cache across the registry.
+        """
+        if ttl_seconds is not None and ttl_seconds <= 0:
+            raise ValueError("ttl_seconds must be positive or None")
         with self._lock:
-            expires_at = self._clock() + self.ttl_seconds
+            expires_at = self._clock() + (
+                ttl_seconds if ttl_seconds is not None else self.ttl_seconds
+            )
             if key in self._entries:
                 self._entries[key] = (value, expires_at)
                 self._entries.move_to_end(key)

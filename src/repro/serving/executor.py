@@ -17,7 +17,15 @@ bare thread pool lacks:
 * **graceful batch semantics** — :meth:`BatchExecutor.run_batch` applies
   backpressure (blocking admission) instead of rejecting, and returns one
   :class:`BatchOutcome` per request with either a payload or an error, never
-  raising halfway through a batch.
+  raising halfway through a batch;
+* **per-tenant admission quotas** — when one executor is shared across a
+  corpus registry, :meth:`BatchExecutor.configure_tenant` installs a
+  :class:`~repro.config.TenantQuota` per namespace (the ``corpus`` routing
+  field of each request): an in-flight/queued capacity and an optional
+  token-bucket rate.  Over-quota submissions fail fast with
+  :class:`~repro.errors.TenantQuotaExceededError` (HTTP 429 with
+  ``Retry-After``) while every other tenant keeps its full share of the
+  worker pool — one hot tenant can no longer starve the rest.
 """
 
 from __future__ import annotations
@@ -33,11 +41,13 @@ from ..errors import (
     ExecutorOverloadedError,
     QueryTimeoutError,
     RequestValidationError,
+    TenantQuotaExceededError,
     UnknownFieldsError,
     error_payload,
 )
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard, types only
+    from ..config import TenantQuota
     from .metrics import MetricsRegistry
 
 __all__ = [
@@ -142,6 +152,37 @@ class BatchOutcome:
         return self.error is None
 
 
+class _TenantState:
+    """Mutable per-namespace accounting shared by all of a tenant's requests.
+
+    The state object outlives quota reconfiguration and tenant eviction:
+    in-flight requests hold a reference and decrement *this* object on
+    completion, so counters never go negative when a tenant is evicted and
+    re-attached while its last requests are still draining.
+    """
+
+    __slots__ = (
+        "quota",
+        "timeout_seconds",
+        "metrics",
+        "admitted",
+        "executing",
+        "rejected",
+        "tokens",
+        "token_stamp",
+    )
+
+    def __init__(self) -> None:
+        self.quota: "TenantQuota | None" = None
+        self.timeout_seconds: float | None = None
+        self.metrics: "MetricsRegistry | None" = None
+        self.admitted = 0
+        self.executing = 0
+        self.rejected = 0
+        self.tokens = 0.0
+        self.token_stamp = 0.0
+
+
 class BatchExecutor:
     """Run queries concurrently through one handler with admission control.
 
@@ -154,6 +195,8 @@ class BatchExecutor:
         metrics: Optional :class:`MetricsRegistry` receiving executor counters
             (submitted/completed/errors/rejected/timeouts) and the in-flight
             gauge.
+        clock: Monotonic time source for token-bucket quotas (injectable for
+            deterministic tests).
     """
 
     def __init__(
@@ -163,6 +206,7 @@ class BatchExecutor:
         queue_depth: int = 16,
         timeout_seconds: float | None = None,
         metrics: "MetricsRegistry | None" = None,
+        clock: Callable[[], float] = time.monotonic,
     ) -> None:
         if max_workers < 1:
             raise ValueError("max_workers must be >= 1")
@@ -175,11 +219,14 @@ class BatchExecutor:
         self.queue_depth = queue_depth
         self.timeout_seconds = timeout_seconds
         self.metrics = metrics
+        self._clock = clock
         self._slots = threading.BoundedSemaphore(max_workers + queue_depth)
         self._pool = ThreadPoolExecutor(
             max_workers=max_workers, thread_name_prefix="repager-serve"
         )
         self._shutdown = False
+        self._tenants: dict[str, _TenantState] = {}
+        self._tenant_lock = threading.Lock()
 
     @classmethod
     def from_service(
@@ -232,45 +279,202 @@ class BatchExecutor:
             metrics=metrics,
         )
 
+    # -- per-tenant quotas -------------------------------------------------------
+
+    def configure_tenant(
+        self,
+        namespace: str,
+        quota: "TenantQuota | None" = None,
+        timeout_seconds: float | None = None,
+        metrics: "MetricsRegistry | None" = None,
+    ) -> None:
+        """Install (or replace) one namespace's quota, timeout and metrics.
+
+        ``namespace`` is matched against each request's ``corpus`` field.  The
+        accounting counters survive reconfiguration, so re-attaching an
+        evicted tenant does not reset its in-flight bookkeeping while old
+        requests are still draining; only the token bucket refills to a full
+        ``burst``.
+        """
+        with self._tenant_lock:
+            state = self._tenants.get(namespace)
+            if state is None:
+                state = self._tenants[namespace] = _TenantState()
+            state.quota = quota
+            state.timeout_seconds = timeout_seconds
+            state.metrics = metrics
+            if quota is not None and quota.rate_per_second is not None:
+                state.tokens = float(quota.burst)
+                state.token_stamp = self._clock()
+
+    def drop_tenant(self, namespace: str) -> None:
+        """Forget a namespace's quota and accounting (tenant fully detached)."""
+        with self._tenant_lock:
+            self._tenants.pop(namespace, None)
+
+    def tenant_usage(self, namespace: str) -> dict[str, int] | None:
+        """Point-in-time admission counters for one namespace (None if unknown)."""
+        with self._tenant_lock:
+            state = self._tenants.get(namespace)
+            if state is None:
+                return None
+            return {
+                "admitted": state.admitted,
+                "executing": state.executing,
+                "queued": state.admitted - state.executing,
+                "rejected_total": state.rejected,
+            }
+
+    def _admit_tenant(self, request: QueryRequest) -> _TenantState | None:
+        """Charge one admission against the request's tenant quota.
+
+        Returns the tenant state holding the charge (``None`` when the
+        namespace has no configured state).  The caller must balance every
+        successful admission with :meth:`_release_tenant`.
+
+        Raises:
+            TenantQuotaExceededError: Capacity or token-bucket rejection.
+        """
+        namespace = request.corpus or ""
+        with self._tenant_lock:
+            state = self._tenants.get(namespace)
+            if state is None:
+                return None
+            quota = state.quota
+            if quota is not None:
+                capacity = quota.capacity()
+                if capacity is not None and state.admitted >= capacity:
+                    raise self._reject_tenant(
+                        state,
+                        namespace,
+                        f"{state.admitted} requests in flight "
+                        f"(max_in_flight={quota.max_in_flight}, "
+                        f"max_queued={quota.max_queued or 0})",
+                        retry_after=1.0,
+                    )
+                if quota.rate_per_second is not None:
+                    now = self._clock()
+                    state.tokens = min(
+                        float(quota.burst),
+                        state.tokens
+                        + (now - state.token_stamp) * quota.rate_per_second,
+                    )
+                    state.token_stamp = now
+                    if state.tokens < 1.0:
+                        raise self._reject_tenant(
+                            state,
+                            namespace,
+                            f"rate limit of {quota.rate_per_second:g} "
+                            "requests/second exhausted",
+                            retry_after=(1.0 - state.tokens) / quota.rate_per_second,
+                        )
+                    state.tokens -= 1.0
+            state.admitted += 1
+        return state
+
+    def _reject_tenant(
+        self, state: _TenantState, namespace: str, reason: str, retry_after: float
+    ) -> TenantQuotaExceededError:
+        # Called with _tenant_lock held; returns the error for `raise` clarity.
+        state.rejected += 1
+        if state.metrics is not None:
+            state.metrics.increment("quota_rejected_total")
+        self._count("executor_quota_rejected_total")
+        return TenantQuotaExceededError(namespace, reason, retry_after)
+
+    def _release_tenant(
+        self, state: _TenantState | None, refund_token: bool = False
+    ) -> None:
+        """Balance one :meth:`_admit_tenant` charge.
+
+        ``refund_token`` returns the consumed rate-limit token too — only
+        when the request never ran (a *global* queue rejection after tenant
+        admission must not double-penalise a rate-limited tenant).
+        """
+        if state is None:
+            return
+        with self._tenant_lock:
+            state.admitted -= 1
+            if (
+                refund_token
+                and state.quota is not None
+                and state.quota.rate_per_second is not None
+            ):
+                state.tokens = min(float(state.quota.burst), state.tokens + 1.0)
+
     # -- admission ---------------------------------------------------------------
 
     def submit(self, request: QueryRequest) -> Future:
         """Admit one query, rejecting immediately when the queue is full.
 
         Raises:
+            TenantQuotaExceededError: The tenant's admission quota is spent
+                (checked before the shared queue so one tenant's flood is
+                rejected without consuming global slots).
             ExecutorOverloadedError: All worker and queue slots are taken.
             RuntimeError: The executor has been shut down.
         """
         if self._shutdown:
             raise RuntimeError("executor has been shut down")
+        state = self._admit_tenant(request)
         if not self._slots.acquire(blocking=False):
+            self._release_tenant(state, refund_token=True)
             self._count("executor_rejected_total")
             raise ExecutorOverloadedError(
                 f"serving queue full ({self.max_workers} workers, "
                 f"{self.queue_depth} waiting slots)"
             )
-        return self._submit_admitted(request)
+        return self._submit_admitted(request, state)
 
-    def _submit_admitted(self, request: QueryRequest) -> Future:
+    def _submit_admitted(
+        self, request: QueryRequest, state: _TenantState | None
+    ) -> Future:
         self._count("executor_submitted_total")
+        # Counted here — after both the tenant charge and the global slot
+        # held — so quota_admitted_total reconciles exactly with requests
+        # that actually entered the pool.
+        if state is not None and state.metrics is not None:
+            state.metrics.increment("quota_admitted_total")
         try:
-            future = self._pool.submit(self._run, request)
+            future = self._pool.submit(self._run, request, state)
         except BaseException:
             self._slots.release()
+            self._release_tenant(state, refund_token=True)
             raise
-        future.add_done_callback(lambda _: self._slots.release())
+        future.add_done_callback(
+            lambda _: (self._slots.release(), self._release_tenant(state))
+        )
         return future
 
-    def _run(self, request: QueryRequest) -> Any:
+    def _run(self, request: QueryRequest, state: _TenantState | None = None) -> Any:
         if self.metrics is not None:
             self.metrics.gauge_add("in_flight", 1.0)
+        tenant_metrics = state.metrics if state is not None else None
+        if state is not None:
+            with self._tenant_lock:
+                state.executing += 1
+        if tenant_metrics is not None:
+            tenant_metrics.gauge_add("in_flight", 1.0)
         try:
             return self.handler(request)
         finally:
+            if state is not None:
+                with self._tenant_lock:
+                    state.executing -= 1
+            if tenant_metrics is not None:
+                tenant_metrics.gauge_add("in_flight", -1.0)
             if self.metrics is not None:
                 self.metrics.gauge_add("in_flight", -1.0)
 
     # -- completion --------------------------------------------------------------
+
+    def _timeout_for(self, request: QueryRequest) -> float | None:
+        """The request's deadline: its tenant's override or the shared default."""
+        with self._tenant_lock:
+            state = self._tenants.get(request.corpus or "")
+            if state is not None and state.timeout_seconds is not None:
+                return state.timeout_seconds
+        return self.timeout_seconds
 
     def result(self, request: QueryRequest, future: Future) -> Any:
         """Wait for one admitted query, enforcing the per-query timeout.
@@ -279,13 +483,14 @@ class BatchExecutor:
             QueryTimeoutError: The deadline elapsed (the worker keeps running
                 in the background; its slot is released on completion).
         """
+        timeout = self._timeout_for(request)
         try:
-            value = future.result(timeout=self.timeout_seconds)
+            value = future.result(timeout=timeout)
             self._count("executor_completed_total")
             return value
         except FutureTimeoutError:
             self._count("executor_timeouts_total")
-            raise QueryTimeoutError(request.text, self.timeout_seconds or 0.0) from None
+            raise QueryTimeoutError(request.text, timeout or 0.0) from None
 
     def run_one(self, request: QueryRequest) -> Any:
         """Admit + wait for a single query (the HTTP API's code path)."""
@@ -295,32 +500,50 @@ class BatchExecutor:
     def run_batch(self, requests: Sequence[QueryRequest]) -> list[BatchOutcome]:
         """Run a whole batch with backpressure; one outcome per request.
 
-        Admission blocks (instead of rejecting) when the queue is full, so
-        arbitrarily large batches complete with bounded concurrency.  Failures
-        and timeouts are captured per-request; the batch itself never raises.
+        Admission blocks (instead of rejecting) when the shared queue is
+        full, so arbitrarily large batches complete with bounded concurrency.
+        Per-tenant quotas still apply and fail fast — blocking a whole batch
+        on one tenant's spent quota would defeat the fairness policy — so an
+        over-quota request becomes an error outcome instead of backpressure.
+        Failures and timeouts are captured per-request; the batch itself
+        never raises.
         """
-        admitted: list[tuple[QueryRequest, Future, float]] = []
+        admitted: list[tuple[QueryRequest, Future | None, float, BatchOutcome]] = []
         for request in requests:
-            self._slots.acquire()
-            admitted.append((request, self._submit_admitted(request), time.perf_counter()))
-
-        outcomes: list[BatchOutcome] = []
-        for request, future, started in admitted:
             outcome = BatchOutcome(request=request)
+            started = time.perf_counter()
             try:
-                outcome.payload = self.result(request, future)
-            except QueryTimeoutError as exc:
+                state = self._admit_tenant(request)
+            except TenantQuotaExceededError as exc:
                 taxonomy = error_payload(exc)
                 outcome.error = str(exc)
                 outcome.error_code = taxonomy["code"]
                 outcome.error_status = taxonomy["http_status"]
-            except Exception as exc:  # noqa: BLE001 - batch reports, never raises
-                self._count("executor_errors_total")
-                taxonomy = error_payload(exc)
-                outcome.error = f"{type(exc).__name__}: {exc}"
-                outcome.error_code = taxonomy["code"]
-                outcome.error_status = taxonomy["http_status"]
-            outcome.elapsed_seconds = time.perf_counter() - started
+                outcome.elapsed_seconds = time.perf_counter() - started
+                admitted.append((request, None, started, outcome))
+                continue
+            self._slots.acquire()
+            admitted.append(
+                (request, self._submit_admitted(request, state), started, outcome)
+            )
+
+        outcomes: list[BatchOutcome] = []
+        for request, future, started, outcome in admitted:
+            if future is not None:
+                try:
+                    outcome.payload = self.result(request, future)
+                except QueryTimeoutError as exc:
+                    taxonomy = error_payload(exc)
+                    outcome.error = str(exc)
+                    outcome.error_code = taxonomy["code"]
+                    outcome.error_status = taxonomy["http_status"]
+                except Exception as exc:  # noqa: BLE001 - batch reports, never raises
+                    self._count("executor_errors_total")
+                    taxonomy = error_payload(exc)
+                    outcome.error = f"{type(exc).__name__}: {exc}"
+                    outcome.error_code = taxonomy["code"]
+                    outcome.error_status = taxonomy["http_status"]
+                outcome.elapsed_seconds = time.perf_counter() - started
             outcomes.append(outcome)
         return outcomes
 

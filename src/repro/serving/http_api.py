@@ -6,11 +6,17 @@ multi-tenant application layer (:mod:`repro.repager.app`) one process hosts N
 named corpora behind a versioned ``/v1`` surface:
 
 =========================================  ===================================
-``GET /v1/corpora``                        List attached corpora.
+``GET /v1/corpora``                        List attached corpora (resident
+                                           and evicted, with ``resident``
+                                           state flags).
 ``POST /v1/corpora``                       Attach a corpus at runtime.  Body:
                                            ``{"name": str, "corpus_dir": str,
-                                           "default": bool, "warm_up": bool}``.
-``DELETE /v1/corpora/<name>``              Detach a corpus.
+                                           "default": bool, "warm_up": bool,
+                                           "snapshot": str path for warm
+                                           attach, "overrides": per-tenant
+                                           cache-TTL/timeout/quota object}``.
+``DELETE /v1/corpora/<name>``              Detach a corpus (evicted ones
+                                           too).
 ``POST /v1/corpora/<name>/query``          Generate (or serve from cache) a
                                            reading path.  Body:
                                            :meth:`QueryOptions.from_dict`;
@@ -39,8 +45,8 @@ Failures are mapped through the shared error taxonomy of
 ``code`` (mirrored in ``error`` for pre-``/v1`` clients), the ``http_status``
 it was served with and a human-readable ``detail``.  Oversized request bodies
 are rejected with 413 before buffering (``ServingConfig.max_body_bytes``);
-executor overload yields 429 with ``Retry-After``; per-query deadlines yield
-504.
+executor overload and spent per-tenant quotas yield 429 with ``Retry-After``;
+per-query deadlines yield 504.
 
 Requests are handled by :class:`ThreadingHTTPServer` (one thread per
 connection); admission control and the per-query deadline come from the app's
@@ -52,18 +58,20 @@ batch clients.
 from __future__ import annotations
 
 import json
+import math
 import threading
 import time
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from typing import TYPE_CHECKING, Any
 
-from ..config import ServingConfig
+from ..config import ServingConfig, TenantOverrides
 from ..errors import (
     CorpusNotFoundError,
     ExecutorOverloadedError,
     PaperNotFoundError,
     RequestTooLargeError,
     RequestValidationError,
+    TenantQuotaExceededError,
     UnknownFieldsError,
     error_payload,
 )
@@ -80,6 +88,10 @@ class RePaGerHTTPServer(ThreadingHTTPServer):
     """Threading HTTP server over one multi-tenant :class:`RePaGerApp`."""
 
     daemon_threads = True
+    # The stdlib default backlog of 5 resets connections under a burst that
+    # the admission layer is designed to answer with orderly 429s; give the
+    # kernel room to hold a flood long enough to reject it properly.
+    request_queue_size = 128
 
     def __init__(
         self,
@@ -297,10 +309,10 @@ class _Handler(BaseHTTPRequestHandler):
         )
 
     def _attach(self) -> None:
-        from ..serving.warmup import warm_up
+        from ..serving.warmup import ArtifactSnapshot, warm_up
 
         body = self._read_json()
-        allowed = ("name", "corpus_dir", "default", "warm_up")
+        allowed = ("name", "corpus_dir", "default", "warm_up", "snapshot", "overrides")
         unknown = tuple(key for key in body if key not in allowed)
         if unknown:
             raise UnknownFieldsError(unknown, allowed)
@@ -316,19 +328,37 @@ class _Handler(BaseHTTPRequestHandler):
         warm = body.get("warm_up", True)
         if not isinstance(warm, bool):
             raise RequestValidationError("'warm_up' must be a boolean")
+        snapshot_path = body.get("snapshot")
+        if snapshot_path is not None and (
+            not isinstance(snapshot_path, str) or not snapshot_path
+        ):
+            raise RequestValidationError("'snapshot' must be a non-empty string or null")
+        raw_overrides = body.get("overrides")
+        overrides = None
+        if raw_overrides is not None:
+            if not isinstance(raw_overrides, dict):
+                raise RequestValidationError("'overrides' must be an object or null")
+            overrides = TenantOverrides.from_dict(raw_overrides)
         # Attach without touching the default yet: if warm-up fails the
         # registry must be exactly as it was, and while warm-up runs legacy
         # traffic must keep hitting the previous (warm) default.
-        self.server.app.attach_directory(name, corpus_dir)
+        self.server.app.attach_directory(
+            name, corpus_dir, overrides=overrides, snapshot_path=snapshot_path
+        )
         tenant = self.server.app.registry.get(name)
-        if warm:
-            try:
-                warm_up(tenant.service)
-            except Exception:
-                # Never leave a half-warmed tenant attached: queries would
-                # route to it and a retried attach would 409.
-                self.server.app.detach(name)
-                raise
+        try:
+            if warm:
+                # warm_up accepts the snapshot path directly (warm attach).
+                warm_up(tenant.service, snapshot=snapshot_path)
+            elif snapshot_path is not None:
+                # An explicitly shipped snapshot must never be silently
+                # dropped, even without eager warm-up.
+                ArtifactSnapshot.load(snapshot_path).restore_into(tenant.service)
+        except Exception:
+            # Never leave a half-warmed tenant attached: queries would
+            # route to it and a retried attach would 409.
+            self.server.app.detach(name)
+            raise
         if default:
             self.server.app.registry.set_default(name)
         self._send_json(201, self.server.app.health(name))
@@ -392,6 +422,10 @@ class _Handler(BaseHTTPRequestHandler):
         headers: dict[str, str] = {}
         if isinstance(exc, ExecutorOverloadedError):
             headers["Retry-After"] = "1"
+        if isinstance(exc, TenantQuotaExceededError):
+            headers["Retry-After"] = str(max(1, math.ceil(exc.retry_after_seconds)))
+            payload["corpus"] = exc.corpus
+            payload["retry_after_seconds"] = exc.retry_after_seconds
         if isinstance(exc, PaperNotFoundError):
             payload["paper_id"] = exc.paper_id
         if isinstance(exc, CorpusNotFoundError):

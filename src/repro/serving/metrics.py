@@ -17,7 +17,7 @@ import threading
 from collections import deque
 from typing import Any, Mapping
 
-__all__ = ["LatencyHistogram", "MetricsRegistry", "percentile"]
+__all__ = ["LatencyHistogram", "MetricsRegistry", "parse_metrics_text", "percentile"]
 
 
 def percentile(samples: list[float], fraction: float) -> float:
@@ -185,6 +185,41 @@ class MetricsRegistry:
                     f"repager_{name}{quantile_label} {_fmt(summary[quantile])}"
                 )
         return "\n".join(lines) + "\n"
+
+
+def parse_metrics_text(text: str) -> dict[str, dict[tuple[tuple[str, str], ...], float]]:
+    """Parse a ``render_text`` exposition back into numbers.
+
+    Returns ``{metric_name: {sorted (label, value) pairs: sample}}``; the
+    unlabelled series uses the empty tuple as its key.  This is the inverse of
+    :meth:`MetricsRegistry.render_text` for the exact format this module
+    emits — operators and tests use it to reconcile ``/v1/metrics`` counters
+    (per-tenant quota admissions/rejections) against observed outcomes
+    without a Prometheus client library.
+    """
+    series: dict[str, dict[tuple[tuple[str, str], ...], float]] = {}
+    for line in text.splitlines():
+        line = line.strip()
+        if not line or line.startswith("#"):
+            continue
+        name_part, _, value_part = line.rpartition(" ")
+        if not name_part:
+            continue
+        labels: tuple[tuple[str, str], ...] = ()
+        name = name_part
+        if name_part.endswith("}") and "{" in name_part:
+            name, _, label_body = name_part.partition("{")
+            pairs = []
+            for item in label_body[:-1].split(","):
+                key, _, raw = item.partition("=")
+                pairs.append((key, raw.strip('"')))
+            labels = tuple(sorted(pairs))
+        try:
+            value = float(value_part)
+        except ValueError:
+            continue
+        series.setdefault(name, {})[labels] = value
+    return series
 
 
 def _label_suffix(labels: Mapping[str, str] | None, **extra: str) -> str:

@@ -36,6 +36,7 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard, types only
 __all__ = [
     "ArtifactSnapshot",
     "WarmupReport",
+    "capture_snapshot",
     "load_snapshots",
     "warm_up",
     "warm_up_registry",
@@ -198,9 +199,22 @@ class ArtifactSnapshot:
         )
 
 
+def capture_snapshot(service: "RePaGerService", path: str | Path) -> ArtifactSnapshot:
+    """Capture a service's shared artifacts and persist them in one step.
+
+    This is the evict half of the tenant-eviction round trip: the registry
+    snapshots a cold tenant to disk before dropping it, and the next request
+    re-attaches from the recorded path without re-running PageRank or
+    re-tokenising the corpus.
+    """
+    snapshot = ArtifactSnapshot.capture(service)
+    snapshot.save(path)
+    return snapshot
+
+
 def warm_up(
     service: "RePaGerService",
-    snapshot: ArtifactSnapshot | None = None,
+    snapshot: "ArtifactSnapshot | str | Path | None" = None,
 ) -> WarmupReport:
     """Precompute (or restore) every shared per-corpus artifact of a service.
 
@@ -209,8 +223,14 @@ def warm_up(
     edge-relevance map.  After this returns, concurrent queries only ever
     *read* the shared state, which is what makes the batch executor's thread
     pool safe without locks on the hot path.
+
+    ``snapshot`` may be a ready :class:`ArtifactSnapshot` or a filesystem
+    path to one (the ``/v1`` warm-attach body and the eviction re-attach path
+    both record paths).
     """
     started = time.perf_counter()
+    if isinstance(snapshot, (str, Path)):
+        snapshot = ArtifactSnapshot.load(snapshot)
     if snapshot is not None:
         snapshot.restore_into(service)
     pipeline = service.pipeline

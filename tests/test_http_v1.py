@@ -312,6 +312,193 @@ class TestRuntimeAttachDetach:
         assert body["code"] == "corpus_not_found"
 
 
+class TestTenantLifecycleSurfaces:
+    """PR 5 surfaces: per-tenant overrides, warm attach, 429 shape, eviction."""
+
+    def test_attach_with_overrides_surfaces_them_in_corpus_health(
+        self, server, second_corpus_dir
+    ):
+        status, body, _ = _request(
+            server, "POST", "/v1/corpora",
+            {
+                "name": "epsilon",
+                "corpus_dir": second_corpus_dir,
+                "warm_up": False,
+                "overrides": {
+                    "cache_ttl_seconds": 5.0,
+                    "query_timeout_seconds": 60.0,
+                    "quota": {"max_in_flight": 2, "max_queued": 1},
+                },
+            },
+        )
+        assert status == 201
+        assert body["resident"] is True
+        status, health, _ = _request(server, "GET", "/v1/corpora/epsilon")
+        assert status == 200
+        assert health["resident"] is True
+        assert health["evicted"] is False
+        assert health["overrides"]["cache_ttl_seconds"] == 5.0
+        assert health["overrides"]["query_timeout_seconds"] == 60.0
+        assert health["overrides"]["quota"]["max_in_flight"] == 2
+        assert health["quota_usage"] == {
+            "admitted": 0, "executing": 0, "queued": 0, "rejected_total": 0,
+        }
+        _request(server, "DELETE", "/v1/corpora/epsilon")
+
+    def test_attach_with_bad_overrides_is_400(self, server, second_corpus_dir):
+        status, body, _ = _request(
+            server, "POST", "/v1/corpora",
+            {
+                "name": "never",
+                "corpus_dir": second_corpus_dir,
+                "overrides": {"quota": {"max_inflight": 2}},
+            },
+        )
+        assert status == 400
+        assert body["code"] == "unknown_fields"
+        assert body["unknown_fields"] == ["max_inflight"]
+        status, _, _ = _request(server, "GET", "/v1/corpora/never")
+        assert status == 404
+
+    def test_warm_attach_from_snapshot_path(
+        self, server, app, second_corpus_dir, tmp_path
+    ):
+        from repro.corpus.storage import CorpusStore
+        from repro.repager.service import RePaGerService
+        from repro.serving import capture_snapshot, warm_up
+
+        donor = RePaGerService(
+            CorpusStore.load(second_corpus_dir),
+            pipeline_config=PipelineConfig(num_seeds=10),
+        )
+        warm_up(donor)
+        snapshot_path = tmp_path / "zeta.snapshot.json"
+        capture_snapshot(donor, snapshot_path)
+
+        status, body, _ = _request(
+            server, "POST", "/v1/corpora",
+            {
+                "name": "zeta",
+                "corpus_dir": second_corpus_dir,
+                "snapshot": str(snapshot_path),
+            },
+        )
+        assert status == 201
+        assert body["warmed"] is True
+        assert all(body["readiness"].values())
+        assert body["snapshot_path"] == str(snapshot_path)
+        # Snapshot-warmed serving matches the donor byte for byte.
+        status, query_body, _ = _request(
+            server, "POST", "/v1/corpora/zeta/query",
+            {"query": "machine learning", "use_cache": False},
+        )
+        assert status == 200
+        direct = donor.query("machine learning", use_cache=False)
+        assert query_body["payload"]["nodes"] == direct.to_dict()["nodes"]
+        _request(server, "DELETE", "/v1/corpora/zeta")
+
+    def test_attach_with_mismatched_snapshot_is_409_and_rolls_back(
+        self, server, second_corpus_dir, tmp_path
+    ):
+        from repro.corpus.storage import CorpusStore
+        from repro.repager.service import RePaGerService
+        from repro.serving import capture_snapshot
+
+        # A snapshot captured under a *different* pipeline configuration.
+        drifted = RePaGerService(
+            CorpusStore.load(second_corpus_dir),
+            pipeline_config=PipelineConfig(num_seeds=12),
+        )
+        snapshot_path = tmp_path / "drifted.snapshot.json"
+        capture_snapshot(drifted, snapshot_path)
+        status, body, _ = _request(
+            server, "POST", "/v1/corpora",
+            {
+                "name": "drift",
+                "corpus_dir": second_corpus_dir,
+                "snapshot": str(snapshot_path),
+            },
+        )
+        assert status == 409
+        assert body["code"] == "snapshot_mismatch"
+        # The failed attach left no half-attached tenant behind.
+        status, _, _ = _request(server, "GET", "/v1/corpora/drift")
+        assert status == 404
+
+    def test_quota_429_payload_shape_and_retry_after(
+        self, server, second_corpus_dir
+    ):
+        # burst=1 with a near-zero refill rate: the second request is
+        # rejected deterministically no matter how fast the first one ran.
+        status, _, _ = _request(
+            server, "POST", "/v1/corpora",
+            {
+                "name": "rho",
+                "corpus_dir": second_corpus_dir,
+                "warm_up": False,
+                "overrides": {"quota": {"rate_per_second": 0.01, "burst": 1}},
+            },
+        )
+        assert status == 201
+        status, _, _ = _request(
+            server, "POST", "/v1/corpora/rho/query",
+            {"query": "machine learning"},
+        )
+        assert status == 200
+        status, body, headers = _request(
+            server, "POST", "/v1/corpora/rho/query",
+            {"query": "machine learning"},
+        )
+        assert status == 429
+        assert body["code"] == "tenant_quota_exceeded"
+        assert body["error"] == "tenant_quota_exceeded"
+        assert body["http_status"] == 429
+        assert body["corpus"] == "rho"
+        assert body["retry_after_seconds"] > 0
+        assert int(headers["Retry-After"]) >= 1
+        _request(server, "DELETE", "/v1/corpora/rho")
+
+    def test_eviction_visibility_and_transparent_reattach(
+        self, server, app, second_corpus_dir
+    ):
+        status, _, _ = _request(
+            server, "POST", "/v1/corpora",
+            {"name": "sigma", "corpus_dir": second_corpus_dir, "warm_up": False},
+        )
+        assert status == 201
+        app.evict("sigma")
+
+        # Listed with a resident/evicted state flag instead of vanishing.
+        status, listing, _ = _request(server, "GET", "/v1/corpora")
+        by_name = {entry["name"]: entry for entry in listing["corpora"]}
+        assert by_name["sigma"]["resident"] is False
+        assert by_name["alpha"]["resident"] is True
+
+        # Health reports the eviction record without re-attaching.
+        status, health, _ = _request(server, "GET", "/v1/corpora/sigma")
+        assert status == 200
+        assert health["status"] == "evicted"
+        assert health["resident"] is False
+        assert health["evicted"] is True
+        assert "sigma" in app.registry.evicted_names()
+
+        # Aggregate health stays green and names the evicted tenant.
+        status, aggregate, _ = _request(server, "GET", "/v1/healthz")
+        assert aggregate["status"] == "ok"
+        assert "sigma" in aggregate["evicted_corpora"]
+
+        # A query transparently re-attaches; the flags flip back.
+        status, query_body, _ = _request(
+            server, "POST", "/v1/corpora/sigma/query", {"query": "deep learning"}
+        )
+        assert status == 200
+        assert query_body["serving"]["corpus"] == "sigma"
+        status, health, _ = _request(server, "GET", "/v1/corpora/sigma")
+        assert health["resident"] is True
+        status, detach_body, _ = _request(server, "DELETE", "/v1/corpora/sigma")
+        assert status == 200
+
+
 def test_create_server_rejects_overrides_for_ready_app(app):
     """metrics/executor overrides are constructor arguments of RePaGerApp;
     silently dropping them for a ready app would be a confusing no-op."""

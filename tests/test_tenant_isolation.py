@@ -12,11 +12,11 @@ from __future__ import annotations
 
 import pytest
 
-from repro.config import CorpusConfig, PipelineConfig, ServingConfig
+from repro.config import CorpusConfig, PipelineConfig, ServingConfig, TenantOverrides
 from repro.corpus.generator import CorpusGenerator
 from repro.repager.app import QueryOptions, RePaGerApp
 from repro.repager.service import RePaGerService
-from repro.serving import warm_up, warm_up_registry
+from repro.serving import ResultCache, warm_up, warm_up_registry
 
 QUERIES = (
     "pretrained language models",
@@ -142,3 +142,88 @@ def test_detaching_one_tenant_leaves_the_other_untouched(app, solo_payloads):
     still = app.query("machine learning", corpus="alpha")
     assert still.cached is True
     assert canonical(still.payload) == solo_payloads["alpha"]["machine learning"]
+
+
+class FakeClock:
+    """Deterministic monotonic clock shared by one cache across tenants."""
+
+    def __init__(self) -> None:
+        self.now = 1_000.0
+
+    def __call__(self) -> float:
+        return self.now
+
+
+def test_per_tenant_ttl_overrides_do_not_leak_across_namespaces(
+    store, other_store, solo_payloads
+):
+    """One shared cache, one shared clock, two TTL policies: a tenant's TTL
+    override must expire only *its* namespaced entries, never the other
+    tenant's, and expired entries must re-serve the correct corpus."""
+    clock = FakeClock()
+    cache = ResultCache(max_entries=64, ttl_seconds=1_000.0, clock=clock)
+    app = RePaGerApp(
+        config=ServingConfig(port=0, max_workers=4, query_timeout_seconds=120.0),
+        pipeline_config=PIPELINE,
+        cache=cache,
+    )
+    with app:
+        app.attach_store(
+            "alpha", store, PIPELINE, default=True,
+            overrides=TenantOverrides(cache_ttl_seconds=10.0),
+        )
+        app.attach_store("beta", other_store, PIPELINE)
+        warm_up_registry(app.registry)
+
+        assert app.query("machine learning", corpus="alpha").cached is False
+        assert app.query("machine learning", corpus="beta").cached is False
+        assert app.query("machine learning", corpus="alpha").cached is True
+        assert app.query("machine learning", corpus="beta").cached is True
+
+        # Past alpha's 10s override but well within the cache-wide 1000s TTL:
+        # alpha recomputes, beta keeps hitting — with correct payloads both.
+        clock.now += 50.0
+        again_alpha = app.query("machine learning", corpus="alpha")
+        again_beta = app.query("machine learning", corpus="beta")
+        assert again_alpha.cached is False
+        assert again_beta.cached is True
+        assert canonical(again_alpha.payload) == solo_payloads["alpha"]["machine learning"]
+        assert canonical(again_beta.payload) == solo_payloads["beta"]["machine learning"]
+
+        # Past the cache-wide TTL both expire.
+        clock.now += 1_000.0
+        assert app.query("machine learning", corpus="beta").cached is False
+
+
+def test_drop_namespace_called_on_detach_and_on_evict(
+    store, other_store, tmp_path, monkeypatch
+):
+    """Both exits from residency — operator detach and lazy eviction — must
+    free the tenant's namespaced cache entries."""
+    app = RePaGerApp(
+        config=ServingConfig(port=0, max_workers=4, query_timeout_seconds=120.0),
+        pipeline_config=PIPELINE,
+    )
+    dropped: list[str] = []
+    original = app.cache.drop_namespace
+    monkeypatch.setattr(
+        app.cache,
+        "drop_namespace",
+        lambda namespace: (dropped.append(namespace), original(namespace))[1],
+    )
+    with app:
+        corpus_dir = tmp_path / "evictable"
+        other_store.save(corpus_dir)
+        app.attach_store("stays", store, PIPELINE, default=True)
+        app.attach_directory("goes", str(corpus_dir), PIPELINE)
+
+        app.query("machine learning", corpus="goes")
+        assert any(key[0] == "goes" for key in app.cache._entries)
+        app.evict("goes")
+        assert dropped == ["goes"]
+        assert not any(key[0] == "goes" for key in app.cache._entries)
+
+        app.query("machine learning", corpus="goes")  # re-attach
+        app.detach("goes")
+        assert dropped == ["goes", "goes"]
+        assert not any(key[0] == "goes" for key in app.cache._entries)
