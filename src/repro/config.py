@@ -21,6 +21,7 @@ __all__ = [
     "NewstConfig",
     "PipelineConfig",
     "EvaluationConfig",
+    "ObsConfig",
     "ServingConfig",
     "TenantOverrides",
     "TenantQuota",
@@ -363,6 +364,45 @@ class TenantOverrides:
 
 
 @dataclass(frozen=True, slots=True)
+class ObsConfig:
+    """Parameters of the observability layer (:mod:`repro.obs`).
+
+    Attributes:
+        trace_capacity: Finished traces retained in the in-memory ring buffer.
+        trace_per_tenant: Per-tenant cap within the ring buffer, so one chatty
+            corpus cannot evict every other tenant's recent traces.
+        slow_trace_seconds: Queries at least this slow keep their full span
+            tree in the dedicated slow-trace buffer.
+        slow_trace_capacity: Size of the slow-trace buffer (0 disables slow
+            capture).
+        event_log_capacity: Lifecycle events kept in memory for ``/v1/events``
+            and the ``repager tail`` CLI.
+        event_log_path: Optional JSONL file every lifecycle event is appended
+            to (one JSON object per line; ``None`` keeps events in memory
+            only).
+    """
+
+    trace_capacity: int = 256
+    trace_per_tenant: int = 64
+    slow_trace_seconds: float = 2.0
+    slow_trace_capacity: int = 64
+    event_log_capacity: int = 2048
+    event_log_path: str | None = None
+
+    def __post_init__(self) -> None:
+        if self.trace_capacity < 1:
+            raise ConfigurationError("trace_capacity must be >= 1")
+        if self.trace_per_tenant < 1:
+            raise ConfigurationError("trace_per_tenant must be >= 1")
+        if self.slow_trace_seconds < 0:
+            raise ConfigurationError("slow_trace_seconds must be non-negative")
+        if self.slow_trace_capacity < 0:
+            raise ConfigurationError("slow_trace_capacity must be non-negative")
+        if self.event_log_capacity < 1:
+            raise ConfigurationError("event_log_capacity must be >= 1")
+
+
+@dataclass(frozen=True, slots=True)
 class ServingConfig:
     """Parameters of the production serving layer (:mod:`repro.serving`).
 
@@ -388,6 +428,8 @@ class ServingConfig:
             recently used evictable tenant is detached (its artifacts are
             snapshotted to disk) and transparently re-attached on its next
             request.  ``None`` disables eviction.
+        obs: Observability settings (:class:`ObsConfig`): trace-store bounds,
+            the slow-query threshold and the lifecycle event log.
     """
 
     host: str = "127.0.0.1"
@@ -402,6 +444,7 @@ class ServingConfig:
     max_body_bytes: int = 1 << 20
     default_corpus: str = "default"
     max_resident_corpora: int | None = None
+    obs: ObsConfig = field(default_factory=ObsConfig)
 
     def __post_init__(self) -> None:
         if not self.host:

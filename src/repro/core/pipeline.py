@@ -35,6 +35,7 @@ from ..errors import PipelineError
 from ..graph.citation_graph import CitationGraph
 from ..graph.indexed import BoundCosts, IndexedGraph
 from ..graph.steiner import SteinerTreeResult
+from ..obs.trace import stage
 from ..search.engine import SearchEngine
 from ..search.serapi import SerApiClient
 from ..types import ReadingPath
@@ -254,36 +255,42 @@ class RePaGerPipeline:
         started = time.perf_counter()
 
         # Step 1: initial seed papers from the search engine.
-        initial_seeds = self.seed_selector.select(
-            query,
-            num_seeds=self.config.num_seeds,
-            year_cutoff=year_cutoff,
-            exclude_ids=exclude_ids,
-        )
+        with stage("postings_search") as span:
+            initial_seeds = self.seed_selector.select(
+                query,
+                num_seeds=self.config.num_seeds,
+                year_cutoff=year_cutoff,
+                exclude_ids=exclude_ids,
+            )
+            span.tag(num_seeds=len(initial_seeds))
 
         # Step 3: expand to the candidate subgraph (step 2's node weights are
         # computed once per pipeline and shared).  On the indexed backend the
         # BFS runs on the per-corpus CSR snapshot.
         use_indexed = self.config.graph_backend == "indexed"
-        subgraph_builder = SubgraphBuilder(
-            self.graph,
-            expansion_order=self.config.expansion_order,
-            max_nodes=self.config.max_expanded_nodes,
-            snapshot=self.indexed_graph if use_indexed else None,
-        )
-        subgraph, candidate_hops = subgraph_builder.build(
-            initial_seeds, year_cutoff=year_cutoff, exclude_ids=exclude_ids
-        )
+        with stage("k_hop_expand") as span:
+            subgraph_builder = SubgraphBuilder(
+                self.graph,
+                expansion_order=self.config.expansion_order,
+                max_nodes=self.config.max_expanded_nodes,
+                snapshot=self.indexed_graph if use_indexed else None,
+            )
+            subgraph, candidate_hops = subgraph_builder.build(
+                initial_seeds, year_cutoff=year_cutoff, exclude_ids=exclude_ids
+            )
+            span.tag(nodes=subgraph.num_nodes, edges=subgraph.num_edges)
 
         # Step 4: seed reallocation by co-occurrence.
-        cooccurrence = cooccurrence_counts(self.graph, initial_seeds, candidate_hops)
-        reallocated = reallocate_seeds(
-            subgraph,
-            initial_seeds,
-            candidates=candidate_hops,
-            threshold=self.config.cooccurrence_threshold,
-        )
-        terminals = self._terminals(initial_seeds, reallocated)
+        with stage("seed_reallocation") as span:
+            cooccurrence = cooccurrence_counts(self.graph, initial_seeds, candidate_hops)
+            reallocated = reallocate_seeds(
+                subgraph,
+                initial_seeds,
+                candidates=candidate_hops,
+                threshold=self.config.cooccurrence_threshold,
+            )
+            terminals = self._terminals(initial_seeds, reallocated)
+            span.tag(num_reallocated=len(reallocated), num_terminals=len(terminals))
         if not terminals:
             raise PipelineError(f"no usable terminal papers for query {query!r}")
 
@@ -296,14 +303,16 @@ class RePaGerPipeline:
             tree = None
         else:
             # Step 5: NEWST Steiner tree and reading path.
-            prepared = (
-                self._prepared(frozenset(candidate_hops)) if use_indexed else None
-            )
-            edge_costs = (
-                prepared.edge_costs
-                if prepared is not None
-                else self.weight_builder.edge_costs(set(candidate_hops))
-            )
+            with stage("edge_relevance_slice") as span:
+                prepared = (
+                    self._prepared(frozenset(candidate_hops)) if use_indexed else None
+                )
+                edge_costs = (
+                    prepared.edge_costs
+                    if prepared is not None
+                    else self.weight_builder.edge_costs(set(candidate_hops))
+                )
+                span.tag(prepared_cache=prepared is not None)
             model = NewstModel(
                 config=self.config.newst,
                 use_node_weights=self.config.use_node_weights,
@@ -314,33 +323,39 @@ class RePaGerPipeline:
             if prepared is not None:
                 snapshot = prepared.snapshot
                 if prepared.bound_costs is None:
-                    edge_fn, node_fn = model.cost_functions(
-                        self.node_weights, edge_costs
-                    )
-                    prepared.bound_costs = snapshot.bind_costs(edge_fn, node_fn)
+                    with stage("cost_bind"):
+                        edge_fn, node_fn = model.cost_functions(
+                            self.node_weights, edge_costs
+                        )
+                        prepared.bound_costs = snapshot.bind_costs(edge_fn, node_fn)
                 costs = prepared.bound_costs
-            tree = model.solve(
-                subgraph,
-                terminals,
-                self.node_weights,
-                edge_costs,
-                snapshot=snapshot,
-                costs=costs,
-            )
-            relevance = self._relevance_scores(initial_seeds, cooccurrence)
-            padding = self._padding(
-                set(tree.nodes), relevance, candidate_hops, pad_to - len(tree.nodes)
-            )
-            result_path = build_reading_path(
-                query,
-                tree,
-                subgraph,
-                self.node_weights,
-                edge_costs=edge_costs,
-                seeds=terminals,
-                extra_papers=padding,
-                relevance=relevance,
-            )
+            with stage("steiner_solve") as span:
+                tree = model.solve(
+                    subgraph,
+                    terminals,
+                    self.node_weights,
+                    edge_costs,
+                    snapshot=snapshot,
+                    costs=costs,
+                )
+                span.tag(tree_nodes=len(tree.nodes), tree_edges=len(tree.edges))
+            with stage("padding") as span:
+                relevance = self._relevance_scores(initial_seeds, cooccurrence)
+                padding = self._padding(
+                    set(tree.nodes), relevance, candidate_hops, pad_to - len(tree.nodes)
+                )
+                span.tag(num_padding=len(padding))
+            with stage("ranking"):
+                result_path = build_reading_path(
+                    query,
+                    tree,
+                    subgraph,
+                    self.node_weights,
+                    edge_costs=edge_costs,
+                    seeds=terminals,
+                    extra_papers=padding,
+                    relevance=relevance,
+                )
 
         elapsed = time.perf_counter() - started
         return PipelineResult(
@@ -400,11 +415,13 @@ class RePaGerPipeline:
         core = list(dict.fromkeys([*reallocated, *initial_seeds]))
         core = [pid for pid in core if pid in self.graph]
         relevance = self._relevance_scores(initial_seeds, cooccurrence)
-        ranked_core = rank_path_papers(
-            core, self.node_weights, seeds=reallocated, relevance=relevance
-        )
-        padding = self._padding(set(ranked_core), relevance, candidate_hops,
-                                pad_to - len(ranked_core))
+        with stage("ranking"):
+            ranked_core = rank_path_papers(
+                core, self.node_weights, seeds=reallocated, relevance=relevance
+            )
+        with stage("padding"):
+            padding = self._padding(set(ranked_core), relevance, candidate_hops,
+                                    pad_to - len(ranked_core))
         path = ReadingPath(
             query=query,
             papers=tuple([*ranked_core, *padding]),

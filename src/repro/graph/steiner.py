@@ -26,6 +26,7 @@ from typing import Callable, Iterable, Mapping, Sequence
 from ..errors import DisconnectedTerminalsError, GraphError, NodeNotFoundError
 from .citation_graph import CitationGraph
 from .indexed import BoundCosts, IndexedGraph
+from ..obs.trace import stage
 from .kernels import indexed_metric_closure
 from .mst import minimum_spanning_tree
 from .shortest_paths import dijkstra
@@ -205,9 +206,11 @@ def node_edge_weighted_steiner_tree(
         )
 
     # Step 1: metric closure over the terminals.
-    distances, closure_paths = metric_closure(
-        graph, terminal_list, edge_cost, node_cost, snapshot=snapshot, costs=costs
-    )
+    with stage("metric_closure") as span:
+        distances, closure_paths = metric_closure(
+            graph, terminal_list, edge_cost, node_cost, snapshot=snapshot, costs=costs
+        )
+        span.tag(num_terminals=len(terminal_list), num_pairs=len(distances))
 
     connected_terminals = _largest_connected_terminal_group(terminal_list, distances)
     if len(connected_terminals) < len(terminal_list):

@@ -1,0 +1,53 @@
+"""Observability: lightweight tracing spans and structured event logs.
+
+The :mod:`repro.obs` package is deliberately dependency-free (stdlib only)
+and import-cycle-free: every other layer of the codebase — core pipeline,
+graph algorithms, serving, application facade — may import it, while it
+imports nothing from the rest of :mod:`repro`.
+
+Two primitives:
+
+``repro.obs.trace``
+    Spans (``trace_id``/``span_id``, parent links, stage tags) carried via
+    :mod:`contextvars`.  ``stage(name)`` is a context manager that is a
+    near-free no-op when no trace is active, so library code can be
+    instrumented unconditionally.  :class:`Tracer` keeps finished traces in
+    a bounded ring buffer (per-tenant capped) plus a separate slow-query
+    buffer.
+
+``repro.obs.events``
+    A structured event log for tenant lifecycle events (attach / detach /
+    evict / re-attach / quota-reject) with monotonic sequence numbers, kept
+    in a bounded in-memory deque and optionally appended to a JSONL file.
+"""
+
+from .events import EVENT_FIELDS, EVENT_TYPES, EventLog, read_event_records
+from .trace import (
+    Span,
+    Trace,
+    TraceContext,
+    Tracer,
+    current_trace,
+    handoff,
+    new_id,
+    set_enabled,
+    stage,
+    tracing_enabled,
+)
+
+__all__ = [
+    "EVENT_FIELDS",
+    "EVENT_TYPES",
+    "EventLog",
+    "read_event_records",
+    "Span",
+    "Trace",
+    "TraceContext",
+    "Tracer",
+    "current_trace",
+    "handoff",
+    "new_id",
+    "set_enabled",
+    "stage",
+    "tracing_enabled",
+]

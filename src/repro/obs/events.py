@@ -1,0 +1,136 @@
+"""Structured JSONL event log for tenant lifecycle events.
+
+Every record has the same shape (the schema the README documents and the CI
+smoke job validates)::
+
+    {"seq": 12, "ts": 1754550000.123456, "event": "corpus_attach",
+     "corpus": "alpha", "detail": {...}}
+
+* ``seq``    — monotonic sequence number, starts at 1, never reused within a
+  log instance (readers can detect gaps/restarts);
+* ``ts``     — UNIX epoch seconds (float);
+* ``event``  — one of :data:`EVENT_TYPES`;
+* ``corpus`` — tenant name, or ``null`` for app-level events;
+* ``detail`` — event-specific JSON object (may be empty).
+
+Events are kept in a bounded in-memory deque (for ``tail``-style queries)
+and, when a path is configured, appended to a JSONL file — one JSON object
+per line, flushed per event so ``repager tail --follow`` sees them promptly.
+Stdlib only; no intra-repo imports.
+"""
+
+from __future__ import annotations
+
+import io
+import json
+import threading
+import time
+from collections import deque
+from pathlib import Path
+from typing import Any, Iterator
+
+__all__ = ["EVENT_TYPES", "EVENT_FIELDS", "EventLog", "read_event_records"]
+
+#: The lifecycle events the serving layer emits.
+EVENT_TYPES = (
+    "corpus_attach",
+    "corpus_detach",
+    "corpus_evict",
+    "corpus_reattach",
+    "quota_reject",
+)
+
+#: Top-level keys of every event record, in emission order.
+EVENT_FIELDS = ("seq", "ts", "event", "corpus", "detail")
+
+
+class EventLog:
+    """Thread-safe, bounded event log with optional JSONL file sink."""
+
+    def __init__(
+        self,
+        path: str | Path | None = None,
+        *,
+        capacity: int = 2048,
+    ) -> None:
+        if capacity < 1:
+            raise ValueError("capacity must be >= 1")
+        self.path = Path(path) if path is not None else None
+        self.capacity = capacity
+        self._events: deque[dict[str, Any]] = deque(maxlen=capacity)
+        self._seq = 0
+        self._lock = threading.Lock()
+        self._file: io.TextIOBase | None = None
+        if self.path is not None:
+            self.path.parent.mkdir(parents=True, exist_ok=True)
+            self._file = self.path.open("a", encoding="utf-8")
+
+    # -- writing ----------------------------------------------------------
+
+    def emit(self, event: str, *, corpus: str | None = None, **detail: Any) -> dict[str, Any]:
+        """Record one event; returns the full record (with ``seq``/``ts``)."""
+        with self._lock:
+            self._seq += 1
+            record: dict[str, Any] = {
+                "seq": self._seq,
+                "ts": round(time.time(), 6),
+                "event": event,
+                "corpus": corpus,
+                "detail": detail,
+            }
+            self._events.append(record)
+            if self._file is not None and not self._file.closed:
+                self._file.write(json.dumps(record, sort_keys=False) + "\n")
+                self._file.flush()
+        return record
+
+    # -- reading ----------------------------------------------------------
+
+    def tail(
+        self,
+        limit: int = 100,
+        *,
+        event: str | None = None,
+        corpus: str | None = None,
+    ) -> list[dict[str, Any]]:
+        """The most recent matching events, oldest first."""
+        with self._lock:
+            events = list(self._events)
+        if event is not None:
+            events = [e for e in events if e["event"] == event]
+        if corpus is not None:
+            events = [e for e in events if e["corpus"] == corpus]
+        return events[-limit:]
+
+    @property
+    def last_seq(self) -> int:
+        with self._lock:
+            return self._seq
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._events)
+
+    def close(self) -> None:
+        with self._lock:
+            if self._file is not None and not self._file.closed:
+                self._file.close()
+
+
+def read_event_records(path: str | Path) -> Iterator[dict[str, Any]]:
+    """Parse a JSONL event-log file, skipping blank/corrupt lines.
+
+    Torn final lines (a writer mid-append) are tolerated rather than fatal,
+    which is what a ``tail`` CLI wants.
+    """
+    with Path(path).open("r", encoding="utf-8") as handle:
+        for line in handle:
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                record = json.loads(line)
+            except json.JSONDecodeError:
+                continue
+            if isinstance(record, dict):
+                yield record

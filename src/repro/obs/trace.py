@@ -1,0 +1,515 @@
+"""Lightweight per-query tracing spans.
+
+A :class:`Trace` is one query's span tree: a ``trace_id``, a request id, and
+a flat list of finished :class:`Span` records linked by ``parent_id``.  The
+active trace travels through the call stack via :mod:`contextvars`, so deep
+library code (pipeline stages, the Steiner solver) can open spans with the
+module-level :func:`stage` helper without threading a handle through every
+signature.  Thread pools do not inherit context automatically; callers that
+hop threads capture a :class:`TraceContext` with :func:`handoff` in the
+submitting thread and enter it inside the worker.
+
+Design constraints:
+
+* **Near-free when idle.**  ``stage()`` with no active trace returns a
+  shared no-op context manager — one ``ContextVar.get`` and no allocation —
+  so instrumentation never needs to be conditional at call sites and the
+  uninstrumented path stays within the benchmark overhead budget.
+* **Bounded memory.**  :class:`Tracer` keeps finished traces in a ring
+  buffer with a global and a per-tenant cap, plus a separate bounded buffer
+  retaining the full span tree of slow queries.
+* **Stdlib only, no intra-repo imports** — any layer may import this module.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+import uuid
+from collections import deque
+from contextvars import ContextVar
+from typing import Any, Callable, Iterator
+
+__all__ = [
+    "Span",
+    "Trace",
+    "TraceContext",
+    "Tracer",
+    "current_trace",
+    "handoff",
+    "new_id",
+    "set_enabled",
+    "stage",
+    "tracing_enabled",
+]
+
+
+def new_id() -> str:
+    """A fresh 16-hex-char identifier (trace ids, span ids, request ids)."""
+    return uuid.uuid4().hex[:16]
+
+
+#: The trace active in the current execution context (None outside a query).
+_ACTIVE_TRACE: ContextVar["Trace | None"] = ContextVar("repro_obs_trace", default=None)
+#: Span id of the innermost open span — the parent for the next `stage()`.
+_CURRENT_SPAN: ContextVar["str | None"] = ContextVar("repro_obs_span", default=None)
+
+#: Global kill switch.  When False, `Tracer.trace` yields None and `stage()`
+#: is a no-op even under an active trace; used by the overhead benchmark to
+#: measure the pre-instrumentation baseline.
+_ENABLED = True
+
+
+def set_enabled(flag: bool) -> None:
+    """Globally enable/disable tracing (used by benchmarks; default on)."""
+    global _ENABLED
+    _ENABLED = bool(flag)
+
+
+def tracing_enabled() -> bool:
+    return _ENABLED
+
+
+def current_trace() -> "Trace | None":
+    """The trace active in this execution context, if any."""
+    return _ACTIVE_TRACE.get()
+
+
+class Span:
+    """One finished stage of a trace (offsets are seconds from trace start)."""
+
+    __slots__ = ("span_id", "parent_id", "name", "start_seconds", "duration_seconds", "tags")
+
+    def __init__(
+        self,
+        name: str,
+        span_id: str,
+        parent_id: str | None,
+        start_seconds: float,
+        duration_seconds: float,
+        tags: dict[str, Any],
+    ) -> None:
+        self.name = name
+        self.span_id = span_id
+        self.parent_id = parent_id
+        self.start_seconds = start_seconds
+        self.duration_seconds = duration_seconds
+        self.tags = tags
+
+    def to_dict(self) -> dict[str, Any]:
+        data: dict[str, Any] = {
+            "span_id": self.span_id,
+            "parent_id": self.parent_id,
+            "name": self.name,
+            "start_seconds": round(self.start_seconds, 6),
+            "duration_seconds": round(self.duration_seconds, 6),
+        }
+        if self.tags:
+            data["tags"] = dict(self.tags)
+        return data
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Span({self.name!r}, {self.duration_seconds * 1e3:.2f}ms)"
+
+
+class Trace:
+    """One query's span tree plus trace-level metadata."""
+
+    __slots__ = (
+        "trace_id",
+        "request_id",
+        "name",
+        "corpus",
+        "tags",
+        "started_at",
+        "duration_seconds",
+        "status",
+        "error",
+        "slow",
+        "_t0",
+        "_spans",
+        "_lock",
+        "_finished",
+    )
+
+    def __init__(
+        self,
+        name: str,
+        *,
+        corpus: str | None = None,
+        request_id: str | None = None,
+        trace_id: str | None = None,
+    ) -> None:
+        self.trace_id = trace_id or new_id()
+        self.request_id = request_id or self.trace_id
+        self.name = name
+        self.corpus = corpus
+        self.tags: dict[str, Any] = {}
+        self.started_at = time.time()
+        self.duration_seconds = 0.0
+        self.status = "in_progress"
+        self.error: str | None = None
+        self.slow = False
+        self._t0 = time.perf_counter()
+        self._spans: list[Span] = []
+        self._lock = threading.Lock()
+        self._finished = False
+
+    # -- span recording ---------------------------------------------------
+
+    def add_span(
+        self,
+        name: str,
+        *,
+        start: float,
+        end: float,
+        parent_id: str | None = None,
+        tags: dict[str, Any] | None = None,
+    ) -> Span:
+        """Record a span from explicit ``perf_counter`` timestamps.
+
+        Used when the start time was captured in another thread (e.g. the
+        executor's queue-wait span, timed from the submitting thread).
+        """
+        span = Span(
+            name,
+            new_id(),
+            parent_id,
+            start_seconds=max(0.0, start - self._t0),
+            duration_seconds=max(0.0, end - start),
+            tags=dict(tags) if tags else {},
+        )
+        with self._lock:
+            self._spans.append(span)
+        return span
+
+    def spans(self) -> list[Span]:
+        """A snapshot of the finished spans, in completion order."""
+        with self._lock:
+            return list(self._spans)
+
+    def stage_names(self) -> set[str]:
+        return {span.name for span in self.spans()}
+
+    def finish(self, status: str = "ok", error: str | None = None) -> None:
+        if self._finished:
+            return
+        self._finished = True
+        self.duration_seconds = time.perf_counter() - self._t0
+        self.status = status
+        self.error = error
+
+    # -- serialization ----------------------------------------------------
+
+    def summary(self) -> dict[str, Any]:
+        data: dict[str, Any] = {
+            "trace_id": self.trace_id,
+            "request_id": self.request_id,
+            "name": self.name,
+            "corpus": self.corpus,
+            "started_at": round(self.started_at, 6),
+            "duration_seconds": round(self.duration_seconds, 6),
+            "status": self.status,
+            "slow": self.slow,
+            "num_spans": len(self.spans()),
+        }
+        if self.error:
+            data["error"] = self.error
+        if self.tags:
+            data["tags"] = dict(self.tags)
+        return data
+
+    def to_dict(self) -> dict[str, Any]:
+        data = self.summary()
+        data["spans"] = [span.to_dict() for span in self.spans()]
+        return data
+
+
+class _NullSpan:
+    """Shared no-op context manager returned when no trace is active."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> "_NullSpan":
+        return self
+
+    def __exit__(self, *exc: object) -> bool:
+        return False
+
+    def tag(self, **tags: Any) -> "_NullSpan":
+        return self
+
+
+_NULL_SPAN = _NullSpan()
+
+
+class _SpanHandle:
+    """Open span: context manager that records a :class:`Span` on exit."""
+
+    __slots__ = ("_trace", "_name", "_tags", "_parent", "_span_id", "_start", "_token")
+
+    def __init__(self, trace: Trace, name: str, tags: dict[str, Any]) -> None:
+        self._trace = trace
+        self._name = name
+        self._tags = tags
+        self._parent: str | None = None
+        self._span_id = ""
+        self._start = 0.0
+        self._token = None
+
+    def __enter__(self) -> "_SpanHandle":
+        self._parent = _CURRENT_SPAN.get()
+        self._span_id = new_id()
+        self._token = _CURRENT_SPAN.set(self._span_id)
+        self._start = time.perf_counter()
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        end = time.perf_counter()
+        if self._token is not None:
+            _CURRENT_SPAN.reset(self._token)
+        tags = self._tags
+        if exc_type is not None:
+            tags["error"] = exc_type.__name__
+        span = Span(
+            self._name,
+            self._span_id or new_id(),
+            self._parent,
+            start_seconds=max(0.0, self._start - self._trace._t0),
+            duration_seconds=max(0.0, end - self._start),
+            tags=tags,
+        )
+        with self._trace._lock:
+            self._trace._spans.append(span)
+        return False
+
+    def tag(self, **tags: Any) -> "_SpanHandle":
+        """Attach tags to the span (cheap; merged into the record on exit)."""
+        self._tags.update(tags)
+        return self
+
+
+def stage(name: str, **tags: Any):
+    """Open a named stage span under the active trace.
+
+    When no trace is active (or tracing is globally disabled) this returns a
+    shared no-op context manager: one ``ContextVar`` read, no allocation.
+    """
+    trace = _ACTIVE_TRACE.get()
+    if trace is None or not _ENABLED:
+        return _NULL_SPAN
+    return _SpanHandle(trace, name, dict(tags) if tags else {})
+
+
+class TraceContext:
+    """Captured (trace, current span) pair for explicit cross-thread handoff.
+
+    ``contextvars`` do not propagate into pre-existing pool threads, so the
+    submitting thread calls :func:`handoff` and ships the result with the
+    work item; the worker enters it to re-activate the trace.  Single use.
+    """
+
+    __slots__ = ("trace", "span_id", "_tokens")
+
+    def __init__(self, trace: Trace, span_id: str | None) -> None:
+        self.trace = trace
+        self.span_id = span_id
+        self._tokens = None
+
+    def __enter__(self) -> Trace:
+        self._tokens = (_ACTIVE_TRACE.set(self.trace), _CURRENT_SPAN.set(self.span_id))
+        return self.trace
+
+    def __exit__(self, *exc: object) -> bool:
+        if self._tokens is not None:
+            trace_token, span_token = self._tokens
+            _CURRENT_SPAN.reset(span_token)
+            _ACTIVE_TRACE.reset(trace_token)
+            self._tokens = None
+        return False
+
+
+def handoff() -> TraceContext | None:
+    """Capture the active trace for hand-off to another thread (or None)."""
+    trace = _ACTIVE_TRACE.get()
+    if trace is None or not _ENABLED:
+        return None
+    return TraceContext(trace, _CURRENT_SPAN.get())
+
+
+class _TraceHandle:
+    """Context manager yielded by :meth:`Tracer.trace`."""
+
+    __slots__ = ("_tracer", "_trace", "_tokens")
+
+    def __init__(self, tracer: "Tracer", trace: Trace | None) -> None:
+        self._tracer = tracer
+        self._trace = trace
+        self._tokens = None
+
+    def __enter__(self) -> Trace | None:
+        if self._trace is not None:
+            self._tokens = (_ACTIVE_TRACE.set(self._trace), _CURRENT_SPAN.set(None))
+        return self._trace
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        if self._trace is None:
+            return False
+        if self._tokens is not None:
+            trace_token, span_token = self._tokens
+            _CURRENT_SPAN.reset(span_token)
+            _ACTIVE_TRACE.reset(trace_token)
+            self._tokens = None
+        if exc_type is not None:
+            self._trace.finish("error", error=getattr(exc_type, "__name__", str(exc_type)))
+        else:
+            self._trace.finish("ok")
+        self._tracer.record(self._trace)
+        return False
+
+
+#: Bit flags tracking which Tracer buffers currently hold a trace, so the
+#: id index can be dropped exactly when the last buffer evicts it.
+_IN_RECENT = 1
+_IN_SLOW = 2
+
+
+class Tracer:
+    """Bounded in-memory store of finished traces.
+
+    * a ring buffer of recent traces, capped globally (``capacity``) and per
+      tenant (``per_tenant_capacity``) so one chatty corpus cannot evict
+      everyone else's history;
+    * a separate bounded buffer of *slow* traces — queries whose total
+      duration met ``slow_threshold_seconds`` keep their full span tree even
+      after falling out of the recent ring;
+    * an id index for ``GET /v1/traces/<trace_id>`` lookups.
+
+    ``on_finish`` (if given) is called with each finished trace outside the
+    store lock — the application layer uses it to feed per-stage latency
+    histograms.
+    """
+
+    def __init__(
+        self,
+        *,
+        capacity: int = 256,
+        per_tenant_capacity: int = 64,
+        slow_threshold_seconds: float = 2.0,
+        slow_capacity: int = 64,
+        on_finish: Callable[[Trace], None] | None = None,
+    ) -> None:
+        if capacity < 1:
+            raise ValueError("capacity must be >= 1")
+        if per_tenant_capacity < 1:
+            raise ValueError("per_tenant_capacity must be >= 1")
+        if slow_capacity < 0:
+            raise ValueError("slow_capacity must be >= 0")
+        if slow_threshold_seconds < 0:
+            raise ValueError("slow_threshold_seconds must be >= 0")
+        self.capacity = capacity
+        self.per_tenant_capacity = per_tenant_capacity
+        self.slow_threshold_seconds = slow_threshold_seconds
+        self.slow_capacity = slow_capacity
+        self.on_finish = on_finish
+        self._recent: deque[Trace] = deque()
+        self._slow: deque[Trace] = deque()
+        self._by_id: dict[str, Trace] = {}
+        self._flags: dict[str, int] = {}
+        self._tenant_counts: dict[str | None, int] = {}
+        self._lock = threading.Lock()
+
+    # -- creation ---------------------------------------------------------
+
+    def trace(
+        self,
+        name: str,
+        *,
+        corpus: str | None = None,
+        request_id: str | None = None,
+    ) -> _TraceHandle:
+        """Start a trace and activate it in the current context.
+
+        Yields the :class:`Trace` (or ``None`` when tracing is disabled);
+        on exit the trace is finished and recorded in the store.
+        """
+        if not _ENABLED:
+            return _TraceHandle(self, None)
+        return _TraceHandle(self, Trace(name, corpus=corpus, request_id=request_id))
+
+    # -- storage ----------------------------------------------------------
+
+    def _drop_flag(self, trace: Trace, flag: int) -> None:
+        remaining = self._flags.get(trace.trace_id, 0) & ~flag
+        if remaining:
+            self._flags[trace.trace_id] = remaining
+        else:
+            self._flags.pop(trace.trace_id, None)
+            self._by_id.pop(trace.trace_id, None)
+
+    def _evict_recent(self, trace: Trace) -> None:
+        self._recent.remove(trace)
+        count = self._tenant_counts.get(trace.corpus, 0) - 1
+        if count > 0:
+            self._tenant_counts[trace.corpus] = count
+        else:
+            self._tenant_counts.pop(trace.corpus, None)
+        self._drop_flag(trace, _IN_RECENT)
+
+    def record(self, trace: Trace) -> None:
+        """Store a finished trace (called by the trace handle on exit)."""
+        trace.slow = (
+            self.slow_capacity > 0
+            and trace.duration_seconds >= self.slow_threshold_seconds
+        )
+        with self._lock:
+            self._by_id[trace.trace_id] = trace
+            self._flags[trace.trace_id] = _IN_RECENT
+            self._recent.append(trace)
+            tenant = trace.corpus
+            self._tenant_counts[tenant] = self._tenant_counts.get(tenant, 0) + 1
+            if self._tenant_counts[tenant] > self.per_tenant_capacity:
+                oldest = next(t for t in self._recent if t.corpus == tenant)
+                self._evict_recent(oldest)
+            if len(self._recent) > self.capacity:
+                self._evict_recent(self._recent[0])
+            if trace.slow:
+                self._flags[trace.trace_id] = self._flags.get(trace.trace_id, 0) | _IN_SLOW
+                self._slow.append(trace)
+                if len(self._slow) > self.slow_capacity:
+                    dropped = self._slow.popleft()
+                    self._drop_flag(dropped, _IN_SLOW)
+        if self.on_finish is not None:
+            self.on_finish(trace)
+
+    # -- queries ----------------------------------------------------------
+
+    def _select(
+        self, buffer: deque[Trace], corpus: str | None, limit: int
+    ) -> list[Trace]:
+        with self._lock:
+            items: Iterator[Trace] = reversed(buffer)
+            if corpus is not None:
+                items = (t for t in items if t.corpus == corpus)
+            out = []
+            for t in items:
+                out.append(t)
+                if len(out) >= limit:
+                    break
+            return out
+
+    def recent(self, *, corpus: str | None = None, limit: int = 50) -> list[Trace]:
+        """Most recent traces, newest first (optionally one tenant's)."""
+        return self._select(self._recent, corpus, limit)
+
+    def slow(self, *, corpus: str | None = None, limit: int = 50) -> list[Trace]:
+        """Retained slow traces, newest first (optionally one tenant's)."""
+        return self._select(self._slow, corpus, limit)
+
+    def get(self, trace_id: str) -> Trace | None:
+        with self._lock:
+            return self._by_id.get(trace_id)
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._recent)

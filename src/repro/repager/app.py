@@ -54,6 +54,8 @@ from ..errors import (
     ServingError,
     UnknownVariantError,
 )
+from ..obs.events import EventLog
+from ..obs.trace import Trace, Tracer
 from ..serving.cache import ResultCache
 from ..serving.executor import BatchExecutor, QueryRequest, validate_query_body
 from ..serving.metrics import MetricsRegistry
@@ -102,6 +104,8 @@ class QueryOptions:
             base pipeline.
         use_cache: Cache policy — ``False`` bypasses the result cache for
             this request (lookup *and* store).
+        debug: When true, the response carries the query's full span tree
+            (per-stage timing breakdown) inline in its serving metadata.
     """
 
     query: str
@@ -109,8 +113,9 @@ class QueryOptions:
     exclude_ids: tuple[str, ...] = ()
     variant: str | None = None
     use_cache: bool = True
+    debug: bool = False
 
-    _FIELDS = ("query", "year_cutoff", "exclude_ids", "use_cache", "variant")
+    _FIELDS = ("query", "year_cutoff", "exclude_ids", "use_cache", "variant", "debug")
 
     @classmethod
     def from_dict(cls, payload: Mapping[str, Any]) -> "QueryOptions":
@@ -126,12 +131,16 @@ class QueryOptions:
             if not isinstance(variant, str):
                 raise RequestValidationError("'variant' must be a string or null")
             variant = normalize_variant(variant)
+        debug = body.get("debug", False)
+        if not isinstance(debug, bool):
+            raise RequestValidationError("'debug' must be a boolean")
         return cls(
             query=body["query"],
             year_cutoff=body["year_cutoff"],
             exclude_ids=body["exclude_ids"],
             variant=variant,
             use_cache=body["use_cache"],
+            debug=debug,
         )
 
     def to_request(self, corpus: str | None = None) -> QueryRequest:
@@ -143,12 +152,18 @@ class QueryOptions:
             use_cache=self.use_cache,
             corpus=corpus,
             variant=self.variant,
+            debug=self.debug,
         )
 
 
 @dataclass(frozen=True, slots=True)
 class QueryResponse:
-    """Typed response contract: the payload plus serving metadata."""
+    """Typed response contract: the payload plus serving metadata.
+
+    ``request_id`` correlates the response with the ``X-Request-Id`` header
+    and the trace store; ``trace`` carries the full span tree (per-stage
+    timing breakdown) when the request asked for ``debug: true``.
+    """
 
     payload: PathPayload
     corpus: str
@@ -156,15 +171,22 @@ class QueryResponse:
     cached: bool
     config_fingerprint: str
     served_in_seconds: float = 0.0
+    request_id: str | None = None
+    trace: Mapping[str, Any] | None = None
 
     def serving_meta(self) -> dict[str, Any]:
-        return {
+        meta: dict[str, Any] = {
             "corpus": self.corpus,
             "variant": self.variant,
             "cached": self.cached,
             "config_fingerprint": self.config_fingerprint,
             "served_in_seconds": self.served_in_seconds,
         }
+        if self.request_id is not None:
+            meta["request_id"] = self.request_id
+        if self.trace is not None:
+            meta["trace"] = dict(self.trace)
+        return meta
 
     def to_dict(self) -> dict[str, Any]:
         """The ``/v1`` response body: ``{"payload": ..., "serving": ...}``."""
@@ -210,6 +232,11 @@ class Tenant:
         self.attached_at = time.monotonic()
         self.last_used = self.attached_at
         self._variants: dict[str, RePaGerService] = {}
+        # Per-variant serving counters (queries answered, cache hits), keyed
+        # by the canonical variant label ("default" = no override).  Variant
+        # services share the base cache and metrics registry, so these are
+        # the only per-variant numbers available.
+        self._variant_stats: dict[str, dict[str, int]] = {}
         self._lock = threading.Lock()
 
     def touch(self) -> None:
@@ -271,9 +298,47 @@ class Tenant:
             service.pipeline.weight_builder.prime_edge_relevance(relevance)
         return service
 
+    def record_query(self, variant: str, cached: bool) -> None:
+        """Count one answered query against its variant label."""
+        with self._lock:
+            stats = self._variant_stats.setdefault(
+                variant, {"queries": 0, "cache_hits": 0}
+            )
+            stats["queries"] += 1
+            if cached:
+                stats["cache_hits"] += 1
+
     def variants_loaded(self) -> tuple[str, ...]:
         with self._lock:
             return tuple(sorted(self._variants))
+
+    def variant_report(self) -> dict[str, dict[str, Any]]:
+        """Per-variant serving detail: counters, fingerprint, cache entries.
+
+        Covers the base pipeline (``"default"``), every lazily instantiated
+        variant service, and any variant label that was queried but aliases
+        the base configuration (e.g. requesting ``"NEWST"`` on a NEWST-
+        configured tenant never instantiates a separate service).
+        """
+        with self._lock:
+            services = {DEFAULT_VARIANT: self.service, **self._variants}
+            stats = {label: dict(counts) for label, counts in self._variant_stats.items()}
+        report: dict[str, dict[str, Any]] = {}
+        for label in sorted(set(services) | set(stats)):
+            service = services.get(label, self.service)
+            counts = stats.get(label, {})
+            fingerprint = service.pipeline.config_fingerprint
+            entry: dict[str, Any] = {
+                "config_fingerprint": fingerprint,
+                "queries": counts.get("queries", 0),
+                "cache_hits": counts.get("cache_hits", 0),
+            }
+            if service.cache is not None:
+                entry["cache_entries"] = service.cache.entry_count(
+                    service.cache_namespace, fingerprint
+                )
+            report[label] = entry
+        return report
 
     def health(self) -> dict[str, Any]:
         """Per-tenant health: sizes, config fingerprint and readiness flags."""
@@ -298,6 +363,7 @@ class Tenant:
                 key: value for key, value in readiness.items() if key.endswith("_ready")
             },
             "variants_loaded": list(self.variants_loaded()),
+            "variants": self.variant_report(),
             "overrides": self.overrides.to_dict() if self.overrides else None,
             "snapshot_path": self.snapshot_path,
             "idle_seconds": max(0.0, time.monotonic() - self.last_used),
@@ -605,6 +671,20 @@ class RePaGerApp:
             max_entries=self.config.cache_max_entries,
             ttl_seconds=self.config.cache_ttl_seconds,
         )
+        obs = self.config.obs
+        #: Lifecycle event log (attach/detach/evict/re-attach/quota-reject).
+        #: Created before the executor so ``BatchExecutor.from_app`` can wire
+        #: quota rejections into it.
+        self.events = EventLog(obs.event_log_path, capacity=obs.event_log_capacity)
+        #: Bounded trace store behind ``GET /v1/traces``; finished traces
+        #: also feed the per-stage latency histograms on ``/v1/metrics``.
+        self.tracer = Tracer(
+            capacity=obs.trace_capacity,
+            per_tenant_capacity=obs.trace_per_tenant,
+            slow_threshold_seconds=obs.slow_trace_seconds,
+            slow_capacity=obs.slow_trace_capacity,
+            on_finish=self._observe_trace,
+        )
         self.executor = executor or BatchExecutor.from_app(
             self,
             max_workers=self.config.max_workers,
@@ -629,6 +709,7 @@ class RePaGerApp:
         overrides: TenantOverrides | None = None,
         corpus_dir: str | None = None,
         snapshot_path: str | None = None,
+        lifecycle_event: str | None = "corpus_attach",
     ) -> Tenant:
         """Attach a pre-built service as a tenant.
 
@@ -642,6 +723,10 @@ class RePaGerApp:
         ``overrides`` is resolved here, at attach time: the cache-TTL
         override lands on the service, and the quota/timeout overrides are
         installed into the shared executor under this tenant's namespace.
+
+        ``lifecycle_event`` names the event-log entry the attach emits
+        (``None`` suppresses it — the re-attach path emits its own
+        ``corpus_reattach`` instead).
         """
         if service.metrics is None:
             service.metrics = MetricsRegistry(self.config.max_latency_samples)
@@ -659,6 +744,16 @@ class RePaGerApp:
             snapshot_path=snapshot_path,
         )
         self._configure_executor_tenant(name, service, overrides)
+        if lifecycle_event is not None:
+            # Stub services in tests may not carry a corpus store.
+            store = getattr(service, "store", None)
+            self.events.emit(
+                lifecycle_event,
+                corpus=name,
+                source=source,
+                default=default,
+                papers=len(store) if store is not None else None,
+            )
         return tenant
 
     def _configure_executor_tenant(
@@ -766,12 +861,14 @@ class RePaGerApp:
             # Evicted tenants already dropped their cache namespace; the
             # executor accounting goes with the final detach.
             self._drop_executor_tenant(name)
+            self.events.emit("corpus_detach", corpus=name, resident=False)
             return None
         # The tenant's cache entries can never be hit again (the namespace is
         # gone), so free them eagerly when the cache is the app-shared one.
         if tenant.service.cache is self.cache:
             self.cache.drop_namespace(name)
         self._drop_executor_tenant(name)
+        self.events.emit("corpus_detach", corpus=name, resident=True)
         return tenant
 
     def _drop_executor_tenant(self, name: str) -> None:
@@ -821,6 +918,12 @@ class RePaGerApp:
             record = self.registry.evict(name, snapshot_path)
             if tenant.service.cache is self.cache:
                 self.cache.drop_namespace(name)
+            self.events.emit(
+                "corpus_evict",
+                corpus=name,
+                snapshot_path=snapshot_path,
+                was_default=record.default,
+            )
             return record
 
     def _snapshot_directory(self) -> str:
@@ -876,6 +979,13 @@ class RePaGerApp:
                 overrides=record.overrides,
                 corpus_dir=record.corpus_dir,
                 snapshot_path=record.snapshot_path,
+                lifecycle_event=None,
+            )
+            self.events.emit(
+                "corpus_reattach",
+                corpus=name,
+                from_snapshot=record.snapshot_path is not None,
+                snapshot_path=record.snapshot_path,
             )
         # Re-attaching may itself push the process past the resident limit.
         self.enforce_resident_limit(protect=name)
@@ -922,12 +1032,15 @@ class RePaGerApp:
         self,
         options: "QueryOptions | Mapping[str, Any] | str",
         corpus: str | None = None,
+        request_id: str | None = None,
     ) -> QueryResponse:
         """Answer one query through the shared bounded executor.
 
         ``options`` may be a :class:`QueryOptions`, a raw JSON-style mapping
         (validated strictly) or a bare query string.  ``corpus`` selects the
-        tenant (``None`` = default).
+        tenant (``None`` = default).  ``request_id`` correlates the trace
+        with a caller-supplied id (the HTTP layer's ``X-Request-Id``); when
+        omitted the trace id doubles as the request id.
 
         Raises errors from the shared taxonomy: :class:`CorpusNotFoundError`,
         :class:`~repro.errors.RequestValidationError`,
@@ -940,31 +1053,51 @@ class RePaGerApp:
             options = QueryOptions.from_dict(options)
         tenant = self._resolve_tenant(corpus)
         started = time.perf_counter()
-        response = self.executor.run_one(options.to_request(tenant.name))
-        if not isinstance(response, QueryResponse):
-            # A caller-supplied executor with the pre-registry handler
-            # contract (BatchExecutor.from_service) returns the bare payload
-            # of the one service it wraps; it cannot honour per-request
-            # variant overrides or corpus routing, so reject rather than
-            # mislabel that service's output as another tenant/ablation.
-            if options.variant is not None:
-                raise ServingError(
-                    "the configured executor does not support per-request "
-                    "pipeline variants"
+        trace_obj: Trace | None = None
+        with self.tracer.trace(
+            "query", corpus=tenant.name, request_id=request_id
+        ) as trace:
+            trace_obj = trace
+            if trace is not None:
+                trace.tags["query"] = options.query
+            response = self.executor.run_one(options.to_request(tenant.name))
+            if not isinstance(response, QueryResponse):
+                # A caller-supplied executor with the pre-registry handler
+                # contract (BatchExecutor.from_service) returns the bare
+                # payload of the one service it wraps; it cannot honour
+                # per-request variant overrides or corpus routing, so reject
+                # rather than mislabel that service's output as another
+                # tenant/ablation.
+                if options.variant is not None:
+                    raise ServingError(
+                        "the configured executor does not support per-request "
+                        "pipeline variants"
+                    )
+                if tenant.name != self.registry.default_name:
+                    raise ServingError(
+                        "the configured executor serves only the default tenant; "
+                        f"it cannot route to corpus {tenant.name!r}"
+                    )
+                response = QueryResponse(
+                    payload=response,
+                    corpus=tenant.name,
+                    variant=DEFAULT_VARIANT,
+                    cached=False,
+                    config_fingerprint=tenant.service.pipeline.config_fingerprint,
                 )
-            if tenant.name != self.registry.default_name:
-                raise ServingError(
-                    "the configured executor serves only the default tenant; "
-                    f"it cannot route to corpus {tenant.name!r}"
-                )
-            response = QueryResponse(
-                payload=response,
-                corpus=tenant.name,
-                variant=DEFAULT_VARIANT,
-                cached=False,
-                config_fingerprint=tenant.service.pipeline.config_fingerprint,
-            )
-        return replace(response, served_in_seconds=time.perf_counter() - started)
+            if trace is not None:
+                trace.tags["variant"] = response.variant
+                trace.tags["cached"] = response.cached
+        updates: dict[str, Any] = {
+            "served_in_seconds": time.perf_counter() - started
+        }
+        if trace_obj is not None:
+            updates["request_id"] = trace_obj.request_id
+            if options.debug:
+                updates["trace"] = trace_obj.to_dict()
+        elif request_id is not None:
+            updates["request_id"] = request_id
+        return replace(response, **updates)
 
     def handle_request(self, request: QueryRequest) -> QueryResponse:
         """Executor handler: route a request to its tenant (and variant).
@@ -981,12 +1114,14 @@ class RePaGerApp:
             exclude_ids=request.exclude_ids,
             use_cache=request.use_cache,
         )
+        variant = (
+            normalize_variant(request.variant) if request.variant else DEFAULT_VARIANT
+        )
+        tenant.record_query(variant, cached)
         return QueryResponse(
             payload=payload,
             corpus=tenant.name,
-            variant=normalize_variant(request.variant)
-            if request.variant
-            else DEFAULT_VARIANT,
+            variant=variant,
             cached=cached,
             config_fingerprint=service.pipeline.config_fingerprint,
         )
@@ -996,6 +1131,45 @@ class RePaGerApp:
         return self._resolve_tenant(corpus).service.paper_details(paper_id)
 
     # -- observability -----------------------------------------------------------
+
+    def _observe_trace(self, trace: Trace) -> None:
+        """Feed a finished trace's spans into per-stage latency histograms.
+
+        Runs as the tracer's ``on_finish`` hook.  Observations land in the
+        owning tenant's metrics registry (so ``/v1/metrics`` labels them with
+        ``corpus="<name>"``); traces whose tenant is gone (detached/evicted
+        mid-flight) fall back to the app registry rather than resurrecting a
+        dropped label.
+        """
+        registry = self.metrics
+        if trace.corpus is not None:
+            try:
+                tenant_metrics = self.registry.get(trace.corpus).service.metrics
+            except CorpusNotFoundError:
+                tenant_metrics = None
+            if tenant_metrics is not None:
+                registry = tenant_metrics
+        for span in trace.spans():
+            registry.observe(f"stage_{span.name}_seconds", span.duration_seconds)
+
+    def traces(
+        self,
+        corpus: str | None = None,
+        limit: int = 50,
+        slow: bool = False,
+    ) -> list[dict[str, Any]]:
+        """Trace summaries for ``GET /v1/traces`` (newest first).
+
+        ``slow=True`` reads the dedicated slow-query buffer instead of the
+        recent ring.
+        """
+        source = self.tracer.slow if slow else self.tracer.recent
+        return [trace.summary() for trace in source(corpus=corpus, limit=limit)]
+
+    def trace_detail(self, trace_id: str) -> dict[str, Any] | None:
+        """Full span tree of one stored trace, or ``None`` if unknown."""
+        trace = self.tracer.get(trace_id)
+        return trace.to_dict() if trace is not None else None
 
     def corpora(self) -> list[dict[str, Any]]:
         """Descriptor list for ``GET /v1/corpora`` (resident *and* evicted)."""
@@ -1095,13 +1269,24 @@ class RePaGerApp:
                 for k, v in self.cache.stats().to_dict().items()
             }
             parts.append(self.metrics.render_text(extra_gauges=shared))
-        return "".join(parts)
+        # Concatenated per-tenant renders repeat each family's HELP/TYPE
+        # preamble; keep only the first occurrence of every comment line.
+        seen_comments: set[str] = set()
+        lines: list[str] = []
+        for line in "".join(parts).splitlines():
+            if line.startswith("#"):
+                if line in seen_comments:
+                    continue
+                seen_comments.add(line)
+            lines.append(line)
+        return "\n".join(lines) + "\n" if lines else ""
 
     # -- lifecycle ---------------------------------------------------------------
 
     def close(self, wait: bool = True) -> None:
         """Shut down the shared executor and drop any eviction snapshots."""
         self.executor.shutdown(wait=wait)
+        self.events.close()
         if self._snapshot_dir is not None:
             shutil.rmtree(self._snapshot_dir, ignore_errors=True)
             self._snapshot_dir = None

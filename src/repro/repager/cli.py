@@ -1,11 +1,12 @@
 """Command-line interface for the RePaGer reproduction.
 
-Four subcommands cover the typical workflow::
+Five subcommands cover the typical workflow::
 
     repager generate-corpus --output data/corpus          # build the synthetic corpus
     repager build-surveybank --corpus data/corpus -o data/surveybank.jsonl
     repager query "pretrained language models" --corpus data/corpus
     repager serve --corpus data/corpus --port 8080        # HTTP JSON API
+    repager tail events.jsonl --follow                    # follow the event log
 
 ``serve`` is multi-tenant: repeat ``--corpus NAME=DIR`` to host several
 corpora in one process behind the versioned ``/v1`` HTTP API, and pick the
@@ -23,18 +24,21 @@ from __future__ import annotations
 import argparse
 import json
 import sys
+import time
 from pathlib import Path
 
 from ..config import (
     DEFAULT_GRAPH_BACKEND,
     GRAPH_BACKENDS,
     CorpusConfig,
+    ObsConfig,
     PipelineConfig,
     ServingConfig,
     TenantOverrides,
     TenantQuota,
 )
 from ..errors import ConfigurationError
+from ..obs.events import EVENT_TYPES, read_event_records
 from ..corpus.generator import CorpusGenerator
 from ..corpus.storage import CorpusStore
 from ..dataset.surveybank import SurveyBank
@@ -144,6 +148,39 @@ def build_parser() -> argparse.ArgumentParser:
         "--graph-backend", choices=GRAPH_BACKENDS, default=DEFAULT_GRAPH_BACKEND,
         help="graph core for PageRank and the NEWST metric closure",
     )
+    serve.add_argument(
+        "--event-log", default=None, metavar="PATH",
+        help="append structured lifecycle events (attach/detach/evict/"
+             "re-attach/quota-reject) as JSONL to PATH; follow with "
+             "'repager tail PATH -f'",
+    )
+    serve.add_argument(
+        "--slow-trace", type=float, default=2.0, metavar="SECONDS",
+        help="queries slower than this keep their full span tree in the "
+             "slow-trace buffer behind GET /v1/traces",
+    )
+
+    tail = subparsers.add_parser(
+        "tail", help="print (and optionally follow) a serve --event-log JSONL file"
+    )
+    tail.add_argument("path", help="event-log file written by 'repager serve --event-log'")
+    tail.add_argument(
+        "--lines", "-n", type=int, default=20,
+        help="number of historical events to print before following",
+    )
+    tail.add_argument(
+        "--follow", "-f", action="store_true",
+        help="keep the file open and stream newly appended events",
+    )
+    tail.add_argument(
+        "--event", choices=EVENT_TYPES, default=None,
+        help="only show events of this type",
+    )
+    tail.add_argument("--corpus", default=None, help="only show events of this corpus")
+    tail.add_argument(
+        "--interval", type=float, default=0.5,
+        help="poll interval in seconds while following",
+    )
 
     return parser
 
@@ -238,6 +275,57 @@ def _parse_quota_spec(spec: str, name: str) -> TenantQuota:
         raise SystemExit(f"--quota {name}={spec!r}: {exc}") from None
 
 
+def _cmd_tail(args: argparse.Namespace) -> int:
+    path = Path(args.path)
+    if not path.exists() and not args.follow:
+        raise SystemExit(f"event log {path} does not exist (use --follow to wait for it)")
+
+    def matches(record: dict) -> bool:
+        if args.event and record.get("event") != args.event:
+            return False
+        if args.corpus and record.get("corpus") != args.corpus:
+            return False
+        return True
+
+    offset = 0
+    if path.exists():
+        selected = [record for record in read_event_records(path) if matches(record)]
+        for record in selected[-args.lines:] if args.lines > 0 else []:
+            print(json.dumps(record), flush=True)
+        offset = path.stat().st_size
+    if not args.follow:
+        return 0
+    try:
+        while True:
+            if path.exists():
+                size = path.stat().st_size
+                if size < offset:
+                    offset = 0  # truncated or rotated: start from the top
+                if size > offset:
+                    with path.open("rb") as handle:
+                        handle.seek(offset)
+                        chunk = handle.read()
+                    # Only consume complete lines; a writer may be mid-append.
+                    cut = chunk.rfind(b"\n")
+                    if cut >= 0:
+                        consumed = chunk[: cut + 1]
+                        offset += len(consumed)
+                        for line in consumed.decode("utf-8", "replace").splitlines():
+                            line = line.strip()
+                            if not line:
+                                continue
+                            try:
+                                record = json.loads(line)
+                            except json.JSONDecodeError:
+                                continue
+                            if isinstance(record, dict) and matches(record):
+                                print(json.dumps(record), flush=True)
+            time.sleep(args.interval)
+    except KeyboardInterrupt:
+        pass
+    return 0
+
+
 def _cmd_serve(args: argparse.Namespace) -> int:
     serving_config = ServingConfig(
         host=args.host,
@@ -251,6 +339,10 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         max_body_bytes=args.max_body_bytes,
         default_corpus=args.default_corpus,
         max_resident_corpora=args.max_resident,
+        obs=ObsConfig(
+            event_log_path=args.event_log,
+            slow_trace_seconds=args.slow_trace,
+        ),
     )
     pipeline_config = PipelineConfig(
         num_seeds=args.seeds, graph_backend=args.graph_backend
@@ -359,6 +451,7 @@ def main(argv: list[str] | None = None) -> int:
         "build-surveybank": _cmd_build_surveybank,
         "query": _cmd_query,
         "serve": _cmd_serve,
+        "tail": _cmd_tail,
     }
     return handlers[args.command](args)
 

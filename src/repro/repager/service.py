@@ -19,6 +19,7 @@ from ..corpus.generator import CorpusGenerator, GeneratedCorpus
 from ..corpus.storage import CorpusStore
 from ..core.pipeline import PipelineResult, RePaGerPipeline
 from ..graph.citation_graph import CitationGraph
+from ..obs.trace import stage
 from ..search.engine import SearchEngine
 from ..search.scholar import GoogleScholarEngine
 from ..serving.cache import ResultCache, make_query_key
@@ -146,14 +147,16 @@ class RePaGerService:
         started = time.perf_counter()
         key = None
         if self.cache is not None and use_cache:
-            key = make_query_key(
-                text,
-                year_cutoff,
-                exclude_ids,
-                self.pipeline.config_fingerprint,
-                namespace=self.cache_namespace,
-            )
-            cached = self.cache.get(key)
+            with stage("cache_lookup") as span:
+                key = make_query_key(
+                    text,
+                    year_cutoff,
+                    exclude_ids,
+                    self.pipeline.config_fingerprint,
+                    namespace=self.cache_namespace,
+                )
+                cached = self.cache.get(key)
+                span.tag(hit=cached is not None)
             if cached is not None:
                 self._observe(started, cached=True)
                 if cached.query != text:
@@ -162,12 +165,15 @@ class RePaGerService:
                     return replace(cached, query=text), True
                 return cached, True
 
-        result = self.pipeline.generate(
-            text, year_cutoff=year_cutoff, exclude_ids=exclude_ids
-        )
-        payload = self._payload(result)
-        if key is not None:
-            self.cache.put(key, payload, ttl_seconds=self.cache_ttl_seconds)
+        with stage("pipeline") as span:
+            result = self.pipeline.generate(
+                text, year_cutoff=year_cutoff, exclude_ids=exclude_ids
+            )
+            span.tag(pipeline_seconds=round(result.elapsed_seconds, 6))
+        with stage("payload_assembly"):
+            payload = self._payload(result)
+            if key is not None:
+                self.cache.put(key, payload, ttl_seconds=self.cache_ttl_seconds)
         self._observe(started, cached=False, pipeline_seconds=result.elapsed_seconds)
         return payload, False
 

@@ -187,6 +187,25 @@ class ResultCache:
                 del self._entries[key]
             return len(doomed)
 
+    def entry_count(self, namespace: str, fingerprint: str | None = None) -> int:
+        """Live (unexpired) entries of one namespace, optionally one config.
+
+        ``fingerprint`` narrows the count to entries stored under one
+        pipeline-configuration fingerprint — the per-variant cache occupancy
+        surfaced by ``GET /v1/corpora/<name>`` (variant services share the
+        tenant's namespace but key entries under their own fingerprint).
+        Non-mutating: expired entries are skipped, not dropped.
+        """
+        with self._lock:
+            now = self._clock()
+            return sum(
+                1
+                for key, (_, expires_at) in self._entries.items()
+                if key[0] == namespace
+                and expires_at > now
+                and (fingerprint is None or key[4] == fingerprint)
+            )
+
     def stats(self) -> CacheStats:
         """Consistent snapshot of the cache counters."""
         with self._lock:

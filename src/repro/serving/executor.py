@@ -45,9 +45,12 @@ from ..errors import (
     UnknownFieldsError,
     error_payload,
 )
+from ..obs.trace import handoff, stage
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard, types only
     from ..config import TenantQuota
+    from ..obs.events import EventLog
+    from ..obs.trace import TraceContext
     from .metrics import MetricsRegistry
 
 __all__ = [
@@ -116,18 +119,23 @@ class QueryRequest:
     use_cache: bool = True
     corpus: str | None = None
     variant: str | None = None
+    debug: bool = False
 
-    _FIELDS = ("query", "year_cutoff", "exclude_ids", "use_cache")
+    _FIELDS = ("query", "year_cutoff", "exclude_ids", "use_cache", "debug")
 
     @classmethod
     def from_dict(cls, payload: dict[str, Any]) -> "QueryRequest":
         """Build a request from a JSON body, rejecting unknown fields."""
         body = validate_query_body(payload, cls._FIELDS)
+        debug = body.get("debug", False)
+        if not isinstance(debug, bool):
+            raise RequestValidationError("'debug' must be a boolean")
         return cls(
             text=body["query"],
             year_cutoff=body["year_cutoff"],
             exclude_ids=body["exclude_ids"],
             use_cache=body["use_cache"],
+            debug=debug,
         )
 
 
@@ -193,10 +201,12 @@ class BatchExecutor:
         queue_depth: Admitted-but-waiting queries allowed beyond the workers.
         timeout_seconds: Per-query deadline (``None`` disables timeouts).
         metrics: Optional :class:`MetricsRegistry` receiving executor counters
-            (submitted/completed/errors/rejected/timeouts) and the in-flight
-            gauge.
+            (submitted/completed/errors/rejected/timeouts), the queue-wait
+            histogram and the in-flight gauge.
         clock: Monotonic time source for token-bucket quotas (injectable for
             deterministic tests).
+        events: Optional :class:`~repro.obs.events.EventLog` receiving
+            ``quota_reject`` lifecycle events.
     """
 
     def __init__(
@@ -207,6 +217,7 @@ class BatchExecutor:
         timeout_seconds: float | None = None,
         metrics: "MetricsRegistry | None" = None,
         clock: Callable[[], float] = time.monotonic,
+        events: "EventLog | None" = None,
     ) -> None:
         if max_workers < 1:
             raise ValueError("max_workers must be >= 1")
@@ -219,6 +230,7 @@ class BatchExecutor:
         self.queue_depth = queue_depth
         self.timeout_seconds = timeout_seconds
         self.metrics = metrics
+        self.events = events
         self._clock = clock
         self._slots = threading.BoundedSemaphore(max_workers + queue_depth)
         self._pool = ThreadPoolExecutor(
@@ -277,6 +289,7 @@ class BatchExecutor:
             queue_depth=queue_depth,
             timeout_seconds=timeout_seconds,
             metrics=metrics,
+            events=getattr(app, "events", None),
         )
 
     # -- per-tenant quotas -------------------------------------------------------
@@ -380,6 +393,13 @@ class BatchExecutor:
         if state.metrics is not None:
             state.metrics.increment("quota_rejected_total")
         self._count("executor_quota_rejected_total")
+        if self.events is not None:
+            self.events.emit(
+                "quota_reject",
+                corpus=namespace or None,
+                reason=reason,
+                retry_after_seconds=round(retry_after, 3),
+            )
         return TenantQuotaExceededError(namespace, reason, retry_after)
 
     def _release_tenant(
@@ -416,7 +436,8 @@ class BatchExecutor:
         """
         if self._shutdown:
             raise RuntimeError("executor has been shut down")
-        state = self._admit_tenant(request)
+        with stage("quota_admission"):
+            state = self._admit_tenant(request)
         if not self._slots.acquire(blocking=False):
             self._release_tenant(state, refund_token=True)
             self._count("executor_rejected_total")
@@ -435,8 +456,12 @@ class BatchExecutor:
         # that actually entered the pool.
         if state is not None and state.metrics is not None:
             state.metrics.increment("quota_admitted_total")
+        # Worker threads do not inherit contextvars; capture the active trace
+        # here (the submitting thread) and re-activate it inside the worker.
+        trace_ctx = handoff()
+        enqueued = time.perf_counter()
         try:
-            future = self._pool.submit(self._run, request, state)
+            future = self._pool.submit(self._run, request, state, trace_ctx, enqueued)
         except BaseException:
             self._slots.release()
             self._release_tenant(state, refund_token=True)
@@ -446,7 +471,20 @@ class BatchExecutor:
         )
         return future
 
-    def _run(self, request: QueryRequest, state: _TenantState | None = None) -> Any:
+    def _run(
+        self,
+        request: QueryRequest,
+        state: _TenantState | None = None,
+        trace_ctx: "TraceContext | None" = None,
+        enqueued: float | None = None,
+    ) -> Any:
+        entered = time.perf_counter()
+        if enqueued is not None:
+            wait = max(0.0, entered - enqueued)
+            if self.metrics is not None:
+                self.metrics.observe("queue_wait_seconds", wait)
+            if state is not None and state.metrics is not None:
+                state.metrics.observe("queue_wait_seconds", wait)
         if self.metrics is not None:
             self.metrics.gauge_add("in_flight", 1.0)
         tenant_metrics = state.metrics if state is not None else None
@@ -456,6 +494,16 @@ class BatchExecutor:
         if tenant_metrics is not None:
             tenant_metrics.gauge_add("in_flight", 1.0)
         try:
+            if trace_ctx is not None:
+                with trace_ctx as trace:
+                    if enqueued is not None:
+                        trace.add_span(
+                            "queue_wait",
+                            start=enqueued,
+                            end=entered,
+                            parent_id=trace_ctx.span_id,
+                        )
+                    return self.handler(request)
             return self.handler(request)
         finally:
             if state is not None:

@@ -30,7 +30,23 @@ named corpora behind a versioned ``/v1`` surface:
 ``GET /metrics`` (also ``/v1/metrics``)    Prometheus-style text metrics,
                                            per-corpus series labelled
                                            ``corpus="<name>"``.
+``GET /v1/traces``                         Recent and slow query traces
+                                           (summaries), filterable with
+                                           ``?corpus=`` / ``?limit=``.
+``GET /v1/traces/<trace_id>``              Full span tree of one stored
+                                           trace (404 ``trace_not_found``
+                                           once it rolls off the buffer).
+``GET /v1/events``                         Recent structured lifecycle
+                                           events (attach/detach/evict/
+                                           re-attach/quota-reject),
+                                           filterable with ``?event=`` /
+                                           ``?corpus=`` / ``?limit=``.
 =========================================  ===================================
+
+Every response carries an ``X-Request-Id`` header — the caller's own header
+value when one was sent, a freshly minted id otherwise — and query responses
+repeat it in ``serving.request_id`` so clients can correlate a payload with
+its trace on ``/v1/traces/<trace_id>``.
 
 The pre-``/v1`` single-corpus routes are kept as thin aliases onto the
 registry's default tenant and answer with a ``Deprecation`` header plus a
@@ -63,6 +79,7 @@ import threading
 import time
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from typing import TYPE_CHECKING, Any
+from urllib.parse import parse_qs
 
 from ..config import ServingConfig, TenantOverrides
 from ..errors import (
@@ -75,6 +92,7 @@ from ..errors import (
     UnknownFieldsError,
     error_payload,
 )
+from ..obs.trace import new_id
 from .metrics import MetricsRegistry
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard, types only
@@ -197,7 +215,13 @@ class _Handler(BaseHTTPRequestHandler):
         self._dispatch("DELETE")
 
     def _dispatch(self, method: str) -> None:
-        path = self.path.split("?", 1)[0]
+        path, _, query_string = self.path.partition("?")
+        self._query_params = parse_qs(query_string) if query_string else {}
+        # Honour a caller-supplied correlation id (bounded so a hostile
+        # header cannot bloat traces/logs); mint one otherwise.  Every
+        # response carries it back via ``X-Request-Id`` in ``_send_bytes``.
+        incoming = (self.headers.get("X-Request-Id") or "").strip()
+        self.request_id = incoming[:128] or new_id()
         segments = [part for part in path.split("/") if part]
         try:
             self._route(method, segments)
@@ -218,6 +242,15 @@ class _Handler(BaseHTTPRequestHandler):
                 return
             if versioned and tail == ["corpora"]:
                 self._send_json(200, {"corpora": app.corpora()})
+                return
+            if versioned and tail == ["traces"]:
+                self._traces()
+                return
+            if versioned and len(tail) == 2 and tail[0] == "traces":
+                self._trace_detail(tail[1])
+                return
+            if versioned and tail == ["events"]:
+                self._events()
                 return
             if versioned and len(tail) == 2 and tail[0] == "corpora":
                 self._send_json(200, app.health(tail[1]))
@@ -294,19 +327,60 @@ class _Handler(BaseHTTPRequestHandler):
         from ..repager.app import QueryOptions  # runtime import: module cycle
 
         options = QueryOptions.from_dict(self._read_json())
-        response = self.server.app.query(options, corpus=corpus)
+        response = self.server.app.query(
+            options, corpus=corpus, request_id=self.request_id
+        )
         self._send_json(200, response.to_dict())
 
     def _legacy_query(self) -> None:
         from ..repager.app import QueryOptions  # runtime import: module cycle
 
         options = QueryOptions.from_dict(self._read_json())
-        response = self.server.app.query(options)
+        response = self.server.app.query(options, request_id=self.request_id)
         self._send_json(
             200,
             response.to_legacy_dict(),
             extra_headers=self._deprecation_headers("query"),
         )
+
+    def _traces(self) -> None:
+        app = self.server.app
+        corpus = self._param("corpus")
+        limit = self._int_param("limit", 50)
+        body = {
+            "traces": app.traces(corpus=corpus, limit=limit),
+            "slow": app.traces(corpus=corpus, limit=limit, slow=True),
+            "slow_threshold_seconds": app.tracer.slow_threshold_seconds,
+        }
+        self._send_json(200, body)
+
+    def _trace_detail(self, trace_id: str) -> None:
+        detail = self.server.app.trace_detail(trace_id)
+        if detail is None:
+            self._send_json(
+                404,
+                {
+                    "error": "trace_not_found",
+                    "code": "trace_not_found",
+                    "http_status": 404,
+                    "detail": f"no stored trace with id {trace_id!r}",
+                    "trace_id": trace_id,
+                },
+            )
+            return
+        self._send_json(200, detail)
+
+    def _events(self) -> None:
+        events = self.server.app.events
+        body = {
+            "events": events.tail(
+                self._int_param("limit", 100),
+                event=self._param("event"),
+                corpus=self._param("corpus"),
+            ),
+            "last_seq": events.last_seq,
+        }
+        self._send_json(200, body)
 
     def _attach(self) -> None:
         from ..serving.warmup import ArtifactSnapshot, warm_up
@@ -387,6 +461,24 @@ class _Handler(BaseHTTPRequestHandler):
 
     # -- plumbing ----------------------------------------------------------------
 
+    def _param(self, name: str) -> str | None:
+        values = self._query_params.get(name)
+        return values[-1] if values else None
+
+    def _int_param(self, name: str, default: int) -> int:
+        raw = self._param(name)
+        if raw is None:
+            return default
+        try:
+            value = int(raw)
+        except ValueError:
+            raise RequestValidationError(
+                f"query parameter {name!r} must be an integer"
+            ) from None
+        if value < 1:
+            raise RequestValidationError(f"query parameter {name!r} must be >= 1")
+        return value
+
     def _read_json(self) -> dict[str, Any]:
         limit = self.server.app.config.max_body_bytes
         # Any rejection below happens before the body is read, so the
@@ -459,6 +551,9 @@ class _Handler(BaseHTTPRequestHandler):
         self.send_response(status)
         self.send_header("Content-Type", content_type)
         self.send_header("Content-Length", str(len(body)))
+        request_id = getattr(self, "request_id", None)
+        if request_id:
+            self.send_header("X-Request-Id", request_id)
         for name, value in (extra_headers or {}).items():
             self.send_header(name, value)
         self.end_headers()

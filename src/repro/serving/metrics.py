@@ -13,6 +13,7 @@ reservoir of recent samples so memory stays constant under sustained load.
 
 from __future__ import annotations
 
+import re
 import threading
 from collections import deque
 from typing import Any, Mapping
@@ -71,7 +72,7 @@ class LatencyHistogram:
             return self._count
 
     def summary(self) -> dict[str, float]:
-        """Count, mean and p50/p95/p99/max over the current window."""
+        """Count, sum, mean and p50/p95/p99/max over the current window."""
         with self._lock:
             window = sorted(self._samples)
             count = self._count
@@ -79,6 +80,7 @@ class LatencyHistogram:
             maximum = self._max
         return {
             "count": float(count),
+            "sum": total,
             "mean": total / count if count else 0.0,
             "p50": percentile(window, 0.50),
             "p95": percentile(window, 0.95),
@@ -165,26 +167,55 @@ class MetricsRegistry:
         ``labels`` (e.g. ``{"corpus": "cs-papers"}``) are attached to every
         line, which is how a multi-tenant registry keeps per-corpus series
         apart on one ``/metrics`` endpoint.
+
+        Each metric family is preceded by ``# HELP`` / ``# TYPE`` comment
+        lines (counters → ``counter``, gauges → ``gauge``, latency
+        histograms → ``summary`` with ``quantile`` labels plus ``_count`` /
+        ``_sum`` series; the non-standard ``_mean`` convenience series is
+        typed as its own gauge family).
         """
         snapshot = self.snapshot()
         label = _label_suffix(labels)
         lines: list[str] = []
         for name, value in sorted(snapshot["counters"].items()):
+            lines.append(f"# HELP repager_{name} Monotonic counter '{name}'.")
+            lines.append(f"# TYPE repager_{name} counter")
             lines.append(f"repager_{name}{label} {value}")
         gauges = dict(snapshot["gauges"])
         if extra_gauges:
             gauges.update(extra_gauges)
         for name, value in sorted(gauges.items()):
+            lines.append(f"# HELP repager_{name} Instantaneous gauge '{name}'.")
+            lines.append(f"# TYPE repager_{name} gauge")
             lines.append(f"repager_{name}{label} {_fmt(value)}")
         for name, summary in sorted(snapshot["histograms"].items()):
-            lines.append(f"repager_{name}_count{label} {int(summary['count'])}")
-            lines.append(f"repager_{name}_mean{label} {_fmt(summary['mean'])}")
+            lines.append(
+                f"# HELP repager_{name} Latency summary '{name}' in seconds."
+            )
+            lines.append(f"# TYPE repager_{name} summary")
             for quantile in ("p50", "p95", "p99", "max"):
                 quantile_label = _label_suffix(labels, quantile=quantile)
                 lines.append(
                     f"repager_{name}{quantile_label} {_fmt(summary[quantile])}"
                 )
+            lines.append(f"repager_{name}_count{label} {int(summary['count'])}")
+            lines.append(f"repager_{name}_sum{label} {_fmt(summary['sum'])}")
+            lines.append(
+                f"# HELP repager_{name}_mean Windowed mean of '{name}' in seconds."
+            )
+            lines.append(f"# TYPE repager_{name}_mean gauge")
+            lines.append(f"repager_{name}_mean{label} {_fmt(summary['mean'])}")
         return "\n".join(lines) + "\n"
+
+
+#: One ``key="value"`` label pair; the value honours Prometheus escaping
+#: (``\\``, ``\"`` and ``\n``), so values may contain commas and quotes.
+_LABEL_PAIR_RE = re.compile(r'([A-Za-z_][A-Za-z0-9_]*)="((?:[^"\\]|\\.)*)"')
+_ESCAPE_RE = re.compile(r"\\(.)")
+
+
+def _unescape_label_value(value: str) -> str:
+    return _ESCAPE_RE.sub(lambda m: "\n" if m.group(1) == "n" else m.group(1), value)
 
 
 def parse_metrics_text(text: str) -> dict[str, dict[tuple[tuple[str, str], ...], float]]:
@@ -195,7 +226,9 @@ def parse_metrics_text(text: str) -> dict[str, dict[tuple[tuple[str, str], ...],
     :meth:`MetricsRegistry.render_text` for the exact format this module
     emits — operators and tests use it to reconcile ``/v1/metrics`` counters
     (per-tenant quota admissions/rejections) against observed outcomes
-    without a Prometheus client library.
+    without a Prometheus client library.  ``# HELP`` / ``# TYPE`` comment
+    lines are skipped, and label values may contain commas, quotes and
+    escaped characters.
     """
     series: dict[str, dict[tuple[tuple[str, str], ...], float]] = {}
     for line in text.splitlines():
@@ -209,10 +242,10 @@ def parse_metrics_text(text: str) -> dict[str, dict[tuple[tuple[str, str], ...],
         name = name_part
         if name_part.endswith("}") and "{" in name_part:
             name, _, label_body = name_part.partition("{")
-            pairs = []
-            for item in label_body[:-1].split(","):
-                key, _, raw = item.partition("=")
-                pairs.append((key, raw.strip('"')))
+            pairs = [
+                (key, _unescape_label_value(raw))
+                for key, raw in _LABEL_PAIR_RE.findall(label_body[:-1])
+            ]
             labels = tuple(sorted(pairs))
         try:
             value = float(value_part)
@@ -222,13 +255,21 @@ def parse_metrics_text(text: str) -> dict[str, dict[tuple[tuple[str, str], ...],
     return series
 
 
+def _escape_label_value(value: str) -> str:
+    return (
+        str(value).replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+    )
+
+
 def _label_suffix(labels: Mapping[str, str] | None, **extra: str) -> str:
     """``{a="x",b="y"}`` rendering of label pairs ('' when there are none)."""
     pairs = dict(labels or {})
     pairs.update(extra)
     if not pairs:
         return ""
-    body = ",".join(f'{key}="{value}"' for key, value in pairs.items())
+    body = ",".join(
+        f'{key}="{_escape_label_value(value)}"' for key, value in pairs.items()
+    )
     return "{" + body + "}"
 
 

@@ -499,6 +499,118 @@ class TestTenantLifecycleSurfaces:
         assert status == 200
 
 
+class TestObservabilitySurfaces:
+    """Request ids, trace endpoints, event log and per-variant serving stats."""
+
+    def _request_with_headers(self, server, method, path, body=None, headers=None):
+        data = json.dumps(body).encode() if body is not None else None
+        request_headers = {"Content-Type": "application/json"} if data else {}
+        request_headers.update(headers or {})
+        request = urllib.request.Request(
+            server.url + path, data=data, method=method, headers=request_headers
+        )
+        try:
+            with urllib.request.urlopen(request, timeout=60) as response:
+                return response.status, json.loads(response.read()), dict(response.headers)
+        except urllib.error.HTTPError as exc:
+            return exc.code, json.loads(exc.read()), dict(exc.headers)
+
+    def test_every_response_carries_a_request_id(self, server):
+        _, _, headers = _request(server, "GET", "/v1/healthz")
+        minted = headers["X-Request-Id"]
+        assert len(minted) == 16 and all(c in "0123456789abcdef" for c in minted)
+        # Errors carry one too.
+        _, _, error_headers = _request(server, "GET", "/v1/corpora/none-such")
+        assert error_headers["X-Request-Id"]
+
+    def test_caller_request_id_is_echoed_end_to_end(self, server):
+        status, body, headers = self._request_with_headers(
+            server,
+            "POST",
+            "/v1/corpora/alpha/query",
+            {"query": "information retrieval"},
+            headers={"X-Request-Id": "caller-id-42"},
+        )
+        assert status == 200
+        assert headers["X-Request-Id"] == "caller-id-42"
+        assert body["serving"]["request_id"] == "caller-id-42"
+
+    def test_debug_query_and_trace_endpoints(self, server):
+        status, body, _ = _request(
+            server,
+            "POST",
+            "/v1/corpora/beta/query",
+            {"query": "graph mining traces", "debug": True, "use_cache": False},
+        )
+        assert status == 200
+        trace = body["serving"]["trace"]
+        assert trace["corpus"] == "beta"
+        stage_names = {span["name"] for span in trace["spans"]}
+        assert {"quota_admission", "queue_wait", "pipeline"} <= stage_names
+
+        status, listing, _ = _request(server, "GET", "/v1/traces?corpus=beta&limit=5")
+        assert status == 200
+        assert listing["slow_threshold_seconds"] > 0
+        assert listing["traces"][0]["trace_id"] == trace["trace_id"]
+        assert all(entry["corpus"] == "beta" for entry in listing["traces"])
+        assert len(listing["traces"]) <= 5
+        # Summaries never inline the span tree; the detail route does.
+        assert "spans" not in listing["traces"][0]
+
+        status, detail, _ = _request(server, "GET", f"/v1/traces/{trace['trace_id']}")
+        assert status == 200
+        assert {span["name"] for span in detail["spans"]} == stage_names
+
+    def test_unknown_trace_is_404_with_code(self, server):
+        status, body, _ = _request(server, "GET", "/v1/traces/ffffffffffffffff")
+        assert status == 404
+        assert body["code"] == "trace_not_found"
+        assert body["trace_id"] == "ffffffffffffffff"
+
+    def test_bad_traces_limit_is_400(self, server):
+        status, body, _ = _request(server, "GET", "/v1/traces?limit=soon")
+        assert status == 400
+        assert body["code"] == "bad_request"
+        status, body, _ = _request(server, "GET", "/v1/traces?limit=0")
+        assert status == 400
+
+    def test_event_log_endpoint_lists_lifecycle_events(self, server, app):
+        status, body, _ = _request(server, "GET", "/v1/events")
+        assert status == 200
+        assert body["last_seq"] >= len(body["events"]) > 0
+        for record in body["events"]:
+            assert set(record) == {"seq", "ts", "event", "corpus", "detail"}
+        attaches = [e for e in body["events"] if e["event"] == "corpus_attach"]
+        assert {"alpha", "beta"} <= {e["corpus"] for e in attaches}
+
+        status, filtered, _ = _request(
+            server, "GET", "/v1/events?event=corpus_attach&corpus=alpha&limit=1"
+        )
+        assert status == 200
+        assert len(filtered["events"]) == 1
+        assert filtered["events"][0]["event"] == "corpus_attach"
+        assert filtered["events"][0]["corpus"] == "alpha"
+
+    def test_corpus_health_surfaces_per_variant_stats(self, server):
+        for _ in range(2):
+            status, _, _ = _request(
+                server,
+                "POST",
+                "/v1/corpora/beta/query",
+                {"query": "information retrieval", "variant": "NEWST-C"},
+            )
+            assert status == 200
+        status, health, _ = _request(server, "GET", "/v1/corpora/beta")
+        assert status == 200
+        variants = health["variants"]
+        assert {"default", "NEWST-C"} <= set(variants)
+        entry = variants["NEWST-C"]
+        assert entry["queries"] >= 2
+        assert entry["cache_hits"] >= 1
+        assert entry["cache_entries"] >= 1
+        assert entry["config_fingerprint"] != variants["default"]["config_fingerprint"]
+
+
 def test_create_server_rejects_overrides_for_ready_app(app):
     """metrics/executor overrides are constructor arguments of RePaGerApp;
     silently dropping them for a ready app would be a confusing no-op."""

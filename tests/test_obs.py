@@ -1,0 +1,432 @@
+"""Observability subsystem tests: spans, tracer store, event log, debug mode.
+
+Covers the :mod:`repro.obs` primitives in isolation (span nesting, ring-buffer
+caps, slow-query capture, cross-thread handoff, JSONL event records) and the
+end-to-end wiring through :class:`RePaGerApp`: a ``debug: true`` query must
+return a span tree covering the full query path whose stage durations
+reconcile with the measured pipeline time, lifecycle transitions must land in
+the structured event log, and finished traces must feed the per-stage latency
+histograms on ``/v1/metrics``.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from concurrent.futures import ThreadPoolExecutor
+
+import pytest
+
+from repro.config import PipelineConfig, ServingConfig, TenantQuota
+from repro.errors import TenantQuotaExceededError
+from repro.obs import (
+    EVENT_FIELDS,
+    EVENT_TYPES,
+    EventLog,
+    Tracer,
+    current_trace,
+    handoff,
+    read_event_records,
+    set_enabled,
+    stage,
+    tracing_enabled,
+)
+from repro.repager.app import QueryOptions, RePaGerApp
+from repro.repager.service import RePaGerService
+from repro.serving.executor import BatchExecutor, QueryRequest
+from repro.serving.warmup import warm_up_registry
+
+#: The named stages a fresh (uncached) debug query must cover end to end.
+EXPECTED_STAGES = {
+    "quota_admission",
+    "queue_wait",
+    "cache_lookup",
+    "pipeline",
+    "postings_search",
+    "k_hop_expand",
+    "seed_reallocation",
+    "edge_relevance_slice",
+    "steiner_solve",
+    "metric_closure",
+    "padding",
+    "ranking",
+    "payload_assembly",
+}
+
+
+@pytest.fixture(scope="module")
+def app(store, scholar_engine, citation_graph, venues):
+    app = RePaGerApp(
+        config=ServingConfig(port=0, max_workers=2, query_timeout_seconds=120.0),
+        pipeline_config=PipelineConfig(num_seeds=10),
+    )
+    service = RePaGerService(
+        store,
+        search_engine=scholar_engine,
+        pipeline_config=PipelineConfig(num_seeds=10),
+        venues=venues,
+        graph=citation_graph,
+        cache=app.cache,
+    )
+    app.attach_service("main", service, default=True)
+    warm_up_registry(app.registry)
+    yield app
+    app.close(wait=False)
+
+
+class TestStageSpans:
+    def test_stage_without_trace_is_shared_noop(self):
+        assert current_trace() is None
+        first = stage("anything")
+        second = stage("something_else", tag=1)
+        assert first is second  # the shared singleton: no allocation when idle
+        with first as span:
+            assert span.tag(extra=2) is span
+
+    def test_span_tree_nesting_and_tags(self):
+        tracer = Tracer(capacity=4)
+        with tracer.trace("query", corpus="t") as trace:
+            with stage("outer") as outer:
+                outer.tag(k=1)
+                with stage("inner"):
+                    pass
+            with stage("sibling"):
+                pass
+        spans = {span.name: span for span in trace.spans()}
+        assert set(spans) == {"outer", "inner", "sibling"}
+        assert spans["outer"].parent_id is None
+        assert spans["sibling"].parent_id is None
+        assert spans["inner"].parent_id == spans["outer"].span_id
+        assert spans["outer"].tags == {"k": 1}
+        assert trace.status == "ok"
+        assert trace.duration_seconds >= spans["outer"].duration_seconds
+
+    def test_exception_tags_span_and_marks_trace_error(self):
+        tracer = Tracer(capacity=4)
+        with pytest.raises(ValueError):
+            with tracer.trace("query") as trace:
+                with stage("boom"):
+                    raise ValueError("nope")
+        (span,) = trace.spans()
+        assert span.tags["error"] == "ValueError"
+        assert trace.status == "error"
+        assert trace.error == "ValueError"
+        assert tracer.get(trace.trace_id) is trace
+
+    def test_handoff_carries_trace_into_pool_thread(self):
+        tracer = Tracer(capacity=4)
+        pool = ThreadPoolExecutor(max_workers=1)
+
+        def worker(ctx):
+            # Pool threads never inherit the submitting context ...
+            assert current_trace() is None
+            with ctx:
+                # ... until the captured context is explicitly entered.
+                assert current_trace() is not None
+                with stage("in_worker"):
+                    pass
+            assert current_trace() is None
+
+        try:
+            with tracer.trace("query") as trace:
+                with stage("parent"):
+                    pool.submit(worker, handoff()).result(timeout=10)
+        finally:
+            pool.shutdown()
+        spans = {span.name: span for span in trace.spans()}
+        assert spans["in_worker"].parent_id == spans["parent"].span_id
+
+    def test_set_enabled_false_disables_everything(self):
+        tracer = Tracer(capacity=4)
+        try:
+            set_enabled(False)
+            assert not tracing_enabled()
+            with tracer.trace("query") as trace:
+                assert trace is None
+                assert stage("x") is stage("y")
+                assert handoff() is None
+            assert len(tracer) == 0
+        finally:
+            set_enabled(True)
+        assert tracing_enabled()
+
+
+class TestTracerStore:
+    def _record(self, tracer, corpus=None):
+        with tracer.trace("query", corpus=corpus) as trace:
+            pass
+        return trace
+
+    def test_ring_buffer_evicts_oldest_and_drops_index(self):
+        tracer = Tracer(capacity=3, per_tenant_capacity=3)
+        traces = [self._record(tracer) for _ in range(5)]
+        assert len(tracer) == 3
+        recent_ids = [t.trace_id for t in tracer.recent()]
+        assert recent_ids == [t.trace_id for t in reversed(traces[-3:])]
+        assert tracer.get(traces[0].trace_id) is None
+        assert tracer.get(traces[-1].trace_id) is traces[-1]
+
+    def test_per_tenant_cap_protects_quiet_tenants(self):
+        tracer = Tracer(capacity=10, per_tenant_capacity=2)
+        quiet = self._record(tracer, corpus="quiet")
+        chatty = [self._record(tracer, corpus="chatty") for _ in range(6)]
+        # The chatty tenant only ever holds its own cap ...
+        assert [t.trace_id for t in tracer.recent(corpus="chatty")] == [
+            t.trace_id for t in reversed(chatty[-2:])
+        ]
+        # ... and the quiet tenant's single trace survives the flood.
+        assert [t.trace_id for t in tracer.recent(corpus="quiet")] == [quiet.trace_id]
+
+    def test_slow_traces_survive_recent_eviction(self):
+        tracer = Tracer(capacity=2, slow_threshold_seconds=0.0, slow_capacity=8)
+        slow = self._record(tracer)
+        assert slow.slow is True
+        for _ in range(4):
+            self._record(tracer)
+        # Rolled out of the recent ring but retained (with full spans) as slow.
+        assert slow.trace_id not in [t.trace_id for t in tracer.recent()]
+        assert slow.trace_id in [t.trace_id for t in tracer.slow()]
+        assert tracer.get(slow.trace_id) is slow
+
+    def test_zero_slow_capacity_disables_slow_capture(self):
+        tracer = Tracer(capacity=4, slow_threshold_seconds=0.0, slow_capacity=0)
+        trace = self._record(tracer)
+        assert trace.slow is False
+        assert tracer.slow() == []
+
+    def test_on_finish_hook_sees_every_trace(self):
+        seen = []
+        tracer = Tracer(capacity=4, on_finish=seen.append)
+        trace = self._record(tracer)
+        assert seen == [trace]
+
+    def test_summary_and_detail_shapes(self):
+        tracer = Tracer(capacity=4)
+        with tracer.trace("query", corpus="t", request_id="req-1") as trace:
+            with stage("s", k="v"):
+                pass
+        summary = trace.summary()
+        assert summary["request_id"] == "req-1"
+        assert summary["corpus"] == "t"
+        assert summary["num_spans"] == 1
+        assert "spans" not in summary
+        detail = trace.to_dict()
+        (span,) = detail["spans"]
+        assert span["name"] == "s"
+        assert span["tags"] == {"k": "v"}
+        json.dumps(detail)  # everything must be JSON-serialisable
+
+
+class TestEventLog:
+    def test_seq_is_monotonic_and_records_are_complete(self):
+        log = EventLog()
+        first = log.emit("corpus_attach", corpus="a", papers=3)
+        second = log.emit("quota_reject", reason="rate")
+        assert tuple(first) == EVENT_FIELDS
+        assert (first["seq"], second["seq"]) == (1, 2)
+        assert second["corpus"] is None
+        assert first["detail"] == {"papers": 3}
+        assert log.last_seq == 2
+
+    def test_tail_filters_and_bounds(self):
+        log = EventLog(capacity=4)
+        for index in range(6):
+            log.emit("corpus_attach", corpus=f"c{index % 2}")
+        log.emit("corpus_detach", corpus="c0")
+        assert len(log) == 4  # capacity bound
+        assert [e["event"] for e in log.tail(2)] == ["corpus_attach", "corpus_detach"]
+        detaches = log.tail(event="corpus_detach")
+        assert [e["corpus"] for e in detaches] == ["c0"]
+        assert all(e["corpus"] == "c1" for e in log.tail(corpus="c1"))
+        # seq keeps counting past evicted records.
+        assert log.last_seq == 7
+
+    def test_jsonl_sink_round_trips(self, tmp_path):
+        path = tmp_path / "logs" / "events.jsonl"
+        log = EventLog(path)
+        log.emit("corpus_attach", corpus="a", papers=1)
+        log.emit("corpus_evict", corpus="a", snapshot_path=None)
+        log.close()
+        records = list(read_event_records(path))
+        assert [r["event"] for r in records] == ["corpus_attach", "corpus_evict"]
+        assert all(tuple(r) == EVENT_FIELDS for r in records)
+        assert all(r["event"] in EVENT_TYPES for r in records)
+
+    def test_reader_skips_blank_and_corrupt_lines(self, tmp_path):
+        path = tmp_path / "events.jsonl"
+        good = {"seq": 1, "ts": 0.0, "event": "corpus_attach", "corpus": None, "detail": {}}
+        path.write_text(
+            "\n".join(["", "not json {", json.dumps(good), '"a bare string"', '{"torn'])
+            + "\n"
+        )
+        assert list(read_event_records(path)) == [good]
+
+    def test_quota_reject_emitted_by_executor(self):
+        log = EventLog()
+        executor = BatchExecutor(
+            lambda request: "ok",
+            max_workers=1,
+            metrics=None,
+            clock=lambda: 0.0,  # frozen: the token bucket never refills
+            events=log,
+        )
+        try:
+            executor.configure_tenant("t", TenantQuota(rate_per_second=1.0, burst=1))
+            executor.run_one(QueryRequest(text="q", corpus="t"))
+            with pytest.raises(TenantQuotaExceededError):
+                executor.submit(QueryRequest(text="q", corpus="t"))
+        finally:
+            executor.shutdown()
+        (event,) = log.tail(event="quota_reject")
+        assert event["corpus"] == "t"
+        assert "rate limit" in event["detail"]["reason"]
+        assert event["detail"]["retry_after_seconds"] == 1.0
+
+
+class TestAppLifecycleEvents:
+    def test_attach_and_detach_are_logged(self, store):
+        app = RePaGerApp(
+            config=ServingConfig(port=0, max_workers=1),
+            pipeline_config=PipelineConfig(num_seeds=10),
+        )
+        try:
+            app.attach_store("one", store, default=True)
+            app.attach_store("two", store)
+            app.detach("two")
+        finally:
+            app.close(wait=False)
+        events = [(e["event"], e["corpus"]) for e in app.events.tail()]
+        assert events == [
+            ("corpus_attach", "one"),
+            ("corpus_attach", "two"),
+            ("corpus_detach", "two"),
+        ]
+        attach = app.events.tail(event="corpus_attach")[0]
+        assert attach["detail"]["papers"] == len(store)
+        assert attach["detail"]["default"] is True
+        detach = app.events.tail(event="corpus_detach")[0]
+        assert detach["detail"]["resident"] is True
+
+    def test_evict_and_reattach_are_logged(self, store, tmp_path):
+        corpus_dir = tmp_path / "corpus"
+        store.save(corpus_dir)
+        app = RePaGerApp(
+            config=ServingConfig(port=0, max_workers=1, query_timeout_seconds=120.0),
+            pipeline_config=PipelineConfig(num_seeds=10),
+        )
+        try:
+            app.attach_directory("t", str(corpus_dir), default=True)
+            app.evict("t")
+            app.query("machine learning")  # transparently re-attaches
+        finally:
+            app.close(wait=False)
+        events = [e["event"] for e in app.events.tail()]
+        assert events == ["corpus_attach", "corpus_evict", "corpus_reattach"]
+        evict = app.events.tail(event="corpus_evict")[0]
+        assert evict["detail"]["was_default"] is True
+        reattach = app.events.tail(event="corpus_reattach")[0]
+        assert reattach["corpus"] == "t"
+
+
+class TestDebugQueries:
+    def test_request_id_echoed_without_debug(self, app):
+        response = app.query(
+            QueryOptions(query="graph neural networks"), request_id="client-7"
+        )
+        assert response.request_id == "client-7"
+        meta = response.serving_meta()
+        assert meta["request_id"] == "client-7"
+        assert "trace" not in meta
+
+    def test_debug_query_returns_full_span_tree(self, app):
+        response = app.query(
+            QueryOptions(query="reinforcement learning agents", debug=True)
+        )
+        trace = response.serving_meta()["trace"]
+        assert trace["request_id"] == response.request_id
+        names = {span["name"] for span in trace["spans"]}
+        missing = EXPECTED_STAGES - names
+        assert not missing, f"debug trace missing stages: {sorted(missing)}"
+        assert len(names) >= 8
+
+    def test_stage_durations_reconcile_with_pipeline_seconds(self, app):
+        response = app.query(
+            QueryOptions(query="convolutional image classification", debug=True)
+        )
+        trace = response.serving_meta()["trace"]
+        spans = trace["spans"]
+        by_id = {span["span_id"]: span for span in spans}
+        (pipeline,) = [span for span in spans if span["name"] == "pipeline"]
+        children = [
+            span for span in spans if span.get("parent_id") == pipeline["span_id"]
+        ]
+        assert len(children) >= 6
+        summed = sum(span["duration_seconds"] for span in children)
+        # The instrumented stages must account for the pipeline time: no
+        # double counting (children cannot exceed their parent) and no big
+        # uninstrumented hole inside the pipeline.
+        assert summed <= pipeline["duration_seconds"] + 1e-3
+        assert summed >= 0.5 * pipeline["duration_seconds"]
+        # The span reconciles with the pipeline's own elapsed-time stat.
+        measured = pipeline["tags"]["pipeline_seconds"]
+        assert pipeline["duration_seconds"] >= measured - 1e-6
+        assert pipeline["duration_seconds"] <= measured + 0.25
+        # Every parent link points inside the tree.
+        for span in spans:
+            parent = span.get("parent_id")
+            assert parent is None or parent in by_id
+        # And the whole trace bounds every span.
+        assert all(
+            span["start_seconds"] + span["duration_seconds"]
+            <= trace["duration_seconds"] + 1e-3
+            for span in spans
+        )
+
+    def test_cached_debug_query_tags_cache_hit(self, app):
+        query = "transfer learning survey"
+        app.query(QueryOptions(query=query))
+        response = app.query(QueryOptions(query=query, debug=True))
+        assert response.cached is True
+        trace = response.serving_meta()["trace"]
+        (lookup,) = [s for s in trace["spans"] if s["name"] == "cache_lookup"]
+        assert lookup["tags"]["hit"] is True
+        assert trace["tags"]["cached"] is True
+        # A cache hit never enters the pipeline.
+        assert "pipeline" not in {s["name"] for s in trace["spans"]}
+
+    def test_traces_endpoint_data(self, app):
+        response = app.query(QueryOptions(query="meta learning optimization"))
+        summaries = app.traces(corpus="main")
+        assert summaries, "tracer recorded nothing"
+        newest = summaries[0]
+        assert newest["request_id"] == response.request_id
+        assert newest["corpus"] == "main"
+        detail = app.trace_detail(newest["trace_id"])
+        assert detail is not None
+        assert detail["spans"]
+        assert app.trace_detail("not-a-trace-id") is None
+        assert app.traces(corpus="no-such-corpus") == []
+
+    def test_stage_histograms_feed_tenant_metrics(self, app):
+        app.query(QueryOptions(query="federated learning systems"))
+        metrics = app.registry.get("main").service.metrics
+        for name in ("stage_pipeline_seconds", "stage_cache_lookup_seconds"):
+            histogram = metrics.histogram(name)
+            assert histogram is not None and histogram.count >= 1
+        rendered = app.metrics_text()
+        assert 'repager_stage_pipeline_seconds{corpus="main",quantile="p50"}' in rendered
+
+    def test_concurrent_debug_queries_keep_traces_separate(self, app):
+        queries = ["multi task learning", "graph attention networks"]
+        barrier = threading.Barrier(len(queries))
+
+        def run(text):
+            barrier.wait(timeout=30)
+            return app.query(QueryOptions(query=text, debug=True))
+
+        with ThreadPoolExecutor(max_workers=len(queries)) as pool:
+            responses = list(pool.map(run, queries))
+        ids = {response.serving_meta()["trace"]["trace_id"] for response in responses}
+        assert len(ids) == len(queries)
+        for response, text in zip(responses, queries):
+            assert response.serving_meta()["trace"]["tags"]["query"] == text

@@ -34,6 +34,7 @@ from repro.serving import (
     start_in_background,
     warm_up,
 )
+from repro.serving.metrics import parse_metrics_text
 
 
 def canonical_payload(payload) -> dict:
@@ -168,6 +169,87 @@ class TestMetrics:
         assert "repager_queries_total 3" in text
         assert "repager_cache_hit_rate 0.5" in text
         assert 'repager_serve_seconds{quantile="p95"}' in text
+
+    def test_percentile_boundary_fractions(self):
+        # A single sample answers every fraction.
+        assert percentile([7.5], 0.0) == 7.5
+        assert percentile([7.5], 0.5) == 7.5
+        assert percentile([7.5], 1.0) == 7.5
+        # Exact endpoints never interpolate past the data.
+        samples = [1.0, 5.0, 9.0]
+        assert percentile(samples, 0.0) == 1.0
+        assert percentile(samples, 1.0) == 9.0
+        with pytest.raises(ValueError):
+            percentile(samples, 1.5)
+        with pytest.raises(ValueError):
+            percentile(samples, -0.1)
+
+    def test_render_text_emits_help_and_type_per_family(self):
+        registry = MetricsRegistry()
+        registry.increment("queries_total")
+        registry.gauge_set("in_flight", 1.0)
+        registry.observe("serve_seconds", 0.25)
+        lines = registry.render_text().splitlines()
+        assert "# HELP repager_queries_total Monotonic counter 'queries_total'." in lines
+        assert "# TYPE repager_queries_total counter" in lines
+        assert "# TYPE repager_in_flight gauge" in lines
+        assert "# TYPE repager_serve_seconds summary" in lines
+        # The non-standard windowed mean is typed as its own gauge family.
+        assert "# TYPE repager_serve_seconds_mean gauge" in lines
+        # HELP/TYPE precede the family's first sample line.
+        type_index = lines.index("# TYPE repager_serve_seconds summary")
+        sample_index = next(
+            i for i, line in enumerate(lines)
+            if line.startswith("repager_serve_seconds{")
+        )
+        assert type_index < sample_index
+        # The summary exposes quantiles, _count and _sum series.
+        assert any(line.startswith("repager_serve_seconds_count ") for line in lines)
+        assert any(line.startswith("repager_serve_seconds_sum ") for line in lines)
+
+    def test_parse_metrics_round_trips_render_text(self):
+        registry = MetricsRegistry()
+        registry.increment("queries_total", 3)
+        registry.observe("serve_seconds", 0.5)
+        parsed = parse_metrics_text(registry.render_text(labels={"corpus": "c1"}))
+        labels = (("corpus", "c1"),)
+        assert parsed["repager_queries_total"][labels] == 3.0
+        assert parsed["repager_serve_seconds_count"][labels] == 1.0
+        assert parsed["repager_serve_seconds_sum"][labels] == 0.5
+        quantile = (("corpus", "c1"), ("quantile", "p50"))
+        assert parsed["repager_serve_seconds"][quantile] == 0.5
+
+    def test_parse_metrics_label_values_with_commas_and_quotes(self):
+        registry = MetricsRegistry()
+        registry.increment("queries_total", 2)
+        tricky = 'corpus, "quoted" \\ and\nnewline'
+        text = registry.render_text(labels={"corpus": tricky})
+        # The exposition escapes the value; parsing restores it exactly.
+        assert '\\"quoted\\"' in text
+        assert "\\n" in text
+        parsed = parse_metrics_text(text)
+        assert parsed["repager_queries_total"][(("corpus", tricky),)] == 2.0
+
+    def test_parse_metrics_quantile_label_ordering_is_canonical(self):
+        # Label order in the text must not matter: keys are sorted pairs.
+        text = (
+            'repager_x{quantile="p50",corpus="a"} 1\n'
+            'repager_x{corpus="a",quantile="p95"} 2\n'
+        )
+        parsed = parse_metrics_text(text)
+        assert parsed["repager_x"][(("corpus", "a"), ("quantile", "p50"))] == 1.0
+        assert parsed["repager_x"][(("corpus", "a"), ("quantile", "p95"))] == 2.0
+
+    def test_parse_metrics_skips_comments_and_garbage(self):
+        text = (
+            "# HELP repager_a help text with spaces\n"
+            "# TYPE repager_a counter\n"
+            "\n"
+            "repager_a 4\n"
+            "repager_broken not-a-number\n"
+        )
+        parsed = parse_metrics_text(text)
+        assert parsed == {"repager_a": {(): 4.0}}
 
 
 class TestWarmup:
