@@ -320,19 +320,29 @@ class TenantOverrides:
             shared result cache.
         query_timeout_seconds: Per-query deadline for this tenant's requests.
         quota: Admission policy (see :class:`TenantQuota`).
+        weight: Fair-share weight of this tenant in the executor's deficit-
+            round-robin dispatcher: a weight-``W`` tenant is dispatched ``W``
+            requests per scheduling round for every one request of a
+            weight-1 tenant.  Weights shape *priority* under contention;
+            quotas shape *admission* — the two compose.
     """
 
     cache_ttl_seconds: float | None = None
     query_timeout_seconds: float | None = None
     quota: TenantQuota | None = None
+    weight: int = 1
 
-    _FIELDS = ("cache_ttl_seconds", "query_timeout_seconds", "quota")
+    _FIELDS = ("cache_ttl_seconds", "query_timeout_seconds", "quota", "weight")
 
     def __post_init__(self) -> None:
         if self.cache_ttl_seconds is not None and self.cache_ttl_seconds <= 0:
             raise ConfigurationError("cache_ttl_seconds must be positive or None")
         if self.query_timeout_seconds is not None and self.query_timeout_seconds <= 0:
             raise ConfigurationError("query_timeout_seconds must be positive or None")
+        if not isinstance(self.weight, int) or isinstance(self.weight, bool):
+            raise ConfigurationError("weight must be an integer")
+        if self.weight < 1:
+            raise ConfigurationError("weight must be >= 1")
 
     @classmethod
     def from_dict(cls, payload: Mapping[str, Any]) -> "TenantOverrides":
@@ -347,12 +357,20 @@ class TenantOverrides:
         quota = payload.get("quota")
         if quota is not None and not isinstance(quota, Mapping):
             raise RequestValidationError("'quota' must be an object or null")
+        weight = payload.get("weight", 1)
+        if weight is None:
+            weight = 1
+        if not isinstance(weight, int) or isinstance(weight, bool):
+            raise RequestValidationError("'weight' must be an integer")
+        if weight < 1:
+            raise RequestValidationError("'weight' must be >= 1")
         ttl = payload.get("cache_ttl_seconds")
         timeout = payload.get("query_timeout_seconds")
         return cls(
             cache_ttl_seconds=float(ttl) if ttl is not None else None,
             query_timeout_seconds=float(timeout) if timeout is not None else None,
             quota=TenantQuota.from_dict(quota) if quota is not None else None,
+            weight=weight,
         )
 
     def to_dict(self) -> dict[str, Any]:
@@ -360,6 +378,7 @@ class TenantOverrides:
             "cache_ttl_seconds": self.cache_ttl_seconds,
             "query_timeout_seconds": self.query_timeout_seconds,
             "quota": self.quota.to_dict() if self.quota is not None else None,
+            "weight": self.weight,
         }
 
 

@@ -9,6 +9,14 @@ signature.  Thread pools do not inherit context automatically; callers that
 hop threads capture a :class:`TraceContext` with :func:`handoff` in the
 submitting thread and enter it inside the worker.
 
+The serving stages a query trace records, in order: ``quota_admission``
+(tenant quota check on the submitting thread), ``scheduler_wait`` (admission
+→ deficit-round-robin dispatch), ``queue_wait`` (admission → worker entry;
+contains ``scheduler_wait``), then ``cache_lookup`` and — on a miss —
+``pipeline`` with its per-stage children (``postings_search``,
+``k_hop_expand``, ``seed_reallocation``, ``edge_relevance_slice``,
+``steiner_solve``/``metric_closure``, ...) and ``payload_assembly``.
+
 Design constraints:
 
 * **Near-free when idle.**  ``stage()`` with no active trace returns a

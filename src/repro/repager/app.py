@@ -42,7 +42,7 @@ import threading
 import time
 from dataclasses import dataclass, replace
 from pathlib import Path
-from typing import Any, Mapping
+from typing import Any, Hashable, Mapping
 
 from ..config import PipelineConfig, ServingConfig, TenantOverrides
 from ..core.pipeline import VARIANT_CONFIGS, make_variant_config
@@ -57,7 +57,12 @@ from ..errors import (
 from ..obs.events import EventLog
 from ..obs.trace import Trace, Tracer
 from ..serving.cache import ResultCache
-from ..serving.executor import BatchExecutor, QueryRequest, validate_query_body
+from ..serving.executor import (
+    BatchExecutor,
+    QueryRequest,
+    coalesce_key_for_service,
+    validate_query_body,
+)
 from ..serving.metrics import MetricsRegistry
 from .service import PathPayload, RePaGerService
 
@@ -298,6 +303,36 @@ class Tenant:
             service.pipeline.weight_builder.prime_edge_relevance(relevance)
         return service
 
+    def ensure_base_primed(self) -> None:
+        """Prime the base pipeline from any already-primed variant.
+
+        Priming flows base → variant at build time, but a tenant whose only
+        traffic targeted a variant leaves the *base* cold — and eviction
+        snapshots the base service.  The shared artifacts (node weights, CSR
+        snapshot, edge relevance) are configuration-independent (variant
+        overrides never touch ``NewstConfig``), so they hand back to the base
+        unchanged, making the eviction snapshot capture variant-warmed
+        artifacts too.
+        """
+        base_pipeline = self.service.pipeline
+        if base_pipeline.primed_node_weights is not None:
+            return
+        with self._lock:
+            candidates = list(self._variants.values())
+        for variant_service in candidates:
+            pipeline = variant_service.pipeline
+            if pipeline.primed_node_weights is None:
+                continue
+            builder = pipeline.weight_builder
+            snapshot = builder.primed_snapshot
+            if snapshot is not None:
+                base_pipeline.weight_builder.prime_indexed_snapshot(snapshot)
+            base_pipeline.prime_node_weights(pipeline.node_weights)
+            relevance = builder.primed_edge_relevance
+            if relevance is not None:
+                base_pipeline.weight_builder.prime_edge_relevance(relevance)
+            return
+
     def record_query(self, variant: str, cached: bool) -> None:
         """Count one answered query against its variant label."""
         with self._lock:
@@ -390,6 +425,10 @@ class EvictedTenant:
     overrides: TenantOverrides | None
     default: bool
     evicted_at: float
+    #: Variant labels that were live at eviction time.  Re-attach rebuilds
+    #: them primed from the restored base artifacts, so a tenant whose
+    #: ablation variants were warm does not come back with cold variants.
+    variants: tuple[str, ...] = ()
 
     def descriptor(self) -> dict[str, Any]:
         """The ``GET /v1/corpora`` / health entry for an evicted tenant."""
@@ -556,6 +595,7 @@ class CorpusRegistry:
                 overrides=tenant.overrides,
                 default=self._default == name,
                 evicted_at=time.monotonic(),
+                variants=tenant.variants_loaded(),
             )
             del self._tenants[name]
             self._evicted[name] = record
@@ -773,6 +813,7 @@ class RePaGerApp:
                 overrides.query_timeout_seconds if overrides is not None else None
             ),
             metrics=service.metrics,
+            weight=overrides.weight if overrides is not None else 1,
         )
 
     def attach_store(
@@ -902,6 +943,10 @@ class RePaGerApp:
             from ..serving.warmup import capture_snapshot  # runtime: module cycle
 
             snapshot_path = tenant.snapshot_path
+            # A tenant that only ever served variant traffic has warm shared
+            # artifacts on the variant pipeline, not the base one eviction
+            # snapshots — pull them back to the base first.
+            tenant.ensure_base_primed()
             if (
                 snapshot_path is None
                 and tenant.service.pipeline.primed_node_weights is not None
@@ -981,6 +1026,17 @@ class RePaGerApp:
                 snapshot_path=record.snapshot_path,
                 lifecycle_event=None,
             )
+            # Rebuild the variants that were live at eviction time.  They
+            # prime from the just-restored base artifacts, so a re-attached
+            # tenant answers variant queries byte-identically and warm — not
+            # cold as before (PR 5 follow-up).  A variant that no longer
+            # resolves (config drift) is skipped rather than failing the
+            # whole re-attach.
+            for label in record.variants:
+                try:
+                    tenant.service_for(label)
+                except Exception:  # noqa: BLE001 - best-effort warm-up only
+                    continue
             self.events.emit(
                 "corpus_reattach",
                 corpus=name,
@@ -1126,6 +1182,22 @@ class RePaGerApp:
             config_fingerprint=service.pipeline.config_fingerprint,
         )
 
+    def coalesce_key(self, request: QueryRequest) -> Hashable:
+        """The canonical cache key of ``request`` — the executor's coalescing key.
+
+        Two requests coalesce iff they would hit the same result-cache entry:
+        same tenant namespace, normalised text, year cutoff, exclusion set
+        and pipeline-configuration fingerprint (so different variants never
+        coalesce).  Runs on the submitting thread, so it must stay cheap and
+        must not trigger lifecycle work: an evicted or unknown corpus raises
+        (``CorpusNotFoundError``), which the executor treats as "do not
+        coalesce" — the worker then re-attaches or errors through the normal
+        taxonomy path.
+        """
+        tenant = self.registry.resolve(request.corpus)
+        service = tenant.service_for(request.variant)
+        return coalesce_key_for_service(service, request)
+
     def paper_details(self, paper_id: str, corpus: str | None = None) -> dict[str, Any]:
         """Detail record for one paper of one tenant."""
         return self._resolve_tenant(corpus).service.paper_details(paper_id)
@@ -1219,6 +1291,9 @@ class RePaGerApp:
             usage = getattr(self.executor, "tenant_usage", lambda _name: None)(corpus)
             if usage is not None:
                 report["quota_usage"] = usage
+            sched = getattr(self.executor, "scheduler_info", lambda _name: None)(corpus)
+            if sched is not None:
+                report["scheduler"] = sched
             return report
         per_corpus = {name: tenant.health() for name, tenant in self.registry.items()}
         default = self.registry.default_name

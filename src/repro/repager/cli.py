@@ -116,6 +116,13 @@ def build_parser() -> argparse.ArgumentParser:
              "and burst; empty segments inherit 'unlimited'; repeatable",
     )
     serve.add_argument(
+        "--weight", action="append", metavar="NAME=W",
+        help="per-tenant fair-share weight (integer >= 1, default 1) in the "
+             "deficit-round-robin scheduler: a weight-W tenant is dispatched "
+             "W queued requests per round for each request of a weight-1 "
+             "tenant; repeatable",
+    )
+    serve.add_argument(
         "--max-resident", type=int, default=None, metavar="N",
         help="resident-corpus limit for lazy eviction: beyond N attached "
              "corpora the least recently used one is snapshotted to disk and "
@@ -275,6 +282,19 @@ def _parse_quota_spec(spec: str, name: str) -> TenantQuota:
         raise SystemExit(f"--quota {name}={spec!r}: {exc}") from None
 
 
+def _parse_weight(spec: str, name: str) -> int:
+    """Parse a ``--weight`` value: an integer scheduling weight >= 1."""
+    try:
+        weight = int(spec)
+    except ValueError:
+        raise SystemExit(
+            f"--weight {name}={spec!r}: expected an integer >= 1"
+        ) from None
+    if weight < 1:
+        raise SystemExit(f"--weight {name}={spec!r}: weight must be >= 1")
+    return weight
+
+
 def _cmd_tail(args: argparse.Namespace) -> int:
     path = Path(args.path)
     if not path.exists() and not args.follow:
@@ -350,8 +370,13 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     corpora = _parse_named_values(args.corpus, "--corpus", args.default_corpus)
     snapshot_paths = _parse_named_values(args.snapshot, "--snapshot", args.default_corpus)
     quota_specs = _parse_named_values(args.quota, "--quota", args.default_corpus)
+    weight_specs = _parse_named_values(args.weight, "--weight", args.default_corpus)
     attached_names = set(corpora) if corpora else {args.default_corpus}
-    for option, named in (("--snapshot", snapshot_paths), ("--quota", quota_specs)):
+    for option, named in (
+        ("--snapshot", snapshot_paths),
+        ("--quota", quota_specs),
+        ("--weight", weight_specs),
+    ):
         unknown = sorted(set(named) - attached_names)
         if unknown:
             raise SystemExit(
@@ -359,8 +384,19 @@ def _cmd_serve(args: argparse.Namespace) -> int:
                 f"corpus {sorted(attached_names)}"
             )
     overrides_by_name = {
-        name: TenantOverrides(quota=_parse_quota_spec(spec, name))
-        for name, spec in quota_specs.items()
+        name: TenantOverrides(
+            quota=(
+                _parse_quota_spec(quota_specs[name], name)
+                if name in quota_specs
+                else None
+            ),
+            weight=(
+                _parse_weight(weight_specs[name], name)
+                if name in weight_specs
+                else 1
+            ),
+        )
+        for name in set(quota_specs) | set(weight_specs)
     }
 
     app = RePaGerApp(config=serving_config, pipeline_config=pipeline_config)

@@ -62,7 +62,14 @@ def make_query_key(
 
 @dataclass(frozen=True, slots=True)
 class CacheStats:
-    """Point-in-time counters of a :class:`ResultCache`."""
+    """Point-in-time counters of a :class:`ResultCache`.
+
+    ``evictions`` counts capacity (LRU) evictions only; ``dropped`` counts
+    entries removed administratively by :meth:`ResultCache.clear` or
+    :meth:`ResultCache.drop_namespace` (tenant detach/evict).  Keeping the
+    two apart lets the sizes reconcile: every entry ever inserted is still
+    resident, expired, LRU-evicted or dropped.
+    """
 
     hits: int
     misses: int
@@ -70,6 +77,7 @@ class CacheStats:
     expirations: int
     size: int
     max_entries: int
+    dropped: int = 0
 
     @property
     def hit_rate(self) -> float:
@@ -83,6 +91,7 @@ class CacheStats:
             "misses": self.misses,
             "evictions": self.evictions,
             "expirations": self.expirations,
+            "dropped": self.dropped,
             "size": self.size,
             "max_entries": self.max_entries,
             "hit_rate": self.hit_rate,
@@ -119,6 +128,7 @@ class ResultCache:
         self._misses = 0
         self._evictions = 0
         self._expirations = 0
+        self._dropped = 0
 
     def __len__(self) -> int:
         with self._lock:
@@ -170,8 +180,14 @@ class ResultCache:
                 self._evictions += 1
 
     def clear(self) -> None:
-        """Drop every entry (counters are preserved)."""
+        """Drop every entry (counters are preserved; drops are counted).
+
+        Administrative removals land in the ``dropped`` counter, not
+        ``evictions`` — LRU pressure and operator/lifecycle removals are
+        different signals and :class:`CacheStats` must keep reconciling.
+        """
         with self._lock:
+            self._dropped += len(self._entries)
             self._entries.clear()
 
     def drop_namespace(self, namespace: str) -> int:
@@ -179,12 +195,14 @@ class ResultCache:
 
         Namespaced keys are how one cache serves a whole corpus registry, so
         detaching a tenant must not leave its unreachable entries squatting on
-        LRU capacity.
+        LRU capacity.  Removed entries are counted as ``dropped`` (distinct
+        from LRU ``evictions``).
         """
         with self._lock:
             doomed = [key for key in self._entries if key[0] == namespace]
             for key in doomed:
                 del self._entries[key]
+            self._dropped += len(doomed)
             return len(doomed)
 
     def entry_count(self, namespace: str, fingerprint: str | None = None) -> int:
@@ -216,4 +234,5 @@ class ResultCache:
                 expirations=self._expirations,
                 size=len(self._entries),
                 max_entries=self.max_entries,
+                dropped=self._dropped,
             )

@@ -1,12 +1,12 @@
 """Concurrent batch executor for reading-path queries.
 
-A thread pool runs many queries at once against one shared service.  This is
+A worker pool runs many queries at once against one shared service.  This is
 safe because, after warm-up, every per-corpus artifact (citation graph,
 PageRank node weights, venue scores, TF-IDF index) is read-only; each query
 builds its own subgraph, reallocation and Steiner tree from scratch.
 
-The executor adds the three behaviours a production front door needs that a
-bare thread pool lacks:
+The executor adds the behaviours a production front door needs that a bare
+thread pool lacks:
 
 * a **bounded queue** — at most ``max_workers + queue_depth`` queries may be
   admitted; beyond that :meth:`BatchExecutor.submit` raises
@@ -25,17 +25,32 @@ bare thread pool lacks:
   token-bucket rate.  Over-quota submissions fail fast with
   :class:`~repro.errors.TenantQuotaExceededError` (HTTP 429 with
   ``Retry-After``) while every other tenant keeps its full share of the
-  worker pool — one hot tenant can no longer starve the rest.
+  worker pool;
+* **weighted fair scheduling** — admitted requests land in per-namespace
+  queues and a deficit-round-robin dispatcher feeds the worker pool: a
+  weight-``W`` tenant (see :class:`~repro.config.TenantOverrides`) is
+  dispatched ``W`` requests per scheduling round for every one request of a
+  weight-1 tenant.  Quotas bound *admission*; weights shape *service order*,
+  so a flooding tenant that stays under quota still cannot starve anyone —
+  its backlog waits its turn instead of monopolising the FIFO;
+* **in-flight request coalescing** — identical concurrent queries (same
+  canonical cache key) run the pipeline once: the first arrival is the
+  *leader*, duplicates attach as waiters to the leader's future and receive
+  the same result.  Each waiter is still charged against its own tenant
+  quota and metrics (plus a ``coalesced_total`` counter); only the solve is
+  shared.  This closes the thundering-herd window the result cache cannot —
+  the cache only helps *after* the first completion.
 """
 
 from __future__ import annotations
 
 import threading
 import time
-from concurrent.futures import Future, ThreadPoolExecutor
+from collections import deque
+from concurrent.futures import Future
 from concurrent.futures import TimeoutError as FutureTimeoutError
 from dataclasses import dataclass, field
-from typing import TYPE_CHECKING, Any, Callable, Sequence
+from typing import TYPE_CHECKING, Any, Callable, Hashable, Sequence
 
 from ..errors import (
     ExecutorOverloadedError,
@@ -46,6 +61,7 @@ from ..errors import (
     error_payload,
 )
 from ..obs.trace import handoff, stage
+from .cache import make_query_key
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard, types only
     from ..config import TenantQuota
@@ -57,6 +73,7 @@ __all__ = [
     "BatchExecutor",
     "BatchOutcome",
     "QueryRequest",
+    "coalesce_key_for_service",
     "validate_query_body",
 ]
 
@@ -173,9 +190,12 @@ class _TenantState:
         "quota",
         "timeout_seconds",
         "metrics",
+        "weight",
         "admitted",
         "executing",
+        "queued",
         "rejected",
+        "coalesced",
         "tokens",
         "token_stamp",
     )
@@ -184,11 +204,28 @@ class _TenantState:
         self.quota: "TenantQuota | None" = None
         self.timeout_seconds: float | None = None
         self.metrics: "MetricsRegistry | None" = None
+        self.weight = 1
         self.admitted = 0
         self.executing = 0
+        #: Requests holding a *post-admission* scheduler-queue slot.  A
+        #: request parked on the global semaphore (``run_batch`` backpressure)
+        #: is ``admitted`` but not ``queued`` — it holds no executor slot yet.
+        self.queued = 0
         self.rejected = 0
+        self.coalesced = 0
         self.tokens = 0.0
         self.token_stamp = 0.0
+
+
+@dataclass(slots=True)
+class _WorkItem:
+    """One admitted request parked in a scheduler queue."""
+
+    request: QueryRequest
+    state: _TenantState | None
+    trace_ctx: "TraceContext | None"
+    enqueued: float
+    future: Future
 
 
 class BatchExecutor:
@@ -201,12 +238,18 @@ class BatchExecutor:
         queue_depth: Admitted-but-waiting queries allowed beyond the workers.
         timeout_seconds: Per-query deadline (``None`` disables timeouts).
         metrics: Optional :class:`MetricsRegistry` receiving executor counters
-            (submitted/completed/errors/rejected/timeouts), the queue-wait
-            histogram and the in-flight gauge.
+            (submitted/completed/errors/rejected/timeouts/coalesced), the
+            queue-wait and scheduler-wait histograms, the in-flight gauge and
+            the scheduler queue-depth gauge.
         clock: Monotonic time source for token-bucket quotas (injectable for
             deterministic tests).
         events: Optional :class:`~repro.obs.events.EventLog` receiving
             ``quota_reject`` lifecycle events.
+        key_for: Optional coalescing-key hook, called as ``key_for(request)``
+            → hashable key (or ``None`` to opt this request out).  When two
+            requests map to the same key while the first is still in flight,
+            the second attaches to the first's future instead of running the
+            handler again.  ``None`` disables coalescing entirely.
     """
 
     def __init__(
@@ -218,6 +261,7 @@ class BatchExecutor:
         metrics: "MetricsRegistry | None" = None,
         clock: Callable[[], float] = time.monotonic,
         events: "EventLog | None" = None,
+        key_for: Callable[[QueryRequest], Hashable | None] | None = None,
     ) -> None:
         if max_workers < 1:
             raise ValueError("max_workers must be >= 1")
@@ -231,14 +275,34 @@ class BatchExecutor:
         self.timeout_seconds = timeout_seconds
         self.metrics = metrics
         self.events = events
+        self.key_for = key_for
         self._clock = clock
         self._slots = threading.BoundedSemaphore(max_workers + queue_depth)
-        self._pool = ThreadPoolExecutor(
-            max_workers=max_workers, thread_name_prefix="repager-serve"
-        )
         self._shutdown = False
         self._tenants: dict[str, _TenantState] = {}
         self._tenant_lock = threading.Lock()
+        # -- deficit-round-robin scheduler state (all guarded by _sched) -----
+        #: Per-namespace FIFO of admitted-but-undispatched work.
+        self._queues: dict[str, deque[_WorkItem]] = {}
+        #: Round-robin ring of namespaces with pending work (head = next up).
+        self._ring: deque[str] = deque()
+        #: Unspent dispatch credit per namespace within the current round.
+        self._credits: dict[str, float] = {}
+        self._queued_total = 0
+        self._sched = threading.Condition(threading.Lock())
+        # -- in-flight coalescing (guarded by _coalesce_lock) ----------------
+        self._inflight: dict[Hashable, Future] = {}
+        self._coalesce_lock = threading.Lock()
+        self._workers = [
+            threading.Thread(
+                target=self._worker_loop,
+                name=f"repager-serve_{index}",
+                daemon=True,
+            )
+            for index in range(max_workers)
+        ]
+        for worker in self._workers:
+            worker.start()
 
     @classmethod
     def from_service(
@@ -249,7 +313,13 @@ class BatchExecutor:
         timeout_seconds: float | None = None,
         metrics: "MetricsRegistry | None" = None,
     ) -> "BatchExecutor":
-        """Executor whose handler is ``service.query`` (cache-aware)."""
+        """Executor whose handler is ``service.query`` (cache-aware).
+
+        Coalescing is not wired here: the single-service path promises
+        exactly one ``service.query`` call per admitted request (its metrics
+        count per-request), and the service's own result cache already
+        deduplicates completed work.
+        """
 
         def handler(request: QueryRequest) -> Any:
             return service.query(
@@ -281,7 +351,9 @@ class BatchExecutor:
         The handler routes each request to the tenant named by
         ``request.corpus`` (falling back to the app's default tenant), so a
         single worker pool and admission queue bound the whole process no
-        matter how many corpora are attached.
+        matter how many corpora are attached.  The app's canonical cache key
+        doubles as the coalescing key, so identical concurrent queries
+        against one tenant run the pipeline once.
         """
         return cls(
             app.handle_request,
@@ -290,6 +362,7 @@ class BatchExecutor:
             timeout_seconds=timeout_seconds,
             metrics=metrics,
             events=getattr(app, "events", None),
+            key_for=getattr(app, "coalesce_key", None),
         )
 
     # -- per-tenant quotas -------------------------------------------------------
@@ -300,15 +373,20 @@ class BatchExecutor:
         quota: "TenantQuota | None" = None,
         timeout_seconds: float | None = None,
         metrics: "MetricsRegistry | None" = None,
+        weight: int = 1,
     ) -> None:
-        """Install (or replace) one namespace's quota, timeout and metrics.
+        """Install (or replace) one namespace's quota, timeout, metrics, weight.
 
         ``namespace`` is matched against each request's ``corpus`` field.  The
         accounting counters survive reconfiguration, so re-attaching an
         evicted tenant does not reset its in-flight bookkeeping while old
         requests are still draining; only the token bucket refills to a full
-        ``burst``.
+        ``burst``.  ``weight`` (>= 1) is this namespace's fair-share weight in
+        the deficit-round-robin dispatcher and takes effect immediately,
+        including for already-queued requests.
         """
+        if weight < 1:
+            raise ValueError("weight must be >= 1")
         with self._tenant_lock:
             state = self._tenants.get(namespace)
             if state is None:
@@ -316,6 +394,7 @@ class BatchExecutor:
             state.quota = quota
             state.timeout_seconds = timeout_seconds
             state.metrics = metrics
+            state.weight = weight
             if quota is not None and quota.rate_per_second is not None:
                 state.tokens = float(quota.burst)
                 state.token_stamp = self._clock()
@@ -326,7 +405,12 @@ class BatchExecutor:
             self._tenants.pop(namespace, None)
 
     def tenant_usage(self, namespace: str) -> dict[str, int] | None:
-        """Point-in-time admission counters for one namespace (None if unknown)."""
+        """Point-in-time admission counters for one namespace (None if unknown).
+
+        ``queued`` counts only requests holding a post-admission scheduler
+        slot; a ``run_batch`` request parked on the *global* semaphore is
+        ``admitted`` (it holds its tenant charge) but not yet ``queued``.
+        """
         with self._tenant_lock:
             state = self._tenants.get(namespace)
             if state is None:
@@ -334,8 +418,26 @@ class BatchExecutor:
             return {
                 "admitted": state.admitted,
                 "executing": state.executing,
-                "queued": state.admitted - state.executing,
+                "queued": state.queued,
                 "rejected_total": state.rejected,
+            }
+
+    def scheduler_info(self, namespace: str) -> dict[str, int] | None:
+        """Scheduling policy + live counters for one namespace (None if unknown).
+
+        Surfaced by ``GET /v1/corpora/<name>``: the tenant's DRR ``weight``,
+        its current scheduler ``queue_depth`` and how many of its requests
+        were answered by attaching to an identical in-flight solve
+        (``coalesced_total``).
+        """
+        with self._tenant_lock:
+            state = self._tenants.get(namespace)
+            if state is None:
+                return None
+            return {
+                "weight": state.weight,
+                "queue_depth": state.queued,
+                "coalesced_total": state.coalesced,
             }
 
     def _admit_tenant(self, request: QueryRequest) -> _TenantState | None:
@@ -422,10 +524,74 @@ class BatchExecutor:
             ):
                 state.tokens = min(float(state.quota.burst), state.tokens + 1.0)
 
+    # -- coalescing --------------------------------------------------------------
+
+    def _coalesce_key(self, request: QueryRequest) -> Hashable | None:
+        """The request's coalescing key, or ``None`` when it must run alone.
+
+        ``use_cache=False`` is an explicit freshness demand (the caller wants
+        its own pipeline run, and others must not piggyback on a run that may
+        race a configuration change), and ``debug`` requests carry their own
+        trace — neither coalesces.  A ``key_for`` hook that raises opts the
+        request out too: an unknown corpus/variant will produce its proper
+        taxonomy error inside the worker, not here.
+        """
+        if self.key_for is None or not request.use_cache or request.debug:
+            return None
+        try:
+            return self.key_for(request)
+        except Exception:  # noqa: BLE001 - the handler re-raises properly
+            return None
+
+    def _attach_waiter(
+        self, leader: Future, state: _TenantState | None
+    ) -> Future:
+        """Chain a duplicate request onto an identical in-flight solve.
+
+        The waiter gets its own future (its caller keeps per-tenant timeout
+        and error accounting), resolved from the leader's outcome.  The
+        waiter holds no worker or queue slot — only its tenant admission
+        charge, released when the shared solve completes.
+        """
+        self._count("executor_submitted_total")
+        self._count("executor_coalesced_total")
+        if state is not None:
+            with self._tenant_lock:
+                state.coalesced += 1
+            if state.metrics is not None:
+                state.metrics.increment("quota_admitted_total")
+                state.metrics.increment("coalesced_total")
+        waiter: Future = Future()
+        waiter.add_done_callback(lambda _f: self._release_tenant(state))
+
+        def propagate(done: Future) -> None:
+            if waiter.cancelled():
+                return
+            if done.cancelled():
+                waiter.cancel()
+                return
+            exc = done.exception()
+            if exc is not None:
+                waiter.set_exception(exc)
+            else:
+                waiter.set_result(done.result())
+
+        leader.add_done_callback(propagate)
+        return waiter
+
+    def _forget_inflight(self, key: Hashable, future: Future) -> None:
+        with self._coalesce_lock:
+            if self._inflight.get(key) is future:
+                del self._inflight[key]
+
     # -- admission ---------------------------------------------------------------
 
     def submit(self, request: QueryRequest) -> Future:
         """Admit one query, rejecting immediately when the queue is full.
+
+        Identical concurrent queries (same canonical cache key) coalesce:
+        the duplicate is admitted and charged normally but attaches to the
+        in-flight leader's future instead of consuming a queue slot.
 
         Raises:
             TenantQuotaExceededError: The tenant's admission quota is spent
@@ -438,17 +604,37 @@ class BatchExecutor:
             raise RuntimeError("executor has been shut down")
         with stage("quota_admission"):
             state = self._admit_tenant(request)
+        key = self._coalesce_key(request)
+        future: Future = Future()
+        if key is not None:
+            with self._coalesce_lock:
+                leader = self._inflight.get(key)
+                if leader is not None:
+                    return self._attach_waiter(leader, state)
+                self._inflight[key] = future
+            future.add_done_callback(
+                lambda done, key=key: self._forget_inflight(key, done)
+            )
         if not self._slots.acquire(blocking=False):
             self._release_tenant(state, refund_token=True)
             self._count("executor_rejected_total")
-            raise ExecutorOverloadedError(
+            error = ExecutorOverloadedError(
                 f"serving queue full ({self.max_workers} workers, "
                 f"{self.queue_depth} waiting slots)"
             )
-        return self._submit_admitted(request, state)
+            if key is not None:
+                # Resolve the registered leader future so any waiter that
+                # attached in the race window gets the same 429 (and the
+                # in-flight entry is removed by the done callback).
+                future.set_exception(error)
+            raise error
+        return self._submit_admitted(request, state, future)
 
     def _submit_admitted(
-        self, request: QueryRequest, state: _TenantState | None
+        self,
+        request: QueryRequest,
+        state: _TenantState | None,
+        future: Future | None = None,
     ) -> Future:
         self._count("executor_submitted_total")
         # Counted here — after both the tenant charge and the global slot
@@ -460,8 +646,17 @@ class BatchExecutor:
         # here (the submitting thread) and re-activate it inside the worker.
         trace_ctx = handoff()
         enqueued = time.perf_counter()
+        if future is None:
+            future = Future()
+        item = _WorkItem(
+            request=request,
+            state=state,
+            trace_ctx=trace_ctx,
+            enqueued=enqueued,
+            future=future,
+        )
         try:
-            future = self._pool.submit(self._run, request, state, trace_ctx, enqueued)
+            self._enqueue(item)
         except BaseException:
             self._slots.release()
             self._release_tenant(state, refund_token=True)
@@ -471,20 +666,126 @@ class BatchExecutor:
         )
         return future
 
+    # -- deficit-round-robin scheduling ------------------------------------------
+
+    def _enqueue(self, item: _WorkItem) -> None:
+        """Park an admitted request in its namespace's scheduler queue."""
+        namespace = item.request.corpus or ""
+        with self._sched:
+            if self._shutdown:
+                raise RuntimeError("executor has been shut down")
+            queue = self._queues.get(namespace)
+            if queue is None:
+                queue = self._queues[namespace] = deque()
+                self._ring.append(namespace)
+            queue.append(item)
+            self._queued_total += 1
+            self._sched.notify()
+        state = item.state
+        if state is not None:
+            with self._tenant_lock:
+                state.queued += 1
+        if self.metrics is not None:
+            self.metrics.gauge_add("scheduler_queue_depth", 1.0)
+        if state is not None and state.metrics is not None:
+            state.metrics.gauge_add("scheduler_queue_depth", 1.0)
+
+    def _weight_of(self, namespace: str) -> int:
+        # Benign unlocked dict read: weights change only via configure_tenant
+        # and a stale read merely delays the new weight by one dispatch.
+        state = self._tenants.get(namespace)
+        return state.weight if state is not None else 1
+
+    def _pop_next(self) -> _WorkItem | None:
+        """Pop the next request in deficit-round-robin order.
+
+        Called with ``_sched`` held.  The namespace at the ring head earns
+        ``weight`` credits when its turn starts and pays one credit per
+        dispatched request; once its credit is spent (or its queue drains)
+        the turn passes.  With unit-cost requests this serves each backlogged
+        namespace in proportion to its weight, one round at a time, so a
+        deep backlog can never starve a light tenant for more than one
+        round.
+        """
+        while self._ring:
+            namespace = self._ring[0]
+            queue = self._queues.get(namespace)
+            if not queue:  # pragma: no cover - defensive: drained entries leave
+                self._ring.popleft()
+                self._credits.pop(namespace, None)
+                self._queues.pop(namespace, None)
+                continue
+            credit = self._credits.get(namespace, 0.0)
+            if credit < 1.0:
+                credit += self._weight_of(namespace)
+            item = queue.popleft()
+            credit -= 1.0
+            self._queued_total -= 1
+            if not queue:
+                # Drained: leave the ring and forget round state, so the
+                # namespace rejoins fresh (at the tail) on its next request.
+                del self._queues[namespace]
+                self._ring.popleft()
+                self._credits.pop(namespace, None)
+            else:
+                self._credits[namespace] = credit
+                if credit < 1.0:
+                    self._ring.rotate(-1)  # turn spent; head moves to tail
+            return item
+        return None
+
+    def _worker_loop(self) -> None:
+        while True:
+            with self._sched:
+                while self._queued_total == 0 and not self._shutdown:
+                    self._sched.wait()
+                item = self._pop_next()
+                if item is None:
+                    if self._shutdown:
+                        return
+                    continue  # pragma: no cover - spurious wakeup race
+            self._dispatch(item)
+
+    def _dispatch(self, item: _WorkItem) -> None:
+        dispatched = time.perf_counter()
+        state = item.state
+        if state is not None:
+            with self._tenant_lock:
+                state.queued -= 1
+        if self.metrics is not None:
+            self.metrics.gauge_add("scheduler_queue_depth", -1.0)
+        if state is not None and state.metrics is not None:
+            state.metrics.gauge_add("scheduler_queue_depth", -1.0)
+        future = item.future
+        if not future.set_running_or_notify_cancel():
+            return  # cancelled while queued; done callbacks already ran
+        try:
+            result = self._run(
+                item.request, state, item.trace_ctx, item.enqueued, dispatched
+            )
+        except BaseException as exc:  # noqa: BLE001 - delivered via the future
+            future.set_exception(exc)
+        else:
+            future.set_result(result)
+
     def _run(
         self,
         request: QueryRequest,
         state: _TenantState | None = None,
         trace_ctx: "TraceContext | None" = None,
         enqueued: float | None = None,
+        dispatched: float | None = None,
     ) -> Any:
         entered = time.perf_counter()
         if enqueued is not None:
             wait = max(0.0, entered - enqueued)
+            sched_wait = max(0.0, (dispatched or entered) - enqueued)
             if self.metrics is not None:
                 self.metrics.observe("queue_wait_seconds", wait)
+                self.metrics.observe("scheduler_wait_seconds", sched_wait)
             if state is not None and state.metrics is not None:
                 state.metrics.observe("queue_wait_seconds", wait)
+                state.metrics.observe("scheduler_wait_seconds", sched_wait)
         if self.metrics is not None:
             self.metrics.gauge_add("in_flight", 1.0)
         tenant_metrics = state.metrics if state is not None else None
@@ -497,6 +798,12 @@ class BatchExecutor:
             if trace_ctx is not None:
                 with trace_ctx as trace:
                     if enqueued is not None:
+                        trace.add_span(
+                            "scheduler_wait",
+                            start=enqueued,
+                            end=dispatched or entered,
+                            parent_id=trace_ctx.span_id,
+                        )
                         trace.add_span(
                             "queue_wait",
                             start=enqueued,
@@ -527,6 +834,10 @@ class BatchExecutor:
     def result(self, request: QueryRequest, future: Future) -> Any:
         """Wait for one admitted query, enforcing the per-query timeout.
 
+        Every terminal outcome is counted here — completions, timeouts and
+        handler errors — so ``executor_errors_total`` covers the
+        ``run_one``/HTTP path, not just batches.
+
         Raises:
             QueryTimeoutError: The deadline elapsed (the worker keeps running
                 in the background; its slot is released on completion).
@@ -534,11 +845,14 @@ class BatchExecutor:
         timeout = self._timeout_for(request)
         try:
             value = future.result(timeout=timeout)
-            self._count("executor_completed_total")
-            return value
         except FutureTimeoutError:
             self._count("executor_timeouts_total")
             raise QueryTimeoutError(request.text, timeout or 0.0) from None
+        except Exception:
+            self._count("executor_errors_total")
+            raise
+        self._count("executor_completed_total")
+        return value
 
     def run_one(self, request: QueryRequest) -> Any:
         """Admit + wait for a single query (the HTTP API's code path)."""
@@ -570,9 +884,29 @@ class BatchExecutor:
                 outcome.elapsed_seconds = time.perf_counter() - started
                 admitted.append((request, None, started, outcome))
                 continue
+            key = self._coalesce_key(request)
+            future: Future | None = None
+            if key is not None:
+                with self._coalesce_lock:
+                    leader = self._inflight.get(key)
+                    if leader is not None:
+                        future = self._attach_waiter(leader, state)
+                    else:
+                        future = Future()
+                        self._inflight[key] = future
+                        future.add_done_callback(
+                            lambda done, key=key: self._forget_inflight(key, done)
+                        )
+                        leader = None
+                if leader is not None:
+                    admitted.append((request, future, started, outcome))
+                    continue
+            # Blocking global admission: the tenant charge is already held,
+            # but the request counts as tenant-`queued` only once it takes a
+            # post-admission slot inside _submit_admitted.
             self._slots.acquire()
             admitted.append(
-                (request, self._submit_admitted(request, state), started, outcome)
+                (request, self._submit_admitted(request, state, future), started, outcome)
             )
 
         outcomes: list[BatchOutcome] = []
@@ -586,7 +920,6 @@ class BatchExecutor:
                     outcome.error_code = taxonomy["code"]
                     outcome.error_status = taxonomy["http_status"]
                 except Exception as exc:  # noqa: BLE001 - batch reports, never raises
-                    self._count("executor_errors_total")
                     taxonomy = error_payload(exc)
                     outcome.error = f"{type(exc).__name__}: {exc}"
                     outcome.error_code = taxonomy["code"]
@@ -598,9 +931,18 @@ class BatchExecutor:
     # -- lifecycle ---------------------------------------------------------------
 
     def shutdown(self, wait: bool = True) -> None:
-        """Stop accepting queries and optionally wait for in-flight work."""
-        self._shutdown = True
-        self._pool.shutdown(wait=wait)
+        """Stop accepting queries and optionally wait for in-flight work.
+
+        Already-queued work still runs (parity with
+        ``ThreadPoolExecutor.shutdown``): workers drain the scheduler queues
+        before exiting.
+        """
+        with self._sched:
+            self._shutdown = True
+            self._sched.notify_all()
+        if wait:
+            for worker in self._workers:
+                worker.join()
 
     def __enter__(self) -> "BatchExecutor":
         return self
@@ -611,3 +953,20 @@ class BatchExecutor:
     def _count(self, name: str) -> None:
         if self.metrics is not None:
             self.metrics.increment(name)
+
+
+def coalesce_key_for_service(service: Any, request: QueryRequest) -> Hashable:
+    """The canonical cache key of ``request`` against ``service``.
+
+    Shared by :meth:`RePaGerApp.coalesce_key` and tests: coalescing and the
+    result cache must agree on what "identical query" means, so both key on
+    :func:`~repro.serving.cache.make_query_key` (normalised text,
+    order-insensitive exclusions, configuration fingerprint, namespace).
+    """
+    return make_query_key(
+        request.text,
+        request.year_cutoff,
+        request.exclude_ids,
+        service.pipeline.config_fingerprint,
+        namespace=getattr(service, "cache_namespace", "") or (request.corpus or ""),
+    )

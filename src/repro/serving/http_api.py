@@ -14,7 +14,8 @@ named corpora behind a versioned ``/v1`` surface:
                                            "default": bool, "warm_up": bool,
                                            "snapshot": str path for warm
                                            attach, "overrides": per-tenant
-                                           cache-TTL/timeout/quota object}``.
+                                           cache-TTL/timeout/quota/weight
+                                           object}``.
 ``DELETE /v1/corpora/<name>``              Detach a corpus (evicted ones
                                            too).
 ``POST /v1/corpora/<name>/query``          Generate (or serve from cache) a
@@ -23,6 +24,14 @@ named corpora behind a versioned ``/v1`` surface:
                                            response: ``{"payload": ...,
                                            "serving": ...}``.
 ``GET /v1/corpora/<name>/paper/<id>``      Detail record for one paper.
+``GET /v1/corpora/<name>``                 Per-corpus detail (same body as
+                                           ``.../healthz``): sizes, config
+                                           fingerprint, readiness flags,
+                                           ``quota_usage``, and the
+                                           ``scheduler`` section — the
+                                           tenant's fair-share ``weight``,
+                                           live ``queue_depth`` and
+                                           ``coalesced_total``.
 ``GET /v1/corpora/<name>/healthz``         Per-corpus health: sizes, config
                                            fingerprint, warm-up/index
                                            readiness flags.

@@ -20,6 +20,25 @@ from typing import Any, Mapping
 
 __all__ = ["LatencyHistogram", "MetricsRegistry", "parse_metrics_text", "percentile"]
 
+#: Descriptive ``# HELP`` text for series whose meaning is not obvious from
+#: the name alone (the scheduler/coalescing families added with weighted fair
+#: scheduling); every other series falls back to a generic per-kind template.
+_HELP_OVERRIDES = {
+    "scheduler_queue_depth": (
+        "Admitted requests parked in the weighted fair-scheduling queue."
+    ),
+    "scheduler_wait_seconds": (
+        "Seconds from admission to deficit-round-robin dispatch."
+    ),
+    "coalesced_total": (
+        "Requests answered by attaching to an identical in-flight solve."
+    ),
+    "executor_coalesced_total": (
+        "Requests across all tenants answered by attaching to an identical "
+        "in-flight solve."
+    ),
+}
+
 
 def percentile(samples: list[float], fraction: float) -> float:
     """Linear-interpolation percentile of a sorted sample list.
@@ -178,20 +197,23 @@ class MetricsRegistry:
         label = _label_suffix(labels)
         lines: list[str] = []
         for name, value in sorted(snapshot["counters"].items()):
-            lines.append(f"# HELP repager_{name} Monotonic counter '{name}'.")
+            help_text = _HELP_OVERRIDES.get(name, f"Monotonic counter '{name}'.")
+            lines.append(f"# HELP repager_{name} {help_text}")
             lines.append(f"# TYPE repager_{name} counter")
             lines.append(f"repager_{name}{label} {value}")
         gauges = dict(snapshot["gauges"])
         if extra_gauges:
             gauges.update(extra_gauges)
         for name, value in sorted(gauges.items()):
-            lines.append(f"# HELP repager_{name} Instantaneous gauge '{name}'.")
+            help_text = _HELP_OVERRIDES.get(name, f"Instantaneous gauge '{name}'.")
+            lines.append(f"# HELP repager_{name} {help_text}")
             lines.append(f"# TYPE repager_{name} gauge")
             lines.append(f"repager_{name}{label} {_fmt(value)}")
         for name, summary in sorted(snapshot["histograms"].items()):
-            lines.append(
-                f"# HELP repager_{name} Latency summary '{name}' in seconds."
+            help_text = _HELP_OVERRIDES.get(
+                name, f"Latency summary '{name}' in seconds."
             )
+            lines.append(f"# HELP repager_{name} {help_text}")
             lines.append(f"# TYPE repager_{name} summary")
             for quantile in ("p50", "p95", "p99", "max"):
                 quantile_label = _label_suffix(labels, quantile=quantile)

@@ -39,6 +39,7 @@ from repro.serving.warmup import warm_up_registry
 #: The named stages a fresh (uncached) debug query must cover end to end.
 EXPECTED_STAGES = {
     "quota_admission",
+    "scheduler_wait",
     "queue_wait",
     "cache_lookup",
     "pipeline",

@@ -128,6 +128,29 @@ class TestResultCache:
         assert len(cache) == 0
         assert cache.stats().hits == 1
 
+    def test_clear_and_drop_namespace_count_dropped_not_evicted(self):
+        """Administrative removals must reconcile in ``dropped``, leaving the
+        LRU ``evictions`` counter to mean capacity pressure only."""
+        cache = ResultCache(max_entries=2, ttl_seconds=60.0)
+        cache.put(make_query_key("a", None, (), "f", namespace="one"), 1)
+        cache.put(make_query_key("b", None, (), "f", namespace="two"), 2)
+        cache.put(make_query_key("c", None, (), "f", namespace="two"), 3)  # evicts LRU
+        assert cache.stats().evictions == 1
+
+        assert cache.drop_namespace("two") == 2
+        stats = cache.stats()
+        assert stats.dropped == 2
+        assert stats.evictions == 1  # unchanged: no capacity pressure involved
+        assert stats.size == 0
+
+        cache.put(make_query_key("d", None, (), "f"), 4)
+        cache.put(make_query_key("e", None, (), "f"), 5)
+        cache.clear()
+        stats = cache.stats()
+        assert stats.dropped == 4
+        assert stats.evictions == 1
+        assert stats.to_dict()["dropped"] == 4
+
 
 class TestMetrics:
     def test_percentile_interpolates(self):
@@ -407,6 +430,21 @@ class TestBatchExecutor:
         assert metrics.counter("executor_errors_total") == 1
         assert metrics.counter("executor_completed_total") == 2
         assert metrics.gauge("in_flight") == 0.0
+
+    def test_run_one_error_increments_errors_total(self):
+        """Regression: handler failures on the ``run_one``/HTTP path must land
+        in ``executor_errors_total``, not only ``run_batch`` failures — the
+        counter is reconciled against served 500s."""
+
+        def handler(request: QueryRequest):
+            raise RuntimeError("bad query")
+
+        metrics = MetricsRegistry()
+        with BatchExecutor(handler, max_workers=1, metrics=metrics) as executor:
+            with pytest.raises(RuntimeError):
+                executor.run_one(QueryRequest("boom"))
+            assert metrics.counter("executor_errors_total") == 1
+            assert metrics.counter("executor_completed_total") == 0
 
     def test_submit_rejects_when_queue_full(self):
         release = threading.Event()

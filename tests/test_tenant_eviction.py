@@ -236,6 +236,69 @@ def test_broken_snapshot_falls_back_to_cold_reattach(app, control):
     assert "beta" in app.registry
 
 
+def test_variant_survives_eviction_round_trip_byte_identical(app, control):
+    """Warm variants come back warm: eviction records the live variant labels
+    and re-attach rebuilds them primed from the restored base artifacts."""
+    if "beta" not in app.registry:
+        app.query({"query": "machine learning", "use_cache": False}, corpus="beta")
+    before = app.query(
+        {"query": "machine learning", "use_cache": False, "variant": "NEWST-W"},
+        corpus="beta",
+    )
+    assert app.registry.get("beta").variants_loaded() == ("NEWST-W",)
+
+    record = app.evict("beta")
+    assert record.variants == ("NEWST-W",)
+    assert record.snapshot_path is not None
+
+    # Re-attach through a *base* query — the variant must not need its own
+    # traffic to come back primed.
+    app.query({"query": "machine learning", "use_cache": False}, corpus="beta")
+    tenant = app.registry.get("beta")
+    assert tenant.variants_loaded() == ("NEWST-W",)
+    variant_service = tenant.service_for("NEWST-W")
+    assert variant_service.pipeline.primed_node_weights is not None
+
+    after = app.query(
+        {"query": "machine learning", "use_cache": False, "variant": "NEWST-W"},
+        corpus="beta",
+    )
+    assert canonical_bytes(before.payload) == canonical_bytes(after.payload)
+    # The base pipeline still matches the never-evicted control.
+    base = app.query(
+        {"query": "machine learning", "use_cache": False}, corpus="beta"
+    )
+    assert canonical_bytes(base.payload) == control["beta"]["machine learning"]
+
+
+def test_variant_only_traffic_still_captures_eviction_snapshot(app, control):
+    """A tenant whose only traffic targeted a variant has warm artifacts on
+    the variant pipeline; eviction must pull them back to the base and
+    snapshot them instead of evicting 'cold' and recomputing on re-attach."""
+    name = app.registry.names()[0]
+    tenant = app.registry.get(name)
+    assert tenant.service.pipeline.primed_node_weights is None  # base is cold
+    before = app.query(
+        {"query": "deep learning", "use_cache": False, "variant": "NEWST-W"},
+        corpus=name,
+    )
+    assert tenant.service.pipeline.primed_node_weights is None  # still cold
+
+    record = app.evict(name)
+    assert record.snapshot_path is not None, (
+        "variant-warmed artifacts were not captured by the eviction snapshot"
+    )
+    assert Path(record.snapshot_path).is_file()
+
+    after = app.query(
+        {"query": "deep learning", "use_cache": False, "variant": "NEWST-W"},
+        corpus=name,
+    )
+    assert canonical_bytes(before.payload) == canonical_bytes(after.payload)
+    base = app.query({"query": "deep learning", "use_cache": False}, corpus=name)
+    assert canonical_bytes(base.payload) == control[name]["deep learning"]
+
+
 def test_detaching_an_evicted_tenant_removes_it_for_good(app):
     if "gamma" not in app.registry.evicted_names():
         if "gamma" not in app.registry:

@@ -314,6 +314,47 @@ class TestQuotaMechanics:
         finally:
             executor.shutdown(wait=True)
 
+    def test_global_queue_parking_is_not_tenant_queued(self):
+        """Regression: a ``run_batch`` request parked on the *global*
+        semaphore holds only its tenant admission charge — it must not be
+        reported by ``tenant_usage()`` as holding a tenant ``queued`` slot."""
+        gate = threading.Event()
+
+        def handler(request):
+            assert gate.wait(timeout=30)
+            return request.text
+
+        executor = BatchExecutor(handler, max_workers=1, queue_depth=0)
+        try:
+            executor.configure_tenant("t", quota=TenantQuota(max_in_flight=8))
+            requests = [QueryRequest(text=f"q{i}", corpus="t") for i in range(3)]
+            batch: dict = {}
+
+            def run():
+                batch["outcomes"] = executor.run_batch(requests)
+
+            thread = threading.Thread(target=run)
+            thread.start()
+            # q0 executes (blocked on the gate); q1 is parked on the global
+            # semaphore: admitted (it holds its tenant charge) but not queued.
+            assert _wait_until(
+                lambda: executor.tenant_usage("t")["executing"] == 1
+            )
+            assert _wait_until(
+                lambda: executor.tenant_usage("t")["admitted"] >= 2
+            )
+            usage = executor.tenant_usage("t")
+            assert usage["queued"] == 0, usage
+            gate.set()
+            thread.join(timeout=30)
+            assert not thread.is_alive()
+            assert [outcome.ok for outcome in batch["outcomes"]] == [True] * 3
+            assert executor.tenant_usage("t")["admitted"] == 0
+            assert executor.tenant_usage("t")["queued"] == 0
+        finally:
+            gate.set()
+            executor.shutdown(wait=True)
+
     def test_quota_validation(self):
         with pytest.raises(ConfigurationError):
             TenantQuota(max_in_flight=0)
