@@ -325,14 +325,32 @@ class TenantOverrides:
             requests per scheduling round for every one request of a
             weight-1 tenant.  Weights shape *priority* under contention;
             quotas shape *admission* — the two compose.
+        deadline_seconds: Default end-to-end deadline applied to this
+            tenant's requests when the client does not send its own
+            ``X-Request-Deadline`` — the budget covers queueing *and*
+            solving, and an over-budget request is shed before it consumes a
+            worker.
+        trace_sample_rate: Fraction of this tenant's successful fast queries
+            whose traces are retained in the ring buffer (slow and failed
+            queries are always kept).  ``None`` inherits
+            :attr:`ObsConfig.trace_sample_rate`.
     """
 
     cache_ttl_seconds: float | None = None
     query_timeout_seconds: float | None = None
     quota: TenantQuota | None = None
     weight: int = 1
+    deadline_seconds: float | None = None
+    trace_sample_rate: float | None = None
 
-    _FIELDS = ("cache_ttl_seconds", "query_timeout_seconds", "quota", "weight")
+    _FIELDS = (
+        "cache_ttl_seconds",
+        "query_timeout_seconds",
+        "quota",
+        "weight",
+        "deadline_seconds",
+        "trace_sample_rate",
+    )
 
     def __post_init__(self) -> None:
         if self.cache_ttl_seconds is not None and self.cache_ttl_seconds <= 0:
@@ -343,12 +361,23 @@ class TenantOverrides:
             raise ConfigurationError("weight must be an integer")
         if self.weight < 1:
             raise ConfigurationError("weight must be >= 1")
+        if self.deadline_seconds is not None and self.deadline_seconds <= 0:
+            raise ConfigurationError("deadline_seconds must be positive or None")
+        if self.trace_sample_rate is not None and not (
+            0.0 <= self.trace_sample_rate <= 1.0
+        ):
+            raise ConfigurationError("trace_sample_rate must be in [0, 1] or None")
 
     @classmethod
     def from_dict(cls, payload: Mapping[str, Any]) -> "TenantOverrides":
         """Validate a JSON object into overrides, rejecting unknown fields."""
         _check_fields(payload, cls._FIELDS)
-        for key in ("cache_ttl_seconds", "query_timeout_seconds"):
+        for key in (
+            "cache_ttl_seconds",
+            "query_timeout_seconds",
+            "deadline_seconds",
+            "trace_sample_rate",
+        ):
             value = payload.get(key)
             if value is not None and (
                 not isinstance(value, (int, float)) or isinstance(value, bool)
@@ -366,11 +395,17 @@ class TenantOverrides:
             raise RequestValidationError("'weight' must be >= 1")
         ttl = payload.get("cache_ttl_seconds")
         timeout = payload.get("query_timeout_seconds")
+        deadline = payload.get("deadline_seconds")
+        sample_rate = payload.get("trace_sample_rate")
         return cls(
             cache_ttl_seconds=float(ttl) if ttl is not None else None,
             query_timeout_seconds=float(timeout) if timeout is not None else None,
             quota=TenantQuota.from_dict(quota) if quota is not None else None,
             weight=weight,
+            deadline_seconds=float(deadline) if deadline is not None else None,
+            trace_sample_rate=(
+                float(sample_rate) if sample_rate is not None else None
+            ),
         )
 
     def to_dict(self) -> dict[str, Any]:
@@ -379,6 +414,8 @@ class TenantOverrides:
             "query_timeout_seconds": self.query_timeout_seconds,
             "quota": self.quota.to_dict() if self.quota is not None else None,
             "weight": self.weight,
+            "deadline_seconds": self.deadline_seconds,
+            "trace_sample_rate": self.trace_sample_rate,
         }
 
 
@@ -399,6 +436,13 @@ class ObsConfig:
         event_log_path: Optional JSONL file every lifecycle event is appended
             to (one JSON object per line; ``None`` keeps events in memory
             only).
+        trace_sample_rate: Fraction of successful fast queries whose traces
+            are retained in the ring buffer.  High-QPS tenants at rate 1.0
+            evict everything else within seconds of a flood, so operators dial
+            this down per deployment (or per tenant via
+            ``TenantOverrides.trace_sample_rate``); slow and failed queries
+            are *always* retained regardless of the rate, and stage-latency
+            histograms observe every query either way.
     """
 
     trace_capacity: int = 256
@@ -407,8 +451,11 @@ class ObsConfig:
     slow_trace_capacity: int = 64
     event_log_capacity: int = 2048
     event_log_path: str | None = None
+    trace_sample_rate: float = 1.0
 
     def __post_init__(self) -> None:
+        if not 0.0 <= self.trace_sample_rate <= 1.0:
+            raise ConfigurationError("trace_sample_rate must be in [0, 1]")
         if self.trace_capacity < 1:
             raise ConfigurationError("trace_capacity must be >= 1")
         if self.trace_per_tenant < 1:
@@ -449,6 +496,30 @@ class ServingConfig:
             request.  ``None`` disables eviction.
         obs: Observability settings (:class:`ObsConfig`): trace-store bounds,
             the slow-query threshold and the lifecycle event log.
+        stale_grace_seconds: How long past its TTL a cached result remains
+            eligible for *degraded* serving when a fresh solve fails or times
+            out (``ResultCache.get_stale``).  0 disables stale-serve: failures
+            surface as errors, never as stale data.
+        retry_attempts: Bounded in-worker retries (with jittered backoff) of
+            a solve that failed with a *retryable* error before the failure
+            escalates to degradation.  0 disables retries.
+        retry_backoff_seconds: Base backoff between retry attempts; each
+            attempt waits ``base * 2**attempt`` plus up to 50% jitter.
+        circuit_failure_threshold: Consecutive server-side solve failures
+            that open a tenant's circuit breaker (fast 503 + ``Retry-After``
+            until the cooldown elapses).  ``None`` disables the breaker.
+        circuit_reset_seconds: Breaker cooldown before a half-open probe.
+        worker_hang_seconds: Watchdog threshold — a worker stuck on one
+            request longer than this is abandoned and replaced so pool
+            capacity is never silently lost.  ``None`` disables the watchdog.
+        fault_plan: Fault-injection specs (``STAGE=ACTION[:ARG[:TRIGGER]]``,
+            see :mod:`repro.resilience.faults`) armed at start-up.  A
+            non-empty plan implies ``allow_fault_injection``.
+        fault_seed: RNG seed for probabilistic fault triggers, so chaos runs
+            are reproducible.
+        allow_fault_injection: Enables the test-only ``/v1/faults`` endpoint
+            (arm/inspect/disarm plans at runtime).  Never enable in a real
+            deployment: any client can then make the service fail on purpose.
     """
 
     host: str = "127.0.0.1"
@@ -464,6 +535,15 @@ class ServingConfig:
     default_corpus: str = "default"
     max_resident_corpora: int | None = None
     obs: ObsConfig = field(default_factory=ObsConfig)
+    stale_grace_seconds: float = 0.0
+    retry_attempts: int = 1
+    retry_backoff_seconds: float = 0.05
+    circuit_failure_threshold: int | None = 5
+    circuit_reset_seconds: float = 30.0
+    worker_hang_seconds: float | None = None
+    fault_plan: tuple[str, ...] = ()
+    fault_seed: int | None = None
+    allow_fault_injection: bool = False
 
     def __post_init__(self) -> None:
         if not self.host:
@@ -488,6 +568,30 @@ class ServingConfig:
             raise ConfigurationError("default_corpus must be non-empty")
         if self.max_resident_corpora is not None and self.max_resident_corpora < 1:
             raise ConfigurationError("max_resident_corpora must be >= 1 or None")
+        if self.stale_grace_seconds < 0:
+            raise ConfigurationError("stale_grace_seconds must be non-negative")
+        if self.retry_attempts < 0:
+            raise ConfigurationError("retry_attempts must be non-negative")
+        if self.retry_backoff_seconds < 0:
+            raise ConfigurationError("retry_backoff_seconds must be non-negative")
+        if (
+            self.circuit_failure_threshold is not None
+            and self.circuit_failure_threshold < 1
+        ):
+            raise ConfigurationError("circuit_failure_threshold must be >= 1 or None")
+        if self.circuit_reset_seconds <= 0:
+            raise ConfigurationError("circuit_reset_seconds must be positive")
+        if self.worker_hang_seconds is not None and self.worker_hang_seconds <= 0:
+            raise ConfigurationError("worker_hang_seconds must be positive or None")
+        if self.fault_plan:
+            # Import here: config is imported everywhere, resilience only on use.
+            from .resilience.faults import parse_fault_spec
+
+            for spec in self.fault_plan:
+                try:
+                    parse_fault_spec(spec)
+                except ValueError as exc:
+                    raise ConfigurationError(str(exc)) from None
 
     def fingerprint(self) -> str:
         """Stable fingerprint of the serving configuration."""

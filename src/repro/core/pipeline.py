@@ -36,6 +36,8 @@ from ..graph.citation_graph import CitationGraph
 from ..graph.indexed import BoundCosts, IndexedGraph
 from ..graph.steiner import SteinerTreeResult
 from ..obs.trace import stage
+from ..resilience.deadline import check_deadline
+from ..resilience.faults import fault_point
 from ..search.engine import SearchEngine
 from ..search.serapi import SerApiClient
 from ..types import ReadingPath
@@ -256,6 +258,8 @@ class RePaGerPipeline:
 
         # Step 1: initial seed papers from the search engine.
         with stage("postings_search") as span:
+            check_deadline("postings_search")
+            fault_point("postings_search")
             initial_seeds = self.seed_selector.select(
                 query,
                 num_seeds=self.config.num_seeds,
@@ -269,6 +273,8 @@ class RePaGerPipeline:
         # BFS runs on the per-corpus CSR snapshot.
         use_indexed = self.config.graph_backend == "indexed"
         with stage("k_hop_expand") as span:
+            check_deadline("k_hop_expand")
+            fault_point("k_hop_expand")
             subgraph_builder = SubgraphBuilder(
                 self.graph,
                 expansion_order=self.config.expansion_order,
@@ -282,6 +288,8 @@ class RePaGerPipeline:
 
         # Step 4: seed reallocation by co-occurrence.
         with stage("seed_reallocation") as span:
+            check_deadline("seed_reallocation")
+            fault_point("seed_reallocation")
             cooccurrence = cooccurrence_counts(self.graph, initial_seeds, candidate_hops)
             reallocated = reallocate_seeds(
                 subgraph,
@@ -304,6 +312,8 @@ class RePaGerPipeline:
         else:
             # Step 5: NEWST Steiner tree and reading path.
             with stage("edge_relevance_slice") as span:
+                check_deadline("edge_relevance_slice")
+                fault_point("edge_relevance_slice")
                 prepared = (
                     self._prepared(frozenset(candidate_hops)) if use_indexed else None
                 )
@@ -330,6 +340,8 @@ class RePaGerPipeline:
                         prepared.bound_costs = snapshot.bind_costs(edge_fn, node_fn)
                 costs = prepared.bound_costs
             with stage("steiner_solve") as span:
+                check_deadline("steiner_solve")
+                fault_point("steiner_solve")
                 tree = model.solve(
                     subgraph,
                     terminals,

@@ -24,10 +24,15 @@ class ReproError(Exception):
             API contract — clients switch on it, so values never change once
             released.
         http_status: The HTTP status the serving layer maps this error to.
+        retryable: Whether an immediate in-process retry of the same request
+            can plausibly succeed (transient faults).  Drives the serving
+            layer's bounded retry-with-backoff; client errors are never
+            retryable.
     """
 
     code: str = "internal"
     http_status: int = 500
+    retryable: bool = False
 
 
 class ConfigurationError(ReproError):
@@ -159,6 +164,97 @@ class QueryTimeoutError(ServingError):
         self.timeout_seconds = timeout_seconds
 
 
+class DeadlineExceededError(ServingError):
+    """A request ran past its end-to-end deadline and was shed.
+
+    Distinct from :class:`QueryTimeoutError` (the caller stopped waiting):
+    the *deadline* travels with the request, so the scheduler can shed it
+    before a worker is consumed and the solve loop can abort cooperatively
+    mid-stage.  ``stage`` names where the budget ran out.
+    """
+
+    code = "deadline_exceeded"
+    http_status = 504
+
+    def __init__(self, stage: str = "solve") -> None:
+        super().__init__(f"request deadline exceeded during {stage!r}")
+        self.stage = stage
+
+
+class FaultInjectedError(ServingError):
+    """A fault-injection rule fired at a named injection point.
+
+    Only raised while a :class:`~repro.resilience.faults.FaultPlan` is armed
+    (chaos tests, ``serve --fault``).  Marked retryable: injected faults model
+    transient infrastructure failures, so the degradation machinery treats
+    them exactly like one.
+    """
+
+    code = "fault_injected"
+    http_status = 500
+    retryable = True
+
+    def __init__(self, point: str) -> None:
+        super().__init__(f"injected fault at point {point!r}")
+        self.point = point
+
+
+class CircuitOpenError(ServingError):
+    """A tenant's circuit breaker is open; the request was rejected fast.
+
+    ``retry_after_seconds`` is the remaining cooldown before a half-open
+    probe will be admitted, served as the HTTP ``Retry-After`` header.
+    """
+
+    code = "circuit_open"
+    http_status = 503
+
+    def __init__(self, corpus: str, retry_after_seconds: float = 1.0) -> None:
+        super().__init__(
+            f"circuit breaker open for corpus {corpus!r}; "
+            f"retry in {retry_after_seconds:g}s"
+        )
+        self.corpus = corpus
+        self.retry_after_seconds = retry_after_seconds
+
+
+class WorkerHungError(ServingError):
+    """The watchdog declared the worker running this request hung.
+
+    The stuck thread was abandoned and replaced; the request it held is
+    failed with this error so its waiter (and its queue slot) are released
+    instead of leaking until process restart.
+    """
+
+    code = "worker_hung"
+    http_status = 503
+
+    def __init__(self, query: str, hang_seconds: float) -> None:
+        super().__init__(
+            f"worker running query {query!r} exceeded the "
+            f"{hang_seconds:g}s hang threshold and was replaced"
+        )
+        self.query = query
+        self.hang_seconds = hang_seconds
+
+
+class SnapshotCorruptError(ServingError):
+    """An artifact snapshot failed its integrity check (torn or tampered).
+
+    The file is quarantined to ``<path>.corrupt`` by the loader so the next
+    attach degrades to a cold build instead of tripping over the same bytes.
+    """
+
+    code = "snapshot_corrupt"
+    http_status = 500
+
+    def __init__(self, path: str, reason: str) -> None:
+        super().__init__(f"artifact snapshot {path!r} is corrupt: {reason}")
+        self.path = path
+        self.reason = reason
+        self.quarantine_path: str | None = None
+
+
 class SnapshotMismatchError(ServingError):
     """An artifact snapshot was built under a different pipeline configuration."""
 
@@ -265,6 +361,14 @@ def error_payload(exc: BaseException) -> dict[str, Any]:
     if isinstance(exc, ReproError):
         code, status = exc.code, exc.http_status
         detail = str(exc) or type(exc).__name__
+        if exc.retryable:
+            return {
+                "error": code,
+                "code": code,
+                "http_status": status,
+                "detail": detail,
+                "retryable": True,
+            }
     else:
         # Anything outside the taxonomy — including bare ValueErrors from
         # deep inside the pipeline — is an *internal* failure: client-caused

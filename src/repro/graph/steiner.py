@@ -27,6 +27,8 @@ from ..errors import DisconnectedTerminalsError, GraphError, NodeNotFoundError
 from .citation_graph import CitationGraph
 from .indexed import BoundCosts, IndexedGraph
 from ..obs.trace import stage
+from ..resilience.deadline import check_deadline
+from ..resilience.faults import fault_point
 from .kernels import indexed_metric_closure
 from .mst import minimum_spanning_tree
 from .shortest_paths import dijkstra
@@ -129,6 +131,9 @@ def metric_closure(
         remaining = terminal_list[index + 1:]
         if not remaining:
             continue
+        # One checkpoint per single-source pass: the closure dominates solve
+        # time, so this is where an expired deadline gets noticed soonest.
+        check_deadline("metric_closure")
         result = dijkstra(
             graph,
             source,
@@ -207,6 +212,8 @@ def node_edge_weighted_steiner_tree(
 
     # Step 1: metric closure over the terminals.
     with stage("metric_closure") as span:
+        check_deadline("metric_closure")
+        fault_point("metric_closure")
         distances, closure_paths = metric_closure(
             graph, terminal_list, edge_cost, node_cost, snapshot=snapshot, costs=costs
         )

@@ -16,7 +16,10 @@ smoke job validates)::
 Events are kept in a bounded in-memory deque (for ``tail``-style queries)
 and, when a path is configured, appended to a JSONL file — one JSON object
 per line, flushed per event so ``repager tail --follow`` sees them promptly.
-Stdlib only; no intra-repo imports.
+The file sink is *non-critical*: a failed write (disk full, or the
+``event_log_write`` fault point) is counted in :attr:`EventLog.write_errors`
+and the in-memory record is kept — observability must never fail the request
+it is observing.  Stdlib plus :mod:`repro.resilience.faults` only.
 """
 
 from __future__ import annotations
@@ -29,6 +32,8 @@ from collections import deque
 from pathlib import Path
 from typing import Any, Iterator
 
+from ..resilience.faults import fault_point
+
 __all__ = ["EVENT_TYPES", "EVENT_FIELDS", "EventLog", "read_event_records"]
 
 #: The lifecycle events the serving layer emits.
@@ -38,6 +43,13 @@ EVENT_TYPES = (
     "corpus_evict",
     "corpus_reattach",
     "quota_reject",
+    "circuit_open",
+    "circuit_close",
+    "worker_replaced",
+    "snapshot_quarantine",
+    "degraded_serve",
+    "fault_armed",
+    "fault_disarmed",
 )
 
 #: Top-level keys of every event record, in emission order.
@@ -59,6 +71,7 @@ class EventLog:
         self.capacity = capacity
         self._events: deque[dict[str, Any]] = deque(maxlen=capacity)
         self._seq = 0
+        self._write_errors = 0
         self._lock = threading.Lock()
         self._file: io.TextIOBase | None = None
         if self.path is not None:
@@ -80,8 +93,18 @@ class EventLog:
             }
             self._events.append(record)
             if self._file is not None and not self._file.closed:
-                self._file.write(json.dumps(record, sort_keys=False) + "\n")
-                self._file.flush()
+                try:
+                    line = json.dumps(record, sort_keys=False)
+                    if fault_point("event_log_write") == "corrupt":
+                        # A torn append: half a record, no trailing newline on
+                        # the payload — readers must skip it, not crash.
+                        line = line[: len(line) // 2]
+                    self._file.write(line + "\n")
+                    self._file.flush()
+                except Exception:
+                    # The sink is best-effort: a full disk (or an injected
+                    # fault) must never fail the request being observed.
+                    self._write_errors += 1
         return record
 
     # -- reading ----------------------------------------------------------
@@ -106,6 +129,12 @@ class EventLog:
     def last_seq(self) -> int:
         with self._lock:
             return self._seq
+
+    @property
+    def write_errors(self) -> int:
+        """File-sink writes dropped (disk errors or injected faults)."""
+        with self._lock:
+            return self._write_errors
 
     def __len__(self) -> int:
         with self._lock:

@@ -31,6 +31,7 @@ Design constraints:
 
 from __future__ import annotations
 
+import random
 import threading
 import time
 import uuid
@@ -134,6 +135,7 @@ class Trace:
         "status",
         "error",
         "slow",
+        "sampled",
         "_t0",
         "_spans",
         "_lock",
@@ -158,6 +160,7 @@ class Trace:
         self.status = "in_progress"
         self.error: str | None = None
         self.slow = False
+        self.sampled = True
         self._t0 = time.perf_counter()
         self._spans: list[Span] = []
         self._lock = threading.Lock()
@@ -223,6 +226,8 @@ class Trace:
         }
         if self.error:
             data["error"] = self.error
+        if not self.sampled:
+            data["sampled"] = False
         if self.tags:
             data["tags"] = dict(self.tags)
         return data
@@ -435,15 +440,26 @@ class Tracer:
         *,
         corpus: str | None = None,
         request_id: str | None = None,
+        sample_rate: float | None = None,
     ) -> _TraceHandle:
         """Start a trace and activate it in the current context.
 
         Yields the :class:`Trace` (or ``None`` when tracing is disabled);
         on exit the trace is finished and recorded in the store.
+
+        ``sample_rate`` (0..1, default keep-everything) marks the trace
+        sampled-out with that probability.  An unsampled trace still runs in
+        full — spans are collected and ``on_finish`` fires, so latency
+        histograms stay accurate — but it is dropped from the recent ring at
+        record time *unless* it turns out slow or failed, which are always
+        retained for debugging.
         """
         if not _ENABLED:
             return _TraceHandle(self, None)
-        return _TraceHandle(self, Trace(name, corpus=corpus, request_id=request_id))
+        trace = Trace(name, corpus=corpus, request_id=request_id)
+        if sample_rate is not None and sample_rate < 1.0:
+            trace.sampled = sample_rate > 0.0 and random.random() < sample_rate
+        return _TraceHandle(self, trace)
 
     # -- storage ----------------------------------------------------------
 
@@ -470,6 +486,11 @@ class Tracer:
             self.slow_capacity > 0
             and trace.duration_seconds >= self.slow_threshold_seconds
         )
+        if not trace.sampled and trace.status == "ok" and not trace.slow:
+            # Sampled out: skip the ring buffers but keep the histograms fed.
+            if self.on_finish is not None:
+                self.on_finish(trace)
+            return
         with self._lock:
             self._by_id[trace.trace_id] = trace
             self._flags[trace.trace_id] = _IN_RECENT

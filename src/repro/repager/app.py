@@ -35,6 +35,7 @@ module is that layer:
 
 from __future__ import annotations
 
+import random
 import re
 import shutil
 import tempfile
@@ -42,20 +43,26 @@ import threading
 import time
 from dataclasses import dataclass, replace
 from pathlib import Path
-from typing import Any, Hashable, Mapping
+from typing import Any, Hashable, Mapping, Sequence
 
 from ..config import PipelineConfig, ServingConfig, TenantOverrides
 from ..core.pipeline import VARIANT_CONFIGS, make_variant_config
 from ..corpus.storage import CorpusStore
 from ..errors import (
+    CircuitOpenError,
     CorpusNotFoundError,
+    DeadlineExceededError,
     DuplicateCorpusError,
+    ReproError,
     RequestValidationError,
     ServingError,
+    SnapshotCorruptError,
     UnknownVariantError,
 )
 from ..obs.events import EventLog
 from ..obs.trace import Trace, Tracer
+from ..resilience.circuit import CircuitBreaker
+from ..resilience.faults import FaultPlan, active_plan, arm, disarm
 from ..serving.cache import ResultCache
 from ..serving.executor import (
     BatchExecutor,
@@ -148,8 +155,15 @@ class QueryOptions:
             debug=debug,
         )
 
-    def to_request(self, corpus: str | None = None) -> QueryRequest:
-        """The executor-level request carrying the routing fields."""
+    def to_request(
+        self, corpus: str | None = None, deadline: float | None = None
+    ) -> QueryRequest:
+        """The executor-level request carrying the routing fields.
+
+        ``deadline`` is an absolute ``time.monotonic()`` instant; the
+        executor sheds the request at admission, dispatch and solve-loop
+        checkpoints once it has passed.
+        """
         return QueryRequest(
             text=self.query,
             year_cutoff=self.year_cutoff,
@@ -158,6 +172,7 @@ class QueryOptions:
             corpus=corpus,
             variant=self.variant,
             debug=self.debug,
+            deadline=deadline,
         )
 
 
@@ -168,6 +183,9 @@ class QueryResponse:
     ``request_id`` correlates the response with the ``X-Request-Id`` header
     and the trace store; ``trace`` carries the full span tree (per-stage
     timing breakdown) when the request asked for ``debug: true``.
+    ``degraded`` marks a stale cache entry served after a solve failure —
+    the marker keys are *absent* on normal responses so the golden contract
+    stays byte-identical.
     """
 
     payload: PathPayload
@@ -178,6 +196,8 @@ class QueryResponse:
     served_in_seconds: float = 0.0
     request_id: str | None = None
     trace: Mapping[str, Any] | None = None
+    degraded: bool = False
+    degraded_reason: str | None = None
 
     def serving_meta(self) -> dict[str, Any]:
         meta: dict[str, Any] = {
@@ -189,6 +209,10 @@ class QueryResponse:
         }
         if self.request_id is not None:
             meta["request_id"] = self.request_id
+        if self.degraded:
+            meta["degraded"] = True
+            if self.degraded_reason is not None:
+                meta["degraded_reason"] = self.degraded_reason
         if self.trace is not None:
             meta["trace"] = dict(self.trace)
         return meta
@@ -710,6 +734,7 @@ class RePaGerApp:
         self.cache = cache if cache is not None else ResultCache(
             max_entries=self.config.cache_max_entries,
             ttl_seconds=self.config.cache_ttl_seconds,
+            stale_grace_seconds=self.config.stale_grace_seconds,
         )
         obs = self.config.obs
         #: Lifecycle event log (attach/detach/evict/re-attach/quota-reject).
@@ -731,12 +756,30 @@ class RePaGerApp:
             queue_depth=self.config.queue_depth,
             timeout_seconds=self.config.query_timeout_seconds,
             metrics=self.metrics,
+            hang_seconds=self.config.worker_hang_seconds,
         )
         self.started_at = time.monotonic()
         #: Serialises evict / re-attach transitions (queries themselves never
         #: take this lock once their tenant is resident).
         self._lifecycle_lock = threading.Lock()
         self._snapshot_dir: str | None = None
+        #: Per-tenant circuit breakers, created lazily when a threshold is
+        #: configured (``circuit_failure_threshold=None`` disables them).
+        self._breakers: dict[str, CircuitBreaker] = {}
+        self._breaker_lock = threading.Lock()
+        #: The fault plan this app armed from its config (fault injection is
+        #: process-global; the app disarms its own plan on close).
+        self._fault_plan: FaultPlan | None = None
+        if self.config.fault_plan:
+            self._fault_plan = FaultPlan.from_specs(
+                self.config.fault_plan, seed=self.config.fault_seed
+            )
+            arm(self._fault_plan)
+            self.events.emit(
+                "fault_armed",
+                rules=list(self.config.fault_plan),
+                seed=self.config.fault_seed,
+            )
 
     # -- tenant management -------------------------------------------------------
 
@@ -909,6 +952,8 @@ class RePaGerApp:
         if tenant.service.cache is self.cache:
             self.cache.drop_namespace(name)
         self._drop_executor_tenant(name)
+        with self._breaker_lock:
+            self._breakers.pop(name, None)
         self.events.emit("corpus_detach", corpus=name, resident=True)
         return tenant
 
@@ -1005,6 +1050,18 @@ class RePaGerApp:
 
                 try:
                     snapshot = ArtifactSnapshot.load(record.snapshot_path)
+                except SnapshotCorruptError as exc:
+                    # Checksum/parse failure: the loader already quarantined
+                    # the bad file to `<path>.corrupt`; record the incident
+                    # and fall back to a cold re-attach.
+                    self.events.emit(
+                        "snapshot_quarantine",
+                        corpus=name,
+                        path=record.snapshot_path,
+                        quarantine_path=exc.quarantine_path,
+                        reason=str(exc),
+                    )
+                    snapshot = None
                 except ServingError:
                     # A vanished or corrupted snapshot (tmp cleaner, operator
                     # mishap) must not brick the tenant: a cold re-attach
@@ -1089,6 +1146,7 @@ class RePaGerApp:
         options: "QueryOptions | Mapping[str, Any] | str",
         corpus: str | None = None,
         request_id: str | None = None,
+        deadline: float | None = None,
     ) -> QueryResponse:
         """Answer one query through the shared bounded executor.
 
@@ -1096,27 +1154,66 @@ class RePaGerApp:
         (validated strictly) or a bare query string.  ``corpus`` selects the
         tenant (``None`` = default).  ``request_id`` correlates the trace
         with a caller-supplied id (the HTTP layer's ``X-Request-Id``); when
-        omitted the trace id doubles as the request id.
+        omitted the trace id doubles as the request id.  ``deadline`` is an
+        absolute ``time.monotonic()`` instant (the HTTP layer derives it from
+        ``X-Request-Deadline``); when omitted, the tenant's
+        ``deadline_seconds`` override applies.
+
+        The resilience ladder wraps the solve: an open per-tenant circuit
+        rejects up front (503 + ``Retry-After``); retryable failures are
+        retried with jittered exponential backoff inside the deadline; a
+        server-side failure falls back to a stale-but-marked cache entry
+        within the grace window before the error is surfaced.
 
         Raises errors from the shared taxonomy: :class:`CorpusNotFoundError`,
         :class:`~repro.errors.RequestValidationError`,
         :class:`~repro.errors.ExecutorOverloadedError`,
-        :class:`~repro.errors.QueryTimeoutError`, ...
+        :class:`~repro.errors.QueryTimeoutError`,
+        :class:`~repro.errors.CircuitOpenError`,
+        :class:`~repro.errors.DeadlineExceededError`, ...
         """
         if isinstance(options, str):
             options = QueryOptions(query=options)
         elif not isinstance(options, QueryOptions):
             options = QueryOptions.from_dict(options)
         tenant = self._resolve_tenant(corpus)
+        overrides = tenant.overrides
+        if (
+            deadline is None
+            and overrides is not None
+            and overrides.deadline_seconds is not None
+        ):
+            deadline = time.monotonic() + overrides.deadline_seconds
+        breaker = self._breaker(tenant.name)
+        if breaker is not None:
+            breaker.check()
+        sample_rate = self.config.obs.trace_sample_rate
+        if overrides is not None and overrides.trace_sample_rate is not None:
+            sample_rate = overrides.trace_sample_rate
         started = time.perf_counter()
         trace_obj: Trace | None = None
         with self.tracer.trace(
-            "query", corpus=tenant.name, request_id=request_id
+            "query",
+            corpus=tenant.name,
+            request_id=request_id,
+            sample_rate=sample_rate,
         ) as trace:
             trace_obj = trace
             if trace is not None:
                 trace.tags["query"] = options.query
-            response = self.executor.run_one(options.to_request(tenant.name))
+            request = options.to_request(tenant.name, deadline=deadline)
+            try:
+                response = self._run_with_retry(tenant, request, deadline)
+            except Exception as exc:
+                self._record_outcome(tenant, breaker, exc)
+                stale = self._stale_response(tenant, options, exc)
+                if stale is None:
+                    raise
+                response = stale
+                if trace is not None:
+                    trace.tags["degraded"] = True
+            else:
+                self._record_outcome(tenant, breaker, None)
             if not isinstance(response, QueryResponse):
                 # A caller-supplied executor with the pre-registry handler
                 # contract (BatchExecutor.from_service) returns the bare
@@ -1154,6 +1251,183 @@ class RePaGerApp:
         elif request_id is not None:
             updates["request_id"] = request_id
         return replace(response, **updates)
+
+    # -- resilience --------------------------------------------------------------
+
+    def _breaker(self, name: str) -> CircuitBreaker | None:
+        """The tenant's circuit breaker (created lazily), or ``None`` when
+        breakers are disabled via ``circuit_failure_threshold=None``."""
+        threshold = self.config.circuit_failure_threshold
+        if threshold is None:
+            return None
+        with self._breaker_lock:
+            breaker = self._breakers.get(name)
+            if breaker is None:
+                breaker = CircuitBreaker(
+                    name,
+                    failure_threshold=threshold,
+                    reset_seconds=self.config.circuit_reset_seconds,
+                )
+                self._breakers[name] = breaker
+            return breaker
+
+    @staticmethod
+    def _is_server_failure(exc: BaseException) -> bool:
+        """Whether ``exc`` says something about *our* health, not the client's.
+
+        4xx taxonomy errors (validation, quota, overload backpressure) never
+        trip the breaker or trigger degradation; 5xx serving errors, solve
+        timeouts and unexpected exceptions do.
+        """
+        if isinstance(exc, CircuitOpenError):
+            return False
+        if isinstance(exc, ReproError):
+            return exc.http_status >= 500
+        return True
+
+    def _tenant_metrics(self, tenant: Tenant) -> MetricsRegistry:
+        return tenant.service.metrics or self.metrics
+
+    def _run_with_retry(
+        self, tenant: Tenant, request: QueryRequest, deadline: float | None
+    ) -> Any:
+        """Run one request, retrying *retryable* taxonomy errors.
+
+        Backoff is exponential with multiplicative jitter; a retry that could
+        not finish before the deadline is not attempted — the original error
+        surfaces instead of a guaranteed second failure.
+        """
+        attempts = max(1, self.config.retry_attempts)
+        attempt = 1
+        while True:
+            try:
+                return self.executor.run_one(request)
+            except ReproError as exc:
+                if not exc.retryable or attempt >= attempts:
+                    raise
+                backoff = self.config.retry_backoff_seconds * (2 ** (attempt - 1))
+                backoff *= 0.5 + random.random()  # jitter in [0.5x, 1.5x)
+                if deadline is not None and time.monotonic() + backoff >= deadline:
+                    raise
+                self._tenant_metrics(tenant).increment("retries_total")
+                time.sleep(backoff)
+                attempt += 1
+
+    def _record_outcome(
+        self,
+        tenant: Tenant,
+        breaker: CircuitBreaker | None,
+        exc: BaseException | None,
+    ) -> None:
+        """Feed one solve outcome into the tenant's circuit breaker.
+
+        Deadline sheds are excluded: they measure the *client's* patience,
+        not the tenant's health, and must not open the circuit for everyone.
+        """
+        if breaker is None:
+            return
+        if exc is None:
+            if breaker.record_success():
+                self.events.emit("circuit_close", corpus=tenant.name)
+            return
+        if not self._is_server_failure(exc) or isinstance(exc, DeadlineExceededError):
+            return
+        if breaker.record_failure():
+            self._tenant_metrics(tenant).increment("circuit_open_total")
+            self.events.emit(
+                "circuit_open",
+                corpus=tenant.name,
+                failure_threshold=breaker.failure_threshold,
+                reset_seconds=breaker.reset_seconds,
+                error=getattr(exc, "code", type(exc).__name__),
+            )
+
+    def _stale_response(
+        self,
+        tenant: Tenant,
+        options: QueryOptions,
+        exc: BaseException,
+    ) -> "QueryResponse | None":
+        """Degraded fallback: the query's last cached payload, marked stale.
+
+        Only server-side failures qualify, only when the request allowed the
+        cache, and only within the cache's ``stale_grace_seconds`` window —
+        otherwise ``None`` and the original error surfaces.
+        """
+        if not options.use_cache or not self._is_server_failure(exc):
+            return None
+        try:
+            service = tenant.service_for(options.variant)
+        except Exception:  # noqa: BLE001 - fall through to the original error
+            return None
+        payload = service.stale_payload(
+            options.query,
+            year_cutoff=options.year_cutoff,
+            exclude_ids=options.exclude_ids,
+        )
+        if payload is None:
+            return None
+        reason = getattr(exc, "code", None) or type(exc).__name__
+        self._tenant_metrics(tenant).increment("degraded_served_total")
+        self.events.emit(
+            "degraded_serve", corpus=tenant.name, reason=reason, query=options.query
+        )
+        variant = (
+            normalize_variant(options.variant) if options.variant else DEFAULT_VARIANT
+        )
+        return QueryResponse(
+            payload=payload,
+            corpus=tenant.name,
+            variant=variant,
+            cached=True,
+            config_fingerprint=service.pipeline.config_fingerprint,
+            degraded=True,
+            degraded_reason=reason,
+        )
+
+    # -- fault administration (test-only surface) --------------------------------
+
+    def fault_status(self) -> dict[str, Any]:
+        """The armed fault plan (rules, calls, fired injections), if any."""
+        plan = active_plan()
+        status: dict[str, Any] = {
+            "armed": plan is not None,
+            "allow_fault_injection": self.config.allow_fault_injection,
+        }
+        if plan is not None:
+            status["plan"] = plan.describe()
+        return status
+
+    def arm_faults(
+        self, specs: Sequence[str], seed: int | None = None
+    ) -> dict[str, Any]:
+        """Arm a fault plan from ``STAGE=ACTION[:ARG[:TRIGGER]]`` specs.
+
+        Raises:
+            RequestValidationError: A spec is malformed or names an unknown
+                point/action (mapped to HTTP 400).
+        """
+        try:
+            plan = FaultPlan.from_specs(tuple(specs), seed=seed)
+        except ValueError as exc:
+            raise RequestValidationError(str(exc)) from exc
+        arm(plan)
+        self._fault_plan = plan
+        self.events.emit(
+            "fault_armed", rules=[rule.spec() for rule in plan.rules], seed=seed
+        )
+        return self.fault_status()
+
+    def disarm_faults(self) -> dict[str, Any]:
+        """Disarm any armed plan; every fault point reverts to the no-op."""
+        plan = active_plan()
+        disarm()
+        self._fault_plan = None
+        self.events.emit(
+            "fault_disarmed",
+            injected=plan.describe()["injected"] if plan is not None else {},
+        )
+        return self.fault_status()
 
     def handle_request(self, request: QueryRequest) -> QueryResponse:
         """Executor handler: route a request to its tenant (and variant).
@@ -1294,6 +1568,9 @@ class RePaGerApp:
             sched = getattr(self.executor, "scheduler_info", lambda _name: None)(corpus)
             if sched is not None:
                 report["scheduler"] = sched
+            breaker = self._breaker(corpus)
+            if breaker is not None:
+                report["circuit"] = breaker.describe()
             return report
         per_corpus = {name: tenant.health() for name, tenant in self.registry.items()}
         default = self.registry.default_name
@@ -1361,6 +1638,11 @@ class RePaGerApp:
     def close(self, wait: bool = True) -> None:
         """Shut down the shared executor and drop any eviction snapshots."""
         self.executor.shutdown(wait=wait)
+        if self._fault_plan is not None and active_plan() is self._fault_plan:
+            # Fault injection is process-global; disarm only what we armed so
+            # a test that armed its own plan keeps it.
+            disarm()
+        self._fault_plan = None
         self.events.close()
         if self._snapshot_dir is not None:
             shutil.rmtree(self._snapshot_dir, ignore_errors=True)

@@ -166,6 +166,50 @@ def build_parser() -> argparse.ArgumentParser:
         help="queries slower than this keep their full span tree in the "
              "slow-trace buffer behind GET /v1/traces",
     )
+    serve.add_argument(
+        "--trace-sample", type=float, default=1.0, metavar="RATE",
+        help="fraction of ok-and-fast query traces kept in the recent buffer "
+             "(0..1; slow and failed traces are always kept)",
+    )
+    serve.add_argument(
+        "--stale-grace", type=float, default=0.0, metavar="SECONDS",
+        help="serve expired cache entries (marked 'degraded') for this long "
+             "after a solve failure instead of erroring (0 = disabled)",
+    )
+    serve.add_argument(
+        "--retry-attempts", type=int, default=1, metavar="N",
+        help="total solve attempts for retryable failures (1 = no retries), "
+             "with jittered exponential backoff between attempts",
+    )
+    serve.add_argument(
+        "--circuit-threshold", type=int, default=5, metavar="K",
+        help="consecutive solve failures that open a tenant's circuit "
+             "breaker (fast 503 + Retry-After); 0 disables the breaker",
+    )
+    serve.add_argument(
+        "--circuit-reset", type=float, default=30.0, metavar="SECONDS",
+        help="circuit-breaker cooldown before a half-open probe is allowed",
+    )
+    serve.add_argument(
+        "--hang-threshold", type=float, default=None, metavar="SECONDS",
+        help="worker watchdog: replace a worker stuck on one query longer "
+             "than this, failing the query with 503 (default: disabled)",
+    )
+    serve.add_argument(
+        "--fault", action="append", metavar="STAGE=ACTION[:ARG[:TRIGGER]]",
+        help="arm a fault-injection rule at start-up (repeatable; implies "
+             "--allow-faults).  ACTION is fail/delay/corrupt; TRIGGER is a "
+             "probability or @N for the N-th call, e.g. steiner_solve=fail:0.1",
+    )
+    serve.add_argument(
+        "--fault-seed", type=int, default=None, metavar="SEED",
+        help="seed for probabilistic fault triggers (reproducible chaos runs)",
+    )
+    serve.add_argument(
+        "--allow-faults", action="store_true",
+        help="expose the test-only GET/POST/DELETE /v1/faults surface "
+             "(otherwise those routes 404)",
+    )
 
     tail = subparsers.add_parser(
         "tail", help="print (and optionally follow) a serve --event-log JSONL file"
@@ -359,9 +403,18 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         max_body_bytes=args.max_body_bytes,
         default_corpus=args.default_corpus,
         max_resident_corpora=args.max_resident,
+        stale_grace_seconds=args.stale_grace,
+        retry_attempts=args.retry_attempts,
+        circuit_failure_threshold=args.circuit_threshold or None,
+        circuit_reset_seconds=args.circuit_reset,
+        worker_hang_seconds=args.hang_threshold,
+        fault_plan=tuple(args.fault or ()),
+        fault_seed=args.fault_seed,
+        allow_fault_injection=bool(args.allow_faults or args.fault),
         obs=ObsConfig(
             event_log_path=args.event_log,
             slow_trace_seconds=args.slow_trace,
+            trace_sample_rate=args.trace_sample,
         ),
     )
     pipeline_config = PipelineConfig(

@@ -20,6 +20,7 @@ from ..corpus.storage import CorpusStore
 from ..core.pipeline import PipelineResult, RePaGerPipeline
 from ..graph.citation_graph import CitationGraph
 from ..obs.trace import stage
+from ..resilience.faults import fault_point
 from ..search.engine import SearchEngine
 from ..search.scholar import GoogleScholarEngine
 from ..serving.cache import ResultCache, make_query_key
@@ -148,6 +149,7 @@ class RePaGerService:
         key = None
         if self.cache is not None and use_cache:
             with stage("cache_lookup") as span:
+                fault_point("cache_lookup")
                 key = make_query_key(
                     text,
                     year_cutoff,
@@ -171,11 +173,39 @@ class RePaGerService:
             )
             span.tag(pipeline_seconds=round(result.elapsed_seconds, 6))
         with stage("payload_assembly"):
+            fault_point("payload_assembly")
             payload = self._payload(result)
             if key is not None:
                 self.cache.put(key, payload, ttl_seconds=self.cache_ttl_seconds)
         self._observe(started, cached=False, pipeline_seconds=result.elapsed_seconds)
         return payload, False
+
+    def stale_payload(
+        self,
+        text: str,
+        year_cutoff: int | None = None,
+        exclude_ids: Sequence[str] = (),
+    ) -> PathPayload | None:
+        """The last cached payload for this exact query, fresh *or* stale.
+
+        Backs graceful degradation: when a solve fails, the application layer
+        asks for whatever answer this query last produced within the cache's
+        ``stale_grace_seconds`` window.  Returns ``None`` when the service has
+        no cache or the entry is gone for good.
+        """
+        if self.cache is None:
+            return None
+        key = make_query_key(
+            text,
+            year_cutoff,
+            exclude_ids,
+            self.pipeline.config_fingerprint,
+            namespace=self.cache_namespace,
+        )
+        payload = self.cache.get_stale(key)
+        if payload is not None and payload.query != text:
+            payload = replace(payload, query=text)
+        return payload
 
     def readiness(self) -> dict[str, Any]:
         """Which shared per-corpus artifacts are already built.

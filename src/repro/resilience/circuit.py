@@ -1,0 +1,153 @@
+"""Per-tenant circuit breaker: fail fast when a corpus keeps failing.
+
+When a tenant's solves fail repeatedly (a poisoned snapshot, a pathological
+query mix, an injected fault plan), letting every new request march into a
+worker just burns pool capacity on work that is going to fail anyway — and
+starves the tenants that are healthy.  The breaker converts that state into
+fast rejections with an honest ``Retry-After``:
+
+- **closed** — normal operation; consecutive solve failures are counted and
+  any success resets the count.
+- **open** — entered after ``failure_threshold`` consecutive failures; every
+  request is rejected immediately with
+  :class:`~repro.errors.CircuitOpenError` (HTTP 503 + ``Retry-After`` set to
+  the remaining cooldown) until ``reset_seconds`` have passed.
+- **half-open** — after the cooldown, exactly one probe request is allowed
+  through; its success closes the circuit, its failure re-opens it for
+  another full cooldown.  Concurrent requests during the probe are rejected
+  as if open.
+
+Only *server-side* solve failures count — client errors (bad request, unknown
+paper) say nothing about the tenant's health and never trip the breaker.
+"""
+
+from __future__ import annotations
+
+import math
+import threading
+import time
+from typing import Any, Callable
+
+from ..errors import CircuitOpenError
+
+__all__ = ["CircuitBreaker"]
+
+
+class CircuitBreaker:
+    """Thread-safe closed → open → half-open breaker for one tenant.
+
+    Args:
+        corpus: Tenant name carried into rejection errors and descriptions.
+        failure_threshold: Consecutive failures that open the circuit.
+        reset_seconds: Cooldown before a half-open probe is allowed.
+        clock: Monotonic time source (injectable for deterministic tests).
+    """
+
+    def __init__(
+        self,
+        corpus: str,
+        failure_threshold: int = 5,
+        reset_seconds: float = 30.0,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        if failure_threshold < 1:
+            raise ValueError("failure_threshold must be >= 1")
+        if reset_seconds <= 0:
+            raise ValueError("reset_seconds must be positive")
+        self.corpus = corpus
+        self.failure_threshold = failure_threshold
+        self.reset_seconds = reset_seconds
+        self._clock = clock
+        self._lock = threading.Lock()
+        self._state = "closed"
+        self._consecutive_failures = 0
+        self._opened_at: float | None = None
+        self._probe_in_flight = False
+        self._open_count = 0
+
+    @property
+    def state(self) -> str:
+        with self._lock:
+            return self._state
+
+    def check(self) -> None:
+        """Admission gate; raises :class:`CircuitOpenError` when rejecting.
+
+        Transitions open → half-open once the cooldown has elapsed and lets
+        exactly one probe through; everyone else sees the rejection.
+        """
+        with self._lock:
+            if self._state == "closed":
+                return
+            now = self._clock()
+            if self._state == "open":
+                assert self._opened_at is not None
+                elapsed = now - self._opened_at
+                if elapsed < self.reset_seconds:
+                    remaining = self.reset_seconds - elapsed
+                    raise CircuitOpenError(
+                        self.corpus, retry_after_seconds=max(1, math.ceil(remaining))
+                    )
+                self._state = "half_open"
+                self._probe_in_flight = True
+                return
+            # half-open: one probe at a time.
+            if self._probe_in_flight:
+                raise CircuitOpenError(self.corpus, retry_after_seconds=1)
+            self._probe_in_flight = True
+
+    def record_success(self) -> bool:
+        """A solve completed; close the circuit and reset the failure run.
+
+        Returns True when this success actually *closed* a non-closed circuit
+        (a successful half-open probe), so the caller can log the recovery.
+        """
+        with self._lock:
+            closed_now = self._state != "closed"
+            self._state = "closed"
+            self._consecutive_failures = 0
+            self._opened_at = None
+            self._probe_in_flight = False
+            return closed_now
+
+    def record_failure(self) -> bool:
+        """Count one server-side solve failure; returns True on a new open.
+
+        A failure in half-open re-opens immediately (the probe answered the
+        question); in closed the circuit opens once the consecutive run
+        reaches the threshold.
+        """
+        with self._lock:
+            self._consecutive_failures += 1
+            self._probe_in_flight = False
+            should_open = (
+                self._state == "half_open"
+                or self._consecutive_failures >= self.failure_threshold
+            )
+            if should_open and self._state != "open":
+                self._state = "open"
+                self._opened_at = self._clock()
+                self._open_count += 1
+                return True
+            if should_open:
+                # Already open (late failures from in-flight solves).
+                self._opened_at = self._clock()
+            return False
+
+    def describe(self) -> dict[str, Any]:
+        """JSON-ready state for ``GET /v1/corpora/<name>``."""
+        with self._lock:
+            info: dict[str, Any] = {
+                "state": self._state,
+                "consecutive_failures": self._consecutive_failures,
+                "failure_threshold": self.failure_threshold,
+                "reset_seconds": self.reset_seconds,
+                "open_count": self._open_count,
+            }
+            if self._opened_at is not None:
+                elapsed = self._clock() - self._opened_at
+                info["opened_seconds_ago"] = round(elapsed, 3)
+                info["retry_after_seconds"] = max(
+                    0, math.ceil(self.reset_seconds - elapsed)
+                )
+            return info

@@ -1,0 +1,81 @@
+"""End-to-end request deadlines with cooperative solve-loop checkpoints.
+
+A per-query *timeout* (PR 1) bounds how long the caller waits, but the solve
+keeps burning a worker after the waiter has given up.  A *deadline* is the
+stronger contract: an absolute point on the monotonic clock, fixed at HTTP
+ingress (``X-Request-Deadline: <seconds>``) or from the tenant's
+``TenantOverrides.deadline_seconds``, carried with the request through the
+scheduler queue and into the worker thread.
+
+Enforcement happens at three places, each strictly cheaper than the work it
+avoids:
+
+1. The scheduler sheds a request whose deadline already passed *before*
+   handing it to a worker (it spent its budget queueing).
+2. :func:`deadline_scope` publishes the deadline on a context variable for
+   the duration of the handler call, and :func:`check_deadline` — called at
+   stage boundaries in the pipeline and inside the metric-closure loop —
+   aborts the solve cooperatively once the budget is gone.
+3. The result wait clamps its timeout to the remaining budget.
+
+When no deadline is set, :func:`check_deadline` is one ContextVar read and a
+``None`` comparison — safe to call from the hot loop.
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from contextvars import ContextVar
+from typing import Iterator
+
+from ..errors import DeadlineExceededError
+
+__all__ = [
+    "active_deadline",
+    "check_deadline",
+    "deadline_scope",
+    "remaining_seconds",
+]
+
+#: Absolute ``time.monotonic()`` deadline of the request being solved on this
+#: thread/context, or ``None`` when the request is unbounded.
+_DEADLINE: ContextVar[float | None] = ContextVar("repro_request_deadline", default=None)
+
+
+def active_deadline() -> float | None:
+    """The absolute monotonic deadline in effect, or ``None``."""
+    return _DEADLINE.get()
+
+
+def remaining_seconds(deadline: float | None = None) -> float | None:
+    """Seconds left before ``deadline`` (the active one when omitted).
+
+    Returns ``None`` when no deadline is set; may be negative once expired.
+    """
+    if deadline is None:
+        deadline = _DEADLINE.get()
+    if deadline is None:
+        return None
+    return deadline - time.monotonic()
+
+
+def check_deadline(stage: str = "solve") -> None:
+    """Cooperative checkpoint: abort once the active deadline has passed.
+
+    Raises :class:`~repro.errors.DeadlineExceededError` tagged with the stage
+    that noticed, so traces and error bodies show *where* the budget ran out.
+    """
+    deadline = _DEADLINE.get()
+    if deadline is not None and time.monotonic() > deadline:
+        raise DeadlineExceededError(stage=stage)
+
+
+@contextmanager
+def deadline_scope(deadline: float | None) -> Iterator[None]:
+    """Publish ``deadline`` on the context for the duration of the block."""
+    token = _DEADLINE.set(deadline)
+    try:
+        yield
+    finally:
+        _DEADLINE.reset(token)

@@ -1,0 +1,277 @@
+"""Fault-injection registry: provoke failures on purpose, observe the recovery.
+
+Every stage of the serving path that the observability layer names with a
+span is also a *fault point*: a call to :func:`fault_point` threaded through
+the executor, the pipeline, snapshot persistence and the event log.  When no
+plan is armed the hook is a single module-global read returning ``None`` —
+cheap enough to live inside the solve loop (the obs-overhead benchmark keeps
+it honest).  When a :class:`FaultPlan` is armed, matching points fail, delay
+or report corruption according to their trigger:
+
+- ``fail`` raises :class:`~repro.errors.FaultInjectedError` (a *retryable*
+  serving error — the degradation machinery treats it like any transient
+  solve failure).
+- ``delay:SECONDS`` sleeps before continuing — the way to simulate a hung
+  solver or a stuck worker for the watchdog.
+- ``corrupt`` returns the string ``"corrupt"`` so call sites that own bytes
+  (snapshot save/load) can damage them realistically; points that ignore the
+  return value simply don't support corruption.
+
+Plans are parsed from ``STAGE=ACTION[:ARG[:TRIGGER]]`` specs shared by
+``serve --fault`` and the test-only ``POST /v1/faults`` endpoint.  Triggers
+are either a probability in ``(0, 1]`` (evaluated on a seeded RNG so chaos
+runs are reproducible) or ``@N`` to fire on exactly the N-th call.
+"""
+
+from __future__ import annotations
+
+import random
+import threading
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Any, Iterator, Sequence
+
+from ..errors import FaultInjectedError
+
+__all__ = [
+    "FAULT_ACTIONS",
+    "FAULT_POINTS",
+    "FaultPlan",
+    "FaultRule",
+    "active_plan",
+    "arm",
+    "armed",
+    "disarm",
+    "fault_point",
+    "injection_counts",
+    "parse_fault_spec",
+]
+
+#: Every named injection point threaded through the serving path.  Specs
+#: naming any other point are rejected up front — a typo that silently never
+#: fires is worse than an error.
+FAULT_POINTS = frozenset(
+    {
+        "cache_lookup",
+        "postings_search",
+        "k_hop_expand",
+        "seed_reallocation",
+        "edge_relevance_slice",
+        "steiner_solve",
+        "metric_closure",
+        "payload_assembly",
+        "snapshot_load",
+        "snapshot_capture",
+        "snapshot_write",
+        "event_log_write",
+        "worker",
+    }
+)
+
+FAULT_ACTIONS = ("fail", "delay", "corrupt")
+
+
+@dataclass(frozen=True, slots=True)
+class FaultRule:
+    """One armed behaviour at one injection point.
+
+    Exactly one of ``probability`` / ``nth`` selects the trigger; both
+    ``None`` means *every* call fires.
+    """
+
+    point: str
+    action: str
+    seconds: float = 0.0
+    probability: float | None = None
+    nth: int | None = None
+
+    def __post_init__(self) -> None:
+        if self.point not in FAULT_POINTS:
+            raise ValueError(
+                f"unknown fault point {self.point!r}; known points: "
+                f"{sorted(FAULT_POINTS)}"
+            )
+        if self.action not in FAULT_ACTIONS:
+            raise ValueError(
+                f"unknown fault action {self.action!r}; known actions: "
+                f"{list(FAULT_ACTIONS)}"
+            )
+        if self.action == "delay" and self.seconds <= 0:
+            raise ValueError("delay faults need a positive duration")
+        if self.probability is not None and not 0.0 < self.probability <= 1.0:
+            raise ValueError("fault probability must be in (0, 1]")
+        if self.nth is not None and self.nth < 1:
+            raise ValueError("fault call index (@N) must be >= 1")
+        if self.probability is not None and self.nth is not None:
+            raise ValueError("choose either a probability or @N, not both")
+
+    def spec(self) -> str:
+        """Round-trippable ``STAGE=ACTION[:ARG[:TRIGGER]]`` form."""
+        parts = [self.action]
+        if self.action == "delay":
+            parts.append(f"{self.seconds:g}")
+        if self.probability is not None:
+            parts.append(f"{self.probability:g}")
+        elif self.nth is not None:
+            parts.append(f"@{self.nth}")
+        return f"{self.point}={':'.join(parts)}"
+
+
+def _parse_trigger(rule: dict[str, Any], token: str) -> None:
+    if token.startswith("@"):
+        rule["nth"] = int(token[1:])
+    else:
+        rule["probability"] = float(token)
+
+
+def parse_fault_spec(spec: str) -> FaultRule:
+    """Parse one ``STAGE=ACTION[:ARG[:TRIGGER]]`` spec into a rule.
+
+    Examples: ``steiner_solve=fail`` (every call), ``steiner_solve=fail:0.1``
+    (10% of calls, seeded RNG), ``snapshot_load=corrupt:@1`` (first call
+    only), ``worker=delay:30:@2`` (hang the second request for 30s).
+    """
+    point, sep, remainder = spec.partition("=")
+    if not sep or not remainder:
+        raise ValueError(
+            f"invalid fault spec {spec!r}; expected STAGE=ACTION[:ARG[:TRIGGER]]"
+        )
+    tokens = remainder.split(":")
+    action = tokens[0]
+    rule: dict[str, Any] = {"point": point.strip(), "action": action}
+    try:
+        if action == "delay":
+            if len(tokens) < 2:
+                raise ValueError("delay faults need a duration, e.g. delay:0.5")
+            rule["seconds"] = float(tokens[1])
+            if len(tokens) > 2:
+                _parse_trigger(rule, tokens[2])
+            if len(tokens) > 3:
+                raise ValueError("too many ':' fields")
+        else:
+            if len(tokens) > 1:
+                _parse_trigger(rule, tokens[1])
+            if len(tokens) > 2:
+                raise ValueError("too many ':' fields")
+        return FaultRule(**rule)
+    except ValueError as exc:
+        raise ValueError(f"invalid fault spec {spec!r}: {exc}") from None
+
+
+@dataclass
+class FaultPlan:
+    """A set of armed rules plus the seeded RNG and firing counters.
+
+    The plan is shared by every thread in the process, so all mutable state
+    (call counts, injected counts, the RNG) sits behind one lock.
+    """
+
+    rules: tuple[FaultRule, ...]
+    seed: int | None = None
+    _lock: threading.Lock = field(
+        default_factory=threading.Lock, repr=False, compare=False
+    )
+    _rng: random.Random = field(init=False, repr=False, compare=False)
+    _calls: dict[str, int] = field(default_factory=dict, repr=False, compare=False)
+    _injected: dict[str, int] = field(default_factory=dict, repr=False, compare=False)
+
+    def __post_init__(self) -> None:
+        self._rng = random.Random(self.seed)
+
+    @classmethod
+    def from_specs(
+        cls, specs: Sequence[str], seed: int | None = None
+    ) -> "FaultPlan":
+        return cls(rules=tuple(parse_fault_spec(spec) for spec in specs), seed=seed)
+
+    def visit(self, point: str) -> FaultRule | None:
+        """Record one call at ``point``; return the rule that fires, if any."""
+        with self._lock:
+            call_index = self._calls.get(point, 0) + 1
+            self._calls[point] = call_index
+            for rule in self.rules:
+                if rule.point != point:
+                    continue
+                if rule.nth is not None:
+                    if call_index != rule.nth:
+                        continue
+                elif rule.probability is not None:
+                    if self._rng.random() >= rule.probability:
+                        continue
+                self._injected[point] = self._injected.get(point, 0) + 1
+                return rule
+            return None
+
+    def describe(self) -> dict[str, Any]:
+        with self._lock:
+            return {
+                "rules": [rule.spec() for rule in self.rules],
+                "seed": self.seed,
+                "calls": dict(self._calls),
+                "injected": dict(self._injected),
+            }
+
+
+#: The process-wide armed plan.  ``None`` keeps :func:`fault_point` on its
+#: no-op fast path: one global load and a ``None`` comparison.
+_PLAN: FaultPlan | None = None
+_ARM_LOCK = threading.Lock()
+
+
+def arm(plan: FaultPlan) -> None:
+    """Arm ``plan`` process-wide (replacing any previous plan)."""
+    global _PLAN
+    with _ARM_LOCK:
+        _PLAN = plan
+
+
+def disarm() -> None:
+    """Remove the armed plan; every fault point reverts to the no-op."""
+    global _PLAN
+    with _ARM_LOCK:
+        _PLAN = None
+
+
+def active_plan() -> FaultPlan | None:
+    return _PLAN
+
+
+def injection_counts() -> dict[str, int]:
+    """Fired-injection counts per point for the armed plan ({} when idle)."""
+    plan = _PLAN
+    if plan is None:
+        return {}
+    return plan.describe()["injected"]
+
+
+@contextmanager
+def armed(plan: FaultPlan) -> Iterator[FaultPlan]:
+    """Arm ``plan`` for the duration of a ``with`` block (tests)."""
+    arm(plan)
+    try:
+        yield plan
+    finally:
+        disarm()
+
+
+def fault_point(name: str) -> str | None:
+    """Evaluate the injection point ``name`` against the armed plan.
+
+    Returns ``None`` on the (overwhelmingly common) disarmed path.  When a
+    rule fires: ``fail`` raises :class:`FaultInjectedError`, ``delay`` sleeps
+    then returns ``None``, ``corrupt`` returns ``"corrupt"`` for call sites
+    that can damage their own bytes.
+    """
+    plan = _PLAN
+    if plan is None:
+        return None
+    rule = plan.visit(name)
+    if rule is None:
+        return None
+    if rule.action == "fail":
+        raise FaultInjectedError(name)
+    if rule.action == "delay":
+        time.sleep(rule.seconds)
+        return None
+    return "corrupt"

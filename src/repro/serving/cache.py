@@ -68,7 +68,10 @@ class CacheStats:
     entries removed administratively by :meth:`ResultCache.clear` or
     :meth:`ResultCache.drop_namespace` (tenant detach/evict).  Keeping the
     two apart lets the sizes reconcile: every entry ever inserted is still
-    resident, expired, LRU-evicted or dropped.
+    resident, expired, LRU-evicted or dropped.  ``stale_hits`` counts
+    degraded serves via :meth:`ResultCache.get_stale` — they are deliberately
+    outside ``hit_rate`` (a stale serve is a *failure* outcome, not cache
+    efficiency).
     """
 
     hits: int
@@ -78,6 +81,7 @@ class CacheStats:
     size: int
     max_entries: int
     dropped: int = 0
+    stale_hits: int = 0
 
     @property
     def hit_rate(self) -> float:
@@ -92,6 +96,7 @@ class CacheStats:
             "evictions": self.evictions,
             "expirations": self.expirations,
             "dropped": self.dropped,
+            "stale_hits": self.stale_hits,
             "size": self.size,
             "max_entries": self.max_entries,
             "hit_rate": self.hit_rate,
@@ -107,6 +112,9 @@ class ResultCache:
         ttl_seconds: Entries older than this are treated as misses and
             dropped on access.
         clock: Monotonic time source (injectable for deterministic tests).
+        stale_grace_seconds: How long past its TTL an entry stays resident
+            for :meth:`get_stale` (degraded serving after a solve failure).
+            0 keeps the original semantics: expiry deletes on access.
     """
 
     def __init__(
@@ -114,13 +122,17 @@ class ResultCache:
         max_entries: int = 256,
         ttl_seconds: float = 300.0,
         clock: Callable[[], float] = time.monotonic,
+        stale_grace_seconds: float = 0.0,
     ) -> None:
         if max_entries < 1:
             raise ValueError("max_entries must be >= 1")
         if ttl_seconds <= 0:
             raise ValueError("ttl_seconds must be positive")
+        if stale_grace_seconds < 0:
+            raise ValueError("stale_grace_seconds must be non-negative")
         self.max_entries = max_entries
         self.ttl_seconds = ttl_seconds
+        self.stale_grace_seconds = stale_grace_seconds
         self._clock = clock
         self._entries: OrderedDict[QueryKey, tuple[Any, float]] = OrderedDict()
         self._lock = threading.Lock()
@@ -129,6 +141,7 @@ class ResultCache:
         self._evictions = 0
         self._expirations = 0
         self._dropped = 0
+        self._stale_hits = 0
 
     def __len__(self) -> int:
         with self._lock:
@@ -141,20 +154,46 @@ class ResultCache:
             return entry is not None and entry[1] > self._clock()
 
     def get(self, key: QueryKey) -> Any | None:
-        """Return the cached value for ``key`` or ``None`` on miss/expiry."""
+        """Return the cached value for ``key`` or ``None`` on miss/expiry.
+
+        Expired entries count as misses either way; with a stale grace they
+        stay resident (for :meth:`get_stale`) until the grace also runs out,
+        and only then are deleted and counted as expirations.
+        """
         with self._lock:
             entry = self._entries.get(key)
             if entry is None:
                 self._misses += 1
                 return None
             value, expires_at = entry
-            if expires_at <= self._clock():
-                del self._entries[key]
-                self._expirations += 1
+            now = self._clock()
+            if expires_at <= now:
+                if expires_at + self.stale_grace_seconds <= now:
+                    del self._entries[key]
+                    self._expirations += 1
                 self._misses += 1
                 return None
             self._entries.move_to_end(key)
             self._hits += 1
+            return value
+
+    def get_stale(self, key: QueryKey) -> Any | None:
+        """Return the value for ``key`` even if expired, within the grace.
+
+        The degraded-serving path: when a fresh solve fails, an entry that is
+        at most ``stale_grace_seconds`` past its TTL is better than an error.
+        Does not refresh LRU order or touch hit/miss counters — a stale serve
+        is an incident signal (the ``stale_hits`` stat), not cache traffic.
+        Returns ``None`` when the entry is missing or past the grace window.
+        """
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is None:
+                return None
+            value, expires_at = entry
+            if expires_at + self.stale_grace_seconds <= self._clock():
+                return None
+            self._stale_hits += 1
             return value
 
     def put(self, key: QueryKey, value: Any, ttl_seconds: float | None = None) -> None:
@@ -235,4 +274,5 @@ class ResultCache:
                 size=len(self._entries),
                 max_entries=self.max_entries,
                 dropped=self._dropped,
+                stale_hits=self._stale_hits,
             )

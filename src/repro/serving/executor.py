@@ -53,14 +53,18 @@ from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Any, Callable, Hashable, Sequence
 
 from ..errors import (
+    DeadlineExceededError,
     ExecutorOverloadedError,
     QueryTimeoutError,
     RequestValidationError,
     TenantQuotaExceededError,
     UnknownFieldsError,
+    WorkerHungError,
     error_payload,
 )
 from ..obs.trace import handoff, stage
+from ..resilience.deadline import deadline_scope, remaining_seconds
+from ..resilience.faults import fault_point
 from .cache import make_query_key
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard, types only
@@ -137,6 +141,10 @@ class QueryRequest:
     corpus: str | None = None
     variant: str | None = None
     debug: bool = False
+    #: Absolute ``time.monotonic()`` end-to-end deadline, fixed at ingress.
+    #: ``None`` means unbounded.  The scheduler sheds an expired request
+    #: before it reaches a worker, and the solve loop checks it cooperatively.
+    deadline: float | None = None
 
     _FIELDS = ("query", "year_cutoff", "exclude_ids", "use_cache", "debug")
 
@@ -250,6 +258,13 @@ class BatchExecutor:
             requests map to the same key while the first is still in flight,
             the second attaches to the first's future instead of running the
             handler again.  ``None`` disables coalescing entirely.
+        hang_seconds: Worker-watchdog threshold: a worker stuck on one
+            request longer than this is abandoned (its request fails with
+            :class:`~repro.errors.WorkerHungError`, releasing the waiter and
+            every held slot) and a replacement thread is started so pool
+            capacity is never silently lost.  ``None`` disables the watchdog.
+        watchdog_interval: How often the watchdog scans (defaults to a
+            quarter of ``hang_seconds``).
     """
 
     def __init__(
@@ -262,6 +277,8 @@ class BatchExecutor:
         clock: Callable[[], float] = time.monotonic,
         events: "EventLog | None" = None,
         key_for: Callable[[QueryRequest], Hashable | None] | None = None,
+        hang_seconds: float | None = None,
+        watchdog_interval: float | None = None,
     ) -> None:
         if max_workers < 1:
             raise ValueError("max_workers must be >= 1")
@@ -269,10 +286,13 @@ class BatchExecutor:
             raise ValueError("queue_depth must be non-negative")
         if timeout_seconds is not None and timeout_seconds <= 0:
             raise ValueError("timeout_seconds must be positive or None")
+        if hang_seconds is not None and hang_seconds <= 0:
+            raise ValueError("hang_seconds must be positive or None")
         self.handler = handler
         self.max_workers = max_workers
         self.queue_depth = queue_depth
         self.timeout_seconds = timeout_seconds
+        self.hang_seconds = hang_seconds
         self.metrics = metrics
         self.events = events
         self.key_for = key_for
@@ -281,6 +301,16 @@ class BatchExecutor:
         self._shutdown = False
         self._tenants: dict[str, _TenantState] = {}
         self._tenant_lock = threading.Lock()
+        # -- worker-watchdog state (guarded by _running_lock) ----------------
+        #: What each worker thread is executing right now and since when.
+        self._running: dict[threading.Thread, tuple[_WorkItem, float]] = {}
+        self._running_lock = threading.Lock()
+        #: Threads the watchdog gave up on; they exit their loop on return.
+        self._abandoned: set[threading.Thread] = set()
+        self._replaced_total = 0
+        self._worker_seq = max_workers
+        self._watchdog_stop = threading.Event()
+        self._watchdog: threading.Thread | None = None
         # -- deficit-round-robin scheduler state (all guarded by _sched) -----
         #: Per-namespace FIFO of admitted-but-undispatched work.
         self._queues: dict[str, deque[_WorkItem]] = {}
@@ -303,6 +333,19 @@ class BatchExecutor:
         ]
         for worker in self._workers:
             worker.start()
+        if hang_seconds is not None:
+            interval = (
+                watchdog_interval
+                if watchdog_interval is not None
+                else max(0.05, hang_seconds / 4.0)
+            )
+            self._watchdog = threading.Thread(
+                target=self._watchdog_loop,
+                args=(interval,),
+                name="repager-watchdog",
+                daemon=True,
+            )
+            self._watchdog.start()
 
     @classmethod
     def from_service(
@@ -345,6 +388,7 @@ class BatchExecutor:
         queue_depth: int = 16,
         timeout_seconds: float | None = None,
         metrics: "MetricsRegistry | None" = None,
+        hang_seconds: float | None = None,
     ) -> "BatchExecutor":
         """One bounded executor shared by every tenant of a ``RePaGerApp``.
 
@@ -363,6 +407,7 @@ class BatchExecutor:
             metrics=metrics,
             events=getattr(app, "events", None),
             key_for=getattr(app, "coalesce_key", None),
+            hang_seconds=hang_seconds,
         )
 
     # -- per-tenant quotas -------------------------------------------------------
@@ -598,10 +643,13 @@ class BatchExecutor:
                 (checked before the shared queue so one tenant's flood is
                 rejected without consuming global slots).
             ExecutorOverloadedError: All worker and queue slots are taken.
+            DeadlineExceededError: The request arrived with its end-to-end
+                deadline already spent.
             RuntimeError: The executor has been shut down.
         """
         if self._shutdown:
             raise RuntimeError("executor has been shut down")
+        self._shed_if_expired(request, "admission")
         with stage("quota_admission"):
             state = self._admit_tenant(request)
         key = self._coalesce_key(request)
@@ -745,6 +793,21 @@ class BatchExecutor:
                         return
                     continue  # pragma: no cover - spurious wakeup race
             self._dispatch(item)
+            with self._running_lock:
+                abandoned = threading.current_thread() in self._abandoned
+                self._abandoned.discard(threading.current_thread())
+            if abandoned:
+                # The watchdog replaced this worker while it was stuck in the
+                # handler above; its request was already failed and a fresh
+                # thread holds its seat — exit instead of double-staffing.
+                return
+
+    def _shed_if_expired(self, request: QueryRequest, where: str) -> None:
+        """Fail fast when the request's end-to-end deadline has passed."""
+        remaining = remaining_seconds(request.deadline)
+        if remaining is not None and remaining <= 0:
+            self._count("deadline_shed_total")
+            raise DeadlineExceededError(stage=where)
 
     def _dispatch(self, item: _WorkItem) -> None:
         dispatched = time.perf_counter()
@@ -759,14 +822,43 @@ class BatchExecutor:
         future = item.future
         if not future.set_running_or_notify_cancel():
             return  # cancelled while queued; done callbacks already ran
+        worker = threading.current_thread()
+        with self._running_lock:
+            self._running[worker] = (item, time.monotonic())
         try:
+            # A request whose deadline expired while queueing is shed here —
+            # cheaper than solving, and the worker moves straight on to work
+            # that can still meet its budget.
+            self._shed_if_expired(item.request, "scheduler")
             result = self._run(
                 item.request, state, item.trace_ctx, item.enqueued, dispatched
             )
         except BaseException as exc:  # noqa: BLE001 - delivered via the future
-            future.set_exception(exc)
+            self._resolve(future, error=exc)
         else:
-            future.set_result(result)
+            self._resolve(future, result=result)
+        finally:
+            with self._running_lock:
+                self._running.pop(worker, None)
+
+    @staticmethod
+    def _resolve(
+        future: Future, result: Any = None, error: BaseException | None = None
+    ) -> None:
+        """Complete a future, tolerating a watchdog that beat us to it.
+
+        When the watchdog declares a worker hung it fails the future itself;
+        if the abandoned worker eventually finishes anyway, its late outcome
+        has nowhere to go and is dropped here instead of raising
+        ``InvalidStateError`` inside the worker loop.
+        """
+        try:
+            if error is not None:
+                future.set_exception(error)
+            else:
+                future.set_result(result)
+        except Exception:
+            pass
 
     def _run(
         self,
@@ -810,8 +902,8 @@ class BatchExecutor:
                             end=entered,
                             parent_id=trace_ctx.span_id,
                         )
-                    return self.handler(request)
-            return self.handler(request)
+                    return self._invoke(request)
+            return self._invoke(request)
         finally:
             if state is not None:
                 with self._tenant_lock:
@@ -820,6 +912,88 @@ class BatchExecutor:
                 tenant_metrics.gauge_add("in_flight", -1.0)
             if self.metrics is not None:
                 self.metrics.gauge_add("in_flight", -1.0)
+
+    def _invoke(self, request: QueryRequest) -> Any:
+        """Run the handler with the request's deadline on the context.
+
+        The ``worker`` fault point sits right before the handler — a
+        ``delay`` rule here is the canonical way to simulate a hung worker
+        for the watchdog, and a ``fail`` rule a crashed one.
+        """
+        fault_point("worker")
+        with deadline_scope(request.deadline):
+            return self.handler(request)
+
+    # -- worker watchdog ---------------------------------------------------------
+
+    def _watchdog_loop(self, interval: float) -> None:
+        assert self.hang_seconds is not None
+        while not self._watchdog_stop.wait(interval):
+            now = time.monotonic()
+            hung: list[tuple[threading.Thread, _WorkItem]] = []
+            with self._running_lock:
+                for worker, (item, started) in self._running.items():
+                    if (
+                        now - started > self.hang_seconds
+                        and worker not in self._abandoned
+                    ):
+                        self._abandoned.add(worker)
+                        hung.append((worker, item))
+            for worker, item in hung:
+                self._replace_worker(worker, item)
+
+    def _replace_worker(self, worker: threading.Thread, item: _WorkItem) -> None:
+        """Abandon a hung worker: seat a replacement, fail its request.
+
+        The counters and the replacement are in place *before* the future is
+        failed: a waiter that observes the ``WorkerHungError`` must also see
+        ``worker_replaced_total`` moved and the pool back at full capacity.
+        The stuck thread keeps running until whatever wedged it lets go, then
+        exits its loop harmlessly.
+        """
+        assert self.hang_seconds is not None
+        replacement = threading.Thread(
+            target=self._worker_loop,
+            name=f"repager-serve_{self._worker_seq}",
+            daemon=True,
+        )
+        self._worker_seq += 1
+        try:
+            self._workers.remove(worker)
+        except ValueError:  # pragma: no cover - defensive
+            pass
+        self._workers.append(replacement)
+        replacement.start()
+        self._replaced_total += 1
+        self._count("worker_replaced_total")
+        self._resolve(
+            item.future,
+            error=WorkerHungError(item.request.text, self.hang_seconds),
+        )
+        if self.events is not None:
+            self.events.emit(
+                "worker_replaced",
+                corpus=item.request.corpus,
+                worker=worker.name,
+                replacement=replacement.name,
+                query=item.request.text,
+                hang_seconds=self.hang_seconds,
+            )
+
+    def pool_info(self) -> dict[str, Any]:
+        """Live worker-pool capacity for health surfaces and tests."""
+        with self._running_lock:
+            busy = len(self._running)
+            abandoned = len(self._abandoned)
+        return {
+            "max_workers": self.max_workers,
+            "alive": sum(1 for worker in self._workers if worker.is_alive()),
+            "busy": busy,
+            "abandoned": abandoned,
+            "replaced_total": self._replaced_total,
+            "watchdog_enabled": self._watchdog is not None,
+            "hang_seconds": self.hang_seconds,
+        }
 
     # -- completion --------------------------------------------------------------
 
@@ -839,13 +1013,24 @@ class BatchExecutor:
         ``run_one``/HTTP path, not just batches.
 
         Raises:
-            QueryTimeoutError: The deadline elapsed (the worker keeps running
-                in the background; its slot is released on completion).
+            QueryTimeoutError: The per-query timeout elapsed (the worker
+                keeps running in the background; its slot is released on
+                completion).
+            DeadlineExceededError: The request's end-to-end deadline was the
+                binding constraint instead of the timeout.
         """
         timeout = self._timeout_for(request)
+        deadline_bound = False
+        remaining = remaining_seconds(request.deadline)
+        if remaining is not None and (timeout is None or remaining < timeout):
+            timeout = max(0.0, remaining)
+            deadline_bound = True
         try:
             value = future.result(timeout=timeout)
         except FutureTimeoutError:
+            if deadline_bound:
+                self._count("deadline_shed_total")
+                raise DeadlineExceededError(stage="result_wait") from None
             self._count("executor_timeouts_total")
             raise QueryTimeoutError(request.text, timeout or 0.0) from None
         except Exception:
@@ -940,9 +1125,12 @@ class BatchExecutor:
         with self._sched:
             self._shutdown = True
             self._sched.notify_all()
+        self._watchdog_stop.set()
         if wait:
-            for worker in self._workers:
+            for worker in list(self._workers):
                 worker.join()
+            if self._watchdog is not None:
+                self._watchdog.join()
 
     def __enter__(self) -> "BatchExecutor":
         return self

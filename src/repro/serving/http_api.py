@@ -50,7 +50,21 @@ named corpora behind a versioned ``/v1`` surface:
                                            re-attach/quota-reject),
                                            filterable with ``?event=`` /
                                            ``?corpus=`` / ``?limit=``.
+``GET/POST/DELETE /v1/faults``             Test-only fault-injection surface
+                                           (inspect / arm / disarm a plan of
+                                           ``STAGE=ACTION[:ARG[:TRIGGER]]``
+                                           rules).  Hidden behind
+                                           ``ServingConfig.
+                                           allow_fault_injection`` — 404
+                                           otherwise.
 =========================================  ===================================
+
+Resilience semantics: queries accept an ``X-Request-Deadline: <seconds>``
+header (the remaining client budget; over-deadline requests are shed with 504
+before consuming a worker), degraded stale-cache responses carry a
+``Warning: 110`` header plus ``serving.degraded`` markers, and every 5xx or
+backpressure response carries a ``Retry-After`` derived from the live
+scheduler queue depth (or the circuit breaker's remaining cooldown).
 
 Every response carries an ``X-Request-Id`` header — the caller's own header
 value when one was sent, a freshly minted id otherwise — and query responses
@@ -92,7 +106,9 @@ from urllib.parse import parse_qs
 
 from ..config import ServingConfig, TenantOverrides
 from ..errors import (
+    CircuitOpenError,
     CorpusNotFoundError,
+    DeadlineExceededError,
     ExecutorOverloadedError,
     PaperNotFoundError,
     RequestTooLargeError,
@@ -261,6 +277,10 @@ class _Handler(BaseHTTPRequestHandler):
             if versioned and tail == ["events"]:
                 self._events()
                 return
+            if versioned and tail == ["faults"]:
+                if self._fault_surface_allowed(method):
+                    self._send_json(200, app.fault_status())
+                return
             if versioned and len(tail) == 2 and tail[0] == "corpora":
                 self._send_json(200, app.health(tail[1]))
                 return
@@ -301,11 +321,19 @@ class _Handler(BaseHTTPRequestHandler):
             ):
                 self._query(tail[1])
                 return
+            if versioned and tail == ["faults"]:
+                if self._fault_surface_allowed(method):
+                    self._arm_faults()
+                return
             if not versioned and segments == ["query"]:
                 self._legacy_query()
                 return
 
         elif method == "DELETE":
+            if versioned and tail == ["faults"]:
+                if self._fault_surface_allowed(method):
+                    self._send_json(200, app.disarm_faults())
+                return
             if versioned and len(tail) == 2 and tail[0] == "corpora":
                 self._detach(tail[1])
                 return
@@ -332,25 +360,58 @@ class _Handler(BaseHTTPRequestHandler):
         body["uptime_seconds"] = time.monotonic() - self.server.started_at
         return body
 
+    def _request_deadline(self) -> float | None:
+        """Absolute monotonic deadline from ``X-Request-Deadline`` (seconds).
+
+        The header carries the client's remaining budget in seconds (e.g.
+        ``X-Request-Deadline: 2.5``); a malformed or non-positive value is a
+        400 rather than a silently ignored deadline.
+        """
+        raw = self.headers.get("X-Request-Deadline")
+        if raw is None:
+            return None
+        try:
+            budget = float(raw.strip())
+        except ValueError:
+            raise RequestValidationError(
+                "X-Request-Deadline must be a number of seconds"
+            ) from None
+        if not budget > 0 or math.isinf(budget) or math.isnan(budget):
+            raise RequestValidationError(
+                "X-Request-Deadline must be a positive, finite number of seconds"
+            )
+        return time.monotonic() + budget
+
+    def _degraded_headers(self, response: Any) -> dict[str, str] | None:
+        """``Warning: 110`` (RFC 9111 "response is stale") on degraded serves."""
+        if not getattr(response, "degraded", False):
+            return None
+        reason = getattr(response, "degraded_reason", None) or "solve_failed"
+        return {"Warning": f'110 repager "stale payload served: {reason}"'}
+
     def _query(self, corpus: str) -> None:
         from ..repager.app import QueryOptions  # runtime import: module cycle
 
+        deadline = self._request_deadline()
         options = QueryOptions.from_dict(self._read_json())
         response = self.server.app.query(
-            options, corpus=corpus, request_id=self.request_id
+            options, corpus=corpus, request_id=self.request_id, deadline=deadline
         )
-        self._send_json(200, response.to_dict())
+        self._send_json(
+            200, response.to_dict(), extra_headers=self._degraded_headers(response)
+        )
 
     def _legacy_query(self) -> None:
         from ..repager.app import QueryOptions  # runtime import: module cycle
 
+        deadline = self._request_deadline()
         options = QueryOptions.from_dict(self._read_json())
-        response = self.server.app.query(options, request_id=self.request_id)
-        self._send_json(
-            200,
-            response.to_legacy_dict(),
-            extra_headers=self._deprecation_headers("query"),
+        response = self.server.app.query(
+            options, request_id=self.request_id, deadline=deadline
         )
+        headers = self._deprecation_headers("query")
+        headers.update(self._degraded_headers(response) or {})
+        self._send_json(200, response.to_legacy_dict(), extra_headers=headers)
 
     def _traces(self) -> None:
         app = self.server.app
@@ -458,6 +519,50 @@ class _Handler(BaseHTTPRequestHandler):
             },
         )
 
+    def _fault_surface_allowed(self, method: str) -> bool:
+        """Gate on ``ServingConfig.allow_fault_injection``.
+
+        When fault injection is off the surface is indistinguishable from a
+        missing route (404) — production deployments must not even reveal
+        that a chaos API exists.
+        """
+        if self.server.app.config.allow_fault_injection:
+            return True
+        if method != "GET":
+            self.close_connection = True
+        self._send_json(
+            404,
+            {
+                "error": "not_found",
+                "code": "not_found",
+                "http_status": 404,
+                "detail": f"no such route: {method} {self.path}",
+                "path": self.path,
+            },
+        )
+        return False
+
+    def _arm_faults(self) -> None:
+        """``POST /v1/faults`` — arm a plan: ``{"faults": [...], "seed": N}``."""
+        body = self._read_json()
+        allowed = ("faults", "seed")
+        unknown = tuple(key for key in body if key not in allowed)
+        if unknown:
+            raise UnknownFieldsError(unknown, allowed)
+        specs = body.get("faults")
+        if (
+            not isinstance(specs, list)
+            or not specs
+            or not all(isinstance(item, str) for item in specs)
+        ):
+            raise RequestValidationError(
+                "'faults' must be a non-empty list of STAGE=ACTION[:ARG[:TRIGGER]] strings"
+            )
+        seed = body.get("seed")
+        if seed is not None and (isinstance(seed, bool) or not isinstance(seed, int)):
+            raise RequestValidationError("'seed' must be an integer or null")
+        self._send_json(200, self.server.app.arm_faults(specs, seed=seed))
+
     def _deprecation_headers(self, successor_path: str) -> dict[str, str]:
         """``Deprecation`` plus a ``Link`` to the complete successor route."""
         headers = {"Deprecation": "true"}
@@ -518,15 +623,33 @@ class _Handler(BaseHTTPRequestHandler):
             raise RequestValidationError("request body must be a JSON object")
         return payload
 
+    def _queue_retry_after(self) -> int:
+        """A live backoff hint: how long until queued work likely drains.
+
+        Derived from the scheduler's current queue depth and worker count —
+        an empty queue suggests retrying in a second; a deep queue pushes the
+        hint out proportionally so retries do not pile onto the backlog.
+        """
+        app = self.server.app
+        depth = app.metrics.gauge("scheduler_queue_depth")
+        workers = max(1, app.config.max_workers)
+        return max(1, math.ceil((depth + 1) / workers))
+
     def _send_error(self, exc: BaseException) -> None:
         payload = error_payload(exc)
         headers: dict[str, str] = {}
         if isinstance(exc, ExecutorOverloadedError):
-            headers["Retry-After"] = "1"
+            headers["Retry-After"] = str(self._queue_retry_after())
         if isinstance(exc, TenantQuotaExceededError):
             headers["Retry-After"] = str(max(1, math.ceil(exc.retry_after_seconds)))
             payload["corpus"] = exc.corpus
             payload["retry_after_seconds"] = exc.retry_after_seconds
+        if isinstance(exc, CircuitOpenError):
+            headers["Retry-After"] = str(max(1, math.ceil(exc.retry_after_seconds)))
+            payload["corpus"] = exc.corpus
+            payload["retry_after_seconds"] = exc.retry_after_seconds
+        if isinstance(exc, DeadlineExceededError):
+            payload["stage"] = exc.stage
         if isinstance(exc, PaperNotFoundError):
             payload["paper_id"] = exc.paper_id
         if isinstance(exc, CorpusNotFoundError):
@@ -536,6 +659,11 @@ class _Handler(BaseHTTPRequestHandler):
         if isinstance(exc, RequestTooLargeError):
             payload["limit_bytes"] = exc.limit
             self.close_connection = True
+        if payload["http_status"] >= 500 and "Retry-After" not in headers:
+            # Every 5xx is transient from the client's point of view (solve
+            # failure, timeout, hung worker): always tell it when to retry,
+            # scaled by the live queue backlog.
+            headers["Retry-After"] = str(self._queue_retry_after())
         self._send_json(payload["http_status"], payload, extra_headers=headers)
 
     def _send_json(

@@ -37,6 +37,27 @@ _HELP_OVERRIDES = {
         "Requests across all tenants answered by attaching to an identical "
         "in-flight solve."
     ),
+    "degraded_served_total": (
+        "Queries answered from stale cache entries after a solve failure."
+    ),
+    "circuit_open_total": (
+        "Per-tenant circuit-breaker trips (closed/half-open to open)."
+    ),
+    "worker_replaced_total": (
+        "Hung executor workers detected by the watchdog and replaced."
+    ),
+    "deadline_shed_total": (
+        "Requests shed because their end-to-end deadline expired."
+    ),
+    "retries_total": (
+        "Solve attempts retried after a retryable failure."
+    ),
+    "faults_injected_total": (
+        "Faults fired by the armed fault-injection plan (test mode only)."
+    ),
+    "event_log_write_errors": (
+        "Event-log file-sink writes dropped (disk errors or injected faults)."
+    ),
 }
 
 

@@ -19,14 +19,17 @@ fingerprint and refuse to restore into a pipeline with drifted configuration.
 
 from __future__ import annotations
 
+import hashlib
 import json
+import os
 import time
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import TYPE_CHECKING, Mapping
 
 from ..core.weights import NodeWeights
-from ..errors import ServingError, SnapshotMismatchError
+from ..errors import ServingError, SnapshotCorruptError, SnapshotMismatchError
+from ..resilience.faults import fault_point
 from ..search.engine import SearchEngine
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard, types only
@@ -36,16 +39,71 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard, types only
 __all__ = [
     "ArtifactSnapshot",
     "WarmupReport",
+    "atomic_write_text",
     "capture_snapshot",
     "load_snapshots",
     "warm_up",
     "warm_up_registry",
 ]
 
+
+def _corrupt_file(path: "Path") -> None:
+    """Damage a snapshot file in place (the ``corrupt`` fault action).
+
+    Truncates the file to half its size — the exact shape of a torn write —
+    so the checksum/parse machinery downstream is exercised realistically.
+    """
+    try:
+        data = path.read_bytes()
+        path.write_bytes(data[: len(data) // 2])
+    except OSError:
+        pass
+
 #: Version 2 adds the per-corpus search index (fitted vectoriser + document
-#: vectors) and the edge-relevance map.  Version-1 snapshots still load; the
-#: missing artifacts are simply rebuilt on demand.
-_SNAPSHOT_VERSION = 2
+#: vectors) and the edge-relevance map.  Version 3 adds a content checksum
+#: verified on load (torn or tampered files are quarantined instead of
+#: restoring garbage artifacts).  Version-1/2 snapshots still load; the
+#: missing artifacts are simply rebuilt on demand and the missing checksum is
+#: simply not verified.
+_SNAPSHOT_VERSION = 3
+
+
+def atomic_write_text(path: str | Path, text: str) -> None:
+    """Crash-safe file write: unique tmp file + fsync + atomic rename.
+
+    A process killed mid-write leaves (at worst) an orphaned ``*.tmp.<pid>``
+    file; the destination path only ever holds either its previous content or
+    the complete new content, never a truncated hybrid.  The ``snapshot_write``
+    fault point sits between the tmp write and the rename — exactly where a
+    kill-mid-capture would land.
+    """
+    target = Path(path)
+    tmp = target.with_name(f"{target.name}.tmp.{os.getpid()}")
+    try:
+        with open(tmp, "w", encoding="utf-8") as handle:
+            handle.write(text)
+            handle.flush()
+            os.fsync(handle.fileno())
+        fault_point("snapshot_write")
+        os.replace(tmp, target)
+    except BaseException:
+        tmp.unlink(missing_ok=True)
+        raise
+
+
+def _quarantine(path: Path) -> str | None:
+    """Move a corrupt snapshot aside to ``<path>.corrupt`` (best effort).
+
+    Returns the quarantine path, or ``None`` when the move itself failed —
+    quarantining is a courtesy to the *next* attach, never a second error on
+    top of the corruption.
+    """
+    destination = path.with_name(path.name + ".corrupt")
+    try:
+        os.replace(path, destination)
+    except OSError:
+        return None
+    return str(destination)
 
 
 @dataclass(frozen=True, slots=True)
@@ -158,9 +216,15 @@ class ArtifactSnapshot:
     # -- persistence -------------------------------------------------------------
 
     def save(self, path: str | Path) -> None:
-        """Write the snapshot as a single JSON document."""
+        """Write the snapshot as a single JSON document, crash-safely.
+
+        The document embeds a SHA-256 checksum of its artifact payload; the
+        write itself goes through :func:`atomic_write_text`, so a crash at
+        any instant leaves the destination either absent, fully old or fully
+        new — never truncated.
+        """
+        fault_point("snapshot_capture")
         payload = {
-            "version": _SNAPSHOT_VERSION,
             "config_fingerprint": self.config_fingerprint,
             "pagerank_scores": self.pagerank_scores,
             "venue_scores": self.venue_scores,
@@ -172,31 +236,77 @@ class ArtifactSnapshot:
                 [u, v, value] for (u, v), value in self.edge_relevance.items()
             ],
         }
-        Path(path).write_text(json.dumps(payload, sort_keys=True), encoding="utf-8")
+        body = json.dumps(payload, sort_keys=True)
+        document = dict(payload)
+        document["version"] = _SNAPSHOT_VERSION
+        document["checksum"] = hashlib.sha256(body.encode("utf-8")).hexdigest()
+        text = json.dumps(document, sort_keys=True)
+        atomic_write_text(path, text)
 
     @classmethod
-    def load(cls, path: str | Path) -> "ArtifactSnapshot":
-        """Load a snapshot previously written by :meth:`save`."""
+    def load(cls, path: str | Path, quarantine: bool = True) -> "ArtifactSnapshot":
+        """Load a snapshot previously written by :meth:`save`.
+
+        Version-3 snapshots are verified against their embedded checksum; a
+        torn or tampered file is moved aside to ``<path>.corrupt`` (unless
+        ``quarantine`` is False) and reported as
+        :class:`~repro.errors.SnapshotCorruptError` — callers degrade to a
+        cold build instead of restoring garbage artifacts or tripping over
+        the same bytes on the next attach.
+        """
+        target = Path(path)
+        if fault_point("snapshot_load") == "corrupt":
+            _corrupt_file(target)
         try:
-            payload = json.loads(Path(path).read_text(encoding="utf-8"))
-        except (OSError, json.JSONDecodeError) as exc:
-            raise ServingError(f"cannot load artifact snapshot from {path}: {exc}") from exc
-        if payload.get("version") not in (1, _SNAPSHOT_VERSION):
+            text = target.read_text(encoding="utf-8")
+        except OSError as exc:
             raise ServingError(
-                f"unsupported artifact snapshot version {payload.get('version')!r}"
+                f"cannot load artifact snapshot from {path}: {exc}"
+            ) from exc
+        try:
+            payload = json.loads(text)
+            if not isinstance(payload, dict):
+                raise ValueError("snapshot document is not a JSON object")
+            version = payload.get("version")
+            if version not in (1, 2, _SNAPSHOT_VERSION):
+                raise ServingError(
+                    f"unsupported artifact snapshot version {version!r}"
+                )
+            if version == _SNAPSHOT_VERSION:
+                recorded = payload.pop("checksum", None)
+                body_fields = {
+                    key: value for key, value in payload.items() if key != "version"
+                }
+                body = json.dumps(body_fields, sort_keys=True)
+                actual = hashlib.sha256(body.encode("utf-8")).hexdigest()
+                if recorded != actual:
+                    raise ValueError(
+                        f"checksum mismatch (recorded {recorded!r}, "
+                        f"computed {actual!r})"
+                    )
+            return cls(
+                config_fingerprint=payload["config_fingerprint"],
+                pagerank_scores={
+                    k: float(v) for k, v in payload["pagerank_scores"].items()
+                },
+                venue_scores={
+                    k: float(v) for k, v in payload["venue_scores"].items()
+                },
+                graph_nodes=int(payload["graph_nodes"]),
+                graph_edges=int(payload["graph_edges"]),
+                search_index=payload.get("search_index"),
+                edge_relevance={
+                    (str(u), str(v)): float(value)
+                    for u, v, value in payload.get("edge_relevance", ())
+                },
             )
-        return cls(
-            config_fingerprint=payload["config_fingerprint"],
-            pagerank_scores={k: float(v) for k, v in payload["pagerank_scores"].items()},
-            venue_scores={k: float(v) for k, v in payload["venue_scores"].items()},
-            graph_nodes=int(payload["graph_nodes"]),
-            graph_edges=int(payload["graph_edges"]),
-            search_index=payload.get("search_index"),
-            edge_relevance={
-                (str(u), str(v)): float(value)
-                for u, v, value in payload.get("edge_relevance", ())
-            },
-        )
+        except ServingError:
+            raise
+        except (json.JSONDecodeError, KeyError, TypeError, ValueError) as exc:
+            error = SnapshotCorruptError(str(path), str(exc))
+            if quarantine:
+                error.quarantine_path = _quarantine(target)
+            raise error from exc
 
 
 def capture_snapshot(service: "RePaGerService", path: str | Path) -> ArtifactSnapshot:
