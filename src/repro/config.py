@@ -502,9 +502,11 @@ class ServingConfig:
             surface as errors, never as stale data.
         retry_attempts: Bounded in-worker retries (with jittered backoff) of
             a solve that failed with a *retryable* error before the failure
-            escalates to degradation.  0 disables retries.
-        retry_backoff_seconds: Base backoff between retry attempts; each
-            attempt waits ``base * 2**attempt`` plus up to 50% jitter.
+            escalates to degradation — total attempts are ``retry_attempts
+            + 1``.  0 disables retries.
+        retry_backoff_seconds: Base backoff between retry attempts; the
+            N-th retry waits ``base * 2**(N-1)`` scaled by jitter in
+            ``[0.5, 1.5)``.
         circuit_failure_threshold: Consecutive server-side solve failures
             that open a tenant's circuit breaker (fast 503 + ``Retry-After``
             until the cooldown elapses).  ``None`` disables the breaker.

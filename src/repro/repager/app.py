@@ -772,7 +772,9 @@ class RePaGerApp:
         self._fault_plan: FaultPlan | None = None
         if self.config.fault_plan:
             self._fault_plan = FaultPlan.from_specs(
-                self.config.fault_plan, seed=self.config.fault_seed
+                self.config.fault_plan,
+                seed=self.config.fault_seed,
+                on_fire=self._on_fault_fired,
             )
             arm(self._fault_plan)
             self.events.emit(
@@ -1184,6 +1186,10 @@ class RePaGerApp:
             and overrides.deadline_seconds is not None
         ):
             deadline = time.monotonic() + overrides.deadline_seconds
+        # Validate/build the request *before* circuit admission: once check()
+        # admits a half-open probe, every exit path must reach
+        # _record_outcome or the probe slot would leak and wedge the breaker.
+        request = options.to_request(tenant.name, deadline=deadline)
         breaker = self._breaker(tenant.name)
         if breaker is not None:
             breaker.check()
@@ -1201,11 +1207,12 @@ class RePaGerApp:
             trace_obj = trace
             if trace is not None:
                 trace.tags["query"] = options.query
-            request = options.to_request(tenant.name, deadline=deadline)
             try:
                 response = self._run_with_retry(tenant, request, deadline)
-            except Exception as exc:
+            except BaseException as exc:
                 self._record_outcome(tenant, breaker, exc)
+                if not isinstance(exc, Exception):
+                    raise  # KeyboardInterrupt & co: probe released, no fallback
                 stale = self._stale_response(tenant, options, exc)
                 if stale is None:
                     raise
@@ -1293,11 +1300,13 @@ class RePaGerApp:
     ) -> Any:
         """Run one request, retrying *retryable* taxonomy errors.
 
-        Backoff is exponential with multiplicative jitter; a retry that could
-        not finish before the deadline is not attempted — the original error
-        surfaces instead of a guaranteed second failure.
+        ``retry_attempts`` counts *retries*, so total attempts are
+        ``retry_attempts + 1`` and 0 disables retrying entirely.  Backoff is
+        exponential with multiplicative jitter; a retry that could not finish
+        before the deadline is not attempted — the original error surfaces
+        instead of a guaranteed second failure.
         """
-        attempts = max(1, self.config.retry_attempts)
+        attempts = 1 + self.config.retry_attempts
         attempt = 1
         while True:
             try:
@@ -1321,8 +1330,14 @@ class RePaGerApp:
     ) -> None:
         """Feed one solve outcome into the tenant's circuit breaker.
 
-        Deadline sheds are excluded: they measure the *client's* patience,
-        not the tenant's health, and must not open the circuit for everyone.
+        Deadline sheds and client errors are excluded: they measure the
+        *client's* patience or the request's validity, not the tenant's
+        health, and must not open the circuit for everyone.  An excluded
+        outcome still releases the half-open probe slot (``abort_probe``)
+        so an admitted probe that gets shed cannot wedge the breaker
+        half-open forever.  ``CircuitOpenError`` is the one exception: it
+        means *this* request was rejected at admission and never held the
+        probe slot, so releasing would steal another request's probe.
         """
         if breaker is None:
             return
@@ -1330,7 +1345,14 @@ class RePaGerApp:
             if breaker.record_success():
                 self.events.emit("circuit_close", corpus=tenant.name)
             return
-        if not self._is_server_failure(exc) or isinstance(exc, DeadlineExceededError):
+        if isinstance(exc, CircuitOpenError):
+            return
+        if (
+            not isinstance(exc, Exception)
+            or not self._is_server_failure(exc)
+            or isinstance(exc, DeadlineExceededError)
+        ):
+            breaker.abort_probe()
             return
         if breaker.record_failure():
             self._tenant_metrics(tenant).increment("circuit_open_total")
@@ -1387,6 +1409,14 @@ class RePaGerApp:
 
     # -- fault administration (test-only surface) --------------------------------
 
+    def _on_fault_fired(self, point: str) -> None:
+        """Count one fired injection into ``faults_injected_total``.
+
+        Installed as the plan's ``on_fire`` hook for plans this app arms, so
+        the advertised metric moves with the plan's internal counters.
+        """
+        self.metrics.increment("faults_injected_total")
+
     def fault_status(self) -> dict[str, Any]:
         """The armed fault plan (rules, calls, fired injections), if any."""
         plan = active_plan()
@@ -1408,7 +1438,9 @@ class RePaGerApp:
                 point/action (mapped to HTTP 400).
         """
         try:
-            plan = FaultPlan.from_specs(tuple(specs), seed=seed)
+            plan = FaultPlan.from_specs(
+                tuple(specs), seed=seed, on_fire=self._on_fault_fired
+            )
         except ValueError as exc:
             raise RequestValidationError(str(exc)) from exc
         arm(plan)

@@ -178,8 +178,8 @@ def build_parser() -> argparse.ArgumentParser:
     )
     serve.add_argument(
         "--retry-attempts", type=int, default=1, metavar="N",
-        help="total solve attempts for retryable failures (1 = no retries), "
-             "with jittered exponential backoff between attempts",
+        help="in-worker retries of a retryable solve failure (0 = no retries, "
+             "total attempts = N + 1), with jittered exponential backoff",
     )
     serve.add_argument(
         "--circuit-threshold", type=int, default=5, metavar="K",

@@ -15,7 +15,10 @@ fast rejections with an honest ``Retry-After``:
 - **half-open** — after the cooldown, exactly one probe request is allowed
   through; its success closes the circuit, its failure re-opens it for
   another full cooldown.  Concurrent requests during the probe are rejected
-  as if open.
+  as if open.  A probe whose outcome is *excluded* (a deadline shed, a
+  client error) releases the slot via :meth:`CircuitBreaker.abort_probe`
+  so the next request becomes the new probe — otherwise the breaker would
+  stay half-open rejecting everyone forever.
 
 Only *server-side* solve failures count — client errors (bad request, unknown
 paper) say nothing about the tenant's health and never trip the breaker.
@@ -133,6 +136,18 @@ class CircuitBreaker:
                 # Already open (late failures from in-flight solves).
                 self._opened_at = self._clock()
             return False
+
+    def abort_probe(self) -> None:
+        """Release the half-open probe slot without counting an outcome.
+
+        For admitted requests that ended in a way saying nothing about the
+        tenant's health — a deadline shed, a client-side validation error,
+        an interrupt.  The breaker stays half-open (or wherever it was) and
+        the next request may probe; idempotent, so callers can invoke it as
+        a safety net after ``record_success``/``record_failure`` already ran.
+        """
+        with self._lock:
+            self._probe_in_flight = False
 
     def describe(self) -> dict[str, Any]:
         """JSON-ready state for ``GET /v1/corpora/<name>``."""

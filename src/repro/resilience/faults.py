@@ -30,7 +30,7 @@ import threading
 import time
 from contextlib import contextmanager
 from dataclasses import dataclass, field
-from typing import Any, Iterator, Sequence
+from typing import Any, Callable, Iterator, Sequence
 
 from ..errors import FaultInjectedError
 
@@ -169,6 +169,13 @@ class FaultPlan:
 
     rules: tuple[FaultRule, ...]
     seed: int | None = None
+    #: Called with the point name each time a rule fires — how the serving
+    #: layer counts firings into its ``faults_injected_total`` metric without
+    #: this module depending on the metrics registry.  Exceptions are
+    #: swallowed: observation must never add a failure mode to the injection.
+    on_fire: Callable[[str], None] | None = field(
+        default=None, repr=False, compare=False
+    )
     _lock: threading.Lock = field(
         default_factory=threading.Lock, repr=False, compare=False
     )
@@ -181,12 +188,20 @@ class FaultPlan:
 
     @classmethod
     def from_specs(
-        cls, specs: Sequence[str], seed: int | None = None
+        cls,
+        specs: Sequence[str],
+        seed: int | None = None,
+        on_fire: Callable[[str], None] | None = None,
     ) -> "FaultPlan":
-        return cls(rules=tuple(parse_fault_spec(spec) for spec in specs), seed=seed)
+        return cls(
+            rules=tuple(parse_fault_spec(spec) for spec in specs),
+            seed=seed,
+            on_fire=on_fire,
+        )
 
     def visit(self, point: str) -> FaultRule | None:
         """Record one call at ``point``; return the rule that fires, if any."""
+        fired: FaultRule | None = None
         with self._lock:
             call_index = self._calls.get(point, 0) + 1
             self._calls[point] = call_index
@@ -200,8 +215,14 @@ class FaultPlan:
                     if self._rng.random() >= rule.probability:
                         continue
                 self._injected[point] = self._injected.get(point, 0) + 1
-                return rule
-            return None
+                fired = rule
+                break
+        if fired is not None and self.on_fire is not None:
+            try:  # outside the lock: the hook may itself take locks
+                self.on_fire(point)
+            except Exception:  # noqa: BLE001 - observation must stay harmless
+                pass
+        return fired
 
     def describe(self) -> dict[str, Any]:
         with self._lock:

@@ -22,6 +22,7 @@ from __future__ import annotations
 import hashlib
 import json
 import os
+import tempfile
 import time
 from dataclasses import dataclass, field
 from pathlib import Path
@@ -71,16 +72,21 @@ _SNAPSHOT_VERSION = 3
 def atomic_write_text(path: str | Path, text: str) -> None:
     """Crash-safe file write: unique tmp file + fsync + atomic rename.
 
-    A process killed mid-write leaves (at worst) an orphaned ``*.tmp.<pid>``
-    file; the destination path only ever holds either its previous content or
-    the complete new content, never a truncated hybrid.  The ``snapshot_write``
-    fault point sits between the tmp write and the rename — exactly where a
-    kill-mid-capture would land.
+    A process killed mid-write leaves (at worst) an orphaned
+    ``<name>.tmp.*`` file; the destination path only ever holds either its
+    previous content or the complete new content, never a truncated hybrid.
+    The tmp name comes from :func:`tempfile.mkstemp` so it is unique per
+    *call*, not per process — two threads saving the same snapshot path
+    concurrently each write their own tmp file and the later ``os.replace``
+    wins whole, instead of interleaving into one shared tmp.  The
+    ``snapshot_write`` fault point sits between the tmp write and the
+    rename — exactly where a kill-mid-capture would land.
     """
     target = Path(path)
-    tmp = target.with_name(f"{target.name}.tmp.{os.getpid()}")
+    fd, tmp_name = tempfile.mkstemp(dir=target.parent, prefix=f"{target.name}.tmp.")
+    tmp = Path(tmp_name)
     try:
-        with open(tmp, "w", encoding="utf-8") as handle:
+        with os.fdopen(fd, "w", encoding="utf-8") as handle:
             handle.write(text)
             handle.flush()
             os.fsync(handle.fileno())

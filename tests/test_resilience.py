@@ -291,6 +291,20 @@ class TestCircuitBreaker:
         with pytest.raises(CircuitOpenError):
             breaker.check()
 
+    def test_aborted_probe_releases_the_slot(self):
+        """Regression: a probe with an excluded outcome (deadline shed,
+        client error) must free the half-open slot, not wedge the breaker."""
+        clock = FakeClock()
+        breaker = self.make(clock, threshold=1, reset=10.0)
+        breaker.record_failure()
+        clock.advance(10.1)
+        breaker.check()  # admitted as the half-open probe
+        assert breaker.state == "half_open"
+        breaker.abort_probe()  # the probe ended without a countable outcome
+        breaker.check()  # the slot is free: the next request probes instead
+        assert breaker.record_success() is True
+        assert breaker.state == "closed"
+
     def test_describe_reports_cooldown(self):
         clock = FakeClock()
         breaker = self.make(clock, threshold=1, reset=10.0)
@@ -598,6 +612,29 @@ class TestSnapshotPersistence:
                 ArtifactSnapshot.load(path)
         assert (tmp_path / "snap.json.corrupt").is_file()
 
+    def test_concurrent_saves_publish_whole_files(self, tmp_path):
+        """Regression: per-call-unique tmp names — two threads saving the
+        same path must never interleave into one shared tmp file."""
+        path = tmp_path / "snap.json"
+        texts = ["a" * 65536, "b" * 65536]
+        errors: list[Exception] = []
+
+        def writer(text):
+            try:
+                for _ in range(20):
+                    atomic_write_text(path, text)
+            except Exception as exc:  # noqa: BLE001 - re-raised via assert
+                errors.append(exc)
+
+        threads = [threading.Thread(target=writer, args=(t,)) for t in texts]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert not errors
+        assert path.read_text() in texts  # one whole write won, never a mix
+        assert not list(tmp_path.glob("*.tmp.*"))
+
     def test_atomic_write_text_survives_injected_crash(self, tmp_path):
         path = tmp_path / "file.txt"
         atomic_write_text(path, "old content")
@@ -852,6 +889,87 @@ class TestAppResilience:
             assert app.events.tail(event="circuit_close")
         finally:
             self._close_breaker(app)
+
+    def test_shed_probe_does_not_wedge_the_circuit(self, resilience_app):
+        """Regression: a half-open probe whose outcome is excluded (here a
+        deadline shed) must release the probe slot; before the fix the
+        breaker stayed half-open rejecting the tenant's traffic forever."""
+        app = resilience_app
+        try:
+            with armed(FaultPlan.from_specs(["steiner_solve=fail"])):
+                for attempt in range(5):
+                    try:
+                        app.query(
+                            QueryOptions(
+                                query=f"machine learning wedge {attempt}",
+                                use_cache=False,
+                            )
+                        )
+                    except CircuitOpenError:
+                        break
+                    except FaultInjectedError:
+                        continue
+            assert app.health("main")["circuit"]["state"] == "open"
+
+            time.sleep(0.3)  # cooldown over: the next request is the probe...
+            with pytest.raises(DeadlineExceededError):
+                app.query(
+                    QueryOptions(
+                        query="machine learning wedged probe", use_cache=False
+                    ),
+                    deadline=time.monotonic() - 0.01,  # ...and it is shed
+                )
+            # The shed said nothing about tenant health; the slot is released
+            # and the very next request probes successfully.
+            response = app.query(
+                QueryOptions(query="machine learning probe after shed", use_cache=False)
+            )
+            assert response.degraded is False
+            assert app.health("main")["circuit"]["state"] == "closed"
+        finally:
+            self._close_breaker(app)
+
+    def test_fault_firings_feed_the_advertised_metric(self, resilience_app):
+        """``faults_injected_total`` moves when a rule fires (review fix)."""
+        app = resilience_app
+        before = app.metrics.counter("faults_injected_total")
+        try:
+            app.arm_faults(["steiner_solve=fail:@1"])
+            # First call fails (fired), the in-worker retry succeeds.
+            response = app.query(
+                QueryOptions(query="machine learning fault metric", use_cache=False)
+            )
+            assert response.degraded is False
+        finally:
+            app.disarm_faults()
+            self._close_breaker(app)
+        assert app.metrics.counter("faults_injected_total") == before + 1
+        assert "repager_faults_injected_total" in app.metrics_text()
+
+    def test_default_config_performs_the_documented_retry(self, small_store):
+        """Regression: ``retry_attempts`` counts *retries* — the default (1)
+        must actually retry a transient fault instead of surfacing it."""
+        app = RePaGerApp(
+            config=ServingConfig(
+                port=0,
+                max_workers=1,
+                retry_backoff_seconds=0.01,
+                circuit_failure_threshold=None,
+                obs=ObsConfig(trace_sample_rate=0.0),
+            ),
+            pipeline_config=PIPELINE,
+        )
+        try:
+            app.attach_store("main", small_store, default=True)
+            with armed(FaultPlan.from_specs(["steiner_solve=fail:@1"])):
+                response = app.query(
+                    QueryOptions(query="machine learning default retry", use_cache=False)
+                )
+            assert response.degraded is False
+            tenant_metrics = app.registry.get("main").service.metrics
+            assert tenant_metrics.counter("retries_total") == 1
+        finally:
+            app.close(wait=False)
 
     def test_tenant_deadline_override_sheds_slow_solves(self, resilience_app):
         app = resilience_app
