@@ -1,0 +1,158 @@
+"""Deterministic consistent-hash ring for corpus → replica placement.
+
+The router places each corpus (tenant) on exactly one replica.  A modulo
+placement (``hash(name) % N``) would reshuffle almost every corpus whenever a
+replica joins or leaves — every reshuffled corpus pays a cold re-attach.  The
+classic consistent-hash ring bounds that movement: each replica owns many
+pseudo-random arcs of a 64-bit circle (*virtual nodes*), a key belongs to the
+replica owning the first point clockwise of the key's hash, and adding or
+removing one replica only moves the keys on the arcs that replica gains or
+gives up — about ``K/N`` of them.
+
+Two deliberate choices:
+
+* **Hashing is** :mod:`hashlib`**-based, never the built-in** ``hash()``.
+  Python randomises string hashes per process (``PYTHONHASHSEED``), so a
+  ``hash()``-based ring would place corpora differently on every router
+  restart and disagree between a router and any tool inspecting placement.
+  SHA-256 makes placement a pure function of ``(seed, replicas, key)`` —
+  identical across processes, platforms and Python versions.
+* **The ring is seeded.**  Changing ``seed`` produces an independent
+  placement, which tests use to show balance is a property of the
+  construction rather than of one lucky layout.
+"""
+
+from __future__ import annotations
+
+import bisect
+import hashlib
+from typing import Iterable
+
+__all__ = ["ConsistentHashRing"]
+
+
+class ConsistentHashRing:
+    """Seeded consistent-hash ring mapping string keys to replica names.
+
+    Args:
+        replicas: Initial replica names (order-insensitive).
+        vnodes: Virtual nodes per replica; more vnodes → tighter balance at
+            the cost of a larger (still tiny) sorted ring.
+        seed: Placement seed; rings with equal seeds, replicas and vnodes
+            place every key identically in any process.
+    """
+
+    def __init__(
+        self,
+        replicas: Iterable[str] = (),
+        *,
+        vnodes: int = 128,
+        seed: int = 0,
+    ) -> None:
+        if vnodes < 1:
+            raise ValueError("vnodes must be >= 1")
+        self.vnodes = vnodes
+        self.seed = seed
+        self._replicas: set[str] = set()
+        #: Sorted 64-bit ring points and their owners, kept in lockstep.
+        self._points: list[int] = []
+        self._owners: list[str] = []
+        for replica in replicas:
+            self.add_replica(replica)
+
+    def _hash(self, token: str) -> int:
+        digest = hashlib.sha256(f"{self.seed}:{token}".encode("utf-8")).digest()
+        return int.from_bytes(digest[:8], "big")
+
+    @property
+    def replicas(self) -> tuple[str, ...]:
+        """The current replica set, sorted for stable iteration."""
+        return tuple(sorted(self._replicas))
+
+    def __len__(self) -> int:
+        return len(self._replicas)
+
+    def __contains__(self, replica: str) -> bool:
+        return replica in self._replicas
+
+    def add_replica(self, replica: str) -> None:
+        """Insert a replica's virtual nodes; idempotent for known replicas."""
+        if not replica:
+            raise ValueError("replica name must be non-empty")
+        if replica in self._replicas:
+            return
+        self._replicas.add(replica)
+        for vnode in range(self.vnodes):
+            point = self._hash(f"node:{replica}#{vnode}")
+            index = bisect.bisect_left(self._points, point)
+            # 64-bit SHA prefixes collide with negligible probability; break
+            # a tie deterministically by owner name so both processes agree.
+            if (
+                index < len(self._points)
+                and self._points[index] == point
+                and self._owners[index] < replica
+            ):
+                index += 1
+            self._points.insert(index, point)
+            self._owners.insert(index, replica)
+
+    def remove_replica(self, replica: str) -> None:
+        """Drop a replica's virtual nodes; idempotent for unknown replicas."""
+        if replica not in self._replicas:
+            return
+        self._replicas.discard(replica)
+        points: list[int] = []
+        owners: list[str] = []
+        for point, owner in zip(self._points, self._owners):
+            if owner != replica:
+                points.append(point)
+                owners.append(owner)
+        self._points = points
+        self._owners = owners
+
+    def place(self, key: str) -> str:
+        """The replica owning ``key``: first ring point clockwise of its hash.
+
+        Raises:
+            ValueError: The ring has no replicas.
+        """
+        if not self._points:
+            raise ValueError("ring has no replicas")
+        point = self._hash(f"key:{key}")
+        index = bisect.bisect_right(self._points, point)
+        if index == len(self._points):
+            index = 0  # wrap past twelve o'clock
+        return self._owners[index]
+
+    def preference(self, key: str, limit: int | None = None) -> list[str]:
+        """Distinct replicas in ring order from ``key``'s position.
+
+        The first entry is :meth:`place`; each subsequent entry is the next
+        distinct owner walking clockwise — the natural failover order, so a
+        router that finds the primary unhealthy tries candidates in an order
+        every other router would agree on.
+        """
+        if not self._points:
+            return []
+        want = len(self._replicas) if limit is None else min(limit, len(self._replicas))
+        point = self._hash(f"key:{key}")
+        start = bisect.bisect_right(self._points, point)
+        ordered: list[str] = []
+        seen: set[str] = set()
+        for step in range(len(self._points)):
+            owner = self._owners[(start + step) % len(self._points)]
+            if owner not in seen:
+                seen.add(owner)
+                ordered.append(owner)
+                if len(ordered) >= want:
+                    break
+        return ordered
+
+    def describe(self) -> dict[str, object]:
+        """JSON-ready summary for the router's health surface."""
+        return {
+            "replicas": list(self.replicas),
+            "vnodes": self.vnodes,
+            "seed": self.seed,
+            "points": len(self._points),
+        }

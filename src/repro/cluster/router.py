@@ -1,0 +1,656 @@
+"""Shared-nothing router: consistent-hash placement over N serve replicas.
+
+One ``repager route`` process proxies the full ``/v1`` surface to a fleet of
+independent ``repager serve`` replicas.  Nothing is shared between replicas —
+each hosts only the corpora the router placed on it — so the fleet scales the
+paper's Fig. 7 web application horizontally without a coordination service:
+
+* **Placement** is a pure function of the :class:`~repro.cluster.ring.
+  ConsistentHashRing` (seeded, :mod:`hashlib`-based): every router instance,
+  restart, or inspection tool derives the same ``corpus -> replica`` map from
+  the same ``(seed, replicas)`` inputs.
+* **Health** is tracked per replica by :class:`~repro.cluster.health.
+  ReplicaHealth` — fed passively by proxy connection errors and actively by a
+  periodic ``GET /healthz`` probe loop.
+* **Failover**: when a replica goes down, its corpora are re-placed on the
+  survivors next in each corpus's ring preference order and re-attached
+  *warm* from their recorded :class:`~repro.serving.warmup.ArtifactSnapshot`
+  files (the ``POST /v1/corpora`` runtime-attach path with ``"snapshot"``).
+  When the replica comes back, corpora drift home to their ring-preferred
+  replicas the same way.
+* **Errors** stay inside the shared taxonomy: a proxy that cannot reach any
+  healthy replica answers :class:`~repro.errors.ReplicaUnavailableError`
+  (503 + ``Retry-After``), never a bare connection reset, and replica error
+  bodies pass through byte-identical.
+
+The router serves its own ``/healthz`` (fleet rollup: replica states, the
+ring, live placements) and ``/v1/metrics`` (``router_requests_total``,
+``router_replaced_total``, per-replica ``router_replica_up`` gauges and
+``router_replica_latency_seconds`` summaries, labelled ``replica="<url>"``
+in the PR-6 exposition format).  Everything is stdlib-only.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import threading
+import time
+import urllib.error
+import urllib.request
+from dataclasses import dataclass
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from pathlib import Path
+from typing import Any, Iterable, Mapping
+
+from ..errors import (
+    CorpusNotFoundError,
+    ReplicaUnavailableError,
+    RequestValidationError,
+    error_payload,
+)
+from ..obs.events import EventLog
+from ..obs.trace import new_id
+from ..serving.metrics import MetricsRegistry
+from .health import ReplicaHealth
+from .ring import ConsistentHashRing
+
+__all__ = [
+    "CorpusSpec",
+    "RouterApp",
+    "RouterHTTPServer",
+    "create_router_server",
+    "start_router_in_background",
+]
+
+#: Request headers forwarded verbatim to the replica.
+_FORWARD_HEADERS = ("Content-Type", "X-Request-Deadline", "X-Tenant")
+#: Response headers passed back verbatim from the replica.
+_RETURN_HEADERS = ("Content-Type", "Retry-After", "Warning", "Deprecation", "Link")
+
+
+@dataclass(frozen=True, slots=True)
+class CorpusSpec:
+    """What the router needs to (re-)attach one corpus anywhere.
+
+    ``snapshot`` is the path of a recorded ``ArtifactSnapshot``; when it
+    exists the replica warms from it instead of recomputing artifacts, which
+    is what makes failover re-placement cheap.
+    """
+
+    name: str
+    corpus_dir: str
+    snapshot: str | None = None
+
+    def attach_body(self) -> dict[str, Any]:
+        body: dict[str, Any] = {"name": self.name, "corpus_dir": self.corpus_dir}
+        if self.snapshot is not None and Path(self.snapshot).exists():
+            body["snapshot"] = self.snapshot
+        return body
+
+
+class RouterApp:
+    """Placement, health and proxy logic behind :class:`RouterHTTPServer`.
+
+    Args:
+        replicas: Base URLs of the ``repager serve`` fleet
+            (e.g. ``http://127.0.0.1:8081``), trailing slashes stripped.
+        corpora: Specs of every corpus the router is responsible for.
+        default_corpus: Tenant the legacy single-corpus routes alias onto
+            (defaults to the lexicographically first corpus).
+        ring_seed / vnodes: Ring construction inputs (placement is a pure
+            function of these plus the replica set).
+        probe_interval: Seconds between active ``/healthz`` probe rounds.
+        failure_threshold / reset_seconds: Per-replica health knobs, matching
+            :class:`~repro.cluster.health.ReplicaHealth`.
+        proxy_timeout: Per-request socket timeout when proxying.
+        events: Optional shared :class:`EventLog` for ``replica_up`` /
+            ``replica_down`` / ``corpus_replaced`` lifecycle events.
+    """
+
+    def __init__(
+        self,
+        replicas: Iterable[str],
+        corpora: Mapping[str, CorpusSpec],
+        *,
+        default_corpus: str | None = None,
+        ring_seed: int = 0,
+        vnodes: int = 128,
+        probe_interval: float = 1.0,
+        failure_threshold: int = 2,
+        reset_seconds: float = 5.0,
+        proxy_timeout: float = 30.0,
+        events: EventLog | None = None,
+    ) -> None:
+        urls = [url.rstrip("/") for url in replicas]
+        if not urls:
+            raise ValueError("router needs at least one replica URL")
+        if len(set(urls)) != len(urls):
+            raise ValueError("replica URLs must be distinct")
+        self.corpora: dict[str, CorpusSpec] = dict(corpora)
+        if default_corpus is None and self.corpora:
+            default_corpus = sorted(self.corpora)[0]
+        if default_corpus is not None and default_corpus not in self.corpora:
+            raise ValueError(
+                f"default corpus {default_corpus!r} is not among "
+                f"{sorted(self.corpora)}"
+            )
+        self.default_corpus = default_corpus
+        self.ring = ConsistentHashRing(urls, vnodes=vnodes, seed=ring_seed)
+        self.health: dict[str, ReplicaHealth] = {
+            url: ReplicaHealth(
+                url,
+                failure_threshold=failure_threshold,
+                reset_seconds=reset_seconds,
+            )
+            for url in urls
+        }
+        self.probe_interval = probe_interval
+        self.proxy_timeout = proxy_timeout
+        self.events = events if events is not None else EventLog()
+        self.metrics = MetricsRegistry()
+        #: Per-replica registries rendered with ``labels={"replica": url}``.
+        self._replica_metrics: dict[str, MetricsRegistry] = {
+            url: MetricsRegistry() for url in urls
+        }
+        for url in urls:
+            self._replica_metrics[url].gauge_set("router_replica_up", 1.0)
+        #: Live ``corpus -> replica`` map; mutations happen under the lock.
+        self.placement: dict[str, str] = {}
+        self._lock = threading.RLock()
+        self._stop = threading.Event()
+        self._probe_thread: threading.Thread | None = None
+        self.started_at = time.monotonic()
+
+    # -- placement ---------------------------------------------------------------
+
+    def _healthy(self, url: str) -> bool:
+        return self.health[url].is_up
+
+    def _preferred_healthy(self, corpus: str) -> str | None:
+        for url in self.ring.preference(corpus):
+            if self._healthy(url):
+                return url
+        return None
+
+    def bootstrap(self, *, attach: bool = True) -> dict[str, str]:
+        """Probe every replica once, then place (and attach) every corpus.
+
+        Placement walks each corpus's ring preference to the first healthy
+        replica, so a fleet that starts with a dead member still comes up
+        serving everything.  Returns the resulting placement map.
+        """
+        for url in sorted(self.health):
+            self._probe_replica(url)
+        with self._lock:
+            for name in sorted(self.corpora):
+                target = self._preferred_healthy(name)
+                if target is None:
+                    raise ReplicaUnavailableError(name)
+                if attach:
+                    self._attach(target, self.corpora[name])
+                self.placement[name] = target
+        return dict(self.placement)
+
+    def route(self, corpus: str) -> str:
+        """The replica URL currently serving ``corpus`` (re-placing if needed)."""
+        with self._lock:
+            if corpus not in self.corpora:
+                raise CorpusNotFoundError(corpus)
+            url = self.placement.get(corpus)
+            if url is not None and self._healthy(url):
+                return url
+            return self._replace_corpus(corpus, reason="unhealthy_placement")
+
+    def _replace_corpus(self, corpus: str, *, reason: str) -> str:
+        """Move ``corpus`` to its preferred healthy replica (lock held).
+
+        Attaches warm (snapshot when recorded), updates the placement map,
+        bumps ``router_replaced_total`` and emits ``corpus_replaced``.
+        """
+        previous = self.placement.get(corpus)
+        target = self._preferred_healthy(corpus)
+        if target is None:
+            raise ReplicaUnavailableError(corpus, replica=previous)
+        if target == previous:
+            return target
+        self._attach(target, self.corpora[corpus])
+        self.placement[corpus] = target
+        self.metrics.increment("router_replaced_total")
+        self.events.emit(
+            "corpus_replaced",
+            corpus=corpus,
+            from_replica=previous,
+            to_replica=target,
+            reason=reason,
+        )
+        if previous is not None and self._healthy(previous):
+            # Rebalance case: the old holder is alive, drop its copy so the
+            # fleet stays shared-nothing.  Best-effort — a failed detach only
+            # leaves a cold spare.
+            try:
+                self._request("DELETE", previous, f"/v1/corpora/{corpus}")
+            except (OSError, urllib.error.URLError):
+                pass
+        return target
+
+    def _attach(self, url: str, spec: CorpusSpec) -> None:
+        """``POST /v1/corpora`` on a replica; an existing attach (409) is fine."""
+        attach = spec.attach_body()
+        if spec.name == self.default_corpus:
+            # The replica hosting the router's default corpus also answers
+            # the legacy single-corpus routes, which need a default tenant.
+            attach["default"] = True
+        body = json.dumps(attach).encode("utf-8")
+        try:
+            self._request(
+                "POST",
+                url,
+                "/v1/corpora",
+                body=body,
+                headers={"Content-Type": "application/json"},
+            )
+        except urllib.error.HTTPError as exc:
+            if exc.code != 409:  # corpus_exists: replica already has it warm
+                raise ReplicaUnavailableError(
+                    spec.name, replica=url
+                ) from exc
+        except (OSError, urllib.error.URLError) as exc:
+            self._note_failure(url)
+            raise ReplicaUnavailableError(spec.name, replica=url) from exc
+
+    def _request(
+        self,
+        method: str,
+        url: str,
+        path: str,
+        *,
+        body: bytes | None = None,
+        headers: Mapping[str, str] | None = None,
+        timeout: float | None = None,
+    ) -> tuple[int, bytes, dict[str, str]]:
+        request = urllib.request.Request(
+            url + path, data=body, method=method, headers=dict(headers or {})
+        )
+        with urllib.request.urlopen(
+            request, timeout=timeout or self.proxy_timeout
+        ) as response:
+            return (
+                response.status,
+                response.read(),
+                {k: v for k, v in response.headers.items()},
+            )
+
+    # -- health ------------------------------------------------------------------
+
+    def start_probes(self) -> None:
+        """Start the background ``/healthz`` probe loop (daemon thread)."""
+        if self._probe_thread is not None:
+            return
+        self._probe_thread = threading.Thread(
+            target=self._probe_loop, name="router-probe", daemon=True
+        )
+        self._probe_thread.start()
+
+    def close(self) -> None:
+        self._stop.set()
+        if self._probe_thread is not None:
+            self._probe_thread.join(timeout=self.probe_interval + 1.0)
+            self._probe_thread = None
+
+    def _probe_loop(self) -> None:
+        while not self._stop.wait(self.probe_interval):
+            for url in list(self.health):
+                if self._stop.is_set():
+                    return
+                self._probe_replica(url)
+
+    def _probe_replica(self, url: str) -> None:
+        health = self.health[url]
+        if not health.allow():
+            return  # down and still cooling off
+        try:
+            status, _, _ = self._request(
+                "GET", url, "/healthz", timeout=min(self.proxy_timeout, 2.0)
+            )
+        except Exception:
+            self._note_failure(url)
+            return
+        if status == 200:
+            self._note_success(url)
+        else:
+            self._note_failure(url)
+
+    def _note_success(self, url: str) -> None:
+        if self.health[url].record_success():
+            self._replica_metrics[url].gauge_set("router_replica_up", 1.0)
+            self.events.emit("replica_up", replica=url)
+            self._rebalance()
+
+    def _note_failure(self, url: str) -> None:
+        if self.health[url].record_failure():
+            self._replica_metrics[url].gauge_set("router_replica_up", 0.0)
+            with self._lock:
+                stranded = sorted(
+                    name for name, holder in self.placement.items() if holder == url
+                )
+            self.events.emit("replica_down", replica=url, corpora=stranded)
+            self._evacuate(url)
+
+    def _evacuate(self, dead: str) -> None:
+        """Re-place every corpus the dead replica held onto survivors."""
+        with self._lock:
+            stranded = sorted(
+                name for name, holder in self.placement.items() if holder == dead
+            )
+            for name in stranded:
+                try:
+                    self._replace_corpus(name, reason="replica_down")
+                except ReplicaUnavailableError:
+                    # No healthy candidate right now; route() retries later.
+                    continue
+
+    def _rebalance(self) -> None:
+        """Drift corpora back toward their ring-preferred healthy replicas."""
+        with self._lock:
+            for name in sorted(self.corpora):
+                preferred = self._preferred_healthy(name)
+                if preferred is not None and preferred != self.placement.get(name):
+                    try:
+                        self._replace_corpus(name, reason="rebalance")
+                    except ReplicaUnavailableError:
+                        continue
+
+    # -- proxying ----------------------------------------------------------------
+
+    def proxy(
+        self,
+        corpus: str,
+        method: str,
+        path: str,
+        *,
+        body: bytes | None = None,
+        headers: Mapping[str, str] | None = None,
+    ) -> tuple[int, bytes, dict[str, str]]:
+        """Forward one request to ``corpus``'s replica, passing bytes through.
+
+        Replica HTTP errors (4xx/5xx taxonomy bodies) come back unchanged —
+        status, body and ``Retry-After`` are the replica's own, preserving
+        byte-identity with a direct single-replica serve.  Connection-level
+        failures count against the replica's health (possibly triggering
+        evacuation) and surface as :class:`ReplicaUnavailableError`.
+        """
+        url = self.route(corpus)
+        self.metrics.increment("router_requests_total")
+        started = time.monotonic()
+        try:
+            status, payload, response_headers = self._request(
+                method, url, path, body=body, headers=headers
+            )
+        except urllib.error.HTTPError as exc:
+            # A well-formed error response IS the answer; pass it through.
+            payload = exc.read()
+            self._replica_metrics[url].observe(
+                "router_replica_latency_seconds", time.monotonic() - started
+            )
+            self._note_success_quiet(url)  # the replica is alive and talking
+            return exc.code, payload, {k: v for k, v in exc.headers.items()}
+        except (OSError, urllib.error.URLError) as exc:
+            self._note_failure(url)
+            raise ReplicaUnavailableError(corpus, replica=url) from exc
+        self._replica_metrics[url].observe(
+            "router_replica_latency_seconds", time.monotonic() - started
+        )
+        self._note_success_quiet(url)
+        return status, payload, response_headers
+
+    def _note_success_quiet(self, url: str) -> None:
+        # Proxy successes reset failure runs but only a real revival emits.
+        if self.health[url].record_success():
+            self._replica_metrics[url].gauge_set("router_replica_up", 1.0)
+            self.events.emit("replica_up", replica=url)
+
+    # -- surfaces ----------------------------------------------------------------
+
+    def health_report(self) -> dict[str, Any]:
+        """The router's own ``/healthz`` body: fleet rollup + placements."""
+        with self._lock:
+            placements = dict(self.placement)
+        replicas = {url: self.health[url].describe() for url in sorted(self.health)}
+        healthy = sum(1 for url in self.health if self._healthy(url))
+        placed = sum(
+            1
+            for name, url in placements.items()
+            if url is not None and self._healthy(url)
+        )
+        status = "ok" if placed == len(self.corpora) and healthy > 0 else "degraded"
+        return {
+            "status": status,
+            "role": "router",
+            "replicas": replicas,
+            "healthy_replicas": healthy,
+            "num_replicas": len(self.health),
+            "placements": placements,
+            "default_corpus": self.default_corpus,
+            "ring": self.ring.describe(),
+            "uptime_seconds": time.monotonic() - self.started_at,
+        }
+
+    def metrics_text(self) -> str:
+        """Router exposition: own series + per-replica labelled series.
+
+        Concatenated renders repeat each family's HELP/TYPE preamble; keep
+        only the first occurrence of every comment line (the PR-6 idiom the
+        app's multi-tenant ``/metrics`` uses).
+        """
+        parts = [self.metrics.render_text()]
+        for url in sorted(self._replica_metrics):
+            parts.append(
+                self._replica_metrics[url].render_text(labels={"replica": url})
+            )
+        lines: list[str] = []
+        seen_comments: set[str] = set()
+        for part in parts:
+            for line in part.splitlines():
+                if not line:
+                    continue
+                if line.startswith("#"):
+                    if line in seen_comments:
+                        continue
+                    seen_comments.add(line)
+                lines.append(line)
+        return "\n".join(lines) + "\n"
+
+
+class RouterHTTPServer(ThreadingHTTPServer):
+    """Threading HTTP front door over one :class:`RouterApp`."""
+
+    daemon_threads = True
+    request_queue_size = 128
+
+    def __init__(
+        self,
+        address: tuple[str, int],
+        router: RouterApp,
+        quiet: bool = True,
+    ) -> None:
+        super().__init__(address, _RouterHandler)
+        self.router = router
+        self.quiet = quiet
+
+    @property
+    def url(self) -> str:
+        host, port = self.server_address[:2]
+        return f"http://{host}:{port}"
+
+
+def create_router_server(
+    router: RouterApp,
+    host: str = "127.0.0.1",
+    port: int = 0,
+    quiet: bool = True,
+) -> RouterHTTPServer:
+    """Build (but do not start) the router's HTTP server."""
+    return RouterHTTPServer((host, port), router, quiet=quiet)
+
+
+def start_router_in_background(server: RouterHTTPServer) -> threading.Thread:
+    """Run ``serve_forever`` on a daemon thread (tests and embedding)."""
+    thread = threading.Thread(
+        target=server.serve_forever, name="repager-router", daemon=True
+    )
+    thread.start()
+    return thread
+
+
+#: Body-size cap for proxied requests; mirrors ServingConfig.max_body_bytes'
+#: default so the router rejects floods before buffering them.
+_MAX_BODY_BYTES = 1 << 20
+
+
+class _RouterHandler(BaseHTTPRequestHandler):
+    """Route dispatch: router-local surfaces + pass-through proxying."""
+
+    server: RouterHTTPServer  # narrowed type
+    server_version = "RePaGerRouter/1.0"
+    protocol_version = "HTTP/1.1"
+
+    def do_GET(self) -> None:  # noqa: N802 - http.server API
+        self._dispatch("GET")
+
+    def do_POST(self) -> None:  # noqa: N802 - http.server API
+        self._dispatch("POST")
+
+    def do_DELETE(self) -> None:  # noqa: N802 - http.server API
+        self._dispatch("DELETE")
+
+    def _dispatch(self, method: str) -> None:
+        path = self.path.partition("?")[0]
+        incoming = (self.headers.get("X-Request-Id") or "").strip()
+        self.request_id = incoming[:128] or new_id()
+        segments = [part for part in path.split("/") if part]
+        try:
+            self._route(method, segments)
+        except Exception as exc:  # noqa: BLE001 - client must always get a response
+            self._send_error(exc)
+
+    def _route(self, method: str, segments: list[str]) -> None:
+        router = self.server.router
+        versioned = segments[:1] == ["v1"]
+        tail = segments[1:] if versioned else segments
+
+        if method == "GET" and tail == ["healthz"]:
+            self._send_json(200, router.health_report())
+            return
+        if method == "GET" and tail == ["metrics"]:
+            self._send_text(200, router.metrics_text())
+            return
+
+        # Corpus-bearing /v1 routes proxy to the placed replica.
+        if versioned and len(tail) >= 2 and tail[0] == "corpora":
+            self._proxy(tail[1], method)
+            return
+
+        # Corpus-less surfaces (corpora listing, traces, events, legacy
+        # /query and /paper) follow the default corpus's replica.
+        default = router.default_corpus
+        if default is not None:
+            if versioned and tail[:1] in (["corpora"], ["traces"], ["events"]):
+                self._proxy(default, method)
+                return
+            if not versioned and segments[:1] in (["query"], ["paper"]):
+                self._proxy(default, method)
+                return
+
+        if method != "GET":
+            self.close_connection = True
+        self._send_json(
+            404,
+            {
+                "error": "not_found",
+                "code": "not_found",
+                "http_status": 404,
+                "detail": f"no such route: {method} {self.path}",
+                "path": self.path,
+            },
+        )
+
+    def _proxy(self, corpus: str, method: str) -> None:
+        body: bytes | None = None
+        if method in ("POST", "PUT"):
+            try:
+                length = int(self.headers.get("Content-Length") or 0)
+            except ValueError:
+                self.close_connection = True
+                raise RequestValidationError(
+                    "Content-Length header must be an integer"
+                ) from None
+            if length > _MAX_BODY_BYTES:
+                self.close_connection = True
+                raise RequestValidationError("request body too large for proxying")
+            if length > 0:
+                body = self.rfile.read(length)
+        headers = {"X-Request-Id": self.request_id}
+        for name in _FORWARD_HEADERS:
+            value = self.headers.get(name)
+            if value is not None:
+                headers[name] = value
+        status, payload, response_headers = self.server.router.proxy(
+            corpus, method, self.path, body=body, headers=headers
+        )
+        passthrough = {
+            name: response_headers[name]
+            for name in _RETURN_HEADERS
+            if name in response_headers
+        }
+        content_type = passthrough.pop("Content-Type", "application/json")
+        self._send_bytes(status, payload, content_type, passthrough)
+
+    def _send_error(self, exc: BaseException) -> None:
+        payload = error_payload(exc)
+        headers: dict[str, str] = {}
+        if isinstance(exc, ReplicaUnavailableError):
+            headers["Retry-After"] = str(max(1, math.ceil(exc.retry_after_seconds)))
+            payload["corpus"] = exc.corpus
+            payload["replica"] = exc.replica
+            payload["retry_after_seconds"] = exc.retry_after_seconds
+        if isinstance(exc, CorpusNotFoundError):
+            payload["corpus"] = exc.name
+        if payload["http_status"] >= 500 and "Retry-After" not in headers:
+            headers["Retry-After"] = "1"
+        self._send_json(payload["http_status"], payload, headers)
+
+    def _send_json(
+        self,
+        status: int,
+        payload: dict[str, Any],
+        extra_headers: dict[str, str] | None = None,
+    ) -> None:
+        body = json.dumps(payload).encode("utf-8")
+        self._send_bytes(status, body, "application/json", extra_headers)
+
+    def _send_text(self, status: int, text: str) -> None:
+        self._send_bytes(status, text.encode("utf-8"), "text/plain; charset=utf-8")
+
+    def _send_bytes(
+        self,
+        status: int,
+        body: bytes,
+        content_type: str,
+        extra_headers: dict[str, str] | None = None,
+    ) -> None:
+        self.send_response(status)
+        self.send_header("Content-Type", content_type)
+        self.send_header("Content-Length", str(len(body)))
+        request_id = getattr(self, "request_id", None)
+        if request_id:
+            self.send_header("X-Request-Id", request_id)
+        for name, value in (extra_headers or {}).items():
+            if value is not None:
+                self.send_header(name, value)
+        self.end_headers()
+        self.wfile.write(body)
+
+    def log_message(self, format: str, *args: Any) -> None:  # noqa: A002
+        if not self.server.quiet:
+            super().log_message(format, *args)

@@ -443,6 +443,11 @@ class ObsConfig:
             ``TenantOverrides.trace_sample_rate``); slow and failed queries
             are *always* retained regardless of the rate, and stage-latency
             histograms observe every query either way.
+        slow_trace_persist_path: Optional JSONL file the slow-trace buffer is
+            flushed to on shutdown and reloaded from on startup (``serve
+            --trace-persist``), so the most valuable debugging artifacts —
+            the slowest queries — survive a restart.  ``None`` keeps the
+            buffer memory-only.
     """
 
     trace_capacity: int = 256
@@ -452,6 +457,7 @@ class ObsConfig:
     event_log_capacity: int = 2048
     event_log_path: str | None = None
     trace_sample_rate: float = 1.0
+    slow_trace_persist_path: str | None = None
 
     def __post_init__(self) -> None:
         if not 0.0 <= self.trace_sample_rate <= 1.0:
@@ -522,6 +528,11 @@ class ServingConfig:
         allow_fault_injection: Enables the test-only ``/v1/faults`` endpoint
             (arm/inspect/disarm plans at runtime).  Never enable in a real
             deployment: any client can then make the service fail on purpose.
+        quota_state_path: Optional sqlite file backing per-tenant token
+            buckets (:class:`~repro.cluster.state.SqliteQuotaStore`).  When
+            set, rate-limit 429 decisions survive process restarts and are
+            shared by every replica pointing at the same file; ``None`` keeps
+            buckets in process memory.
     """
 
     host: str = "127.0.0.1"
@@ -546,6 +557,7 @@ class ServingConfig:
     fault_plan: tuple[str, ...] = ()
     fault_seed: int | None = None
     allow_fault_injection: bool = False
+    quota_state_path: str | None = None
 
     def __post_init__(self) -> None:
         if not self.host:

@@ -218,6 +218,35 @@ class CircuitOpenError(ServingError):
         self.retry_after_seconds = retry_after_seconds
 
 
+class ReplicaUnavailableError(ServingError):
+    """The router could not reach any replica able to serve the request.
+
+    Raised by the cluster router when the placed replica (and every ring
+    fallback) is down or the proxied connection died mid-request.  Marked
+    retryable — re-placement is already underway, so a client that honours
+    ``Retry-After`` lands on a survivor.
+    """
+
+    code = "replica_unavailable"
+    http_status = 503
+    retryable = True
+
+    def __init__(
+        self,
+        corpus: str | None,
+        replica: str | None = None,
+        retry_after_seconds: float = 1.0,
+    ) -> None:
+        where = f"for corpus {corpus!r}" if corpus else "for request"
+        via = f" (last tried {replica})" if replica else ""
+        super().__init__(
+            f"no healthy replica {where}{via}; retry in {retry_after_seconds:g}s"
+        )
+        self.corpus = corpus
+        self.replica = replica
+        self.retry_after_seconds = retry_after_seconds
+
+
 class WorkerHungError(ServingError):
     """The watchdog declared the worker running this request hung.
 

@@ -28,6 +28,7 @@ from collections import deque
 from typing import Callable, Iterable, Mapping, Sequence
 
 from ..errors import GraphError, NodeNotFoundError
+from ..resilience.deadline import check_deadline
 from .indexed import BoundCosts, IndexedGraph
 from .shortest_paths import PathResult
 
@@ -73,7 +74,15 @@ def _dijkstra_arrays(
     heap: list[tuple[float, int, int]] = [(0.0, rank[source], source)]
     pop = heapq.heappop
     push = heapq.heappush
+    pops = 0
     while heap:
+        # Cooperative deadline checkpoint: one enormous relaxation pass must
+        # be sheddable *mid-solve*, not only at stage boundaries.  Every 1024
+        # pops keeps the cost a bitmask test on the hot path (check_deadline
+        # itself is one ContextVar read when no deadline is set).
+        pops += 1
+        if not pops & 1023:
+            check_deadline("metric_closure_relaxation")
         distance, _, node = pop(heap)
         if settled[node]:
             continue

@@ -50,6 +50,9 @@ EVENT_TYPES = (
     "degraded_serve",
     "fault_armed",
     "fault_disarmed",
+    "replica_up",
+    "replica_down",
+    "corpus_replaced",
 )
 
 #: Top-level keys of every event record, in emission order.

@@ -31,12 +31,15 @@ Design constraints:
 
 from __future__ import annotations
 
+import json
+import os
 import random
 import threading
 import time
 import uuid
 from collections import deque
 from contextvars import ContextVar
+from pathlib import Path
 from typing import Any, Callable, Iterator
 
 __all__ = [
@@ -236,6 +239,65 @@ class Trace:
         data = self.summary()
         data["spans"] = [span.to_dict() for span in self.spans()]
         return data
+
+    @classmethod
+    def restore(cls, record: dict[str, Any]) -> "Trace | None":
+        """Rebuild a finished trace from its :meth:`to_dict` record.
+
+        Used when reloading a persisted slow-trace buffer.  Spans are
+        reconstructed directly (their ``start_seconds`` are already offsets
+        from trace start, so they must *not* go through :meth:`add_span`,
+        which interprets timestamps relative to the live ``perf_counter``).
+        Returns ``None`` for records missing the identifying fields.
+        """
+        trace_id = record.get("trace_id")
+        name = record.get("name")
+        if not isinstance(trace_id, str) or not isinstance(name, str):
+            return None
+        corpus = record.get("corpus")
+        request_id = record.get("request_id")
+        trace = cls(
+            name,
+            corpus=corpus if isinstance(corpus, str) else None,
+            request_id=request_id if isinstance(request_id, str) else None,
+            trace_id=trace_id,
+        )
+        try:
+            trace.started_at = float(record.get("started_at", trace.started_at))
+            trace.duration_seconds = float(record.get("duration_seconds", 0.0))
+        except (TypeError, ValueError):
+            return None
+        status = record.get("status")
+        trace.status = status if isinstance(status, str) else "ok"
+        error = record.get("error")
+        trace.error = error if isinstance(error, str) else None
+        tags = record.get("tags")
+        trace.tags = dict(tags) if isinstance(tags, dict) else {}
+        trace.slow = bool(record.get("slow", False))
+        trace._t0 = 0.0
+        trace._finished = True
+        spans = record.get("spans")
+        if isinstance(spans, list):
+            for entry in spans:
+                if not isinstance(entry, dict):
+                    continue
+                span_name = entry.get("name")
+                if not isinstance(span_name, str):
+                    continue
+                entry_tags = entry.get("tags")
+                try:
+                    span = Span(
+                        span_name,
+                        str(entry.get("span_id") or new_id()),
+                        entry.get("parent_id"),
+                        start_seconds=float(entry.get("start_seconds", 0.0)),
+                        duration_seconds=float(entry.get("duration_seconds", 0.0)),
+                        tags=dict(entry_tags) if isinstance(entry_tags, dict) else {},
+                    )
+                except (TypeError, ValueError):
+                    continue
+                trace._spans.append(span)
+        return trace
 
 
 class _NullSpan:
@@ -542,3 +604,69 @@ class Tracer:
     def __len__(self) -> int:
         with self._lock:
             return len(self._recent)
+
+    # -- persistence -------------------------------------------------------
+
+    def dump_slow(self, path: str | Path) -> int:
+        """Flush the slow-trace buffer to a JSONL file; returns traces written.
+
+        The write is atomic (temp file + ``os.replace``) so a crash mid-dump
+        leaves either the previous file or the new one, never a torn mix.
+        Called on server shutdown behind ``serve --trace-persist``.
+        """
+        with self._lock:
+            records = [trace.to_dict() for trace in self._slow]
+        target = Path(path)
+        target.parent.mkdir(parents=True, exist_ok=True)
+        tmp = target.with_name(target.name + ".tmp")
+        with tmp.open("w", encoding="utf-8") as handle:
+            for record in records:
+                handle.write(json.dumps(record) + "\n")
+            handle.flush()
+            os.fsync(handle.fileno())
+        os.replace(tmp, target)
+        return len(records)
+
+    def load_slow(self, path: str | Path) -> int:
+        """Reload a persisted slow-trace buffer; returns traces restored.
+
+        Tolerant the same way :func:`~repro.obs.events.read_event_records`
+        is: blank and torn lines are skipped, a missing file restores
+        nothing, and records that cannot be rebuilt are dropped — a corrupt
+        persistence file must never fail startup.  Restored traces are
+        oldest-first in the slow buffer, capped at ``slow_capacity``, and
+        resolvable via :meth:`get`.
+        """
+        if self.slow_capacity <= 0:
+            return 0
+        try:
+            handle = Path(path).open("r", encoding="utf-8")
+        except OSError:
+            return 0
+        restored = 0
+        with handle:
+            for line in handle:
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    record = json.loads(line)
+                except json.JSONDecodeError:
+                    continue
+                if not isinstance(record, dict):
+                    continue
+                trace = Trace.restore(record)
+                if trace is None:
+                    continue
+                trace.slow = True
+                with self._lock:
+                    if trace.trace_id in self._by_id:
+                        continue
+                    self._by_id[trace.trace_id] = trace
+                    self._flags[trace.trace_id] = _IN_SLOW
+                    self._slow.append(trace)
+                    if len(self._slow) > self.slow_capacity:
+                        dropped = self._slow.popleft()
+                        self._drop_flag(dropped, _IN_SLOW)
+                restored += 1
+        return restored

@@ -45,6 +45,7 @@ from dataclasses import dataclass, replace
 from pathlib import Path
 from typing import Any, Hashable, Mapping, Sequence
 
+from ..cluster.state import SqliteQuotaStore
 from ..config import PipelineConfig, ServingConfig, TenantOverrides
 from ..core.pipeline import VARIANT_CONFIGS, make_variant_config
 from ..corpus.storage import CorpusStore
@@ -750,6 +751,15 @@ class RePaGerApp:
             slow_capacity=obs.slow_trace_capacity,
             on_finish=self._observe_trace,
         )
+        if obs.slow_trace_persist_path is not None:
+            # Best-effort reload of the previous process's slow-trace buffer;
+            # a missing or torn file restores nothing and never fails startup.
+            self.tracer.load_slow(obs.slow_trace_persist_path)
+        #: Durable token-bucket store (``quota_state_path``); owned by the app
+        #: only when the app also builds the executor that uses it.
+        self._quota_store: SqliteQuotaStore | None = None
+        if executor is None and self.config.quota_state_path is not None:
+            self._quota_store = SqliteQuotaStore(self.config.quota_state_path)
         self.executor = executor or BatchExecutor.from_app(
             self,
             max_workers=self.config.max_workers,
@@ -757,6 +767,7 @@ class RePaGerApp:
             timeout_seconds=self.config.query_timeout_seconds,
             metrics=self.metrics,
             hang_seconds=self.config.worker_hang_seconds,
+            quota_store=self._quota_store,
         )
         self.started_at = time.monotonic()
         #: Serialises evict / re-attach transitions (queries themselves never
@@ -1670,6 +1681,15 @@ class RePaGerApp:
     def close(self, wait: bool = True) -> None:
         """Shut down the shared executor and drop any eviction snapshots."""
         self.executor.shutdown(wait=wait)
+        persist = self.config.obs.slow_trace_persist_path
+        if persist is not None:
+            try:
+                self.tracer.dump_slow(persist)
+            except OSError:
+                pass  # persistence is best-effort; shutdown must not fail
+        if self._quota_store is not None:
+            self._quota_store.close()
+            self._quota_store = None
         if self._fault_plan is not None and active_plan() is self._fault_plan:
             # Fault injection is process-global; disarm only what we armed so
             # a test that armed its own plan keeps it.

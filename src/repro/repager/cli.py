@@ -1,11 +1,13 @@
 """Command-line interface for the RePaGer reproduction.
 
-Five subcommands cover the typical workflow::
+Seven subcommands cover the typical workflow::
 
     repager generate-corpus --output data/corpus          # build the synthetic corpus
     repager build-surveybank --corpus data/corpus -o data/surveybank.jsonl
     repager query "pretrained language models" --corpus data/corpus
     repager serve --corpus data/corpus --port 8080        # HTTP JSON API
+    repager snapshot --corpus data/corpus -o data/corpus.snap   # warm artifacts
+    repager route --replica http://127.0.0.1:8081 ...     # cluster router
     repager tail events.jsonl --follow                    # follow the event log
 
 ``serve`` is multi-tenant: repeat ``--corpus NAME=DIR`` to host several
@@ -13,6 +15,15 @@ corpora in one process behind the versioned ``/v1`` HTTP API, and pick the
 tenant the legacy single-corpus routes alias onto with ``--default-corpus``::
 
     repager serve --corpus cs=data/cs --corpus bio=data/bio --default-corpus cs
+
+``route`` scales that horizontally: it fronts N ``serve --empty`` replicas,
+places each corpus on a replica with a deterministic consistent-hash ring,
+re-places corpora from dead replicas onto survivors (warm, from ``repager
+snapshot`` files), and proxies the same ``/v1`` surface::
+
+    repager route --port 8080 \\
+        --replica http://127.0.0.1:8081 --replica http://127.0.0.1:8082 \\
+        --corpus cs=data/cs --snapshot cs=data/cs.snap
 
 ``query`` and ``serve`` can also run directly on a freshly generated corpus
 (omit ``--corpus``), which is the quickest way to see a reading path or to
@@ -37,15 +48,21 @@ from ..config import (
     TenantOverrides,
     TenantQuota,
 )
-from ..errors import ConfigurationError
-from ..obs.events import EVENT_TYPES, read_event_records
+from ..cluster.router import CorpusSpec, RouterApp, create_router_server
+from ..errors import ConfigurationError, ReplicaUnavailableError
+from ..obs.events import EVENT_TYPES, EventLog, read_event_records
 from ..corpus.generator import CorpusGenerator
 from ..corpus.storage import CorpusStore
 from ..dataset.surveybank import SurveyBank
 from ..repager.app import RePaGerApp
 from ..repager.service import RePaGerService
 from ..serving.http_api import create_server
-from ..serving.warmup import load_snapshots, warm_up_registry
+from ..serving.warmup import (
+    capture_snapshot,
+    load_snapshots,
+    warm_up,
+    warm_up_registry,
+)
 
 __all__ = ["main", "build_parser"]
 
@@ -209,6 +226,95 @@ def build_parser() -> argparse.ArgumentParser:
         "--allow-faults", action="store_true",
         help="expose the test-only GET/POST/DELETE /v1/faults surface "
              "(otherwise those routes 404)",
+    )
+    serve.add_argument(
+        "--trace-persist", default=None, metavar="PATH",
+        help="persist the slow-trace buffer to PATH (JSONL) on shutdown and "
+             "reload it on startup, so post-incident slow traces survive a "
+             "restart",
+    )
+    serve.add_argument(
+        "--quota-state", default=None, metavar="PATH",
+        help="durable token-bucket state: a sqlite file (WAL) holding one "
+             "row per tenant, so 429 rate decisions survive restarts and "
+             "replicas sharing the file agree on admission",
+    )
+    serve.add_argument(
+        "--empty", action="store_true",
+        help="start with zero corpora attached (a cluster replica: the "
+             "router attaches corpora at runtime via POST /v1/corpora)",
+    )
+
+    snapshot = subparsers.add_parser(
+        "snapshot", help="warm a corpus and record its ArtifactSnapshot file"
+    )
+    snapshot.add_argument("--corpus", required=True, help="corpus directory")
+    snapshot.add_argument(
+        "--output", "-o", required=True, help="snapshot output path"
+    )
+    snapshot.add_argument(
+        "--seeds", type=int, default=30, help="number of initial seed papers"
+    )
+    snapshot.add_argument(
+        "--graph-backend", choices=GRAPH_BACKENDS, default=DEFAULT_GRAPH_BACKEND,
+        help="graph core for PageRank and the NEWST metric closure",
+    )
+
+    route = subparsers.add_parser(
+        "route",
+        help="front N serve replicas: consistent-hash corpus placement, "
+             "health-checked failover, one proxied /v1 surface",
+    )
+    route.add_argument(
+        "--replica", action="append", required=True, metavar="URL",
+        help="base URL of a 'repager serve --empty' replica; repeatable",
+    )
+    route.add_argument(
+        "--corpus", action="append", required=True, metavar="NAME=DIR",
+        help="corpus to place on the fleet; repeatable",
+    )
+    route.add_argument(
+        "--snapshot", action="append", metavar="NAME=PATH",
+        help="ArtifactSnapshot file for corpus NAME ('repager snapshot'); "
+             "replicas attach warm from it on placement and failover",
+    )
+    route.add_argument(
+        "--default-corpus", default=None, metavar="NAME",
+        help="corpus the legacy single-corpus routes alias onto "
+             "(default: first corpus name)",
+    )
+    route.add_argument("--host", default="127.0.0.1", help="bind address")
+    route.add_argument("--port", type=int, default=8080, help="bind port (0 = ephemeral)")
+    route.add_argument(
+        "--probe-interval", type=float, default=1.0, metavar="SECONDS",
+        help="seconds between active replica /healthz probe rounds",
+    )
+    route.add_argument(
+        "--failure-threshold", type=int, default=2, metavar="K",
+        help="consecutive probe/proxy failures that mark a replica down "
+             "(its corpora re-place onto survivors)",
+    )
+    route.add_argument(
+        "--reset-seconds", type=float, default=5.0, metavar="SECONDS",
+        help="cooldown before a down replica gets a half-open probe",
+    )
+    route.add_argument(
+        "--ring-seed", type=int, default=0,
+        help="consistent-hash ring seed (placement is a pure function of "
+             "seed + replica set)",
+    )
+    route.add_argument(
+        "--vnodes", type=int, default=128,
+        help="virtual nodes per replica on the ring",
+    )
+    route.add_argument(
+        "--timeout", type=float, default=30.0, metavar="SECONDS",
+        help="per-request proxy socket timeout",
+    )
+    route.add_argument(
+        "--event-log", default=None, metavar="PATH",
+        help="append replica_up/replica_down/corpus_replaced events as "
+             "JSONL to PATH",
     )
 
     tail = subparsers.add_parser(
@@ -411,10 +517,12 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         fault_plan=tuple(args.fault or ()),
         fault_seed=args.fault_seed,
         allow_fault_injection=bool(args.allow_faults or args.fault),
+        quota_state_path=args.quota_state,
         obs=ObsConfig(
             event_log_path=args.event_log,
             slow_trace_seconds=args.slow_trace,
             trace_sample_rate=args.trace_sample,
+            slow_trace_persist_path=args.trace_persist,
         ),
     )
     pipeline_config = PipelineConfig(
@@ -453,7 +561,15 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     }
 
     app = RePaGerApp(config=serving_config, pipeline_config=pipeline_config)
-    if corpora:
+    if args.empty:
+        if corpora:
+            raise SystemExit("--empty cannot be combined with --corpus")
+        print(
+            "starting empty (cluster replica mode): corpora attach at "
+            "runtime via POST /v1/corpora",
+            flush=True,
+        )
+    elif corpora:
         if args.default_corpus not in corpora:
             raise SystemExit(
                 f"--default-corpus {args.default_corpus!r} is not among the "
@@ -531,6 +647,85 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_snapshot(args: argparse.Namespace) -> int:
+    store = CorpusStore.load(args.corpus)
+    service = RePaGerService(
+        store,
+        pipeline_config=PipelineConfig(
+            num_seeds=args.seeds, graph_backend=args.graph_backend
+        ),
+    )
+    report = warm_up(service)
+    capture_snapshot(service, args.output)
+    print(
+        f"captured snapshot of {args.corpus} ({report.graph_nodes} nodes / "
+        f"{report.graph_edges} edges, warmed in {report.elapsed_seconds:.2f}s) "
+        f"to {Path(args.output).resolve()}"
+    )
+    return 0
+
+
+def _cmd_route(args: argparse.Namespace) -> int:
+    corpora = _parse_named_values(args.corpus, "--corpus", "default")
+    snapshot_paths = _parse_named_values(args.snapshot, "--snapshot", "default")
+    unknown = sorted(set(snapshot_paths) - set(corpora))
+    if unknown:
+        raise SystemExit(
+            f"--snapshot names {unknown} do not match any --corpus "
+            f"{sorted(corpora)}"
+        )
+    if args.default_corpus is not None and args.default_corpus not in corpora:
+        raise SystemExit(
+            f"--default-corpus {args.default_corpus!r} is not among the "
+            f"routed corpora {sorted(corpora)}"
+        )
+    specs = {
+        name: CorpusSpec(name, corpus_dir, snapshot_paths.get(name))
+        for name, corpus_dir in corpora.items()
+    }
+    events = EventLog(args.event_log) if args.event_log else None
+    try:
+        router = RouterApp(
+            args.replica,
+            specs,
+            default_corpus=args.default_corpus,
+            ring_seed=args.ring_seed,
+            vnodes=args.vnodes,
+            probe_interval=args.probe_interval,
+            failure_threshold=args.failure_threshold,
+            reset_seconds=args.reset_seconds,
+            proxy_timeout=args.timeout,
+            events=events,
+        )
+    except ValueError as exc:
+        raise SystemExit(str(exc)) from None
+    try:
+        placement = router.bootstrap()
+    except ReplicaUnavailableError as exc:
+        raise SystemExit(f"bootstrap failed: {exc}") from None
+    for name in sorted(placement):
+        print(f"placed corpus {name!r} on {placement[name]}", flush=True)
+    router.start_probes()
+    server = create_router_server(router, host=args.host, port=args.port)
+    print(
+        f"routing corpora [{', '.join(sorted(corpora))}] over "
+        f"{len(router.health)} replicas on {server.url} "
+        f"(probe every {args.probe_interval:g}s) — Ctrl-C to stop",
+        flush=True,
+    )
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        print("shutting down", flush=True)
+    finally:
+        server.shutdown()
+        server.server_close()
+        router.close()
+        if events is not None:
+            events.close()
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
     """CLI entry point."""
     parser = build_parser()
@@ -540,6 +735,8 @@ def main(argv: list[str] | None = None) -> int:
         "build-surveybank": _cmd_build_surveybank,
         "query": _cmd_query,
         "serve": _cmd_serve,
+        "snapshot": _cmd_snapshot,
+        "route": _cmd_route,
         "tail": _cmd_tail,
     }
     return handlers[args.command](args)

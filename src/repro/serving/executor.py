@@ -52,6 +52,7 @@ from concurrent.futures import TimeoutError as FutureTimeoutError
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Any, Callable, Hashable, Sequence
 
+from ..cluster.state import InMemoryQuotaStore, QuotaStore
 from ..errors import (
     DeadlineExceededError,
     ExecutorOverloadedError,
@@ -195,6 +196,7 @@ class _TenantState:
     """
 
     __slots__ = (
+        "namespace",
         "quota",
         "timeout_seconds",
         "metrics",
@@ -204,11 +206,10 @@ class _TenantState:
         "queued",
         "rejected",
         "coalesced",
-        "tokens",
-        "token_stamp",
     )
 
-    def __init__(self) -> None:
+    def __init__(self, namespace: str = "") -> None:
+        self.namespace = namespace
         self.quota: "TenantQuota | None" = None
         self.timeout_seconds: float | None = None
         self.metrics: "MetricsRegistry | None" = None
@@ -221,8 +222,6 @@ class _TenantState:
         self.queued = 0
         self.rejected = 0
         self.coalesced = 0
-        self.tokens = 0.0
-        self.token_stamp = 0.0
 
 
 @dataclass(slots=True)
@@ -265,6 +264,11 @@ class BatchExecutor:
             capacity is never silently lost.  ``None`` disables the watchdog.
         watchdog_interval: How often the watchdog scans (defaults to a
             quarter of ``hang_seconds``).
+        quota_store: Where per-tenant token buckets live.  Defaults to a
+            process-local :class:`~repro.cluster.state.InMemoryQuotaStore`
+            driven by ``clock``; pass a
+            :class:`~repro.cluster.state.SqliteQuotaStore` to make 429
+            decisions survive restarts and agree across replicas.
     """
 
     def __init__(
@@ -279,6 +283,7 @@ class BatchExecutor:
         key_for: Callable[[QueryRequest], Hashable | None] | None = None,
         hang_seconds: float | None = None,
         watchdog_interval: float | None = None,
+        quota_store: QuotaStore | None = None,
     ) -> None:
         if max_workers < 1:
             raise ValueError("max_workers must be >= 1")
@@ -297,6 +302,9 @@ class BatchExecutor:
         self.events = events
         self.key_for = key_for
         self._clock = clock
+        self.quota_store: QuotaStore = (
+            quota_store if quota_store is not None else InMemoryQuotaStore(clock=clock)
+        )
         self._slots = threading.BoundedSemaphore(max_workers + queue_depth)
         self._shutdown = False
         self._tenants: dict[str, _TenantState] = {}
@@ -389,6 +397,7 @@ class BatchExecutor:
         timeout_seconds: float | None = None,
         metrics: "MetricsRegistry | None" = None,
         hang_seconds: float | None = None,
+        quota_store: QuotaStore | None = None,
     ) -> "BatchExecutor":
         """One bounded executor shared by every tenant of a ``RePaGerApp``.
 
@@ -408,6 +417,7 @@ class BatchExecutor:
             events=getattr(app, "events", None),
             key_for=getattr(app, "coalesce_key", None),
             hang_seconds=hang_seconds,
+            quota_store=quota_store,
         )
 
     # -- per-tenant quotas -------------------------------------------------------
@@ -435,19 +445,19 @@ class BatchExecutor:
         with self._tenant_lock:
             state = self._tenants.get(namespace)
             if state is None:
-                state = self._tenants[namespace] = _TenantState()
+                state = self._tenants[namespace] = _TenantState(namespace)
             state.quota = quota
             state.timeout_seconds = timeout_seconds
             state.metrics = metrics
             state.weight = weight
             if quota is not None and quota.rate_per_second is not None:
-                state.tokens = float(quota.burst)
-                state.token_stamp = self._clock()
+                self.quota_store.configure(namespace, quota.burst)
 
     def drop_tenant(self, namespace: str) -> None:
         """Forget a namespace's quota and accounting (tenant fully detached)."""
         with self._tenant_lock:
             self._tenants.pop(namespace, None)
+        self.quota_store.drop(namespace)
 
     def tenant_usage(self, namespace: str) -> dict[str, int] | None:
         """Point-in-time admission counters for one namespace (None if unknown).
@@ -513,22 +523,17 @@ class BatchExecutor:
                         retry_after=1.0,
                     )
                 if quota.rate_per_second is not None:
-                    now = self._clock()
-                    state.tokens = min(
-                        float(quota.burst),
-                        state.tokens
-                        + (now - state.token_stamp) * quota.rate_per_second,
+                    retry_after = self.quota_store.try_consume(
+                        namespace, quota.rate_per_second, quota.burst
                     )
-                    state.token_stamp = now
-                    if state.tokens < 1.0:
+                    if retry_after > 0.0:
                         raise self._reject_tenant(
                             state,
                             namespace,
                             f"rate limit of {quota.rate_per_second:g} "
                             "requests/second exhausted",
-                            retry_after=(1.0 - state.tokens) / quota.rate_per_second,
+                            retry_after=retry_after,
                         )
-                    state.tokens -= 1.0
             state.admitted += 1
         return state
 
@@ -560,6 +565,7 @@ class BatchExecutor:
         """
         if state is None:
             return
+        refund_burst: int | None = None
         with self._tenant_lock:
             state.admitted -= 1
             if (
@@ -567,7 +573,9 @@ class BatchExecutor:
                 and state.quota is not None
                 and state.quota.rate_per_second is not None
             ):
-                state.tokens = min(float(state.quota.burst), state.tokens + 1.0)
+                refund_burst = state.quota.burst
+        if refund_burst is not None:
+            self.quota_store.refund(state.namespace, refund_burst)
 
     # -- coalescing --------------------------------------------------------------
 

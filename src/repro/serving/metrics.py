@@ -58,6 +58,18 @@ _HELP_OVERRIDES = {
     "event_log_write_errors": (
         "Event-log file-sink writes dropped (disk errors or injected faults)."
     ),
+    "router_requests_total": (
+        "Requests the cluster router proxied to a replica."
+    ),
+    "router_replica_up": (
+        "1 when the labelled replica is routable, 0 while it is down."
+    ),
+    "router_replaced_total": (
+        "Corpora re-placed onto another replica (failover or rebalance)."
+    ),
+    "router_replica_latency_seconds": (
+        "Router-observed proxy latency to the labelled replica."
+    ),
 }
 
 

@@ -1,0 +1,153 @@
+"""Consistent-hash ring: determinism, balance and minimal key movement.
+
+The ring is the cluster's only placement authority, so these properties are
+load-bearing: placement must be identical in every process (no
+``PYTHONHASHSEED`` dependence), reasonably balanced for real corpus counts,
+and stable under membership churn (only ~K/N keys move when a replica joins
+or leaves — each moved key pays a corpus re-attach).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import subprocess
+import sys
+from collections import Counter
+from pathlib import Path
+
+import pytest
+
+from repro.cluster.ring import ConsistentHashRing
+
+REPLICAS = [f"http://replica-{i}:80" for i in range(5)]
+KEYS = [f"corpus-{i}" for i in range(100)]
+
+_PLACEMENT_SCRIPT = """
+import json, sys
+from repro.cluster.ring import ConsistentHashRing
+replicas, keys, seed = json.loads(sys.stdin.read())
+ring = ConsistentHashRing(replicas, seed=seed)
+print(json.dumps({key: ring.place(key) for key in keys}))
+"""
+
+
+def _subprocess_placement(hash_seed: str, ring_seed: int = 0) -> dict[str, str]:
+    """Placement computed in a fresh interpreter with a fixed PYTHONHASHSEED."""
+    env = dict(os.environ)
+    env["PYTHONHASHSEED"] = hash_seed
+    env["PYTHONPATH"] = str(Path(__file__).resolve().parent.parent / "src")
+    result = subprocess.run(
+        [sys.executable, "-c", _PLACEMENT_SCRIPT],
+        input=json.dumps([REPLICAS, KEYS, ring_seed]),
+        capture_output=True,
+        text=True,
+        env=env,
+        check=True,
+    )
+    return json.loads(result.stdout)
+
+
+class TestDeterminism:
+    def test_identical_across_processes_and_hash_seeds(self):
+        """The property a ``hash()``-based ring would fail: two interpreters
+        with different string-hash randomisation place every key the same."""
+        local = {key: ConsistentHashRing(REPLICAS).place(key) for key in KEYS}
+        assert _subprocess_placement("0") == local
+        assert _subprocess_placement("424242") == local
+
+    def test_insertion_order_is_irrelevant(self):
+        forward = ConsistentHashRing(REPLICAS)
+        backward = ConsistentHashRing(list(reversed(REPLICAS)))
+        for key in KEYS:
+            assert forward.place(key) == backward.place(key)
+
+    def test_seed_changes_the_layout(self):
+        a = ConsistentHashRing(REPLICAS, seed=0)
+        b = ConsistentHashRing(REPLICAS, seed=1)
+        assert any(a.place(key) != b.place(key) for key in KEYS)
+
+
+class TestBalance:
+    @pytest.mark.parametrize("seed", [0, 1, 7])
+    def test_100_corpora_over_5_replicas_within_tolerance(self, seed):
+        ring = ConsistentHashRing(REPLICAS, seed=seed)
+        loads = Counter(ring.place(key) for key in KEYS)
+        assert sum(loads.values()) == len(KEYS)
+        assert set(loads) <= set(REPLICAS)
+        mean = len(KEYS) / len(REPLICAS)
+        # 128 vnodes keeps the spread well inside a factor of two of fair
+        # share; the bound is generous so the test pins the property, not
+        # one lucky layout (hence the seed parametrisation).
+        assert max(loads.values()) <= 2 * mean
+        assert min(loads.values()) >= mean / 4
+
+
+class TestMovement:
+    def test_join_moves_at_most_a_fair_share_and_only_toward_the_joiner(self):
+        before = ConsistentHashRing(REPLICAS)
+        placed_before = {key: before.place(key) for key in KEYS}
+        after = ConsistentHashRing(REPLICAS)
+        after.add_replica("http://replica-5:80")
+        moved = [key for key in KEYS if after.place(key) != placed_before[key]]
+        # Expected movement is K/N = 100/6 ≈ 17; twice that is the alarm line.
+        assert len(moved) <= 2 * len(KEYS) / 6
+        # Every moved key lands on the joiner — anything else would be a
+        # gratuitous re-attach.
+        assert all(after.place(key) == "http://replica-5:80" for key in moved)
+
+    def test_leave_moves_only_the_leavers_keys(self):
+        before = ConsistentHashRing(REPLICAS)
+        placed_before = {key: before.place(key) for key in KEYS}
+        leaver = REPLICAS[2]
+        after = ConsistentHashRing(REPLICAS)
+        after.remove_replica(leaver)
+        for key in KEYS:
+            if placed_before[key] == leaver:
+                assert after.place(key) != leaver
+            else:
+                assert after.place(key) == placed_before[key]
+
+
+class TestPreference:
+    def test_preference_starts_at_place_and_covers_distinct_replicas(self):
+        ring = ConsistentHashRing(REPLICAS)
+        for key in KEYS[:20]:
+            order = ring.preference(key)
+            assert order[0] == ring.place(key)
+            assert sorted(order) == sorted(REPLICAS)
+        assert ring.preference(KEYS[0], limit=2) == ring.preference(KEYS[0])[:2]
+
+    def test_preference_is_the_failover_placement(self):
+        """Dropping a key's primary makes its second preference the new
+        primary — what the router relies on when evacuating a dead replica."""
+        ring = ConsistentHashRing(REPLICAS)
+        for key in KEYS[:20]:
+            primary, second = ring.preference(key, limit=2)
+            without = ConsistentHashRing(REPLICAS)
+            without.remove_replica(primary)
+            assert without.place(key) == second
+
+
+class TestEdges:
+    def test_empty_ring_raises_and_prefers_nothing(self):
+        ring = ConsistentHashRing()
+        with pytest.raises(ValueError):
+            ring.place("anything")
+        assert ring.preference("anything") == []
+
+    def test_add_is_idempotent_and_remove_unknown_is_a_noop(self):
+        ring = ConsistentHashRing(REPLICAS)
+        points = ring.describe()["points"]
+        ring.add_replica(REPLICAS[0])
+        assert ring.describe()["points"] == points
+        ring.remove_replica("http://never-joined:80")
+        assert ring.replicas == tuple(sorted(REPLICAS))
+        assert len(ring) == len(REPLICAS)
+        assert REPLICAS[0] in ring
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ConsistentHashRing(vnodes=0)
+        with pytest.raises(ValueError):
+            ConsistentHashRing([""])

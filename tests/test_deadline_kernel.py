@@ -1,0 +1,75 @@
+"""Deadline checkpoints inside the Dijkstra relaxation loop.
+
+PR 8 added cooperative deadline shedding at stage boundaries; a long metric
+closure between two checkpoints could still blow the budget.  The kernel now
+polls ``check_deadline`` every ~1024 heap pops, so a query sheds *during* the
+solve — these tests pin that, and that the checkpoint costs nothing when no
+deadline is armed.
+"""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from repro.errors import DeadlineExceededError
+from repro.graph.citation_graph import CitationGraph
+from repro.graph.indexed import IndexedGraph
+from repro.graph.kernels import indexed_dijkstra
+from repro.resilience.deadline import deadline_scope
+
+
+@pytest.fixture(scope="module")
+def long_chain() -> IndexedGraph:
+    """A 2000-node path: a single source search pops every node (> 1024)."""
+    graph = CitationGraph()
+    for i in range(1999):
+        graph.add_edge(f"n{i}", f"n{i + 1}")
+    return IndexedGraph.from_graph(graph)
+
+
+def test_expired_deadline_sheds_inside_the_relaxation_loop(long_chain):
+    with deadline_scope(time.monotonic() - 1.0):
+        with pytest.raises(DeadlineExceededError) as excinfo:
+            indexed_dijkstra(long_chain, "n0")
+    # The shed happened mid-solve, at the kernel's own checkpoint — not at a
+    # pipeline stage boundary.
+    assert excinfo.value.stage == "metric_closure_relaxation"
+
+
+def test_small_searches_never_reach_the_checkpoint(long_chain):
+    """Under 1024 pops the bitmask never fires: an expired deadline is not
+    observed by the kernel (stage boundaries still catch it)."""
+    graph = CitationGraph()
+    for i in range(50):
+        graph.add_edge(f"m{i}", f"m{i + 1}")
+    small = IndexedGraph.from_graph(graph)
+    with deadline_scope(time.monotonic() - 1.0):
+        result = indexed_dijkstra(small, "m0")
+    assert len(result.distances) == 51
+
+
+def test_no_deadline_means_no_behaviour_change(long_chain):
+    result = indexed_dijkstra(long_chain, "n0")
+    assert len(result.distances) == 2000
+    assert result.distances["n1999"] == pytest.approx(1999.0)
+
+
+def test_future_deadline_lets_the_solve_finish(long_chain):
+    with deadline_scope(time.monotonic() + 60.0):
+        result = indexed_dijkstra(long_chain, "n0")
+    assert len(result.distances) == 2000
+
+
+def test_metric_closure_sheds_mid_batch(long_chain):
+    """The paper's hot path — one early-exiting Dijkstra per terminal — is
+    where a query's X-Request-Deadline budget actually runs out; the batched
+    closure must surface the kernel checkpoint's shed, not finish the batch."""
+    from repro.graph.kernels import indexed_metric_closure
+
+    costs = long_chain.bind_costs(None, None)
+    with deadline_scope(time.monotonic() - 1.0):
+        with pytest.raises(DeadlineExceededError) as excinfo:
+            indexed_metric_closure(long_chain, costs, ["n0", "n1999"])
+    assert excinfo.value.stage == "metric_closure_relaxation"
