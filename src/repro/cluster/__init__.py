@@ -6,11 +6,14 @@ router (:mod:`repro.cluster.router`) that proxies the ``/v1`` surface to N
 replicas, placing corpora with a deterministic consistent-hash ring
 (:mod:`repro.cluster.ring`), tracking per-replica health with the circuit
 semantics from :mod:`repro.resilience.circuit`
-(:mod:`repro.cluster.health`), and externalising tenant token buckets behind a
+(:mod:`repro.cluster.health`), externalising tenant token buckets behind a
 store interface (:mod:`repro.cluster.state`) so 429 decisions survive
-restarts and agree across replicas.
+restarts and agree across replicas, and externalising the result cache the
+same way (:mod:`repro.cluster.cache`) so a corpus re-placed after failover
+serves repeated queries warm.
 """
 
+from .cache import CacheStore, InMemoryCacheStore, SqliteCacheStore
 from .health import ReplicaHealth
 from .ring import ConsistentHashRing
 from .router import (
@@ -23,13 +26,16 @@ from .router import (
 from .state import InMemoryQuotaStore, QuotaStore, SqliteQuotaStore
 
 __all__ = [
+    "CacheStore",
     "ConsistentHashRing",
     "CorpusSpec",
+    "InMemoryCacheStore",
     "InMemoryQuotaStore",
     "QuotaStore",
     "ReplicaHealth",
     "RouterApp",
     "RouterHTTPServer",
+    "SqliteCacheStore",
     "SqliteQuotaStore",
     "create_router_server",
     "start_router_in_background",

@@ -1,0 +1,185 @@
+"""Shared result-cache backends: canonical-key payload bytes behind a store.
+
+The per-tenant :class:`~repro.serving.cache.ResultCache` lives in interpreter
+memory, so a corpus re-placed on another replica after a failover starts cold:
+the first repeated query pays a full pipeline solve even though an identical
+one just ran elsewhere.  This module externalises the *result* half of caching
+the same way :mod:`repro.cluster.state` externalised admission:
+
+* :class:`CacheStore` — the interface :class:`~repro.repager.service.
+  RePaGerService` programs against: namespaced ``get``/``put`` of opaque
+  payload bytes with a per-entry TTL.  The service owns serialisation (the
+  wire form round-trips a :class:`~repro.repager.service.PathPayload`
+  byte-identically), the store owns durability.
+* :class:`InMemoryCacheStore` — the default; a process-local dict with the
+  injected monotonic clock, so single-replica deployments pay nothing new.
+* :class:`SqliteCacheStore` — a WAL-mode sqlite file shared across replicas
+  (``serve --cache-state PATH``), one row per ``(namespace, key)`` with an
+  absolute wall-clock expiry.  Expired rows are deleted lazily on read;
+  ``put`` is ``INSERT OR REPLACE``, so the last writer wins — all writers
+  computed the same canonical payload for the same canonical key, so any
+  winner is correct.
+
+The local :class:`~repro.serving.cache.ResultCache` stays in front as an L1:
+a shared-store hit is promoted into it, so the sqlite file is only consulted
+once per (replica, key) per TTL window.
+"""
+
+from __future__ import annotations
+
+import sqlite3
+import threading
+import time
+from typing import Callable
+
+__all__ = ["CacheStore", "InMemoryCacheStore", "SqliteCacheStore"]
+
+
+class CacheStore:
+    """Interface the serving layer's shared-cache path programs against.
+
+    All methods are thread-safe.  Values are opaque bytes: the caller owns
+    (de)serialisation and key canonicalisation; namespaces isolate tenants so
+    a detach can drop one corpus's entries without touching its neighbours.
+    """
+
+    def get(self, namespace: str, key: str) -> bytes | None:
+        """The stored payload for ``key``, or ``None`` if absent or expired."""
+        raise NotImplementedError
+
+    def put(
+        self, namespace: str, key: str, value: bytes, ttl_seconds: float
+    ) -> None:
+        """Store ``value`` under ``key``, expiring ``ttl_seconds`` from now."""
+        raise NotImplementedError
+
+    def drop_namespace(self, namespace: str) -> int:
+        """Remove every entry in ``namespace``; returns the number removed."""
+        raise NotImplementedError
+
+    def close(self) -> None:
+        """Release any underlying resources; further calls are undefined."""
+
+    def describe(self) -> dict[str, object]:
+        """JSON-ready store identity for health surfaces."""
+        return {"backend": type(self).__name__}
+
+
+class InMemoryCacheStore(CacheStore):
+    """Process-local shared cache; useful as a default and in tests.
+
+    The clock is injectable (monotonic by default) so TTL expiry can be
+    driven deterministically, matching :class:`~repro.serving.cache.
+    ResultCache`'s convention.
+    """
+
+    def __init__(self, clock: Callable[[], float] = time.monotonic) -> None:
+        self._clock = clock
+        self._lock = threading.Lock()
+        #: (namespace, key) -> (value, expires_at)
+        self._entries: dict[tuple[str, str], tuple[bytes, float]] = {}
+
+    def get(self, namespace: str, key: str) -> bytes | None:
+        with self._lock:
+            entry = self._entries.get((namespace, key))
+            if entry is None:
+                return None
+            value, expires_at = entry
+            if self._clock() >= expires_at:
+                del self._entries[(namespace, key)]
+                return None
+            return value
+
+    def put(
+        self, namespace: str, key: str, value: bytes, ttl_seconds: float
+    ) -> None:
+        with self._lock:
+            self._entries[(namespace, key)] = (
+                value,
+                self._clock() + ttl_seconds,
+            )
+
+    def drop_namespace(self, namespace: str) -> int:
+        with self._lock:
+            doomed = [pair for pair in self._entries if pair[0] == namespace]
+            for pair in doomed:
+                del self._entries[pair]
+            return len(doomed)
+
+
+class SqliteCacheStore(CacheStore):
+    """File-backed shared cache surviving restarts and spanning replicas.
+
+    One row per ``(namespace, key)``; WAL journal mode so concurrent readers
+    never block the writer.  Unlike the quota store there is no CAS: cache
+    writes are idempotent (every writer computed the same canonical payload
+    for the same canonical key), so ``INSERT OR REPLACE`` is safe.
+
+    Args:
+        path: Sqlite database file (created on first use).
+        clock: Wall-clock seconds; shared rows need a clock every process
+            agrees on, so this defaults to ``time.time`` — injectable for
+            deterministic tests.
+    """
+
+    def __init__(
+        self, path: str, clock: Callable[[], float] = time.time
+    ) -> None:
+        self.path = str(path)
+        self._clock = clock
+        self._lock = threading.Lock()
+        self._conn = sqlite3.connect(
+            self.path, timeout=5.0, check_same_thread=False, isolation_level=None
+        )
+        self._conn.execute("PRAGMA journal_mode=WAL")
+        self._conn.execute("PRAGMA synchronous=NORMAL")
+        self._conn.execute("PRAGMA busy_timeout=5000")
+        self._conn.execute(
+            "CREATE TABLE IF NOT EXISTS cache_entries ("
+            " namespace TEXT NOT NULL,"
+            " key TEXT NOT NULL,"
+            " value BLOB NOT NULL,"
+            " expires_at REAL NOT NULL,"
+            " PRIMARY KEY (namespace, key))"
+        )
+
+    def get(self, namespace: str, key: str) -> bytes | None:
+        with self._lock:
+            row = self._conn.execute(
+                "SELECT value, expires_at FROM cache_entries"
+                " WHERE namespace = ? AND key = ?",
+                (namespace, key),
+            ).fetchone()
+            if row is None:
+                return None
+            if self._clock() >= float(row[1]):
+                self._conn.execute(
+                    "DELETE FROM cache_entries WHERE namespace = ? AND key = ?",
+                    (namespace, key),
+                )
+                return None
+            return bytes(row[0])
+
+    def put(
+        self, namespace: str, key: str, value: bytes, ttl_seconds: float
+    ) -> None:
+        with self._lock:
+            self._conn.execute(
+                "INSERT OR REPLACE INTO cache_entries"
+                " (namespace, key, value, expires_at) VALUES (?, ?, ?, ?)",
+                (namespace, key, value, self._clock() + ttl_seconds),
+            )
+
+    def drop_namespace(self, namespace: str) -> int:
+        with self._lock:
+            cursor = self._conn.execute(
+                "DELETE FROM cache_entries WHERE namespace = ?", (namespace,)
+            )
+            return cursor.rowcount
+
+    def close(self) -> None:
+        with self._lock:
+            self._conn.close()
+
+    def describe(self) -> dict[str, object]:
+        return {"backend": type(self).__name__, "path": self.path}

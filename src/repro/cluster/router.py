@@ -18,39 +18,59 @@ paper's Fig. 7 web application horizontally without a coordination service:
   files (the ``POST /v1/corpora`` runtime-attach path with ``"snapshot"``).
   When the replica comes back, corpora drift home to their ring-preferred
   replicas the same way.
+* **Draining** (``DELETE /v1/replicas/<url-encoded-url>`` or ``repager route
+  --drain URL``) is the orderly counterpart of failover: the router captures
+  a *fresh* snapshot from the still-live replica, warm-attaches each held
+  corpus on its ring successor, flips routing, detaches the old copy, and
+  only then removes the replica from the ring — zero 5xx during the
+  handover, ``replica_draining`` / ``replica_drained`` events and a
+  ``router_drained_total`` counter around it.
+* **Coalescing**: identical in-flight cacheable queries to one corpus merge
+  at the router into a single upstream request (leader/waiter futures keyed
+  on the same canonical query key the replicas' executors use), so N
+  replicas never see N copies of a stampede; waiters are counted by a
+  per-corpus ``router_coalesced_total``.  Requests carrying
+  ``use_cache: false``, ``debug`` or any non-canonical field bypass it.
 * **Errors** stay inside the shared taxonomy: a proxy that cannot reach any
   healthy replica answers :class:`~repro.errors.ReplicaUnavailableError`
   (503 + ``Retry-After``), never a bare connection reset, and replica error
   bodies pass through byte-identical.
 
 The router serves its own ``/healthz`` (fleet rollup: replica states, the
-ring, live placements) and ``/v1/metrics`` (``router_requests_total``,
-``router_replaced_total``, per-replica ``router_replica_up`` gauges and
-``router_replica_latency_seconds`` summaries, labelled ``replica="<url>"``
-in the PR-6 exposition format).  Everything is stdlib-only.
+ring, live placements, drained members) and ``/v1/metrics``
+(``router_requests_total``, ``router_replaced_total``,
+``router_drained_total``, per-replica ``router_replica_up`` gauges and
+``router_replica_latency_seconds`` summaries labelled ``replica="<url>"``,
+per-corpus ``router_coalesced_total`` labelled ``corpus="<name>"``, in the
+PR-6 exposition format).  Everything is stdlib-only.
 """
 
 from __future__ import annotations
 
 import json
 import math
+import tempfile
 import threading
 import time
 import urllib.error
+import urllib.parse
 import urllib.request
+from concurrent.futures import Future
 from dataclasses import dataclass
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from pathlib import Path
-from typing import Any, Iterable, Mapping
+from typing import Any, Hashable, Iterable, Mapping
 
 from ..errors import (
     CorpusNotFoundError,
+    ReplicaNotFoundError,
     ReplicaUnavailableError,
     RequestValidationError,
     error_payload,
 )
 from ..obs.events import EventLog
 from ..obs.trace import new_id
+from ..serving.cache import make_query_key
 from ..serving.metrics import MetricsRegistry
 from .health import ReplicaHealth
 from .ring import ConsistentHashRing
@@ -155,6 +175,19 @@ class RouterApp:
         }
         for url in urls:
             self._replica_metrics[url].gauge_set("router_replica_up", 1.0)
+        #: Per-corpus registries rendered with ``labels={"corpus": name}``;
+        #: seeded so the coalescing series is visible before the first merge.
+        self._corpus_metrics: dict[str, MetricsRegistry] = {
+            name: MetricsRegistry() for name in self.corpora
+        }
+        for name in self.corpora:
+            self._corpus_metrics[name].increment("router_coalesced_total", 0)
+        self.metrics.increment("router_drained_total", 0)
+        #: Replicas removed by an orderly drain (kept for the health rollup).
+        self.drained: list[str] = []
+        #: In-flight coalescable solves: canonical query key -> leader future.
+        self._inflight: dict[Hashable, Future] = {}
+        self._coalesce_lock = threading.Lock()
         #: Live ``corpus -> replica`` map; mutations happen under the lock.
         self.placement: dict[str, str] = {}
         self._lock = threading.RLock()
@@ -165,7 +198,10 @@ class RouterApp:
     # -- placement ---------------------------------------------------------------
 
     def _healthy(self, url: str) -> bool:
-        return self.health[url].is_up
+        # ``.get``: a drained replica vanishes from ``health`` while probe
+        # threads and in-flight placements may still name it.
+        health = self.health.get(url)
+        return health is not None and health.is_up
 
     def _preferred_healthy(self, corpus: str) -> str | None:
         for url in self.ring.preference(corpus):
@@ -235,7 +271,15 @@ class RouterApp:
         return target
 
     def _attach(self, url: str, spec: CorpusSpec) -> None:
-        """``POST /v1/corpora`` on a replica; an existing attach (409) is fine."""
+        """``POST /v1/corpora`` on a replica; an existing attach is fine.
+
+        409 is ambiguous on this surface: ``corpus_exists`` (the replica
+        already holds it, warm — done) but also ``snapshot_mismatch`` (the
+        recorded snapshot's config fingerprint is not this fleet's).
+        Swallowing the latter would leave the placement map claiming a
+        corpus no replica actually has, so a mismatched snapshot retries
+        the attach cold instead — slower warm-up, correct service.
+        """
         attach = spec.attach_body()
         if spec.name == self.default_corpus:
             # The replica hosting the router's default corpus also answers
@@ -251,13 +295,40 @@ class RouterApp:
                 headers={"Content-Type": "application/json"},
             )
         except urllib.error.HTTPError as exc:
-            if exc.code != 409:  # corpus_exists: replica already has it warm
-                raise ReplicaUnavailableError(
-                    spec.name, replica=url
-                ) from exc
+            code = self._error_code(exc)
+            if code == "corpus_exists":
+                return  # replica already has it warm
+            if code in ("snapshot_mismatch", "snapshot_corrupt") and "snapshot" in attach:
+                cold = dict(attach)
+                cold.pop("snapshot")
+                try:
+                    self._request(
+                        "POST",
+                        url,
+                        "/v1/corpora",
+                        body=json.dumps(cold).encode("utf-8"),
+                        headers={"Content-Type": "application/json"},
+                    )
+                    return
+                except urllib.error.HTTPError as cold_exc:
+                    if self._error_code(cold_exc) == "corpus_exists":
+                        return
+                    raise ReplicaUnavailableError(spec.name, replica=url) from cold_exc
+                except (OSError, urllib.error.URLError) as cold_exc:
+                    self._note_failure(url)
+                    raise ReplicaUnavailableError(spec.name, replica=url) from cold_exc
+            raise ReplicaUnavailableError(spec.name, replica=url) from exc
         except (OSError, urllib.error.URLError) as exc:
             self._note_failure(url)
             raise ReplicaUnavailableError(spec.name, replica=url) from exc
+
+    @staticmethod
+    def _error_code(exc: urllib.error.HTTPError) -> str | None:
+        """The taxonomy ``code`` of a replica's error body, if parseable."""
+        try:
+            return json.loads(exc.read().decode("utf-8")).get("code")
+        except Exception:
+            return None
 
     def _request(
         self,
@@ -306,7 +377,9 @@ class RouterApp:
                 self._probe_replica(url)
 
     def _probe_replica(self, url: str) -> None:
-        health = self.health[url]
+        health = self.health.get(url)
+        if health is None:
+            return  # drained between the loop snapshot and this probe
         if not health.allow():
             return  # down and still cooling off
         try:
@@ -322,13 +395,15 @@ class RouterApp:
             self._note_failure(url)
 
     def _note_success(self, url: str) -> None:
-        if self.health[url].record_success():
+        health = self.health.get(url)
+        if health is not None and health.record_success():
             self._replica_metrics[url].gauge_set("router_replica_up", 1.0)
             self.events.emit("replica_up", replica=url)
             self._rebalance()
 
     def _note_failure(self, url: str) -> None:
-        if self.health[url].record_failure():
+        health = self.health.get(url)
+        if health is not None and health.record_failure():
             self._replica_metrics[url].gauge_set("router_replica_up", 0.0)
             with self._lock:
                 stranded = sorted(
@@ -361,9 +436,195 @@ class RouterApp:
                     except ReplicaUnavailableError:
                         continue
 
+    # -- draining ----------------------------------------------------------------
+
+    def drain(self, url: str) -> dict[str, Any]:
+        """Orderly removal of a live replica: re-place first, forget second.
+
+        The inverse ordering of failover.  For every corpus the replica
+        holds: capture a fresh snapshot *from the draining replica* (it has
+        the warmest artifacts), remove the replica from the ring so
+        preference order already excludes it, warm-attach each corpus on its
+        ring successor, flip routing, then detach the old copy.  Requests
+        keep routing to the old holder until the flip (it is still attached
+        and healthy), so the handover serves zero 5xx.
+
+        Returns a JSON-ready report of what moved where.
+
+        Raises:
+            ReplicaNotFoundError: ``url`` is not a live fleet member.
+            RequestValidationError: Draining would leave no healthy replica.
+        """
+        url = url.rstrip("/")
+        if url not in self.health:
+            raise ReplicaNotFoundError(url, sorted(self.health))
+        with self._lock:
+            survivors = [
+                other for other in self.health
+                if other != url and self._healthy(other)
+            ]
+            if not survivors:
+                raise RequestValidationError(
+                    f"cannot drain {url!r}: it is the last healthy replica"
+                )
+            held = sorted(
+                name for name, holder in self.placement.items() if holder == url
+            )
+            self.events.emit("replica_draining", replica=url, corpora=held)
+            for name in held:
+                self.corpora[name] = self._refresh_snapshot(
+                    url, self.corpora[name]
+                )
+            self.ring.remove_replica(url)
+            moved: dict[str, str] = {}
+            for name in held:
+                moved[name] = self._replace_corpus(name, reason="drain")
+            del self.health[url]
+            self._replica_metrics[url].gauge_set("router_replica_up", 0.0)
+            self.drained.append(url)
+            self.metrics.increment("router_drained_total")
+            self.events.emit(
+                "replica_drained", replica=url, corpora=held, moved=moved
+            )
+            return {
+                "drained": url,
+                "moved": moved,
+                "placements": dict(self.placement),
+                "remaining_replicas": sorted(self.health),
+            }
+
+    def _refresh_snapshot(self, url: str, spec: CorpusSpec) -> CorpusSpec:
+        """Ask a live replica to record a fresh snapshot of one corpus.
+
+        The draining replica's artifacts are the warmest copy in the fleet,
+        so the successor should attach from them, not from whatever file the
+        operator recorded at bootstrap.  Best-effort: any failure (cold
+        tenant, unreachable replica) keeps the previously recorded spec.
+        """
+        path = spec.snapshot
+        if path is None:
+            path = str(
+                Path(tempfile.gettempdir())
+                / f"repager-drain-{spec.name}-{new_id()}.snapshot.json"
+            )
+        body = json.dumps({"path": path}).encode("utf-8")
+        try:
+            self._request(
+                "POST",
+                url,
+                f"/v1/corpora/{spec.name}/snapshot",
+                body=body,
+                headers={"Content-Type": "application/json"},
+            )
+        except (OSError, urllib.error.URLError):
+            return spec
+        if spec.snapshot == path:
+            return spec
+        return CorpusSpec(
+            name=spec.name, corpus_dir=spec.corpus_dir, snapshot=path
+        )
+
     # -- proxying ----------------------------------------------------------------
 
+    #: Body fields a router-coalescable query may carry.  Anything else
+    #: (``debug`` traces, ``variant`` overrides, unknown fields destined for
+    #: the replica's own validation) opts the request out of merging.
+    _COALESCE_FIELDS = frozenset({"query", "year_cutoff", "exclude_ids", "use_cache"})
+
+    def _coalesce_key(
+        self, corpus: str, method: str, path: str, body: bytes | None
+    ) -> Hashable | None:
+        """The canonical merge key for a query request, or ``None``.
+
+        Keys on :func:`~repro.serving.cache.make_query_key` — the same
+        canonicalisation the replicas' executors coalesce on — minus the
+        pipeline fingerprint (one corpus has one configuration fleet-wide)
+        and namespaced by corpus.  ``use_cache: false`` is an explicit
+        freshness demand and never merges; a body this parser cannot prove
+        canonical simply runs alone, its validation errors produced by the
+        replica as usual.
+        """
+        if method != "POST" or not body:
+            return None
+        resource = path.partition("?")[0].rstrip("/")
+        if resource.rsplit("/", 1)[-1] != "query":
+            return None
+        try:
+            doc = json.loads(body.decode("utf-8"))
+        except (UnicodeDecodeError, ValueError):
+            return None
+        if not isinstance(doc, dict) or not isinstance(doc.get("query"), str):
+            return None
+        if set(doc) - self._COALESCE_FIELDS:
+            return None
+        if doc.get("use_cache") is False:
+            return None
+        year_cutoff = doc.get("year_cutoff")
+        if year_cutoff is not None and not isinstance(year_cutoff, int):
+            return None
+        exclude = doc.get("exclude_ids")
+        if exclude is None:
+            exclude = []
+        if not isinstance(exclude, list) or not all(
+            isinstance(item, str) for item in exclude
+        ):
+            return None
+        try:
+            return make_query_key(
+                doc["query"], year_cutoff, tuple(exclude), "", namespace=corpus
+            )
+        except Exception:  # noqa: BLE001 - unparseable queries just run alone
+            return None
+
     def proxy(
+        self,
+        corpus: str,
+        method: str,
+        path: str,
+        *,
+        body: bytes | None = None,
+        headers: Mapping[str, str] | None = None,
+    ) -> tuple[int, bytes, dict[str, str]]:
+        """Forward one request to ``corpus``'s replica, merging duplicates.
+
+        Identical in-flight cacheable queries (same canonical key, same
+        corpus) collapse onto one upstream request: the first caller leads,
+        the rest wait on its future and share the outcome byte-for-byte —
+        taxonomy errors included — each counted by the corpus's
+        ``router_coalesced_total``.  Everything else proxies directly.
+        """
+        key = self._coalesce_key(corpus, method, path, body)
+        if key is None:
+            return self._proxy_upstream(
+                corpus, method, path, body=body, headers=headers
+            )
+        with self._coalesce_lock:
+            leader = self._inflight.get(key)
+            if leader is None:
+                future: Future = Future()
+                self._inflight[key] = future
+        if leader is not None:
+            self.metrics.increment("router_requests_total")
+            corpus_metrics = self._corpus_metrics.get(corpus)
+            if corpus_metrics is not None:
+                corpus_metrics.increment("router_coalesced_total")
+            return leader.result()
+        try:
+            outcome = self._proxy_upstream(
+                corpus, method, path, body=body, headers=headers
+            )
+        except BaseException as exc:
+            future.set_exception(exc)
+            raise
+        else:
+            future.set_result(outcome)
+            return outcome
+        finally:
+            with self._coalesce_lock:
+                if self._inflight.get(key) is future:
+                    del self._inflight[key]
+
+    def _proxy_upstream(
         self,
         corpus: str,
         method: str,
@@ -406,7 +667,8 @@ class RouterApp:
 
     def _note_success_quiet(self, url: str) -> None:
         # Proxy successes reset failure runs but only a real revival emits.
-        if self.health[url].record_success():
+        health = self.health.get(url)
+        if health is not None and health.record_success():
             self._replica_metrics[url].gauge_set("router_replica_up", 1.0)
             self.events.emit("replica_up", replica=url)
 
@@ -431,6 +693,7 @@ class RouterApp:
             "healthy_replicas": healthy,
             "num_replicas": len(self.health),
             "placements": placements,
+            "drained_replicas": list(self.drained),
             "default_corpus": self.default_corpus,
             "ring": self.ring.describe(),
             "uptime_seconds": time.monotonic() - self.started_at,
@@ -447,6 +710,10 @@ class RouterApp:
         for url in sorted(self._replica_metrics):
             parts.append(
                 self._replica_metrics[url].render_text(labels={"replica": url})
+            )
+        for name in sorted(self._corpus_metrics):
+            parts.append(
+                self._corpus_metrics[name].render_text(labels={"corpus": name})
             )
         lines: list[str] = []
         seen_comments: set[str] = set()
@@ -546,6 +813,17 @@ class _RouterHandler(BaseHTTPRequestHandler):
             self._send_text(200, router.metrics_text())
             return
 
+        # Router-local admin: orderly drain of one replica.  The URL arrives
+        # url-encoded so it survives path splitting as a single segment.
+        if (
+            versioned
+            and method == "DELETE"
+            and len(tail) == 2
+            and tail[0] == "replicas"
+        ):
+            self._send_json(200, router.drain(urllib.parse.unquote(tail[1])))
+            return
+
         # Corpus-bearing /v1 routes proxy to the placed replica.
         if versioned and len(tail) >= 2 and tail[0] == "corpora":
             self._proxy(tail[1], method)
@@ -616,6 +894,8 @@ class _RouterHandler(BaseHTTPRequestHandler):
             payload["retry_after_seconds"] = exc.retry_after_seconds
         if isinstance(exc, CorpusNotFoundError):
             payload["corpus"] = exc.name
+        if isinstance(exc, ReplicaNotFoundError):
+            payload["replica"] = exc.replica
         if payload["http_status"] >= 500 and "Retry-After" not in headers:
             headers["Retry-After"] = "1"
         self._send_json(payload["http_status"], payload, headers)

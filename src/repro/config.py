@@ -533,6 +533,12 @@ class ServingConfig:
             set, rate-limit 429 decisions survive process restarts and are
             shared by every replica pointing at the same file; ``None`` keeps
             buckets in process memory.
+        cache_state_path: Optional sqlite file backing a shared result cache
+            (:class:`~repro.cluster.cache.SqliteCacheStore`).  When set,
+            solved payloads are written through to the file and looked up
+            after a local-cache miss, so a corpus re-placed on another
+            replica after failover serves repeated queries warm; ``None``
+            keeps results purely in the per-process cache.
     """
 
     host: str = "127.0.0.1"
@@ -558,6 +564,7 @@ class ServingConfig:
     fault_seed: int | None = None
     allow_fault_injection: bool = False
     quota_state_path: str | None = None
+    cache_state_path: str | None = None
 
     def __post_init__(self) -> None:
         if not self.host:

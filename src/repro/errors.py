@@ -247,6 +247,26 @@ class ReplicaUnavailableError(ServingError):
         self.retry_after_seconds = retry_after_seconds
 
 
+class ReplicaNotFoundError(ServingError):
+    """An admin operation named a replica the router does not know.
+
+    Raised by the drain endpoint (``DELETE /v1/replicas/<url>``) when the
+    URL is not a live fleet member — already drained, already dead-and-
+    forgotten, or simply mistyped.  ``known`` lists the current members so
+    the caller can self-correct.
+    """
+
+    code = "replica_not_found"
+    http_status = 404
+
+    def __init__(self, replica: str, known: tuple[str, ...] | list[str] = ()) -> None:
+        known_tuple = tuple(known)
+        hint = f"; known replicas: {list(known_tuple)}" if known_tuple else ""
+        super().__init__(f"no such replica {replica!r}{hint}")
+        self.replica = replica
+        self.known = known_tuple
+
+
 class WorkerHungError(ServingError):
     """The watchdog declared the worker running this request hung.
 

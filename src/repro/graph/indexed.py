@@ -162,24 +162,38 @@ class IndexedGraph:
         index = {nid: i for i, nid in enumerate(node_ids)}
 
         # Pass 1: number every directed edge in CSR out-adjacency order,
-        # recording each node's outgoing and incoming (node, edge) pairs.
+        # recording each node's outgoing (node, edge) pairs.
         edge_src: list[int] = []
         edge_dst: list[int] = []
+        edge_of: dict[tuple[int, int], int] = {}
         outgoing: list[list[tuple[int, int]]] = [[] for _ in node_ids]
-        incoming: list[list[tuple[int, int]]] = [[] for _ in node_ids]
         for u, nid in enumerate(node_ids):
             for target in graph.successors(nid):
                 v = index[target]
                 edge = len(edge_src)
                 edge_src.append(u)
                 edge_dst.append(v)
+                edge_of[(u, v)] = edge
                 outgoing[u].append((v, edge))
-                incoming[v].append((u, edge))
+
+        # Pass 2: incoming pairs in the dict graph's *predecessor insertion
+        # order*, not ascending source index — the two only coincide for
+        # source-major graphs (``from_papers``), and kernels that truncate
+        # mid-scan (``indexed_k_hop`` with ``max_nodes``) must visit
+        # predecessors exactly as ``CitationGraph.predecessors`` yields them.
+        incoming: list[list[tuple[int, int]]] = []
+        for v, nid in enumerate(node_ids):
+            incoming.append(
+                [
+                    (index[src], edge_of[(index[src], v)])
+                    for src in graph.predecessors(nid)
+                ]
+            )
 
         adj_offsets, adj_nodes, adj_edge, adj_forward, out_degree = (
             _assemble_adjacency(outgoing, incoming)
         )
-        return cls(
+        snapshot = cls(
             node_ids=node_ids,
             edge_src=edge_src,
             edge_dst=edge_dst,
@@ -189,6 +203,8 @@ class IndexedGraph:
             adj_forward=adj_forward,
             out_degree=out_degree,
         )
+        snapshot._intern_in_adjacency(incoming)
+        return snapshot
 
     def induced(self, nodes: Iterable[str]) -> "IndexedGraph":
         """Snapshot of the induced subgraph on ``nodes`` (unknown ids skipped).
@@ -221,7 +237,7 @@ class IndexedGraph:
         adj_offsets, adj_nodes, adj_edge, adj_forward, out_degree = (
             _assemble_adjacency(successors, predecessors)
         )
-        return IndexedGraph(
+        induced_snapshot = IndexedGraph(
             node_ids=node_ids,
             edge_src=edge_src,
             edge_dst=edge_dst,
@@ -231,6 +247,8 @@ class IndexedGraph:
             adj_forward=adj_forward,
             out_degree=out_degree,
         )
+        induced_snapshot._intern_in_adjacency(predecessors)
+        return induced_snapshot
 
     # -- queries ---------------------------------------------------------------
 
@@ -255,15 +273,37 @@ class IndexedGraph:
         except KeyError:
             raise NodeNotFoundError(node_id) from None
 
+    def _intern_in_adjacency(
+        self, incoming: list[list[tuple[int, int]]]
+    ) -> None:
+        """Freeze the in-adjacency CSR from per-node (source, edge) pair lists.
+
+        Called by the construction paths with pairs already in the dict
+        graph's predecessor insertion order, so ``in_adjacency`` never has to
+        guess that order from the edge arrays.
+        """
+        offsets = [0]
+        sources: list[int] = []
+        for pairs in incoming:
+            for u, _edge in pairs:
+                sources.append(u)
+            offsets.append(len(sources))
+        self._in_offsets = offsets
+        self._in_nodes = sources
+
     def in_adjacency(self) -> tuple[list[int], list[int]]:
         """Directed in-adjacency as a CSR block ``(offsets, sources)``.
 
         The sources of node ``v`` are ``sources[offsets[v]:offsets[v + 1]]``
-        in CSR edge order (ascending source index), which matches the dict
-        graph's predecessor insertion order for any graph whose edges were
-        added source-major — :meth:`CitationGraph.from_papers` graphs in
-        particular.  Built lazily on first use and cached; the computation is
-        deterministic, so a benign double-build under concurrency is safe.
+        in the dict graph's predecessor *insertion* order — both snapshot
+        builders intern the block at construction time from the same pair
+        lists that feed :func:`_assemble_adjacency`, so truncating kernels see
+        predecessors exactly as :meth:`CitationGraph.predecessors` yields
+        them, even for graphs whose edges were added out of source-major
+        order.  The lazy fallback below (ascending source index — identical
+        for source-major graphs) only runs for snapshots constructed directly
+        from arrays; it is deterministic, so a benign double-build under
+        concurrency is safe.
         """
         if self._in_offsets is None or self._in_nodes is None:
             n = len(self.node_ids)

@@ -185,11 +185,11 @@ def indexed_k_hop(
     Mirrors :func:`repro.graph.traversal.k_hop_neighborhood` — same arguments,
     same validation, same hop distances, and (crucially) the same ``max_nodes``
     truncation: the returned dict is filled in discovery order and the
-    expansion stops mid-scan the moment the cap is reached, so the *set* of
-    kept nodes matches the dict implementation whenever the snapshot's
-    adjacency order matches the dict graph's neighbour order (always true for
-    :meth:`CitationGraph.from_papers` graphs, whose edges are inserted
-    source-major).
+    expansion stops mid-scan the moment the cap is reached.  The snapshot
+    interns its predecessor lists in the dict graph's insertion order (see
+    :meth:`IndexedGraph.in_adjacency`), so the *set* of kept nodes matches the
+    dict implementation for every construction order, not just source-major
+    :meth:`CitationGraph.from_papers` graphs.
 
     Returns:
         Mapping from node id to its hop distance from the nearest seed, in

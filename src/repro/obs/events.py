@@ -53,6 +53,8 @@ EVENT_TYPES = (
     "replica_up",
     "replica_down",
     "corpus_replaced",
+    "replica_draining",
+    "replica_drained",
 )
 
 #: Top-level keys of every event record, in emission order.

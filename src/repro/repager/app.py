@@ -45,6 +45,7 @@ from dataclasses import dataclass, replace
 from pathlib import Path
 from typing import Any, Hashable, Mapping, Sequence
 
+from ..cluster.cache import SqliteCacheStore
 from ..cluster.state import SqliteQuotaStore
 from ..config import PipelineConfig, ServingConfig, TenantOverrides
 from ..core.pipeline import VARIANT_CONFIGS, make_variant_config
@@ -312,6 +313,7 @@ class Tenant:
             cache=base.cache,
             metrics=base.metrics,
             cache_namespace=base.cache_namespace,
+            shared_cache=base.shared_cache,
         )
         base_pipeline = base.pipeline
         builder = base_pipeline.weight_builder
@@ -760,6 +762,12 @@ class RePaGerApp:
         self._quota_store: SqliteQuotaStore | None = None
         if executor is None and self.config.quota_state_path is not None:
             self._quota_store = SqliteQuotaStore(self.config.quota_state_path)
+        #: Durable shared result cache (``cache_state_path``); handed to every
+        #: tenant service as its L2, so payloads solved before a failover are
+        #: served warm by whichever replica the corpus lands on next.
+        self._cache_store: SqliteCacheStore | None = None
+        if self.config.cache_state_path is not None:
+            self._cache_store = SqliteCacheStore(self.config.cache_state_path)
         self.executor = executor or BatchExecutor.from_app(
             self,
             max_workers=self.config.max_workers,
@@ -891,6 +899,7 @@ class RePaGerApp:
             cache=self.cache,
             metrics=MetricsRegistry(self.config.max_latency_samples),
             cache_namespace=name,
+            shared_cache=self._cache_store,
         )
         return self.attach_service(
             name,
@@ -958,12 +967,18 @@ class RePaGerApp:
             # Evicted tenants already dropped their cache namespace; the
             # executor accounting goes with the final detach.
             self._drop_executor_tenant(name)
+            if self._cache_store is not None:
+                self._cache_store.drop_namespace(name)
             self.events.emit("corpus_detach", corpus=name, resident=False)
             return None
         # The tenant's cache entries can never be hit again (the namespace is
         # gone), so free them eagerly when the cache is the app-shared one.
         if tenant.service.cache is self.cache:
             self.cache.drop_namespace(name)
+        # Shared-store rows likewise: detach is permanent (unlike evict, which
+        # keeps them so a re-attach serves warm).
+        if self._cache_store is not None:
+            self._cache_store.drop_namespace(name)
         self._drop_executor_tenant(name)
         with self._breaker_lock:
             self._breakers.pop(name, None)
@@ -1057,6 +1072,7 @@ class RePaGerApp:
                 cache=self.cache,
                 metrics=MetricsRegistry(self.config.max_latency_samples),
                 cache_namespace=name,
+                shared_cache=self._cache_store,
             )
             if record.snapshot_path is not None:
                 from ..serving.warmup import ArtifactSnapshot  # runtime: cycle
@@ -1690,6 +1706,9 @@ class RePaGerApp:
         if self._quota_store is not None:
             self._quota_store.close()
             self._quota_store = None
+        if self._cache_store is not None:
+            self._cache_store.close()
+            self._cache_store = None
         if self._fault_plan is not None and active_plan() is self._fault_plan:
             # Fault injection is process-global; disarm only what we armed so
             # a test that armed its own plan keeps it.

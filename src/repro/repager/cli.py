@@ -25,6 +25,11 @@ snapshot`` files), and proxies the same ``/v1`` surface::
         --replica http://127.0.0.1:8081 --replica http://127.0.0.1:8082 \\
         --corpus cs=data/cs --snapshot cs=data/cs.snap
 
+``route --drain URL`` is the matching client mode: it asks the router
+already listening on ``--host``/``--port`` to drain one replica — re-place
+its corpora on ring successors warm, then remove it — and prints the
+JSON report of what moved where.
+
 ``query`` and ``serve`` can also run directly on a freshly generated corpus
 (omit ``--corpus``), which is the quickest way to see a reading path or to
 poke the API with curl.
@@ -240,6 +245,12 @@ def build_parser() -> argparse.ArgumentParser:
              "replicas sharing the file agree on admission",
     )
     serve.add_argument(
+        "--cache-state", default=None, metavar="PATH",
+        help="shared result cache: a sqlite file (WAL) holding canonical-key "
+             "-> payload rows with TTL, so a corpus re-placed on another "
+             "replica after failover serves repeated queries warm",
+    )
+    serve.add_argument(
         "--empty", action="store_true",
         help="start with zero corpora attached (a cluster replica: the "
              "router attaches corpora at runtime via POST /v1/corpora)",
@@ -266,12 +277,20 @@ def build_parser() -> argparse.ArgumentParser:
              "health-checked failover, one proxied /v1 surface",
     )
     route.add_argument(
-        "--replica", action="append", required=True, metavar="URL",
-        help="base URL of a 'repager serve --empty' replica; repeatable",
+        "--replica", action="append", metavar="URL",
+        help="base URL of a 'repager serve --empty' replica; repeatable "
+             "(required unless --drain)",
     )
     route.add_argument(
-        "--corpus", action="append", required=True, metavar="NAME=DIR",
-        help="corpus to place on the fleet; repeatable",
+        "--corpus", action="append", metavar="NAME=DIR",
+        help="corpus to place on the fleet; repeatable "
+             "(required unless --drain)",
+    )
+    route.add_argument(
+        "--drain", default=None, metavar="URL",
+        help="client mode: ask the router already listening on --host/--port "
+             "to drain replica URL (re-place its corpora on ring successors, "
+             "then remove it) and print the JSON report",
     )
     route.add_argument(
         "--snapshot", action="append", metavar="NAME=PATH",
@@ -313,8 +332,8 @@ def build_parser() -> argparse.ArgumentParser:
     )
     route.add_argument(
         "--event-log", default=None, metavar="PATH",
-        help="append replica_up/replica_down/corpus_replaced events as "
-             "JSONL to PATH",
+        help="append replica_up/replica_down/corpus_replaced/"
+             "replica_draining/replica_drained events as JSONL to PATH",
     )
 
     tail = subparsers.add_parser(
@@ -518,6 +537,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         fault_seed=args.fault_seed,
         allow_fault_injection=bool(args.allow_faults or args.fault),
         quota_state_path=args.quota_state,
+        cache_state_path=args.cache_state,
         obs=ObsConfig(
             event_log_path=args.event_log,
             slow_trace_seconds=args.slow_trace,
@@ -665,7 +685,43 @@ def _cmd_snapshot(args: argparse.Namespace) -> int:
     return 0
 
 
+def _drain_replica(args: argparse.Namespace) -> int:
+    """Client mode: ask a running router to drain one replica."""
+    import urllib.error
+    import urllib.parse
+    import urllib.request
+
+    target = urllib.parse.quote(args.drain.rstrip("/"), safe="")
+    url = f"http://{args.host}:{args.port}/v1/replicas/{target}"
+    request = urllib.request.Request(url, method="DELETE")
+    try:
+        with urllib.request.urlopen(request, timeout=args.timeout) as response:
+            report = json.loads(response.read().decode("utf-8"))
+    except urllib.error.HTTPError as exc:
+        body = exc.read().decode("utf-8", "replace")
+        raise SystemExit(f"drain failed ({exc.code}): {body}") from None
+    except (OSError, urllib.error.URLError) as exc:
+        raise SystemExit(
+            f"cannot reach router at {args.host}:{args.port}: {exc}"
+        ) from None
+    moved = report.get("moved", {})
+    print(
+        f"drained {report.get('drained')!r}: moved "
+        f"{len(moved)} corpora ({', '.join(sorted(moved)) or 'none'}); "
+        f"{len(report.get('remaining_replicas', []))} replicas remain",
+        flush=True,
+    )
+    print(json.dumps(report, indent=2, sort_keys=True))
+    return 0
+
+
 def _cmd_route(args: argparse.Namespace) -> int:
+    if args.drain is not None:
+        return _drain_replica(args)
+    if not args.replica:
+        raise SystemExit("route requires at least one --replica (or --drain URL)")
+    if not args.corpus:
+        raise SystemExit("route requires at least one --corpus (or --drain URL)")
     corpora = _parse_named_values(args.corpus, "--corpus", "default")
     snapshot_paths = _parse_named_values(args.snapshot, "--snapshot", "default")
     unknown = sorted(set(snapshot_paths) - set(corpora))

@@ -10,9 +10,10 @@ legend and per-paper detail records).
 
 from __future__ import annotations
 
+import json
 import time
 from dataclasses import dataclass, replace
-from typing import Any, Sequence
+from typing import TYPE_CHECKING, Any, Sequence
 
 from ..config import CorpusConfig, PipelineConfig
 from ..corpus.generator import CorpusGenerator, GeneratedCorpus
@@ -23,13 +24,26 @@ from ..obs.trace import stage
 from ..resilience.faults import fault_point
 from ..search.engine import SearchEngine
 from ..search.scholar import GoogleScholarEngine
-from ..serving.cache import ResultCache, make_query_key
+from ..serving.cache import QueryKey, ResultCache, make_query_key
 from ..serving.metrics import MetricsRegistry
-from ..types import ReadingPath
+from ..types import ReadingPath, ReadingPathEdge
 from ..venues.rankings import VenueCatalog, build_default_catalog
 from .render import render_ascii_tree, render_flat_list
 
-__all__ = ["PathPayload", "RePaGerService"]
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
+    from ..cluster.cache import CacheStore
+
+__all__ = [
+    "PathPayload",
+    "RePaGerService",
+    "payload_from_wire",
+    "payload_to_wire",
+    "wire_cache_key",
+]
+
+#: Fallback TTL for shared-store entries when neither the tenant override nor
+#: a local cache default applies (mirrors ``ResultCache``'s default).
+_SHARED_CACHE_TTL_SECONDS = 300.0
 
 
 @dataclass(frozen=True, slots=True)
@@ -59,6 +73,77 @@ class PathPayload:
         }
 
 
+def wire_cache_key(key: QueryKey) -> str:
+    """Stable string form of a :data:`QueryKey`'s non-namespace fields.
+
+    Shared-store rows are addressed by ``(namespace, key)`` with the
+    namespace passed separately (so a tenant detach can drop its rows), so
+    the string form carries only the canonical query, cutoff, exclusions and
+    pipeline fingerprint.  Every replica computes the same string for the
+    same canonical query, which is what makes a cross-replica hit possible.
+    """
+    _namespace, text, year_cutoff, exclude, fingerprint = key
+    return json.dumps(
+        [text, year_cutoff, list(exclude), fingerprint], separators=(",", ":")
+    )
+
+
+def payload_to_wire(payload: PathPayload) -> bytes:
+    """Serialise a :class:`PathPayload` — ``reading_path`` included — to bytes.
+
+    The wire form is plain JSON; Python's ``json`` round-trips finite floats
+    exactly (``repr`` shortest-representation), so
+    ``payload_from_wire(payload_to_wire(p)).to_dict()`` is byte-identical to
+    ``p.to_dict()`` — the property the shared-cache byte-identity tests pin.
+    """
+    path = payload.reading_path
+    doc = {
+        "query": payload.query,
+        "reading_path": {
+            "query": path.query,
+            "papers": list(path.papers),
+            "edges": [[e.source, e.target, e.weight] for e in path.edges],
+            "node_weights": dict(path.node_weights),
+            "seeds": list(path.seeds),
+        },
+        "navigation": [dict(item) for item in payload.navigation],
+        "nodes": [dict(item) for item in payload.nodes],
+        "edges": [dict(item) for item in payload.edges],
+        "stats": dict(payload.stats),
+    }
+    return json.dumps(doc, separators=(",", ":")).encode("utf-8")
+
+
+def payload_from_wire(data: bytes) -> PathPayload:
+    """Inverse of :func:`payload_to_wire`.
+
+    Raises:
+        ValueError: If the blob is not valid JSON (corrupt store entry) —
+            KeyError/TypeError from a shape mismatch propagate likewise; the
+            shared-cache lookup treats any exception as a miss.
+    """
+    doc = json.loads(data.decode("utf-8"))
+    rp = doc["reading_path"]
+    path = ReadingPath(
+        query=rp["query"],
+        papers=tuple(rp["papers"]),
+        edges=tuple(
+            ReadingPathEdge(source=source, target=target, weight=weight)
+            for source, target, weight in rp["edges"]
+        ),
+        node_weights=rp["node_weights"],
+        seeds=tuple(rp["seeds"]),
+    )
+    return PathPayload(
+        query=doc["query"],
+        reading_path=path,
+        navigation=tuple(doc["navigation"]),
+        nodes=tuple(doc["nodes"]),
+        edges=tuple(doc["edges"]),
+        stats=doc["stats"],
+    )
+
+
 class RePaGerService:
     """End-to-end service: corpus + graph + search + pipeline behind one API."""
 
@@ -73,6 +158,7 @@ class RePaGerService:
         metrics: MetricsRegistry | None = None,
         cache_namespace: str = "",
         cache_ttl_seconds: float | None = None,
+        shared_cache: "CacheStore | None" = None,
     ) -> None:
         self.store = store
         self.venues = venues or build_default_catalog()
@@ -83,6 +169,10 @@ class RePaGerService:
         # Per-tenant TTL override: entries this service stores into a shared
         # cache expire on the tenant's own clock, not the cache-wide default.
         self.cache_ttl_seconds = cache_ttl_seconds
+        # Cross-replica L2 (:class:`~repro.cluster.cache.CacheStore`): looked
+        # up after a local miss, written after every solve, strictly
+        # best-effort — a broken store degrades to cold queries, never 5xx.
+        self.shared_cache = shared_cache
         config = pipeline_config or PipelineConfig()
         # The default engine follows the pipeline's backend switch so that one
         # flag flips the whole query-preparation path (search scoring, k-hop
@@ -147,7 +237,8 @@ class RePaGerService:
         """:meth:`query` plus serving metadata: ``(payload, served_from_cache)``."""
         started = time.perf_counter()
         key = None
-        if self.cache is not None and use_cache:
+        if use_cache and (self.cache is not None or self.shared_cache is not None):
+            shared_hit = False
             with stage("cache_lookup") as span:
                 fault_point("cache_lookup")
                 key = make_query_key(
@@ -157,9 +248,21 @@ class RePaGerService:
                     self.pipeline.config_fingerprint,
                     namespace=self.cache_namespace,
                 )
-                cached = self.cache.get(key)
-                span.tag(hit=cached is not None)
+                cached = self.cache.get(key) if self.cache is not None else None
+                if cached is None and self.shared_cache is not None:
+                    cached = self._shared_cache_get(key)
+                    shared_hit = cached is not None
+                span.tag(hit=cached is not None, shared=shared_hit)
             if cached is not None:
+                if shared_hit:
+                    # Promote into the local L1 so the next repeat never
+                    # touches the store, and count the cross-replica win.
+                    if self.cache is not None:
+                        self.cache.put(
+                            key, cached, ttl_seconds=self.cache_ttl_seconds
+                        )
+                    if self.metrics is not None:
+                        self.metrics.increment("cache_shared_hits_total")
                 self._observe(started, cached=True)
                 if cached.query != text:
                     # The entry was stored under an equivalent-but-differently-
@@ -176,9 +279,42 @@ class RePaGerService:
             fault_point("payload_assembly")
             payload = self._payload(result)
             if key is not None:
-                self.cache.put(key, payload, ttl_seconds=self.cache_ttl_seconds)
+                if self.cache is not None:
+                    self.cache.put(key, payload, ttl_seconds=self.cache_ttl_seconds)
+                if self.shared_cache is not None:
+                    self._shared_cache_put(key, payload)
         self._observe(started, cached=False, pipeline_seconds=result.elapsed_seconds)
         return payload, False
+
+    def _shared_cache_ttl(self) -> float:
+        """TTL for shared-store writes: tenant override, else the L1's, else 5 min."""
+        if self.cache_ttl_seconds is not None:
+            return self.cache_ttl_seconds
+        if self.cache is not None:
+            return self.cache.ttl_seconds
+        return _SHARED_CACHE_TTL_SECONDS
+
+    def _shared_cache_get(self, key: QueryKey) -> PathPayload | None:
+        """Best-effort shared-store lookup; any failure is just a miss."""
+        try:
+            blob = self.shared_cache.get(self.cache_namespace, wire_cache_key(key))
+            if blob is None:
+                return None
+            return payload_from_wire(blob)
+        except Exception:  # noqa: BLE001 - degraded store must not fail queries
+            return None
+
+    def _shared_cache_put(self, key: QueryKey, payload: PathPayload) -> None:
+        """Best-effort shared-store write; a failed put only costs warmth."""
+        try:
+            self.shared_cache.put(
+                self.cache_namespace,
+                wire_cache_key(key),
+                payload_to_wire(payload),
+                ttl_seconds=self._shared_cache_ttl(),
+            )
+        except Exception:  # noqa: BLE001 - degraded store must not fail queries
+            pass
 
     def stale_payload(
         self,

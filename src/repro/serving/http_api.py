@@ -23,6 +23,10 @@ named corpora behind a versioned ``/v1`` surface:
                                            :meth:`QueryOptions.from_dict`;
                                            response: ``{"payload": ...,
                                            "serving": ...}``.
+``POST /v1/corpora/<name>/snapshot``       Record a fresh ``ArtifactSnapshot``
+                                           of a resident corpus to ``{"path":
+                                           str}`` (the router's orderly-drain
+                                           handover).
 ``GET /v1/corpora/<name>/paper/<id>``      Detail record for one paper.
 ``GET /v1/corpora/<name>``                 Per-corpus detail (same body as
                                            ``.../healthz``): sizes, config
@@ -321,6 +325,14 @@ class _Handler(BaseHTTPRequestHandler):
             ):
                 self._query(tail[1])
                 return
+            if (
+                versioned
+                and len(tail) == 3
+                and tail[0] == "corpora"
+                and tail[2] == "snapshot"
+            ):
+                self._snapshot_corpus(tail[1])
+                return
             if versioned and tail == ["faults"]:
                 if self._fault_surface_allowed(method):
                     self._arm_faults()
@@ -506,6 +518,35 @@ class _Handler(BaseHTTPRequestHandler):
         if default:
             self.server.app.registry.set_default(name)
         self._send_json(201, self.server.app.health(name))
+
+    def _snapshot_corpus(self, name: str) -> None:
+        """Record a fresh ``ArtifactSnapshot`` of one resident corpus.
+
+        Backs the router's orderly drain: the draining replica holds the
+        warmest artifacts in the fleet, so the router asks *it* — not the
+        bootstrap-era file — for the snapshot its successor warms from.
+        Body: ``{"path": str}`` (where to write the snapshot file).
+        """
+        from ..serving.warmup import capture_snapshot  # runtime import: cycle
+
+        body = self._read_json()
+        allowed = ("path",)
+        unknown = tuple(key for key in body if key not in allowed)
+        if unknown:
+            raise UnknownFieldsError(unknown, allowed)
+        path = body.get("path")
+        if not isinstance(path, str) or not path:
+            raise RequestValidationError("'path' must be a non-empty string")
+        tenant = self.server.app.registry.get(name)
+        snapshot = capture_snapshot(tenant.service, path)
+        self._send_json(
+            200,
+            {
+                "corpus": name,
+                "snapshot": path,
+                "config_fingerprint": snapshot.config_fingerprint,
+            },
+        )
 
     def _detach(self, name: str) -> None:
         self.server.app.detach(name)

@@ -70,6 +70,15 @@ _HELP_OVERRIDES = {
     "router_replica_latency_seconds": (
         "Router-observed proxy latency to the labelled replica."
     ),
+    "router_drained_total": (
+        "Replicas removed from the fleet by an orderly drain."
+    ),
+    "router_coalesced_total": (
+        "Duplicate in-flight queries merged at the router for the labelled corpus."
+    ),
+    "cache_shared_hits_total": (
+        "Queries answered from the shared (cross-replica) result cache."
+    ),
 }
 
 

@@ -9,28 +9,32 @@ become ``replica_unavailable`` taxonomy errors with ``Retry-After``.
 
 Replica health (:class:`ReplicaHealth`) is unit-tested here too, with an
 injected clock, since the router's failover timing hangs off it.
+
+All spawn/wait/kill plumbing lives in :mod:`tests.cluster_harness`; this
+file only states cluster shapes and assertions.
 """
 
 from __future__ import annotations
 
-import json
-import urllib.error
 import urllib.request
 from types import SimpleNamespace
 
 import pytest
 
+from cluster_harness import (
+    ClusterFixture,
+    NUM_SEEDS,
+    canonical_payload,
+    corpus_snapshot,
+    http_request,
+    make_replica,
+)
 from repro.cluster import CorpusSpec, ReplicaHealth, RouterApp
-from repro.cluster.router import create_router_server, start_router_in_background
 from repro.config import CorpusConfig, PipelineConfig, ServingConfig
 from repro.corpus.generator import CorpusGenerator
 from repro.repager.app import RePaGerApp
-from repro.repager.service import RePaGerService
 from repro.serving import parse_metrics_text
 from repro.serving.http_api import create_server, start_in_background
-from repro.serving.warmup import capture_snapshot, warm_up
-
-NUM_SEEDS = 10
 
 BETA_CORPUS_CONFIG = CorpusConfig(
     seed=13, papers_per_topic=20, surveys_per_topic=2, citations_per_paper=10.0
@@ -54,117 +58,28 @@ def beta_dir(tmp_path_factory):
     return str(path)
 
 
-def _snapshot(corpus_dir: str, path) -> str:
-    from repro.corpus.storage import CorpusStore
-
-    service = RePaGerService(
-        CorpusStore.load(corpus_dir),
-        pipeline_config=PipelineConfig(num_seeds=NUM_SEEDS),
-    )
-    warm_up(service)
-    capture_snapshot(service, path)
-    return str(path)
-
-
 @pytest.fixture(scope="module")
 def alpha_snapshot(alpha_dir, tmp_path_factory):
-    return _snapshot(alpha_dir, tmp_path_factory.mktemp("snaps") / "alpha.snap")
+    return corpus_snapshot(alpha_dir, tmp_path_factory.mktemp("snaps") / "alpha.snap")
 
 
 @pytest.fixture(scope="module")
 def beta_snapshot(beta_dir, tmp_path_factory):
-    return _snapshot(beta_dir, tmp_path_factory.mktemp("snaps") / "beta.snap")
-
-
-def _make_replica(graph_backend: str = "indexed"):
-    """One empty ``serve`` replica on an ephemeral port (the --empty mode)."""
-    app = RePaGerApp(
-        config=ServingConfig(
-            port=0, max_workers=2, queue_depth=8, query_timeout_seconds=120.0
-        ),
-        pipeline_config=PipelineConfig(
-            num_seeds=NUM_SEEDS, graph_backend=graph_backend
-        ),
-    )
-    server = create_server(app, config=app.config)
-    thread = start_in_background(server)
-    return SimpleNamespace(app=app, server=server, thread=thread, url=server.url)
-
-
-def _stop_replica(replica, *, close_app: bool = True) -> None:
-    replica.server.shutdown()
-    replica.server.server_close()
-    replica.thread.join(timeout=5)
-    if close_app:
-        replica.app.close(wait=False)
-
-
-class _Cluster:
-    def __init__(self, replicas, router, router_server, router_thread):
-        self.replicas = replicas
-        self.router = router
-        self.server = router_server
-        self.thread = router_thread
-        self.url = router_server.url
-
-    def close(self):
-        self.server.shutdown()
-        self.server.server_close()
-        self.thread.join(timeout=5)
-        self.router.close()
-        for replica in self.replicas:
-            try:
-                _stop_replica(replica)
-            except OSError:
-                pass
+    return corpus_snapshot(beta_dir, tmp_path_factory.mktemp("snaps") / "beta.snap")
 
 
 @pytest.fixture()
 def cluster(alpha_dir, beta_dir, alpha_snapshot, beta_snapshot):
     """Three empty replicas behind a router placing two corpora (warm)."""
-    replicas = [_make_replica() for _ in range(3)]
-    router = RouterApp(
-        [replica.url for replica in replicas],
-        {
-            "alpha": CorpusSpec("alpha", alpha_dir, alpha_snapshot),
-            "beta": CorpusSpec("beta", beta_dir, beta_snapshot),
+    with ClusterFixture(
+        replicas=3,
+        corpora={
+            "alpha": (alpha_dir, alpha_snapshot),
+            "beta": (beta_dir, beta_snapshot),
         },
         default_corpus="alpha",
-        failure_threshold=1,  # one dropped proxy downs the replica: no flaky
-        reset_seconds=60.0,  # retry window inside a test
-        proxy_timeout=120.0,
-    )
-    router.bootstrap()
-    server = create_router_server(router)
-    thread = start_router_in_background(server)
-    cluster = _Cluster(replicas, router, server, thread)
-    yield cluster
-    cluster.close()
-
-
-def _canonical(payload: dict) -> str:
-    """Payload bytes minus the one wall-clock field (the suite-wide idiom)."""
-    data = dict(payload)
-    data["stats"] = {
-        k: v for k, v in data["stats"].items() if k != "elapsed_seconds"
-    }
-    return json.dumps(data)
-
-
-def _request(url: str, method: str, path: str, body: dict | None = None):
-    """(status, parsed body, headers); taxonomy error bodies parsed too."""
-    data = json.dumps(body).encode() if body is not None else None
-    request = urllib.request.Request(
-        url + path,
-        data=data,
-        method=method,
-        headers={"Content-Type": "application/json"} if data else {},
-    )
-    try:
-        with urllib.request.urlopen(request, timeout=120) as response:
-            return response.status, json.loads(response.read()), dict(response.headers)
-    except urllib.error.HTTPError as exc:
-        return exc.code, json.loads(exc.read()), dict(exc.headers)
+    ) as fixture:
+        yield fixture
 
 
 # -- replica health unit tests ---------------------------------------------------
@@ -244,33 +159,25 @@ def test_routed_payload_is_byte_identical_to_direct_serve(alpha_dir, backend):
     direct.attach_directory("alpha", alpha_dir, default=True)
     direct_server = create_server(direct, config=direct.config)
     direct_thread = start_in_background(direct_server)
-
-    replica = _make_replica(graph_backend=backend)
-    router = RouterApp(
-        [replica.url],
-        {"alpha": CorpusSpec("alpha", alpha_dir)},
-        proxy_timeout=120.0,
-    )
-    router.bootstrap()  # attaches (and warms) alpha on the replica
-    router_server = create_router_server(router)
-    router_thread = start_router_in_background(router_server)
     try:
-        body = {"query": "pretrained language models", "use_cache": False}
-        status_d, direct_body, _ = _request(
-            direct_server.url, "POST", "/v1/corpora/alpha/query", body
-        )
-        status_r, routed_body, headers = _request(
-            router_server.url, "POST", "/v1/corpora/alpha/query", body
-        )
-        assert status_d == status_r == 200
-        assert headers.get("X-Request-Id")
-        assert _canonical(routed_body["payload"]) == _canonical(direct_body["payload"])
+        with ClusterFixture(
+            replicas=1,
+            corpora={"alpha": alpha_dir},
+            graph_backend=backend,
+        ) as cluster:
+            body = {"query": "pretrained language models", "use_cache": False}
+            status_d, direct_body, _ = http_request(
+                direct_server.url, "POST", "/v1/corpora/alpha/query", body
+            )
+            status_r, routed_body, headers = cluster.request(
+                "POST", "/v1/corpora/alpha/query", body
+            )
+            assert status_d == status_r == 200
+            assert headers.get("X-Request-Id")
+            assert canonical_payload(routed_body["payload"]) == canonical_payload(
+                direct_body["payload"]
+            )
     finally:
-        router_server.shutdown()
-        router_server.server_close()
-        router_thread.join(timeout=5)
-        router.close()
-        _stop_replica(replica)
         direct_server.shutdown()
         direct_server.server_close()
         direct_thread.join(timeout=5)
@@ -283,24 +190,23 @@ class TestCluster:
         assert set(placement) == {"alpha", "beta"}
         for name, url in placement.items():
             assert url == cluster.router.ring.place(name)
-            status, body, _ = _request(url, "GET", "/v1/corpora")
+            status, body, _ = http_request(url, "GET", "/v1/corpora")
             assert status == 200
             assert name in {entry["name"] for entry in body["corpora"]}
 
     def test_router_healthz_and_metrics_surfaces(self, cluster):
-        status, body, _ = _request(cluster.url, "GET", "/healthz")
+        status, body, _ = cluster.request("GET", "/healthz")
         assert status == 200
         assert body["status"] == "ok"
         assert body["healthy_replicas"] == 3
         assert set(body["placements"]) == {"alpha", "beta"}
         assert body["ring"]["vnodes"] == 128
 
-        _request(
-            cluster.url, "POST", "/v1/corpora/alpha/query",
+        cluster.request(
+            "POST", "/v1/corpora/alpha/query",
             {"query": "graph neural networks", "use_cache": False},
         )
-        response = urllib.request.urlopen(cluster.url + "/v1/metrics", timeout=30)
-        series = parse_metrics_text(response.read().decode())
+        series = cluster.metrics()
         assert series["repager_router_requests_total"][()] >= 1
         up = series["repager_router_replica_up"]
         assert len(up) == 3 and all(value == 1.0 for value in up.values())
@@ -310,8 +216,8 @@ class TestCluster:
         assert sum(latency.values()) >= 1
 
     def test_unknown_corpus_is_a_taxonomy_404(self, cluster):
-        status, body, _ = _request(
-            cluster.url, "POST", "/v1/corpora/nope/query", {"query": "x"}
+        status, body, _ = cluster.request(
+            "POST", "/v1/corpora/nope/query", {"query": "x"}
         )
         assert status == 404
         assert body["code"] == "corpus_not_found"
@@ -319,18 +225,18 @@ class TestCluster:
     def test_replica_errors_pass_through_byte_identical(self, cluster):
         """A replica's 400 taxonomy body is the router's 400 taxonomy body."""
         direct_url = cluster.router.placement["alpha"]
-        status_d, direct_body, _ = _request(
+        status_d, direct_body, _ = http_request(
             direct_url, "POST", "/v1/corpora/alpha/query", {"bogus": True}
         )
-        status_r, routed_body, _ = _request(
-            cluster.url, "POST", "/v1/corpora/alpha/query", {"bogus": True}
+        status_r, routed_body, _ = cluster.request(
+            "POST", "/v1/corpora/alpha/query", {"bogus": True}
         )
         assert status_d == status_r == 400
         assert routed_body == direct_body
 
     def test_legacy_routes_follow_the_default_corpus(self, cluster):
-        status, body, headers = _request(
-            cluster.url, "POST", "/query", {"query": "machine learning", "use_cache": False}
+        status, body, headers = cluster.request(
+            "POST", "/query", {"query": "machine learning", "use_cache": False}
         )
         assert status == 200
         assert headers.get("Deprecation") == "true"
@@ -341,20 +247,19 @@ class TestCluster:
         taxonomy 503 (never a bare reset), then warm failover service with a
         payload identical to the pre-kill serve."""
         victim_url = cluster.router.placement["alpha"]
-        victim = next(r for r in cluster.replicas if r.url == victim_url)
         body = {"query": "pretrained language models", "use_cache": False}
 
-        status, before, _ = _request(
-            cluster.url, "POST", "/v1/corpora/alpha/query", body
+        status, before, _ = cluster.request(
+            "POST", "/v1/corpora/alpha/query", body
         )
         assert status == 200
 
-        _stop_replica(victim, close_app=False)  # SIGKILL-ish: sockets vanish
+        cluster.kill("alpha")  # SIGKILL-ish: sockets vanish
 
         # First request after the kill: connection error -> passive failure
         # marking -> evacuation -> replica_unavailable with Retry-After.
-        status, error_body, headers = _request(
-            cluster.url, "POST", "/v1/corpora/alpha/query", body
+        status, error_body, headers = cluster.request(
+            "POST", "/v1/corpora/alpha/query", body
         )
         assert status == 503
         assert error_body["code"] == "replica_unavailable"
@@ -363,11 +268,13 @@ class TestCluster:
 
         # The corpus is now on a survivor, attached warm from its snapshot:
         # the retry the 503 asked for succeeds with identical bytes.
-        status, after, _ = _request(
-            cluster.url, "POST", "/v1/corpora/alpha/query", body
+        status, after, _ = cluster.request(
+            "POST", "/v1/corpora/alpha/query", body
         )
         assert status == 200
-        assert _canonical(after["payload"]) == _canonical(before["payload"])
+        assert canonical_payload(after["payload"]) == canonical_payload(
+            before["payload"]
+        )
         new_home = cluster.router.placement["alpha"]
         assert new_home != victim_url
         # Failover respects the ring's preference order.
@@ -375,8 +282,7 @@ class TestCluster:
         assert new_home == next(url for url in preference if url != victim_url)
 
         # Observability: the replacement is visible in metrics and events.
-        response = urllib.request.urlopen(cluster.url + "/v1/metrics", timeout=30)
-        series = parse_metrics_text(response.read().decode())
+        series = cluster.metrics()
         assert series["repager_router_replaced_total"][()] >= 1
         assert (
             series["repager_router_replica_up"][(("replica", victim_url),)] == 0.0
@@ -385,8 +291,7 @@ class TestCluster:
         assert "replica_down" in events
         assert "corpus_replaced" in events
 
-        status, health, _ = _request(cluster.url, "GET", "/healthz")
+        status, health, _ = cluster.request("GET", "/healthz")
         assert status == 200
         assert health["status"] == "ok"  # everything re-placed on healthy homes
         assert health["replicas"][victim_url]["state"] == "down"
-        victim.app.close(wait=False)

@@ -17,10 +17,11 @@ import pytest
 
 from repro.graph.citation_graph import CitationGraph
 from repro.graph.indexed import IndexedGraph
-from repro.graph.kernels import indexed_dijkstra, indexed_pagerank
+from repro.graph.kernels import indexed_dijkstra, indexed_k_hop, indexed_pagerank
 from repro.graph.pagerank import pagerank
 from repro.graph.shortest_paths import dijkstra
 from repro.graph.steiner import metric_closure, node_edge_weighted_steiner_tree
+from repro.graph.traversal import k_hop_neighborhood
 
 # Each case: (seed, num_nodes, edge_factor, weighted, components)
 #   edge_factor: average out-degree of the random graph
@@ -175,6 +176,62 @@ def test_pagerank_personalization_equivalence():
     actual = indexed_pagerank(snapshot, personalization=personalization)
     for node, score in expected.items():
         assert actual[node] == score
+
+
+@pytest.mark.parametrize("seed,n,factor,weighted,components", CASES)
+def test_k_hop_truncation_equivalence(seed, n, factor, weighted, components):
+    """``max_nodes`` truncation keeps the same node *dict* as the reference.
+
+    The random graphs insert edges in shuffled order (not source-major), so
+    this exercises the interned predecessor-order array: a snapshot whose
+    in-adjacency followed ascending source index instead of insertion order
+    would truncate a different prefix for directions ``in`` and ``both``.
+    """
+    graph, _, _, rng = make_random_case(seed, n, factor, weighted, components)
+    snapshot = IndexedGraph.from_graph(graph)
+    nodes = sorted(graph.nodes)
+    seeds = rng.sample(nodes, min(3, len(nodes)))
+    for direction in ("out", "in", "both"):
+        for order in (1, 2, 3):
+            full = k_hop_neighborhood(graph, seeds, order, direction=direction)
+            for max_nodes in (None, 1, len(full) // 2 or 1, len(full)):
+                expected = k_hop_neighborhood(
+                    graph, seeds, order, direction=direction, max_nodes=max_nodes
+                )
+                actual = indexed_k_hop(
+                    snapshot, seeds, order, direction=direction, max_nodes=max_nodes
+                )
+                assert actual == expected
+
+
+def test_k_hop_truncation_with_out_of_order_edges():
+    """Regression: edges added target-first must truncate like the dict graph.
+
+    Before the predecessor-order array was interned, the snapshot's lazy
+    in-adjacency followed ascending source index, so a graph built in
+    non-source-major order truncated a different node set once ``max_nodes``
+    bit mid-scan.
+    """
+    graph = CitationGraph()
+    for name in ("HUB", "Z", "M", "A", "Q"):
+        graph.add_node(name)
+    # Predecessors of HUB in insertion order: Z, M, A, Q — the reverse of
+    # ascending source index (A, M, Q, Z after interning sorted node ids).
+    graph.add_edge("Z", "HUB")
+    graph.add_edge("M", "HUB")
+    graph.add_edge("A", "HUB")
+    graph.add_edge("Q", "HUB")
+    snapshot = IndexedGraph.from_graph(graph)
+    for direction in ("in", "both"):
+        for cap in (2, 3):
+            expected = k_hop_neighborhood(
+                graph, ["HUB"], 1, direction=direction, max_nodes=cap
+            )
+            actual = indexed_k_hop(
+                snapshot, ["HUB"], 1, direction=direction, max_nodes=cap
+            )
+            assert actual == expected
+            assert list(actual) == list(expected)
 
 
 def test_induced_snapshot_matches_from_graph_of_subgraph():
